@@ -1,0 +1,534 @@
+// Benchmark harness regenerating the paper's evaluation (§8): one
+// benchmark per table and figure, plus ablations of the design choices
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Reported metrics carry the figure data (speedup %, IPC, coverage %,
+// misspeculation %, ...); the wall-clock numbers measure the compiler and
+// simulator themselves.
+package sptc_test
+
+import (
+	"io"
+	"math"
+	"sync"
+	"testing"
+
+	"sptc"
+	"sptc/internal/benchprog"
+	"sptc/internal/core"
+	"sptc/internal/cost"
+	"sptc/internal/depgraph"
+	"sptc/internal/interp"
+	"sptc/internal/ir"
+	"sptc/internal/machine"
+	"sptc/internal/parser"
+	"sptc/internal/partition"
+	"sptc/internal/profile"
+	"sptc/internal/sem"
+	"sptc/internal/ssa"
+)
+
+// ---- shared compile cache (compilation is deterministic) ----
+
+type compileKey struct {
+	name  string
+	level core.Level
+}
+
+var (
+	compileMu    sync.Mutex
+	compileCache = map[compileKey]*core.Result{}
+)
+
+func compiled(b *testing.B, name string, level core.Level) *core.Result {
+	b.Helper()
+	compileMu.Lock()
+	defer compileMu.Unlock()
+	key := compileKey{name, level}
+	if r, ok := compileCache[key]; ok {
+		return r
+	}
+	bench := benchprog.ByName(name)
+	if bench == nil {
+		b.Fatalf("unknown benchmark %s", name)
+	}
+	r, err := core.CompileSource(name, bench.Source, core.DefaultOptions(level))
+	if err != nil {
+		b.Fatalf("compile %s@%s: %v", name, level, err)
+	}
+	compileCache[key] = r
+	return r
+}
+
+func simulate(b *testing.B, res *core.Result) *machine.Result {
+	b.Helper()
+	sim, err := sptc.SimulateWith(res, machine.DefaultConfig(), io.Discard)
+	if err != nil {
+		b.Fatalf("simulate: %v", err)
+	}
+	return sim
+}
+
+// ---- Table 1: IPC of the non-SPT base reference ----
+
+func BenchmarkTable1BaseIPC(b *testing.B) {
+	for _, bench := range benchprog.Suite() {
+		b.Run(bench.Name, func(b *testing.B) {
+			res := compiled(b, bench.Name, core.LevelBase)
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				sim := simulate(b, res)
+				ipc = sim.IPC()
+			}
+			b.ReportMetric(ipc, "IPC")
+		})
+	}
+}
+
+// ---- Figure 14: speedup per benchmark and compilation level ----
+
+func BenchmarkFig14Speedup(b *testing.B) {
+	levels := []core.Level{core.LevelBasic, core.LevelBest, core.LevelAnticipated}
+	for _, bench := range benchprog.Suite() {
+		for _, lvl := range levels {
+			b.Run(bench.Name+"/"+lvl.String(), func(b *testing.B) {
+				base := compiled(b, bench.Name, core.LevelBase)
+				res := compiled(b, bench.Name, lvl)
+				var speedup float64
+				for i := 0; i < b.N; i++ {
+					baseSim := simulate(b, base)
+					sim := simulate(b, res)
+					speedup = baseSim.Cycles / sim.Cycles
+				}
+				b.ReportMetric((speedup-1)*100, "speedup_%")
+			})
+		}
+	}
+}
+
+// ---- Figure 15: loop candidate breakdown at the best level ----
+
+func BenchmarkFig15LoopBreakdown(b *testing.B) {
+	var selected, total int
+	for i := 0; i < b.N; i++ {
+		selected, total = 0, 0
+		for _, bench := range benchprog.Suite() {
+			res := compiled(b, bench.Name, core.LevelBest)
+			for _, r := range res.Reports {
+				total++
+				if r.Decision == core.DecisionSelected {
+					selected++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(total), "loops")
+	b.ReportMetric(100*float64(selected)/float64(total), "valid_partition_%")
+}
+
+// ---- Figure 16: runtime coverage of SPT loops ----
+
+func BenchmarkFig16Coverage(b *testing.B) {
+	for _, bench := range benchprog.Suite() {
+		b.Run(bench.Name, func(b *testing.B) {
+			res := compiled(b, bench.Name, core.LevelBest)
+			var coverage float64
+			var loops int
+			for i := 0; i < b.N; i++ {
+				sim := simulate(b, res)
+				var inLoops float64
+				for _, ls := range sim.Loops {
+					inLoops += ls.Elapsed
+				}
+				coverage = inLoops / sim.Cycles
+				loops = len(res.SPT)
+			}
+			b.ReportMetric(coverage*100, "coverage_%")
+			b.ReportMetric(float64(loops), "spt_loops")
+		})
+	}
+}
+
+// ---- Figure 17: SPT loop body size and pre-fork share ----
+
+func BenchmarkFig17PartitionShape(b *testing.B) {
+	var bodySum, preSum float64
+	var n int
+	for i := 0; i < b.N; i++ {
+		bodySum, preSum, n = 0, 0, 0
+		for _, bench := range benchprog.Suite() {
+			res := compiled(b, bench.Name, core.LevelBest)
+			sim := simulate(b, res)
+			for _, sl := range res.SPT {
+				ls := sim.Loops[sl.ID]
+				if ls == nil || ls.SpecIters == 0 {
+					continue
+				}
+				bodySum += float64(ls.SpecOps) / float64(ls.SpecIters)
+				if sl.Report.BodySize > 0 {
+					preSum += float64(sl.Report.PreForkSize) / float64(sl.Report.BodySize)
+				}
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(bodySum/float64(n), "dyn_ops_per_iter")
+		b.ReportMetric(100*preSum/float64(n), "prefork_share_%")
+	}
+}
+
+// ---- Figure 18: misspeculation ratio and loop-local speedup ----
+
+func BenchmarkFig18LoopPerf(b *testing.B) {
+	for _, bench := range benchprog.Suite() {
+		b.Run(bench.Name, func(b *testing.B) {
+			res := compiled(b, bench.Name, core.LevelBest)
+			var misspec, speedup float64
+			for i := 0; i < b.N; i++ {
+				sim := simulate(b, res)
+				var specOps, reexecOps int64
+				var seq, elapsed float64
+				for _, ls := range sim.Loops {
+					specOps += ls.SpecOps
+					reexecOps += ls.ReexecOps
+					seq += ls.SeqCycles
+					elapsed += ls.Elapsed
+				}
+				if specOps > 0 {
+					misspec = float64(reexecOps) / float64(specOps)
+				}
+				if elapsed > 0 {
+					speedup = seq / elapsed
+				}
+			}
+			b.ReportMetric(misspec*100, "misspec_%")
+			b.ReportMetric(speedup, "loop_speedup")
+		})
+	}
+}
+
+// ---- Figure 19: estimated cost vs measured re-execution correlation ----
+
+func BenchmarkFig19CostCorrelation(b *testing.B) {
+	var corr float64
+	var points int
+	for i := 0; i < b.N; i++ {
+		var xs, ys []float64
+		for _, bench := range benchprog.Suite() {
+			res := compiled(b, bench.Name, core.LevelBest)
+			sim := simulate(b, res)
+			for _, sl := range res.SPT {
+				ls := sim.Loops[sl.ID]
+				if ls == nil || ls.SpecIters < 8 {
+					continue
+				}
+				est := 0.0
+				if sl.Report.BodySize > 0 {
+					est = sl.Report.EstCost / float64(sl.Report.BodySize)
+				}
+				xs = append(xs, est)
+				ys = append(ys, ls.ReexecRatio())
+			}
+		}
+		corr = pearson(xs, ys)
+		points = len(xs)
+	}
+	b.ReportMetric(corr, "pearson_r")
+	b.ReportMetric(float64(points), "points")
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+		vx += (xs[i] - mx) * (xs[i] - mx)
+		vy += (ys[i] - my) * (ys[i] - my)
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// ---- Ablations ----
+
+// BenchmarkAblationPruning measures the branch-and-bound search with and
+// without the paper's §5.2.1 pruning heuristics (search-node counts).
+func BenchmarkAblationPruning(b *testing.B) {
+	g, m := ablationLoopGraph(b)
+	for _, pruned := range []bool{true, false} {
+		name := "pruned"
+		if !pruned {
+			name = "exhaustive"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := partition.DefaultOptions()
+			opt.PruneSize = pruned
+			opt.PruneBound = pruned
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				r := partition.Search(g, m, opt)
+				nodes = r.SearchNodes
+			}
+			b.ReportMetric(float64(nodes), "search_nodes")
+		})
+	}
+}
+
+// BenchmarkAblationSelection compares cost-driven selection against
+// speculating every legal loop.
+func BenchmarkAblationSelection(b *testing.B) {
+	src := benchprog.ByName("gap").Source
+	base, err := core.CompileSource("gap", src, core.DefaultOptions(core.LevelBase))
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseSim := simulateResult(b, base)
+
+	for _, everything := range []bool{false, true} {
+		name := "cost-driven"
+		if everything {
+			name = "speculate-all"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := core.DefaultOptions(core.LevelBest)
+			opt.DisableSelection = everything
+			res, err := core.CompileSource("gap", src, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				sim := simulateResult(b, res)
+				speedup = baseSim.Cycles / sim.Cycles
+			}
+			b.ReportMetric((speedup-1)*100, "speedup_%")
+			b.ReportMetric(float64(len(res.SPT)), "spt_loops")
+		})
+	}
+}
+
+// BenchmarkAblationSVP compares the best compilation with and without
+// software value prediction on the SVP-dependent vpr benchmark.
+func BenchmarkAblationSVP(b *testing.B) {
+	src := benchprog.ByName("vpr").Source
+	base, err := core.CompileSource("vpr", src, core.DefaultOptions(core.LevelBase))
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseSim := simulateResult(b, base)
+	for _, disable := range []bool{false, true} {
+		name := "svp-on"
+		if disable {
+			name = "svp-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := core.DefaultOptions(core.LevelBest)
+			opt.DisableSVP = disable
+			res, err := core.CompileSource("vpr", src, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				sim := simulateResult(b, res)
+				speedup = baseSim.Cycles / sim.Cycles
+			}
+			b.ReportMetric((speedup-1)*100, "speedup_%")
+		})
+	}
+}
+
+// BenchmarkAblationProfiling isolates the value of dependence profiling:
+// the basic (static) vs best (profiled) compilations of mcf, whose hot
+// loop only profiling can clear.
+func BenchmarkAblationProfiling(b *testing.B) {
+	base := compiled(b, "mcf", core.LevelBase)
+	baseSim := simulateResult(b, base)
+	for _, lvl := range []core.Level{core.LevelBasic, core.LevelBest} {
+		b.Run(lvl.String(), func(b *testing.B) {
+			res := compiled(b, "mcf", lvl)
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				sim := simulateResult(b, res)
+				speedup = baseSim.Cycles / sim.Cycles
+			}
+			b.ReportMetric((speedup-1)*100, "speedup_%")
+		})
+	}
+}
+
+// BenchmarkAblationUnroll compares compilation with and without loop
+// unrolling (§7.1).
+func BenchmarkAblationUnroll(b *testing.B) {
+	src := benchprog.ByName("bzip2").Source
+	base, err := core.CompileSource("bzip2", src, core.DefaultOptions(core.LevelBase))
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseSim := simulateResult(b, base)
+	for _, unroll := range []bool{true, false} {
+		name := "unroll-on"
+		if !unroll {
+			name = "unroll-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := core.DefaultOptions(core.LevelBest)
+			if !unroll {
+				opt.Unroll.MaxFactor = 1
+			}
+			res, err := core.CompileSource("bzip2", src, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				sim := simulateResult(b, res)
+				speedup = baseSim.Cycles / sim.Cycles
+			}
+			b.ReportMetric((speedup-1)*100, "speedup_%")
+		})
+	}
+}
+
+// ---- Compiler and simulator micro-benchmarks ----
+
+func BenchmarkCompileBest(b *testing.B) {
+	src := benchprog.ByName("gap").Source
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CompileSource("gap", src, core.DefaultOptions(core.LevelBest)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	res := compiled(b, "gap", core.LevelBase)
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		sim := simulateResult(b, res)
+		ops = sim.Ops
+	}
+	b.ReportMetric(float64(ops), "sim_instructions")
+}
+
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	res := compiled(b, "gap", core.LevelBase)
+	for i := 0; i < b.N; i++ {
+		m := interp.New(res.Prog, io.Discard)
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionSearch(b *testing.B) {
+	g, m := ablationLoopGraph(b)
+	opt := partition.DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		partition.Search(g, m, opt)
+	}
+}
+
+func BenchmarkCostModelEvaluate(b *testing.B) {
+	g, m := ablationLoopGraph(b)
+	pre := map[*ir.Stmt]bool{}
+	if len(g.VCs) > 0 {
+		cl := partition.ComputeClosure(g, g.VCs[0])
+		pre = cl.Move
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Evaluate(pre)
+	}
+}
+
+// ---- helpers ----
+
+func simulateResult(b *testing.B, res *core.Result) *machine.Result {
+	b.Helper()
+	sim, err := sptc.SimulateWith(res, machine.DefaultConfig(), io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim
+}
+
+// ablationLoopGraph builds a dependence graph + cost model for a loop
+// with several violation candidates, for search benchmarks.
+func ablationLoopGraph(b *testing.B) (*depgraph.Graph, *cost.Model) {
+	b.Helper()
+	src := `
+var a int[512];
+var s1 int;
+var s2 int;
+var s3 int;
+func main() {
+	var i int = 0;
+	var r int = 7;
+	while (i < 512) {
+		var x int = a[i & 511] * 3 + (a[i & 511] >> 2);
+		r = (r + x) & 1023;
+		s1 = s1 + (x & 15);
+		s2 = s2 + (r & 7);
+		if (x % 19 == 0) {
+			s3 = s3 + 1;
+		}
+		i = i + 1;
+	}
+	print(s1, s2, s3, r);
+}
+`
+	p, err := parser.Parse("abl.spl", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	info, err := sem.Check(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ir.Build(info)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nests := make(map[*ir.Func]*ssa.LoopNest)
+	for _, f := range prog.Funcs {
+		dom := ssa.BuildDomTree(f)
+		ssa.Build(f, dom)
+		nests[f] = ssa.FindLoops(f, ssa.BuildDomTree(f))
+	}
+	prof := profile.NewProfiler(prog, nests)
+	m := interp.New(prog, io.Discard)
+	m.Hooks = prof.Hooks()
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	prof.Edge.Apply(prog)
+
+	f := prog.Main
+	l := nests[f].Loops[0]
+	pd := depgraph.BuildPostDom(f)
+	g := depgraph.Build(l, depgraph.Config{
+		UseProfile: true,
+		Dep:        prof.Dep,
+		Effects:    depgraph.ComputeEffects(prog),
+		CtrlDeps:   depgraph.ControlDeps(f, pd),
+	})
+	if g == nil {
+		b.Fatal("nil graph")
+	}
+	return g, cost.Build(g)
+}

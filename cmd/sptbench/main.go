@@ -1,0 +1,110 @@
+// Command sptbench regenerates the paper's evaluation: Table 1 and
+// Figures 14 through 19 (§8), by compiling the benchmark suite at the
+// basic, best, and anticipated levels and simulating the results on the
+// SPT machine.
+//
+// Usage:
+//
+//	sptbench                  # everything
+//	sptbench -table1          # just Table 1
+//	sptbench -fig14 ... -fig19
+//	sptbench -bench mcf,vpr   # restrict the suite
+//	sptbench -level best      # figure-detail level (default best)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sptc/internal/core"
+	"sptc/internal/evalharness"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "print Table 1 (base IPC)")
+		fig14   = flag.Bool("fig14", false, "print Figure 14 (speedups)")
+		fig15   = flag.Bool("fig15", false, "print Figure 15 (loop breakdown)")
+		fig16   = flag.Bool("fig16", false, "print Figure 16 (coverage)")
+		fig17   = flag.Bool("fig17", false, "print Figure 17 (partition shape)")
+		fig18   = flag.Bool("fig18", false, "print Figure 18 (loop performance)")
+		fig19   = flag.Bool("fig19", false, "print Figure 19 (cost correlation)")
+		benches = flag.String("bench", "", "comma-separated benchmark subset")
+		level   = flag.String("level", "best", "detail level for figures 15-19 (basic|best|anticipated)")
+		verbose = flag.Bool("v", false, "log progress")
+		csvOut  = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+	)
+	flag.Parse()
+
+	var lvl core.Level
+	switch *level {
+	case "basic":
+		lvl = core.LevelBasic
+	case "best":
+		lvl = core.LevelBest
+	case "anticipated":
+		lvl = core.LevelAnticipated
+	default:
+		fmt.Fprintf(os.Stderr, "sptbench: unknown level %q\n", *level)
+		os.Exit(2)
+	}
+
+	opt := evalharness.DefaultEvalOptions()
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+
+	suite, err := evalharness.RunSuite(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sptbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *csvOut {
+		if err := suite.WriteCSV(os.Stdout, lvl); err != nil {
+			fmt.Fprintf(os.Stderr, "sptbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	any := *table1 || *fig14 || *fig15 || *fig16 || *fig17 || *fig18 || *fig19
+	if !any {
+		suite.WriteAll(os.Stdout, lvl)
+		return
+	}
+	first := true
+	section := func(f func()) {
+		if !first {
+			fmt.Println()
+		}
+		first = false
+		f()
+	}
+	if *table1 {
+		section(func() { suite.WriteTable1(os.Stdout) })
+	}
+	if *fig14 {
+		section(func() { suite.WriteFig14(os.Stdout) })
+	}
+	if *fig15 {
+		section(func() { suite.WriteFig15(os.Stdout, lvl) })
+	}
+	if *fig16 {
+		section(func() { suite.WriteFig16(os.Stdout, lvl) })
+	}
+	if *fig17 {
+		section(func() { suite.WriteFig17(os.Stdout, lvl) })
+	}
+	if *fig18 {
+		section(func() { suite.WriteFig18(os.Stdout, lvl) })
+	}
+	if *fig19 {
+		section(func() { suite.WriteFig19(os.Stdout, lvl) })
+	}
+}

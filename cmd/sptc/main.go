@@ -1,0 +1,87 @@
+// Command sptc is the SPT compiler driver: it compiles an SPL source
+// file through the cost-driven speculative-parallelization pipeline and
+// reports what happened to every loop candidate.
+//
+// Usage:
+//
+//	sptc [-level basic|best|anticipated] [-report] [-dump] [-partitions] file.spl
+//
+// With -dump the final IR (including SPT_FORK/SPT_KILL and the pre-fork
+// regions) is printed; -report lists every loop candidate with its
+// disposition; -partitions additionally prints each candidate's optimal
+// partition search result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sptc/internal/core"
+	"sptc/internal/ir"
+)
+
+func main() {
+	var (
+		level      = flag.String("level", "best", "compilation level: base|basic|best|anticipated")
+		report     = flag.Bool("report", true, "print the per-loop report")
+		dump       = flag.Bool("dump", false, "dump the final IR")
+		partitions = flag.Bool("partitions", false, "print optimal partition details")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sptc [flags] file.spl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var lvl core.Level
+	switch *level {
+	case "base":
+		lvl = core.LevelBase
+	case "basic":
+		lvl = core.LevelBasic
+	case "best":
+		lvl = core.LevelBest
+	case "anticipated":
+		lvl = core.LevelAnticipated
+	default:
+		fmt.Fprintf(os.Stderr, "sptc: unknown level %q\n", *level)
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sptc: %v\n", err)
+		os.Exit(1)
+	}
+
+	res, err := core.CompileSource(flag.Arg(0), string(src), core.DefaultOptions(lvl))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sptc: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *report {
+		fmt.Printf("%d loop candidate(s), %d SPT loop(s) generated at level %s\n",
+			len(res.Reports), len(res.SPT), lvl)
+		for _, r := range res.Reports {
+			fmt.Printf("  %-12s loop%-3d %-5s depth=%d body=%-4d trips=%-8.1f vcs=%-3d cost=%-8.2f pre=%-4d %s",
+				r.Func, r.LoopID, r.Kind, r.Depth, r.BodySize, r.AvgTrip, r.VCCount, r.EstCost, r.PreForkSize, r.Decision)
+			if r.SVP {
+				fmt.Print("  [svp]")
+			}
+			if r.Transformed {
+				fmt.Printf("  -> SPT loop %d", r.SPTLoopID)
+			}
+			fmt.Println()
+			if *partitions && r.Partition != nil {
+				fmt.Printf("      partition: %s\n", r.Partition)
+			}
+		}
+	}
+
+	if *dump {
+		fmt.Print(ir.FormatProgram(res.Prog))
+	}
+}

@@ -1,0 +1,99 @@
+// Command sptsim compiles an SPL program and runs it on the SPT machine
+// simulator, reporting cycles, IPC, and per-SPT-loop statistics. With
+// -compare it also runs the non-SPT base compilation and reports the
+// speedup.
+//
+// Usage:
+//
+//	sptsim [-level best] [-compare] [-quiet] file.spl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"sptc"
+	"sptc/internal/core"
+)
+
+func main() {
+	var (
+		level   = flag.String("level", "best", "compilation level: base|basic|best|anticipated")
+		compare = flag.Bool("compare", false, "also simulate the base compilation and report speedup")
+		quiet   = flag.Bool("quiet", false, "suppress program output")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sptsim [flags] file.spl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var lvl sptc.Level
+	switch *level {
+	case "base":
+		lvl = sptc.LevelBase
+	case "basic":
+		lvl = sptc.LevelBasic
+	case "best":
+		lvl = sptc.LevelBest
+	case "anticipated":
+		lvl = sptc.LevelAnticipated
+	default:
+		fmt.Fprintf(os.Stderr, "sptsim: unknown level %q\n", *level)
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sptsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	res, err := sptc.Compile(flag.Arg(0), string(src), lvl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sptsim: %v\n", err)
+		os.Exit(1)
+	}
+	var out io.Writer = os.Stdout
+	if *quiet {
+		out = io.Discard
+	}
+	sim, err := sptc.Simulate(res, out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sptsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("level=%s cycles=%.0f instructions=%d ipc=%.2f branches=%d mispredicts=%d mem-accesses=%d\n",
+		lvl, sim.Cycles, sim.Ops, sim.IPC(), sim.BranchLookups, sim.BranchMisses, sim.MemAccesses)
+
+	var ids []int
+	for id := range sim.Loops {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ls := sim.Loops[id]
+		fmt.Printf("  SPT loop %d: invocations=%d iterations=%d speculative=%d misspeculated=%d reexec-ratio=%.3f loop-speedup=%.2fx\n",
+			id, ls.Invocations, ls.Iterations, ls.SpecIters, ls.MisspecIters, ls.ReexecRatio(), ls.LoopSpeedup())
+	}
+
+	if *compare && lvl != sptc.LevelBase {
+		baseRes, err := core.CompileSource(flag.Arg(0), string(src), core.DefaultOptions(core.LevelBase))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sptsim: base compile: %v\n", err)
+			os.Exit(1)
+		}
+		baseSim, err := sptc.Simulate(baseRes, io.Discard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sptsim: base simulate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("base cycles=%.0f speedup=%.3fx (%.1f%%)\n",
+			baseSim.Cycles, baseSim.Cycles/sim.Cycles, (baseSim.Cycles/sim.Cycles-1)*100)
+	}
+}

@@ -1,0 +1,36 @@
+// Full suite: compiles the ten-benchmark SPEC2000Int stand-in suite at
+// the paper's three compilation levels, simulates everything, and prints
+// the Figure 14 speedup summary. This is a programmatic version of what
+// cmd/sptbench does, showing how to drive the evaluation harness from
+// your own code.
+//
+// Run with: go run ./examples/fullsuite   (takes a minute or two)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sptc/internal/core"
+	"sptc/internal/evalharness"
+)
+
+func main() {
+	opt := evalharness.DefaultEvalOptions()
+	opt.Log = os.Stderr
+	suite, err := evalharness.RunSuite(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	suite.WriteTable1(os.Stdout)
+	fmt.Println()
+	suite.WriteFig14(os.Stdout)
+	fmt.Println()
+
+	// Programmatic access to the same data.
+	_, avg := suite.Fig14()
+	fmt.Printf("paper: basic ~1%%, best ~8%%, anticipated ~15.6%% — this run: %.1f%%, %.1f%%, %.1f%%\n",
+		(avg[core.LevelBasic]-1)*100, (avg[core.LevelBest]-1)*100, (avg[core.LevelAnticipated]-1)*100)
+}

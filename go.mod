@@ -1,0 +1,3 @@
+module sptc
+
+go 1.22

@@ -1,0 +1,422 @@
+// Package ast defines the abstract syntax trees for SPL.
+//
+// SPL is a deliberately small C-like language: scalar ints and floats,
+// global 1- and 2-dimensional arrays, functions, structured control flow
+// (if/while/for/do-while, break/continue/return). It is the source
+// language for the SPT speculative-parallelization framework; its loops
+// play the role that C loops played for the paper's ORC implementation.
+package ast
+
+import (
+	"sptc/internal/source"
+	"sptc/internal/token"
+)
+
+// Type describes an SPL value or object type.
+type Type struct {
+	Kind TypeKind
+	Elem TypeKind // element type for arrays
+	Dims []int    // array dimensions (len 1 or 2)
+}
+
+// TypeKind enumerates the base kinds.
+type TypeKind int
+
+// Type kinds.
+const (
+	TypeInvalid TypeKind = iota
+	TypeVoid
+	TypeInt
+	TypeFloat
+	TypeArray
+)
+
+func (k TypeKind) String() string {
+	switch k {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeArray:
+		return "array"
+	}
+	return "invalid"
+}
+
+func (t Type) String() string {
+	if t.Kind != TypeArray {
+		return t.Kind.String()
+	}
+	s := t.Elem.String()
+	for _, d := range t.Dims {
+		s += "[" + itoa(d) + "]"
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// IsNumeric reports whether t is int or float.
+func (t Type) IsNumeric() bool { return t.Kind == TypeInt || t.Kind == TypeFloat }
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Pos() source.Pos
+}
+
+// ---- Declarations ----
+
+// Program is a whole SPL compilation unit.
+type Program struct {
+	File    *source.File
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Pos returns the start of the program (position of the first decl).
+func (p *Program) Pos() source.Pos {
+	if len(p.Globals) > 0 {
+		return p.Globals[0].Pos()
+	}
+	if len(p.Funcs) > 0 {
+		return p.Funcs[0].Pos()
+	}
+	return source.Pos{}
+}
+
+// VarDecl declares a scalar or array variable, optionally initialized.
+type VarDecl struct {
+	PosTok source.Pos
+	Name   string
+	Type   Type
+	Init   Expr // nil if none (arrays are always zero-initialized)
+}
+
+func (d *VarDecl) Pos() source.Pos { return d.PosTok }
+
+// Param is one function parameter.
+type Param struct {
+	PosTok source.Pos
+	Name   string
+	Type   Type
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	PosTok source.Pos
+	Name   string
+	Params []Param
+	Result Type // TypeVoid if none
+	Body   *BlockStmt
+}
+
+func (d *FuncDecl) Pos() source.Pos { return d.PosTok }
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	PosTok source.Pos
+	Stmts  []Stmt
+}
+
+// DeclStmt wraps a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// AssignStmt assigns to a scalar or array element.
+// Op is token.ASSIGN for plain assignment, or one of the compound
+// assignment tokens (PLUSEQ etc.); INC/DEC are desugared by the parser.
+type AssignStmt struct {
+	PosTok source.Pos
+	LHS    Expr // *Ident or *IndexExpr
+	Op     token.Kind
+	RHS    Expr
+}
+
+// ExprStmt evaluates an expression (a call) for its side effects.
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	PosTok source.Pos
+	Cond   Expr
+	Then   *BlockStmt
+	Else   Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	PosTok source.Pos
+	Cond   Expr
+	Body   *BlockStmt
+}
+
+// DoWhileStmt is a post-tested loop.
+type DoWhileStmt struct {
+	PosTok source.Pos
+	Body   *BlockStmt
+	Cond   Expr
+}
+
+// ForStmt is a counted loop: for (init; cond; post) body.
+// Init and Post may be nil; Cond may be nil (infinite).
+type ForStmt struct {
+	PosTok source.Pos
+	Init   Stmt // *AssignStmt or *DeclStmt or nil
+	Cond   Expr
+	Post   Stmt // *AssignStmt or nil
+	Body   *BlockStmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ PosTok source.Pos }
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct{ PosTok source.Pos }
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	PosTok source.Pos
+	X      Expr // nil for void return
+}
+
+func (s *BlockStmt) Pos() source.Pos    { return s.PosTok }
+func (s *DeclStmt) Pos() source.Pos     { return s.Decl.Pos() }
+func (s *AssignStmt) Pos() source.Pos   { return s.PosTok }
+func (s *ExprStmt) Pos() source.Pos     { return s.X.Pos() }
+func (s *IfStmt) Pos() source.Pos       { return s.PosTok }
+func (s *WhileStmt) Pos() source.Pos    { return s.PosTok }
+func (s *DoWhileStmt) Pos() source.Pos  { return s.PosTok }
+func (s *ForStmt) Pos() source.Pos      { return s.PosTok }
+func (s *BreakStmt) Pos() source.Pos    { return s.PosTok }
+func (s *ContinueStmt) Pos() source.Pos { return s.PosTok }
+func (s *ReturnStmt) Pos() source.Pos   { return s.PosTok }
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*DoWhileStmt) stmt()  {}
+func (*ForStmt) stmt()      {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ReturnStmt) stmt()   {}
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes. Type is filled in by
+// semantic analysis.
+type Expr interface {
+	Node
+	expr()
+	ExprType() Type
+	setType(Type)
+}
+
+type typed struct{ typ Type }
+
+func (t *typed) ExprType() Type  { return t.typ }
+func (t *typed) setType(ty Type) { t.typ = ty }
+
+// SetType records the checked type of e. It is exported for use by the
+// sem package.
+func SetType(e Expr, t Type) { e.setType(t) }
+
+// Ident is a use of a named variable.
+type Ident struct {
+	typed
+	PosTok source.Pos
+	Name   string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	typed
+	PosTok source.Pos
+	Value  int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	typed
+	PosTok source.Pos
+	Value  float64
+}
+
+// StrLit is a string literal; valid only as a print argument.
+type StrLit struct {
+	typed
+	PosTok source.Pos
+	Value  string
+}
+
+// IndexExpr is a 1- or 2-dimensional array element access.
+type IndexExpr struct {
+	typed
+	PosTok source.Pos
+	Array  *Ident
+	Index  []Expr // len 1 or 2
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	typed
+	PosTok source.Pos
+	Op     token.Kind
+	X, Y   Expr
+}
+
+// UnaryExpr applies a unary operator (-, !, ~).
+type UnaryExpr struct {
+	typed
+	PosTok source.Pos
+	Op     token.Kind
+	X      Expr
+}
+
+// CallExpr calls a user function or builtin.
+type CallExpr struct {
+	typed
+	PosTok source.Pos
+	Name   string
+	Args   []Expr
+}
+
+// CastExpr converts between int and float: int(x), float(x).
+type CastExpr struct {
+	typed
+	PosTok source.Pos
+	To     TypeKind
+	X      Expr
+}
+
+func (e *Ident) Pos() source.Pos      { return e.PosTok }
+func (e *IntLit) Pos() source.Pos     { return e.PosTok }
+func (e *FloatLit) Pos() source.Pos   { return e.PosTok }
+func (e *StrLit) Pos() source.Pos     { return e.PosTok }
+func (e *IndexExpr) Pos() source.Pos  { return e.PosTok }
+func (e *BinaryExpr) Pos() source.Pos { return e.PosTok }
+func (e *UnaryExpr) Pos() source.Pos  { return e.PosTok }
+func (e *CallExpr) Pos() source.Pos   { return e.PosTok }
+func (e *CastExpr) Pos() source.Pos   { return e.PosTok }
+
+func (*Ident) expr()      {}
+func (*IntLit) expr()     {}
+func (*FloatLit) expr()   {}
+func (*StrLit) expr()     {}
+func (*IndexExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+func (*CallExpr) expr()   {}
+func (*CastExpr) expr()   {}
+
+// Walk calls fn for every node in the subtree rooted at n, parents
+// before children. If fn returns false the children are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Program:
+		for _, d := range x.Globals {
+			Walk(d, fn)
+		}
+		for _, f := range x.Funcs {
+			Walk(f, fn)
+		}
+	case *VarDecl:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+	case *FuncDecl:
+		Walk(x.Body, fn)
+	case *BlockStmt:
+		for _, s := range x.Stmts {
+			Walk(s, fn)
+		}
+	case *DeclStmt:
+		Walk(x.Decl, fn)
+	case *AssignStmt:
+		Walk(x.LHS, fn)
+		Walk(x.RHS, fn)
+	case *ExprStmt:
+		Walk(x.X, fn)
+	case *IfStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	case *WhileStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Body, fn)
+	case *DoWhileStmt:
+		Walk(x.Body, fn)
+		Walk(x.Cond, fn)
+	case *ForStmt:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+		if x.Cond != nil {
+			Walk(x.Cond, fn)
+		}
+		if x.Post != nil {
+			Walk(x.Post, fn)
+		}
+		Walk(x.Body, fn)
+	case *ReturnStmt:
+		if x.X != nil {
+			Walk(x.X, fn)
+		}
+	case *IndexExpr:
+		Walk(x.Array, fn)
+		for _, ix := range x.Index {
+			Walk(ix, fn)
+		}
+	case *BinaryExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *CastExpr:
+		Walk(x.X, fn)
+	}
+}

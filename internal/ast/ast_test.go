@@ -1,0 +1,92 @@
+package ast_test
+
+import (
+	"testing"
+
+	"sptc/internal/ast"
+	"sptc/internal/parser"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		typ  ast.Type
+		want string
+	}{
+		{ast.Type{Kind: ast.TypeInt}, "int"},
+		{ast.Type{Kind: ast.TypeFloat}, "float"},
+		{ast.Type{Kind: ast.TypeVoid}, "void"},
+		{ast.Type{Kind: ast.TypeArray, Elem: ast.TypeInt, Dims: []int{8}}, "int[8]"},
+		{ast.Type{Kind: ast.TypeArray, Elem: ast.TypeFloat, Dims: []int{3, 4}}, "float[3][4]"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	if !(ast.Type{Kind: ast.TypeInt}).IsNumeric() || !(ast.Type{Kind: ast.TypeFloat}).IsNumeric() {
+		t.Error("int/float should be numeric")
+	}
+	if (ast.Type{Kind: ast.TypeArray}).IsNumeric() || (ast.Type{Kind: ast.TypeVoid}).IsNumeric() {
+		t.Error("array/void should not be numeric")
+	}
+}
+
+func TestWalkEarlyExit(t *testing.T) {
+	prog, err := parser.Parse("t.spl", `
+func f(x int) int { return x + 1; }
+func main() {
+	var a int = f(1) * f(2);
+	print(a);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refusing to descend into functions must hide all calls.
+	calls := 0
+	ast.Walk(prog, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncDecl); ok {
+			return false
+		}
+		if _, ok := n.(*ast.CallExpr); ok {
+			calls++
+		}
+		return true
+	})
+	if calls != 0 {
+		t.Errorf("early exit leaked %d calls", calls)
+	}
+	// Full walk sees both calls plus print.
+	calls = 0
+	ast.Walk(prog, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			calls++
+		}
+		return true
+	})
+	if calls != 3 {
+		t.Errorf("full walk found %d calls, want 3", calls)
+	}
+}
+
+func TestPositionsAreSet(t *testing.T) {
+	prog, err := parser.Parse("t.spl", `
+var g int;
+func main() {
+	var x int = g + 1;
+	print(x);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast.Walk(prog, func(n ast.Node) bool {
+		if !n.Pos().IsValid() {
+			t.Errorf("node %T has no position", n)
+		}
+		return true
+	})
+}

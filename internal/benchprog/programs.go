@@ -1,0 +1,921 @@
+// Package benchprog holds the synthetic benchmark suite standing in for
+// the paper's ten SPEC2000Int programs (eon and perlbmk are excluded, as
+// in the paper). Each program is written in SPL and mirrors the workload
+// anatomy the paper's evaluation depends on:
+//
+//   - serial phases (linear congruential generators, pointer-chasing
+//     walks, accumulator recurrences) whose loops the cost model must
+//     reject — these keep the SPT runtime coverage near the paper's ~30%
+//     rather than at 100%;
+//   - hot loops whose cross-iteration dependences are rare at run time
+//     but invisible to static type-based analysis (indirect indexing
+//     through data): selected only with dependence profiling, which is
+//     what separates the "best" from the "basic" compilation;
+//   - a small amount of affine, statically analyzable parallelism (the
+//     "basic" compilation's ~1% average win);
+//   - pointer-chase and variable-stride while loops with small bodies
+//     that only while-loop unrolling (the "anticipated" compilation) can
+//     grow past the minimum SPT body size;
+//   - stride recurrences through calls that require software value
+//     prediction (Figure 13);
+//   - recursive phases executing outside any loop, which bound the
+//     "maximum loop coverage" of Figure 16 below 100%; and
+//   - large-working-set pointer-chasing (mcf, vortex) for the low end of
+//     Table 1's IPC range.
+//
+// All programs are deterministic, self-checking (they print checksums,
+// compared across compilation levels by the test suite), and sized for
+// trimmed profiling runs, like the paper's reduced input sets.
+package benchprog
+
+// Benchmark is one suite entry.
+type Benchmark struct {
+	Name   string
+	Source string
+	// Character notes for documentation and reports.
+	Character string
+}
+
+// Suite returns the ten benchmarks in the paper's order.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{"bzip2", srcBzip2, "byte histogram + move-to-front + run-length; indirect table updates"},
+		{"crafty", srcCrafty, "bitboard evaluation; serial hash chain; piece-list while loops; search recursion"},
+		{"gap", srcGap, "permutation composition via indirect loads; cycle walks; orbit list chase"},
+		{"gcc", srcGcc, "branchy IR walks with indirect operands; recursive tree folding"},
+		{"gzip", srcGzip, "LZ77 window matching with variable advance; hash chains; bit-packing while loop"},
+		{"mcf", srcMcf, "network arc pricing over a cache-hostile working set; serial augmenting walk"},
+		{"parser", srcParser, "token scoring; dictionary chain probing; recursive descent phrases"},
+		{"twolf", srcTwolf, "float wire-length with indirect pins; serial annealing accept chain"},
+		{"vortex", srcVortex, "object store; affine record copies (static win); chained lookups"},
+		{"vpr", srcVpr, "Figure 2's routing cost accumulation; SVP timing walk; serial maze chase"},
+	}
+}
+
+// ByName returns the named benchmark, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range Suite() {
+		if b.Name == name {
+			bb := b
+			return &bb
+		}
+	}
+	return nil
+}
+
+const srcBzip2 = `
+// bzip2: block compression. The histogram/transform loop updates tables
+// indexed by data bytes -- dependences exist only on byte collisions at
+// distance one, which profiling shows to be rare. Generation and
+// run-length coding are serial; move-to-front ranking is a small-bodied
+// pointer-style while loop that only while-unrolling can grow.
+var block int[8192];
+var freq int[256];
+var xform int[8192];
+var mtf int[256];
+var rlesum int;
+var hot int;
+
+func gen() {
+	var x int = 12345;
+	var i int;
+	for (i = 0; i < 8192; i++) {
+		var v int = (x >> 8) & 255;
+		v = v + (v >> 2) % 13 + (v & 31) + v % 7;
+		v = v + (v >> 3) % 11 + (v ^ (x & 63));
+		var b int = v & 255;
+		if ((x & 31) == 0) {
+			b = 42;
+		}
+		block[i] = b;
+		// Feedback: the next seed needs this iteration's full result, so
+		// the recurrence cannot move into a small pre-fork region.
+		x = (x * 1103515245 + 12345 + v) & 1073741823;
+	}
+}
+
+func transform() {
+	var i int;
+	for (i = 0; i < 8192; i++) {
+		var b int = block[i];
+		var v int = b * 3 + (b >> 2) + (b & 15) + b % 7;
+		v = v + (v >> 3) % 13 + (v & 31) + v % 11;
+		var w int = freq[b] + 1;
+		w = w + (w >> 6);
+		xform[i] = v + w % 5;
+		if (v > 780 + (i & 7)) {
+			hot = hot + 1;
+		}
+		// Indirect table update fed by the whole iteration: statically a
+		// loop-carried dependence on every freq read, dynamically one only
+		// when adjacent bytes collide.
+		freq[b] = w + (v & 1);
+	}
+}
+
+func mtfinit() {
+	var i int;
+	for (i = 0; i < 256; i++) {
+		mtf[i] = i;
+	}
+}
+
+func mtfrank(b int) int {
+	var r int = 0;
+	while (mtf[r] != b) {
+		r++;
+	}
+	var j int = r;
+	while (j > 0) {
+		mtf[j] = mtf[j-1];
+		j--;
+	}
+	mtf[0] = b;
+	return r;
+}
+
+func runlength() {
+	var i int;
+	var run int = 0;
+	var prev int = -1;
+	for (i = 0; i < 8192; i++) {
+		var b int = block[i];
+		if (b == prev) {
+			run++;
+		} else {
+			rlesum = (rlesum + run * 17 + (prev & 255)) & 1048575;
+			run = 1;
+			prev = b;
+		}
+	}
+}
+
+func main() {
+	gen();
+	transform();
+	mtfinit();
+	var i int;
+	var ranks int = 0;
+	for (i = 0; i < 8192; i += 16) {
+		ranks = ranks + mtfrank(block[i]);
+	}
+	runlength();
+	var h int = 0;
+	for (i = 0; i < 8192; i++) {
+		h = (h + xform[i] * ((i & 15) + 1)) & 268435455;
+	}
+	print("bzip2", h, ranks & 1048575, rlesum, hot);
+}
+`
+
+const srcCrafty = `
+// crafty: board evaluation. The evaluation loop folds every board into a
+// serial hash chain, so it cannot be speculated; the mobility pass walks
+// piece lists (pointer-chase while loop, small body -- anticipated
+// only); perft-style recursion burns time outside every loop.
+var boards int[4096];
+var piece int[4096];
+var nextp int[4096];
+var mobility int[4096];
+var hashkey int;
+var mobsum int;
+var nodes int;
+
+func gen() {
+	var x int = 99991;
+	var i int;
+	for (i = 0; i < 4096; i++) {
+		var v int = (x >> 5) & 1048575;
+		v = v + v % 97 + (v >> 4) % 89 + (v & 255);
+		boards[i] = v * 4096 + (x & 4095);
+		piece[i] = (v >> 7) & 63;
+		nextp[i] = i - 1 - (v & 1);
+		x = (x * 6364136223846793005 + v) & 4611686018427387903;
+	}
+	nextp[0] = -1;
+	nextp[1] = -1;
+}
+
+func evaluate() {
+	var i int;
+	for (i = 0; i < 4096; i++) {
+		var b int = boards[i];
+		var s int = (b & 1048575) % 97 + ((b >> 20) & 1048575) % 89;
+		s = s + (b >> 40) % 83 + (b & (b >> 1)) % 79;
+		hashkey = (hashkey * 31 + s) & 268435455;
+	}
+}
+
+func mobility_pass() {
+	var cur int = 4095;
+	while (cur >= 0) {
+		var b int = boards[cur];
+		var m int = piece[cur] * 3 + (b & 255) % 29;
+		m = m + ((b >> 8) & 63);
+		mobility[cur] = m;
+		mobsum = mobsum + (m & 63);
+		cur = nextp[cur];
+	}
+}
+
+func perft(depth int, b int) int {
+	if (depth == 0) {
+		return (b & 15) + 1;
+	}
+	var total int = 0;
+	var m int = 0;
+	while (m < 3) {
+		total = total + perft(depth - 1, (b * 2654435761 + m) & 1073741823);
+		m++;
+	}
+	nodes = nodes + 1;
+	return total;
+}
+
+func main() {
+	gen();
+	evaluate();
+	mobility_pass();
+	mobility_pass();
+	mobility_pass();
+	mobility_pass();
+	mobility_pass();
+	mobility_pass();
+	var p int = perft(10, 777);
+	print("crafty", hashkey, mobsum & 1048575, p & 1048575, nodes);
+}
+`
+
+const srcGap = `
+// gap: permutation arithmetic. Composition reads through two levels of
+// indirection (profile-clean, statically opaque); the generator shuffle
+// and the cycle walk are serial; orbit traversal is a pointer chase with
+// a small body.
+var perm int[4096];
+var inv int[4096];
+var comp int[4096];
+var orbitnext int[4096];
+var acc int;
+var orbitsum int;
+
+func genperm() {
+	var i int;
+	for (i = 0; i < 4096; i++) {
+		perm[i] = i;
+	}
+	var x int = 7;
+	for (i = 4095; i > 0; i--) {
+		var j int = x % (i + 1);
+		var t int = perm[i];
+		perm[i] = perm[j];
+		perm[j] = t;
+		x = (x * 48271 + t) & 1048575;
+	}
+	for (i = 0; i < 4096; i++) {
+		orbitnext[i] = i - 1 - (perm[i] & 3);
+	}
+}
+
+func invert() {
+	var i int;
+	for (i = 0; i < 4096; i++) {
+		inv[perm[i]] = i;
+	}
+}
+
+func compose() {
+	var i int;
+	for (i = 0; i < 4096; i++) {
+		var a int = perm[i];
+		var b int = perm[a];
+		var c int = inv[(b + 1) & 4095];
+		var v int = a * 3 + b * 5 + c * 7;
+		v = v + (a ^ b) % 31 + (b ^ c) % 29 + (a & c) % 23;
+		comp[i] = v & 1048575;
+		// Unconditional indirect update of a table this loop also reads:
+		// statically a carried dependence, dynamically almost never one.
+		inv[(v * 2654435761) & 4095] = c;
+		acc = acc + (v & 63);
+	}
+}
+
+func cyclewalk() int {
+	var seen int = 0;
+	var cur int = 0;
+	var steps int = 0;
+	while (steps < 40000) {
+		cur = perm[(cur + (seen & 1)) & 4095];
+		seen = (seen * 3 + cur) & 268435455;
+		steps++;
+	}
+	return seen;
+}
+
+func orbits() {
+	var cur int = 4095;
+	while (cur >= 0) {
+		var c int = comp[cur];
+		var o int = (c & 127) + c % 61 + (cur & 7);
+		o = o + (c ^ cur) % 37;
+		orbitsum = orbitsum + o;
+		cur = orbitnext[cur];
+	}
+}
+
+func main() {
+	genperm();
+	invert();
+	compose();
+	var w int = cyclewalk();
+	orbits();
+	orbits();
+	orbits();
+	orbits();
+	orbits();
+	orbits();
+	print("gap", acc & 16777215, w, orbitsum & 16777215);
+}
+`
+
+const srcGcc = `
+// gcc: IR passes. The folding pass reads operands through use-def links
+// (indirect -- needs profiling); constant propagation is a serial
+// worklist chain; expression trees are folded recursively outside loops.
+var opkind int[8192];
+var opval int[8192];
+var useidx int[8192];
+var folded int[8192];
+var maxval int;
+var rarehits int;
+var treesum int;
+
+func gen() {
+	var x int = 31337;
+	var i int;
+	for (i = 0; i < 8192; i++) {
+		var v int = (x >> 4) & 65535;
+		v = v + v % 61 + (v >> 5) % 53;
+		opkind[i] = v & 7;
+		opval[i] = (v * 9) & 65535;
+		useidx[i] = (v * 31) & 8191;
+		x = (x * 1103515245 + v) & 1073741823;
+	}
+}
+
+func foldpass() {
+	var i int;
+	for (i = 0; i < 8192; i++) {
+		var k int = opkind[i];
+		var v int = opval[useidx[i]];
+		v = v + (folded[(v * 2654435761) & 8191] & 1);
+		var r int = 0;
+		if (k < 2) {
+			r = v + 17 + (v >> 3) % 11;
+		} else { if (k < 4) {
+			r = v * 3 - (v >> 2) + v % 13;
+		} else { if (k < 6) {
+			r = (v << 1) ^ (v >> 3);
+			r = r + r % 7;
+		} else {
+			r = v - (v >> 4) + (v & 63) + v % 19;
+		} } }
+		folded[i] = r;
+		if (r > 196000 + (i & 31)) {
+			if (r > maxval) {
+				maxval = r;
+			}
+			rarehits = rarehits + 1;
+		}
+	}
+}
+
+func proppass() {
+	var v int = 1;
+	var i int;
+	for (i = 0; i < 8192; i++) {
+		v = (v * 2654435761 + folded[i]) & 268435455;
+	}
+	treesum = treesum ^ v;
+}
+
+func foldtree(depth int, seed int) int {
+	if (depth == 0) {
+		return seed % 251;
+	}
+	var l int = foldtree(depth - 1, (seed * 131 + 7) & 1073741823);
+	var r int = foldtree(depth - 1, (seed * 137 + 11) & 1073741823);
+	return (l + r * 3 + seed % 17) & 268435455;
+}
+
+func main() {
+	gen();
+	foldpass();
+	foldpass();
+	proppass();
+	treesum = (treesum + foldtree(16, 12345)) & 268435455;
+	var i int;
+	var h int = 0;
+	for (i = 0; i < 8192; i++) {
+		h = (h + folded[i] * ((i & 31) + 1)) & 268435455;
+	}
+	print("gcc", h, maxval, rarehits, treesum);
+}
+`
+
+const srcGzip = `
+// gzip: LZ77 deflate. The match loop advances by the (data-dependent)
+// match length -- a genuine while loop with a body large enough for the
+// best compilation to select once dependence profiling clears the hash
+// chain updates. Window generation is serial; the final bit packer is a
+// small-bodied while loop (anticipated only).
+var text int[16384];
+var head int[1024];
+var litlen int[16384];
+var outbits int;
+var packed int;
+
+func gen() {
+	var x int = 555;
+	var i int;
+	for (i = 0; i < 16384; i++) {
+		x = (x * 69069 + 1) & 1073741823;
+		var c int = (x >> 9) & 15;
+		if (i > 64 && (x & 7) < 3) {
+			c = text[i - 64];
+		}
+		text[i] = c;
+	}
+	for (i = 0; i < 1024; i++) {
+		head[i] = -1;
+	}
+}
+
+func deflate() {
+	var i int = 0;
+	while (i < 15800) {
+		var h int = (text[i] * 1089 + text[i+1] * 33 + text[i+2]) & 1023;
+		var cand int = head[h];
+		var best int = 0;
+		if (cand >= 0 && cand < i) {
+			var len int = 0;
+			while (len < 24 && text[cand + len] == text[i + len]) {
+				len++;
+			}
+			best = len;
+		}
+		litlen[i] = best * 4 + (text[i] & 3);
+		head[h] = i;
+		outbits = outbits + 9 + best % 5;
+		i = i + 1 + best;
+	}
+}
+
+func packbits() {
+	var p int = 0;
+	while (p < 15800) {
+		packed = (packed * 5 + litlen[p] + (p & 31)) & 268435455;
+		p = p + 1 + (litlen[p] & 3);
+	}
+}
+
+func main() {
+	gen();
+	deflate();
+	packbits();
+	packbits();
+	packbits();
+	packbits();
+	packbits();
+	packbits();
+	print("gzip", outbits & 16777215, packed);
+}
+`
+
+const srcMcf = `
+// mcf: minimum-cost flow. The arc pricing pass streams half a million
+// arcs with node-potential lookups through indirection over a working
+// set far beyond the L3 cache: memory-bound, low IPC, and speculative
+// (profiling shows the rare potential updates almost never collide).
+// The augmenting walk is a serial pointer chase.
+var arctail int[524288];
+var archead int[524288];
+var arccost int[524288];
+var potential int[65536];
+var reduced int[524288];
+var flowsum int;
+
+func gen() {
+	var x int = 424242;
+	var i int;
+	for (i = 0; i < 65536; i++) {
+		x = (x * 1103515245 + 12345) & 1073741823;
+		potential[i] = (x >> 6) & 65535;
+	}
+	for (i = 0; i < 524288; i++) {
+		x = (x * 1103515245 + 12345) & 1073741823;
+		arctail[i] = (x >> 5) & 65535;
+		archead[i] = (x >> 14) & 65535;
+		arccost[i] = (x >> 3) & 4095;
+	}
+}
+
+func pricepass() {
+	var i int;
+	var neg int = 0;
+	for (i = 0; i < 524288; i += 8) {
+		var t int = arctail[i];
+		var hd int = archead[i];
+		var rc int = arccost[i] + potential[t] - potential[hd];
+		reduced[i] = rc;
+		// Unconditional node relabel: statically aliases every potential
+		// read; dynamically adjacent arcs almost never share nodes.
+		potential[hd] = potential[hd] + ((rc >> 12) & 1);
+		if (rc < -60000) {
+			neg = neg + 1;
+		}
+	}
+	flowsum = (flowsum + neg) & 1048575;
+}
+
+func walk() int {
+	var cur int = 1;
+	var acc int = 0;
+	var steps int = 0;
+	while (steps < 30000) {
+		var a int = ((cur * 2654435761) >> 4) & 524287;
+		acc = acc + reduced[a & 524280];
+		cur = (archead[a] + (acc & 7)) & 65535;
+		steps++;
+	}
+	return acc & 268435455;
+}
+
+func main() {
+	gen();
+	pricepass();
+	pricepass();
+	var w int = walk();
+	var i int;
+	for (i = 0; i < 524288; i += 256) {
+		flowsum = (flowsum + reduced[i]) & 268435455;
+	}
+	print("mcf", flowsum, w);
+}
+`
+
+const srcParser = `
+// parser: link-grammar flavored scoring. Token scoring reads dictionary
+// entries through hash indirection (best); the bucket chains are walked
+// by a pointer-chase while loop with a small body (anticipated); phrase
+// structures are checked by recursion outside loops.
+var dictkey int[4096];
+var dictnext int[4096];
+var walknext int[4096];
+var bucket int[512];
+var tokens int[8192];
+var tokscore int[8192];
+var scoresum int;
+var chainsum int;
+var phrases int;
+
+func gen() {
+	var i int;
+	for (i = 0; i < 512; i++) {
+		bucket[i] = -1;
+	}
+	var x int = 2718;
+	for (i = 0; i < 4096; i++) {
+		var k int = (x >> 5) & 1048575;
+		k = k + k % 73 + (k >> 6) % 67;
+		dictkey[i] = k;
+		var h int = k & 511;
+		dictnext[i] = bucket[h];
+		bucket[h] = i;
+		walknext[i] = i - 1 - (k & 3);
+		x = (x * 48271 + k) & 1073741823;
+	}
+	for (i = 0; i < 8192; i++) {
+		var k int = (x >> 5) & 1048575;
+		if ((x & 3) == 0) {
+			tokens[i] = dictkey[(x >> 8) & 4095];
+		} else {
+			tokens[i] = k;
+		}
+		x = (x * 48271 + (tokens[i] & 63)) & 1073741823;
+	}
+}
+
+func score() {
+	var i int;
+	for (i = 0; i < 8192; i++) {
+		var t int = tokens[i];
+		var d int = dictkey[t & 4095];
+		var s int = (t ^ d) % 127 + (t & 63) + d % 29;
+		s = s + (t >> 3) % 31 + (d >> 2) % 37 + ((t + d) & 255) % 41;
+		tokscore[i] = s;
+		tokens[(s * 2654435761) & 8191] = t;
+		scoresum = (scoresum + s * ((i & 7) + 1)) & 268435455;
+	}
+}
+
+func chains() {
+	var cur int = 4095;
+	while (cur >= 0) {
+		var k int = dictkey[cur];
+		var c int = (k & 63) + k % 59 + (cur & 15);
+		c = c + (k ^ cur) % 41;
+		chainsum = chainsum + c;
+		cur = walknext[cur];
+	}
+}
+
+func phrase(depth int, seed int) int {
+	if (depth == 0) {
+		return seed & 7;
+	}
+	var left int = phrase(depth - 1, (seed * 193 + 3) & 1073741823);
+	var right int = phrase(depth - 1, (seed * 197 + 5) & 1073741823);
+	phrases = phrases + 1;
+	return (left * 3 + right + seed % 11) & 65535;
+}
+
+func main() {
+	gen();
+	score();
+	chains();
+	chains();
+	chains();
+	chains();
+	chains();
+	chains();
+	var p int = phrase(15, 4242);
+	print("parser", scoresum, chainsum & 16777215, p, phrases);
+}
+`
+
+const srcTwolf = `
+// twolf: standard-cell placement. Wire-length estimation reads pin
+// coordinates through net membership arrays (indirect, profile-clean
+// float work); the annealing accept/reject chain is serial in the RNG
+// and the cost accumulator.
+var pinx float[4096];
+var piny float[4096];
+var netpins int[4096];
+var netof int[4096];
+var pinnext int[4096];
+var wirelen float;
+var accepts int;
+var annealcost float;
+var pinwalk float;
+
+func gen() {
+	var x int = 13579;
+	var i int;
+	for (i = 0; i < 4096; i++) {
+		x = (x * 1103515245 + 12345) & 1073741823;
+		pinx[i] = float((x >> 6) & 1023) * 0.125;
+		piny[i] = float((x >> 16) & 1023) * 0.125;
+		netpins[i] = (x >> 4) & 4095;
+		netof[i] = (x >> 9) & 511;
+		pinnext[i] = i - 1 - ((x >> 11) & 3);
+	}
+}
+
+func wirelength() {
+	var i int;
+	for (i = 0; i < 4096; i++) {
+		var p int = netpins[i];
+		var q int = netpins[(i + netof[i]) & 4095];
+		var dx float = fabs(pinx[p] - pinx[q]);
+		var dy float = fabs(piny[p] - piny[q]);
+		var c float = dx + dy + fsqrt(dx * dy + 1.0) * 0.25;
+		c = c + fabs(dx - dy) * 0.125;
+		pinx[(p * 2654435761) & 4095] = pinx[(p * 2654435761) & 4095] + c * 0.0001;
+		wirelen = wirelen + c;
+	}
+}
+
+func anneal() {
+	var x int = 97531;
+	var t float = 1000.0;
+	var i int;
+	for (i = 0; i < 30000; i++) {
+		var delta float = float((x >> 8) & 255) - 120.0;
+		if (delta < t * 0.2) {
+			annealcost = annealcost + delta * 0.01;
+			accepts = accepts + 1;
+		}
+		t = t * 0.9999;
+		x = (x * 1103515245 + 12345 + accepts) & 1073741823;
+	}
+}
+
+func pinchase() {
+	var cur int = 4095;
+	while (cur >= 0) {
+		var ax float = pinx[cur];
+		var ay float = piny[cur];
+		var d float = fabs(ax - ay) * 0.25 + fabs(ax + ay) * 0.125;
+		pinwalk = pinwalk + d;
+		cur = pinnext[cur];
+	}
+}
+
+func main() {
+	gen();
+	wirelength();
+	wirelength();
+	anneal();
+	pinchase();
+	pinchase();
+	pinchase();
+	pinchase();
+	print("twolf", wirelen, annealcost, accepts, pinwalk);
+}
+`
+
+const srcVortex = `
+// vortex: object store. Record copies through the index are affine in
+// the field offset -- the one hot loop even static analysis can prove
+// safe, giving the basic compilation its win. Object lookups chase
+// chained references (small-bodied while loop); the store generation is
+// serial.
+var store int[262144];
+var index int[16384];
+var chain int[16384];
+var outrec int[262144];
+var valid int;
+var chased int;
+
+func gen() {
+	var x int = 86420;
+	var i int;
+	for (i = 0; i < 16384; i++) {
+		var v int = (x >> 7) & 16383;
+		v = v + v % 41 + (v >> 3) % 37;
+		index[i] = v & 16383;
+		chain[i] = i - 1 - (v & 3);
+		x = (x * 1103515245 + v) & 1073741823;
+	}
+	for (i = 0; i < 262144; i++) {
+		var w int = (x >> 5) & 65535;
+		store[i] = w;
+		x = (x * 69069 + 1 + (w & 15)) & 1073741823;
+	}
+}
+
+func copyrecords() {
+	var i int;
+	for (i = 0; i < 16384; i++) {
+		var src int = index[i] * 16;
+		var dst int = i * 16;
+		var f int;
+		for (f = 0; f < 16; f++) {
+			outrec[dst + f] = store[src + f] + f;
+		}
+	}
+}
+
+func validate() {
+	var i int;
+	for (i = 0; i < 16384; i++) {
+		var dst int = i * 16;
+		var sum int = outrec[dst] + outrec[dst + 5] + outrec[dst + 9] + outrec[dst + 13];
+		sum = sum + outrec[dst + 2] % 31 + outrec[dst + 7] % 29;
+		outrec[(sum * 2654435761) & 262143] = sum & 65535;
+		if ((sum & 15) == 7) {
+			valid = valid + 1;
+		}
+	}
+}
+
+func chase() {
+	var cur int = 16383;
+	while (cur >= 0) {
+		var ix int = index[cur];
+		var c int = (ix & 63) + ix % 53 + (cur & 7);
+		c = c + (ix ^ cur) % 39;
+		chased = chased + c;
+		cur = chain[cur];
+	}
+}
+
+func main() {
+	gen();
+	copyrecords();
+	validate();
+	chase();
+	chase();
+	chase();
+	chase();
+	chase();
+	chase();
+	var h int = 0;
+	var i int;
+	for (i = 0; i < 262144; i += 128) {
+		h = (h + outrec[i]) & 268435455;
+	}
+	print("vortex", valid, chased & 16777215, h);
+}
+`
+
+const srcVpr = `
+// vpr: place and route. The sweep is the paper's own Figure 2 loop with
+// the pin base read through an index array (so only profiling clears
+// it); the timing walk is a stride recurrence through a helper function
+// (the Figure 13 SVP case); maze routing is a serial chase.
+var error_m float[128][128];
+var pbase float[128];
+var pidx int[128];
+var maze int[65536];
+var cost float;
+var crit int;
+var mazesum int;
+var slotsum int;
+
+func gen() {
+	var i int;
+	var j int;
+	for (i = 0; i < 128; i++) {
+		pbase[i] = float((i * 29) & 63) * 0.25;
+		pidx[i] = (i * 37 + 11) & 127;
+		for (j = 0; j < 128; j++) {
+			error_m[i][j] = float(((i * 13 + j * 7) & 127)) * 0.0625;
+		}
+	}
+	var x int = 8086;
+	for (i = 0; i < 65536; i++) {
+		var m int = (x >> 7) & 65535;
+		m = m + m % 87 + (m >> 4) % 71;
+		maze[i] = m & 65535;
+		x = (x * 1103515245 + 12345 + m) & 1073741823;
+	}
+}
+
+func sweep() {
+	var i int = 0;
+	while (i < 128) {
+		var cost0 float = 0.0;
+		var j int;
+		for (j = 0; j < i; j++) {
+			cost0 = cost0 + fabs(error_m[i][j] - pbase[pidx[j]]);
+		}
+		cost = cost + cost0;
+		// Deposit the row cost at a data-dependent matrix cell: statically
+		// this aliases every error_m read; the deposit column is never
+		// read by the sweep, so profiling sees no dependence at all.
+		error_m[(int(cost0) * 2654435761) & 127][127] = cost0;
+		i = i + 1;
+	}
+}
+
+// nextslot is deliberately heavyweight: its call-expanded size exceeds
+// the pre-fork budget, so code reordering cannot hoist the t = nextslot(t)
+// recurrence -- only value prediction can break it (Figure 13).
+func nextslot(t int) int {
+	var w int = t;
+	w = w + w % 131 + (w >> 3) % 127 + (w & 255);
+	w = w + w % 113 + (w >> 5) % 109 + (w & 127);
+	w = w + w % 103 + (w >> 2) % 101 + (w & 63);
+	w = w + w % 97 + (w >> 4) % 89 + (w & 31);
+	slotsum = (slotsum + w) & 268435455;
+	if ((t & 1023) == 1023) {
+		return t + 5;
+	}
+	return t + 4;
+}
+
+func timing() {
+	var t int = 0;
+	var worst int = 0;
+	while (t < 22000) {
+		var slack int = (t % 97) * 3 + (t % 31) * 5 + ((t >> 3) % 53) * 2;
+		slack = slack + (t % 13) * 7 + ((t >> 2) % 11) + (t % 23) * 2;
+		if (slack > worst) {
+			worst = slack;
+			crit = t;
+		}
+		t = nextslot(t);
+	}
+}
+
+func route() {
+	var cur int = 1;
+	var steps int = 0;
+	while (steps < 40000) {
+		mazesum = (mazesum + maze[cur]) & 268435455;
+		cur = (maze[cur] + (mazesum & 3)) & 65535;
+		steps++;
+	}
+}
+
+func main() {
+	gen();
+	sweep();
+	sweep();
+	sweep();
+	timing();
+	route();
+	print("vpr", cost, crit, mazesum, slotsum);
+}
+`

@@ -1,0 +1,68 @@
+package benchprog_test
+
+import (
+	"strings"
+	"testing"
+
+	"sptc"
+	"sptc/internal/benchprog"
+	"sptc/internal/interp"
+)
+
+// TestSuiteCompilesAndPreservesSemantics is the suite-wide correctness
+// gate: every benchmark must compile at every level and produce the same
+// output as the base compilation, under both the interpreter and the
+// machine simulator.
+func TestSuiteCompilesAndPreservesSemantics(t *testing.T) {
+	for _, b := range benchprog.Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			baseRes, err := sptc.Compile(b.Name, b.Source, sptc.LevelBase)
+			if err != nil {
+				t.Fatalf("base compile: %v", err)
+			}
+			var baseOut strings.Builder
+			if _, err := interp.New(baseRes.Prog, &baseOut).Run(); err != nil {
+				t.Fatalf("base run: %v", err)
+			}
+			want := baseOut.String()
+			if want == "" {
+				t.Fatal("benchmark printed nothing")
+			}
+
+			for _, level := range []sptc.Level{sptc.LevelBasic, sptc.LevelBest, sptc.LevelAnticipated} {
+				res, err := sptc.Compile(b.Name, b.Source, level)
+				if err != nil {
+					t.Fatalf("%s compile: %v", level, err)
+				}
+				var out strings.Builder
+				if _, err := interp.New(res.Prog, &out).Run(); err != nil {
+					t.Fatalf("%s interp: %v", level, err)
+				}
+				if out.String() != want {
+					t.Errorf("%s interp output %q, want %q", level, out.String(), want)
+				}
+				var simOut strings.Builder
+				if _, err := sptc.Simulate(res, &simOut); err != nil {
+					t.Fatalf("%s simulate: %v", level, err)
+				}
+				if simOut.String() != want {
+					t.Errorf("%s simulator output %q, want %q", level, simOut.String(), want)
+				}
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if b := benchprog.ByName("mcf"); b == nil || b.Name != "mcf" {
+		t.Fatal("ByName(mcf) failed")
+	}
+	if b := benchprog.ByName("nosuch"); b != nil {
+		t.Fatal("ByName(nosuch) should be nil")
+	}
+	if n := len(benchprog.Suite()); n != 10 {
+		t.Fatalf("suite has %d entries, want 10", n)
+	}
+}

@@ -1,0 +1,591 @@
+// Package core is the paper's primary contribution: the cost-driven
+// two-pass SPT compilation framework (§3). Pass 1 analyzes every loop
+// candidate — building its annotated dependence graph, the misspeculation
+// cost model, and the optimal pre-fork/post-fork partition. Pass 2
+// selects the good SPT loops by the §6.1 criteria and performs the final
+// SPT transformation with cleanup.
+//
+// Three compilation levels mirror the paper's evaluation: Basic (loop
+// unrolling and code reordering with control-flow profiling and static
+// type-based dependence analysis only), Best (plus data-dependence
+// profiling and software value prediction), and Anticipated (plus
+// while-loop unrolling and privatization).
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sptc/internal/cost"
+	"sptc/internal/depgraph"
+	"sptc/internal/interp"
+	"sptc/internal/ir"
+	"sptc/internal/parser"
+	"sptc/internal/partition"
+	"sptc/internal/profile"
+	"sptc/internal/sem"
+	"sptc/internal/ssa"
+	"sptc/internal/transform"
+)
+
+// Level is the compilation level.
+type Level int
+
+// Compilation levels.
+const (
+	// LevelBase builds the non-SPT reference code (no speculation).
+	LevelBase Level = iota
+	// LevelBasic is the paper's basic compilation: unrolling + code
+	// reordering, control-flow profiling, static dependence analysis.
+	LevelBasic
+	// LevelBest adds data-dependence profiling and software value
+	// prediction.
+	LevelBest
+	// LevelAnticipated additionally unrolls while loops and privatizes
+	// per-iteration scratch globals.
+	LevelAnticipated
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelBase:
+		return "base"
+	case LevelBasic:
+		return "basic"
+	case LevelBest:
+		return "best"
+	case LevelAnticipated:
+		return "anticipated"
+	}
+	return "?"
+}
+
+// SelectOptions are the §6.1 SPT loop selection criteria.
+type SelectOptions struct {
+	// CostFraction: the optimal misspeculation cost must be below this
+	// fraction of the loop body size (criterion 1).
+	CostFraction float64
+	// PreForkFraction: the pre-fork region must be below this fraction of
+	// the loop body size (criterion 2; also the search threshold).
+	PreForkFraction float64
+	// MinBodySize and MaxBodySize bound the loop body (criterion 3); the
+	// paper's maximum loop size limit is 1000.
+	MinBodySize int
+	MaxBodySize int
+	// MinIterCount rejects loops with too few iterations per entry
+	// (criterion 4; paper: "especially a number smaller than 2").
+	MinIterCount float64
+}
+
+// Options configures a compilation.
+type Options struct {
+	Level     Level
+	Unroll    transform.UnrollOptions
+	SVP       transform.SVPOptions
+	Partition partition.Options
+	Select    SelectOptions
+	// ProfileOut receives the program's output during profiling runs
+	// (defaults to io.Discard).
+	ProfileOut io.Writer
+	// MaxProfileSteps bounds the profiling execution.
+	MaxProfileSteps int64
+	// DisableSVP turns software value prediction off (ablation).
+	DisableSVP bool
+	// DisableSelection transforms every loop with a legal partition
+	// regardless of the §6.1 criteria (ablation: "speculate everything").
+	DisableSelection bool
+}
+
+// DefaultOptions returns the paper-faithful configuration for a level.
+func DefaultOptions(level Level) Options {
+	return Options{
+		Level:     level,
+		Unroll:    transform.DefaultUnrollOptions(),
+		SVP:       transform.DefaultSVPOptions(),
+		Partition: partition.DefaultOptions(),
+		Select: SelectOptions{
+			CostFraction:    0.08,
+			PreForkFraction: 0.3,
+			MinBodySize:     48,
+			MaxBodySize:     1000,
+			MinIterCount:    2,
+		},
+		MaxProfileSteps: 2_000_000_000,
+	}
+}
+
+// Decision is the pass-2 disposition of one loop candidate, the
+// categories of the paper's Figure 15.
+type Decision int
+
+// Loop dispositions.
+const (
+	DecisionSelected Decision = iota
+	DecisionNotRun            // never executed during profiling
+	DecisionTooSmall          // body below minimum (the paper's unrollable-while problem)
+	DecisionTooLarge          // body above the hardware limit
+	DecisionLowTrip           // iteration count too small
+	DecisionTooManyVCs
+	DecisionHighCost
+	DecisionBigPreFork
+	DecisionNested // a better overlapping candidate was selected
+	DecisionShape  // header shape unsupported for transformation
+)
+
+func (d Decision) String() string {
+	switch d {
+	case DecisionSelected:
+		return "selected"
+	case DecisionNotRun:
+		return "not-run"
+	case DecisionTooSmall:
+		return "body-too-small"
+	case DecisionTooLarge:
+		return "body-too-large"
+	case DecisionLowTrip:
+		return "low-trip-count"
+	case DecisionTooManyVCs:
+		return "too-many-vcs"
+	case DecisionHighCost:
+		return "high-cost"
+	case DecisionBigPreFork:
+		return "big-prefork"
+	case DecisionNested:
+		return "overlap"
+	case DecisionShape:
+		return "shape"
+	}
+	return "?"
+}
+
+// LoopReport captures everything pass 1 and pass 2 learned about a loop.
+type LoopReport struct {
+	Func     string
+	LoopID   int
+	HeaderID int
+	Kind     ssa.LoopKind
+	Depth    int
+
+	BodySize   int
+	Iterations float64
+	Entries    float64
+	AvgTrip    float64
+	VCCount    int
+
+	Partition *partition.Result
+	SVP       bool // software value prediction applied
+
+	Decision Decision
+	// Benefit is the selection ranking estimate (dynamic ops covered,
+	// scaled by expected overlap).
+	Benefit float64
+
+	// Filled after transformation.
+	Transformed bool
+	SPTLoopID   int
+	EstCost     float64
+	PreForkSize int
+}
+
+// SPTLoop identifies a transformed loop for the machine simulator.
+type SPTLoop struct {
+	ID     int
+	Func   *ir.Func
+	Header *ir.Block
+	Report *LoopReport
+}
+
+// Result is a completed compilation.
+type Result struct {
+	Level   Level
+	Prog    *ir.Program
+	Reports []*LoopReport
+	SPT     []*SPTLoop
+
+	// Profiles from the final profiling run (nil at LevelBase).
+	Edge *profile.EdgeProfile
+	Dep  *profile.DepProfile
+}
+
+// CompileSource parses and compiles SPL source text.
+func CompileSource(name, src string, opt Options) (*Result, error) {
+	prog, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	p, err := ir.Build(info)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(p, opt)
+}
+
+// Compile runs the SPT pipeline over an IR program (which it mutates).
+func Compile(p *ir.Program, opt Options) (*Result, error) {
+	res := &Result{Level: opt.Level, Prog: p}
+	if opt.ProfileOut == nil {
+		opt.ProfileOut = io.Discard
+	}
+
+	if opt.Level == LevelBase {
+		finishSSA(p)
+		return res, ir.VerifyProgram(p)
+	}
+
+	// Preprocessing (pre-SSA): loop unrolling (§7.1); while-loop
+	// unrolling and privatization at the anticipated level.
+	uopt := opt.Unroll
+	uopt.UnrollWhile = opt.Level >= LevelAnticipated
+	for _, f := range p.Funcs {
+		transform.UnrollAll(f, uopt)
+	}
+	if opt.Level >= LevelAnticipated {
+		effects := depgraph.ComputeEffects(p)
+		for _, f := range p.Funcs {
+			dom := ssa.BuildDomTree(f)
+			nest := ssa.FindLoops(f, dom)
+			for _, l := range nest.Loops {
+				transform.Privatize(f, l, dom, effects)
+			}
+		}
+	}
+
+	buildSSAAll(p)
+	if err := ir.VerifyProgram(p); err != nil {
+		return nil, fmt.Errorf("after preprocessing: %w", err)
+	}
+
+	// Profiling run.
+	prof, err := runProfile(p, opt)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+
+	// Software value prediction (best level and up): rewrite predictable
+	// critical recurrences, then re-profile so pass 1 sees the new code.
+	svpApplied := make(map[*ir.Block]bool) // headers of SVP'd loops
+	if opt.Level >= LevelBest && !opt.DisableSVP {
+		if applySVP(p, prof, opt, svpApplied) {
+			if err := ir.VerifyProgram(p); err != nil {
+				return nil, fmt.Errorf("after SVP: %w", err)
+			}
+			prof, err = runProfile(p, opt)
+			if err != nil {
+				return nil, fmt.Errorf("re-profiling after SVP: %w", err)
+			}
+		}
+	}
+	prof.Edge.Apply(p)
+	res.Edge = prof.Edge
+	res.Dep = prof.Dep
+
+	// Pass 1: analyze every loop candidate.
+	effects := depgraph.ComputeEffects(p)
+	var cands []*candidateShim
+	loopID := 0
+	for _, f := range p.Funcs {
+		dom := ssa.BuildDomTree(f)
+		nest := ssa.FindLoops(f, dom)
+		if len(nest.Loops) == 0 {
+			continue
+		}
+		pd := depgraph.BuildPostDom(f)
+		cds := depgraph.ControlDeps(f, pd)
+		for _, l := range nest.Loops {
+			rep := &LoopReport{
+				Func: f.Name, LoopID: loopID, HeaderID: l.Header.ID,
+				Kind: l.Kind, Depth: l.Depth, BodySize: l.EffectiveBodySize(),
+			}
+			loopID++
+			rep.SVP = svpApplied[l.Header]
+			st := prof.Edge.Stats(l)
+			rep.Iterations = float64(st.Iterations)
+			rep.Entries = float64(st.Entries)
+			rep.AvgTrip = st.AvgTrip
+			res.Reports = append(res.Reports, rep)
+
+			if st.Iterations == 0 {
+				rep.Decision = DecisionNotRun
+				continue
+			}
+			cfg := depgraph.Config{
+				UseProfile: opt.Level >= LevelBest,
+				Dep:        prof.Dep,
+				Effects:    effects,
+				CtrlDeps:   cds,
+				Dom:        dom,
+			}
+			g := depgraph.Build(l, cfg)
+			if g == nil {
+				rep.Decision = DecisionNotRun
+				continue
+			}
+			rep.VCCount = len(g.VCs)
+			popt := opt.Partition
+			popt.PreForkFraction = opt.Select.PreForkFraction
+			popt.BodySize = rep.BodySize
+			model := cost.Build(g)
+			pr := partition.Search(g, model, popt)
+			rep.Partition = pr
+			rep.EstCost = pr.Cost
+			rep.PreForkSize = pr.PreForkSize
+			cands = append(cands, &candidateShim{rep: rep, loop: l, graph: g})
+		}
+	}
+
+	// Pass 2: final SPT loop selection (§6.1).
+	for _, c := range cands {
+		c.rep.Decision = decide(c.rep, opt.Select, opt.DisableSelection)
+		if c.rep.Decision == DecisionSelected {
+			// Benefit: dynamic operations covered by speculative overlap.
+			overlap := float64(c.rep.BodySize-c.rep.PreForkSize) - c.rep.EstCost
+			if overlap < 0 {
+				overlap = 0
+			}
+			c.rep.Benefit = c.rep.Iterations * overlap
+		}
+	}
+
+	// Resolve overlapping candidates (nesting levels of a loop nest):
+	// keep the higher-benefit loop.
+	selected := resolveOverlaps(cands)
+
+	// Transformation: per function, collapse out of SSA, transform each
+	// selected loop, then rebuild SSA and clean up.
+	byFunc := make(map[*ir.Func][]*candidateShim)
+	var funcOrder []*ir.Func
+	for _, c := range selected {
+		f := c.loop.Func
+		if byFunc[f] == nil {
+			funcOrder = append(funcOrder, f)
+		}
+		byFunc[f] = append(byFunc[f], c)
+	}
+	sptID := 0
+	for _, f := range funcOrder {
+		ssa.Collapse(f)
+		for _, c := range byFunc[f] {
+			pr := c.rep.Partition
+			sr, err := transform.TransformSPT(f, c.loop, pr.Move, pr.CopyConds, c.graph.Order, sptID)
+			if err != nil {
+				c.rep.Decision = DecisionShape
+				continue
+			}
+			c.rep.Transformed = true
+			c.rep.SPTLoopID = sptID
+			res.SPT = append(res.SPT, &SPTLoop{ID: sptID, Func: f, Header: sr.Header, Report: c.rep})
+			sptID++
+		}
+		ir.PruneUnreachable(f)
+		ir.ReorderRPO(f)
+		dom := ssa.BuildDomTree(f)
+		ssa.Build(f, dom)
+		ssa.CopyProp(f)
+		ssa.ConstFold(f)
+		ssa.DeadCode(f)
+		if err := ir.Verify(f); err != nil {
+			return nil, fmt.Errorf("after SPT transformation of %s: %w", f.Name, err)
+		}
+	}
+	return res, nil
+}
+
+// candidateShim carries one loop candidate through passes 1 and 2.
+type candidateShim struct {
+	rep   *LoopReport
+	loop  *ssa.Loop
+	graph *depgraph.Graph
+}
+
+func decide(rep *LoopReport, sel SelectOptions, disableSelection bool) Decision {
+	pr := rep.Partition
+	if pr == nil {
+		return DecisionNotRun
+	}
+	if pr.Skipped {
+		return DecisionTooManyVCs
+	}
+	if disableSelection {
+		return DecisionSelected
+	}
+	if rep.BodySize < sel.MinBodySize {
+		return DecisionTooSmall
+	}
+	if rep.BodySize > sel.MaxBodySize {
+		return DecisionTooLarge
+	}
+	if rep.AvgTrip < sel.MinIterCount || rep.Iterations < 64 {
+		return DecisionLowTrip
+	}
+	if pr.Cost > sel.CostFraction*float64(rep.BodySize) {
+		return DecisionHighCost
+	}
+	if pr.PreForkSize > int(sel.PreForkFraction*float64(rep.BodySize)) {
+		return DecisionBigPreFork
+	}
+	return DecisionSelected
+}
+
+// resolveOverlaps keeps, among candidates sharing blocks (nesting levels
+// of the same nest), only the highest-benefit selected loop.
+func resolveOverlaps(cands []*candidateShim) []*candidateShim {
+	var sel []*candidateShim
+	for _, c := range cands {
+		if c.rep.Decision == DecisionSelected {
+			sel = append(sel, c)
+		}
+	}
+	sort.SliceStable(sel, func(i, j int) bool { return sel[i].rep.Benefit > sel[j].rep.Benefit })
+	var kept []*candidateShim
+	for _, c := range sel {
+		conflict := false
+		for _, k := range kept {
+			if c.loop.Func == k.loop.Func && (loopOverlaps(c.loop, k.loop)) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			c.rep.Decision = DecisionNested
+			continue
+		}
+		kept = append(kept, c)
+	}
+	// Deterministic transformation order: program order.
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].rep.LoopID < kept[j].rep.LoopID })
+	return kept
+}
+
+func loopOverlaps(a, b *ssa.Loop) bool {
+	for _, blk := range a.Blocks {
+		if b.Contains(blk) {
+			return true
+		}
+	}
+	return false
+}
+
+// applySVP scans loops for predictable critical recurrences and rewrites
+// them (Figure 13). Returns whether anything changed.
+func applySVP(p *ir.Program, prof *profile.Profiler, opt Options, applied map[*ir.Block]bool) bool {
+	prof.Edge.Apply(p)
+	effects := depgraph.ComputeEffects(p)
+	changed := false
+	for _, f := range p.Funcs {
+		dom := ssa.BuildDomTree(f)
+		nest := ssa.FindLoops(f, dom)
+		if len(nest.Loops) == 0 {
+			continue
+		}
+		pd := depgraph.BuildPostDom(f)
+		cds := depgraph.ControlDeps(f, pd)
+		var todo []*transform.SVPCandidate
+		for _, l := range nest.Loops {
+			if prof.Edge.Stats(l).Iterations == 0 {
+				continue
+			}
+			cfg := depgraph.Config{UseProfile: true, Dep: prof.Dep, Effects: effects, CtrlDeps: cds, Dom: dom}
+			g := depgraph.Build(l, cfg)
+			if g == nil || len(g.VCs) == 0 {
+				continue
+			}
+			// Only bother when the loop's no-reorder cost is material:
+			// SVP is for critical dependences (§7.2).
+			body := l.EffectiveBodySize()
+			model := cost.Build(g)
+			empty := model.Evaluate(nil)
+			if empty <= opt.Select.CostFraction*float64(body) {
+				continue
+			}
+			c := transform.FindSVPCandidate(l, g.VCs, g.ViolProb, prof.Value, opt.SVP)
+			if c == nil {
+				continue
+			}
+			// SVP is for dependences code reordering cannot remove
+			// (§7.2: "x=bar(x) is a violation candidate which cannot be
+			// moved to the pre-fork region"): skip candidates whose
+			// closure already fits the pre-fork size budget.
+			sizeLimit := int(opt.Select.PreForkFraction * float64(body))
+			if transform.ClosureFits(g, c.Stmt, sizeLimit) {
+				continue
+			}
+			// The prediction chain itself needs pre-fork budget, and the
+			// loop must be large enough to ever be selected; otherwise
+			// the instrumentation is pure overhead (the paper inserts SVP
+			// only when the value-prediction overhead is acceptably low).
+			if sizeLimit < 10 || body < opt.Select.MinBodySize {
+				continue
+			}
+			// The prediction must actually rescue the loop: the residual
+			// cost with the candidate neutralized must be selectable, and
+			// the candidate must account for a large share of the cost.
+			pre := map[*ir.Stmt]bool{c.Stmt: true}
+			residual := model.Evaluate(pre)
+			if empty-residual < 0.25*empty {
+				continue
+			}
+			if residual > opt.Select.CostFraction*float64(body) {
+				continue
+			}
+			todo = append(todo, c)
+		}
+		if len(todo) == 0 {
+			continue
+		}
+		ssa.Collapse(f)
+		any := false
+		for _, c := range todo {
+			if transform.ApplySVP(f, c) {
+				applied[c.Loop.Header] = true
+				any = true
+			}
+		}
+		ir.PruneUnreachable(f)
+		ir.ReorderRPO(f)
+		d2 := ssa.BuildDomTree(f)
+		ssa.Build(f, d2)
+		if any {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func runProfile(p *ir.Program, opt Options) (*profile.Profiler, error) {
+	nests := make(map[*ir.Func]*ssa.LoopNest, len(p.Funcs))
+	for _, f := range p.Funcs {
+		dom := ssa.BuildDomTree(f)
+		nests[f] = ssa.FindLoops(f, dom)
+	}
+	prof := profile.NewProfiler(p, nests)
+	m := interp.New(p, opt.ProfileOut)
+	m.Hooks = prof.Hooks()
+	if opt.MaxProfileSteps > 0 {
+		m.MaxSteps = opt.MaxProfileSteps
+	}
+	if _, err := m.Run(); err != nil {
+		return nil, err
+	}
+	return prof, nil
+}
+
+func finishSSA(p *ir.Program) {
+	buildSSAAll(p)
+	for _, f := range p.Funcs {
+		ssa.CopyProp(f)
+		ssa.ConstFold(f)
+		ssa.DeadCode(f)
+	}
+}
+
+func buildSSAAll(p *ir.Program) {
+	for _, f := range p.Funcs {
+		dom := ssa.BuildDomTree(f)
+		ssa.Build(f, dom)
+	}
+}

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"sptc/internal/core"
+	"sptc/internal/interp"
+	"sptc/internal/ir"
+)
+
+// TestNestedStoreMotionOrder is a regression test for the iteration-order
+// bug found via the vpr benchmark: after inner-loop unrolling, reverse
+// postorder placed unrolled inner-loop blocks after the outer induction
+// update, so the old-value snapshot rewrite missed readers that actually
+// execute before the moved definition. The dependence graph now orders
+// blocks with inner loops contracted (depgraph.bodyOrder).
+func TestNestedStoreMotionOrder(t *testing.T) {
+	src := `
+var error_m float[128][128];
+var pbase float[128];
+
+func main() {
+	var i int;
+	var j int;
+	for (i = 0; i < 128; i++) {
+		pbase[i] = float((i * 29) & 63) * 0.25;
+		for (j = 0; j < 128; j++) {
+			error_m[i][j] = float(((i * 13 + j * 7) & 127)) * 0.0625;
+		}
+	}
+	print(pbase[3], error_m[5][6]);
+}
+`
+	base, _ := runLevel(t, src, core.DefaultOptions(core.LevelBase))
+	opt := core.DefaultOptions(core.LevelBasic)
+	opt.DisableSelection = true
+	res, err := core.CompileSource("dbg.spl", src, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var out strings.Builder
+	m := interp.New(res.Prog, &out)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, ir.FormatProgram(res.Prog))
+	}
+	if out.String() != base {
+		t.Fatalf("diverged: %q vs %q", out.String(), base)
+	}
+}

@@ -1,0 +1,376 @@
+// Package cost implements the misspeculation cost model of §4.2: a cost
+// graph built from the annotated control-flow and data-dependence graphs,
+// the topological re-execution probability propagation of §4.2.3
+// (x = 1 - Π(1 - r·v(p))), and the misspeculation cost Σ v(c)·Cost(c) of
+// §4.2.4. The model is evaluated per SPT loop partition: violation
+// candidates placed in the pre-fork region contribute no misspeculation.
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sptc/internal/depgraph"
+	"sptc/internal/ir"
+)
+
+// Node is one node of the cost graph. Pseudo nodes stand for violation
+// candidates (the paper's D', E', F'); operation nodes represent the
+// computations that may need re-execution inside a speculative iteration.
+type Node struct {
+	ID     int
+	Pseudo bool
+	VC     *ir.Stmt // violation candidate, for pseudo nodes
+	Stmt   *ir.Stmt // owning statement, for operation nodes
+	OpID   int      // operation ID within Stmt (-1 for the statement's own action)
+	Cost   float64  // amount of computation (1 per elementary operation)
+
+	In []EdgeTo // incoming edges
+}
+
+// EdgeTo is one incoming cost-graph edge with its conditional probability
+// r: the probability that re-execution at the source causes this node to
+// be re-executed (§4.2.2).
+type EdgeTo struct {
+	From *Node
+	Prob float64
+}
+
+// Model is a cost graph ready for evaluation against partitions.
+type Model struct {
+	Graph *depgraph.Graph // nil for hand-built models
+	Nodes []*Node         // topologically sorted: preds before succs
+	ByVC  map[*ir.Stmt]*Node
+}
+
+// Evaluate computes the misspeculation cost of the partition whose
+// pre-fork region consists of preFork statements. A violation candidate
+// in the pre-fork region executes before the speculative thread is
+// spawned, so its result is always visible (zero violation probability);
+// every operation of the next iteration — including its own pre-fork
+// region — still executes speculatively and can be re-executed.
+func (m *Model) Evaluate(preFork map[*ir.Stmt]bool) float64 {
+	return m.evaluate(preFork, nil)
+}
+
+// EvaluateOptimistic computes a lower bound on the cost of any partition
+// that extends preFork by moving violation candidates drawn only from
+// mayMove: those candidates are optimistically treated as if already
+// moved, so only contributions that no descendant partition can
+// eliminate remain.
+func (m *Model) EvaluateOptimistic(preFork map[*ir.Stmt]bool, mayMove map[*ir.Stmt]bool) float64 {
+	return m.evaluate(preFork, mayMove)
+}
+
+func (m *Model) evaluate(preFork, mayMove map[*ir.Stmt]bool) float64 {
+	v := make([]float64, len(m.Nodes))
+	total := 0.0
+	for i, n := range m.Nodes {
+		if n.Pseudo {
+			if preFork[n.VC] || (mayMove != nil && mayMove[n.VC]) {
+				v[i] = 0
+			} else if m.Graph != nil {
+				v[i] = m.Graph.ViolProb[n.VC]
+			} else {
+				v[i] = n.Cost // hand-built models store the violation prob here
+			}
+			continue
+		}
+		x := 0.0
+		for _, e := range n.In {
+			x = 1 - (1-x)*(1-e.Prob*v[e.From.ID])
+		}
+		v[i] = x
+		total += x * n.Cost
+	}
+	return total
+}
+
+// ReexecProbs returns the per-node re-execution probabilities for the
+// given partition, keyed by node. Used by diagnostics and tests.
+func (m *Model) ReexecProbs(preFork map[*ir.Stmt]bool) map[*Node]float64 {
+	v := make([]float64, len(m.Nodes))
+	out := make(map[*Node]float64, len(m.Nodes))
+	for i, n := range m.Nodes {
+		if n.Pseudo {
+			if preFork[n.VC] {
+				v[i] = 0
+			} else if m.Graph != nil {
+				v[i] = m.Graph.ViolProb[n.VC]
+			} else {
+				v[i] = n.Cost
+			}
+			out[n] = v[i]
+			continue
+		}
+		x := 0.0
+		for _, e := range n.In {
+			x = 1 - (1-x)*(1-e.Prob*v[e.From.ID])
+		}
+		v[i] = x
+		out[n] = x
+	}
+	return out
+}
+
+// Build constructs the cost graph from a dependence graph (§4.2.2): the
+// graph is initialized with the violation candidates and their
+// cross-iteration edges; operation nodes reachable through intra-iteration
+// dependences are then added recursively. Within a statement,
+// re-execution propagates from a read up through its enclosing operations
+// to the statement's action (probability 1); across statements it follows
+// intra-iteration dependence edges with their annotated probabilities.
+func Build(g *depgraph.Graph) *Model {
+	m := &Model{Graph: g, ByVC: make(map[*ir.Stmt]*Node)}
+
+	// Pseudo node per violation candidate.
+	for _, vc := range g.VCs {
+		n := &Node{ID: len(m.Nodes), Pseudo: true, VC: vc}
+		m.Nodes = append(m.Nodes, n)
+		m.ByVC[vc] = n
+	}
+
+	// Per-statement bookkeeping: op nodes created on demand.
+	type stmtNodes struct {
+		ops    map[int]*Node // op ID -> node
+		action *Node
+	}
+	perStmt := make(map[*ir.Stmt]*stmtNodes)
+
+	parentOf := func(s *ir.Stmt) map[int]*ir.Op {
+		parents := make(map[int]*ir.Op)
+		var walk func(o *ir.Op)
+		walk = func(o *ir.Op) {
+			for _, a := range o.Args {
+				parents[a.ID] = o
+				walk(a)
+			}
+		}
+		for _, ix := range s.Index {
+			walk(ix)
+		}
+		if s.RHS != nil {
+			walk(s.RHS)
+		}
+		return parents
+	}
+	opByID := func(s *ir.Stmt) map[int]*ir.Op {
+		ops := make(map[int]*ir.Op)
+		s.Ops(func(o *ir.Op) { ops[o.ID] = o })
+		return ops
+	}
+
+	getStmt := func(s *ir.Stmt) *stmtNodes {
+		sn := perStmt[s]
+		if sn == nil {
+			sn = &stmtNodes{ops: make(map[int]*Node)}
+			perStmt[s] = sn
+		}
+		return sn
+	}
+
+	// ensureAction creates the statement's action node (the store,
+	// assignment, or branch itself).
+	var ensureAction func(s *ir.Stmt) *Node
+	ensureAction = func(s *ir.Stmt) *Node {
+		sn := getStmt(s)
+		if sn.action == nil {
+			sn.action = &Node{ID: len(m.Nodes), Stmt: s, OpID: -1, Cost: 1}
+			m.Nodes = append(m.Nodes, sn.action)
+		}
+		return sn.action
+	}
+
+	// ensureOpChain creates the node for op id in s and the prob-1 chain
+	// up through its parents to the statement action node. Returns the
+	// node for the op itself.
+	ensureOpChain := func(s *ir.Stmt, opID int) *Node {
+		sn := getStmt(s)
+		if n, ok := sn.ops[opID]; ok {
+			return n
+		}
+		parents := parentOf(s)
+		ops := opByID(s)
+		cur := opID
+		var childNode *Node
+		// Walk from the read op up to the root, creating nodes and
+		// child->parent edges; costs are 1 per operation.
+		for {
+			n, ok := sn.ops[cur]
+			if !ok {
+				opCost := 1.0
+				if o := ops[cur]; o != nil && o.Kind == ir.OpCall && !o.Builtin {
+					// Re-executing a call re-executes its body; charge an
+					// estimated callee size rather than 1.
+					opCost = callCost(o)
+				}
+				n = &Node{ID: len(m.Nodes), Stmt: s, OpID: cur, Cost: opCost}
+				m.Nodes = append(m.Nodes, n)
+				sn.ops[cur] = n
+			}
+			if childNode != nil {
+				n.In = append(n.In, EdgeTo{From: childNode, Prob: 1})
+			}
+			if ok {
+				// Chain above already exists.
+				return sn.ops[opID]
+			}
+			childNode = n
+			p, hasParent := parents[cur]
+			if !hasParent {
+				act := ensureAction(s)
+				act.In = append(act.In, EdgeTo{From: childNode, Prob: 1})
+				return sn.ops[opID]
+			}
+			cur = p.ID
+		}
+	}
+
+	// Worklist over statements whose results may be re-executed: start
+	// from cross-iteration consumers, then follow intra edges.
+	intraOut := make(map[*ir.Stmt][]*depgraph.Edge)
+	for _, e := range g.True {
+		if !e.Cross {
+			intraOut[e.From] = append(intraOut[e.From], e)
+		}
+	}
+
+	inWork := make(map[*ir.Stmt]bool)
+	var work []*ir.Stmt
+
+	attach := func(from *Node, e *depgraph.Edge) {
+		var to *Node
+		if e.ToOp >= 0 {
+			to = ensureOpChain(e.To, e.ToOp)
+		} else {
+			to = ensureAction(e.To)
+		}
+		to.In = append(to.In, EdgeTo{From: from, Prob: e.Prob})
+		if !inWork[e.To] {
+			inWork[e.To] = true
+			work = append(work, e.To)
+		}
+	}
+
+	for _, e := range g.True {
+		if e.Cross {
+			attach(m.ByVC[e.From], e)
+		}
+	}
+	for len(work) > 0 {
+		s := work[0]
+		work = work[1:]
+		act := perStmt[s].action
+		if act == nil {
+			act = ensureAction(s)
+		}
+		for _, e := range intraOut[s] {
+			attach(act, e)
+		}
+	}
+
+	m.topoSort()
+	return m
+}
+
+// callCost estimates the computation of calling f: the static op count of
+// its body, once (loops inside are not expanded).
+func callCost(o *ir.Op) float64 {
+	if o.Func == nil {
+		return 1
+	}
+	n := 0
+	for _, b := range o.Func.Blocks {
+		for _, s := range b.Stmts {
+			n += s.CountOps()
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return float64(n)
+}
+
+// topoSort orders Nodes so every edge goes from an earlier node to a
+// later one (Kahn's algorithm); evaluation then propagates in one pass.
+func (m *Model) topoSort() {
+	indeg := make(map[*Node]int, len(m.Nodes))
+	out := make(map[*Node][]*Node, len(m.Nodes))
+	for _, n := range m.Nodes {
+		for _, e := range n.In {
+			indeg[n]++
+			out[e.From] = append(out[e.From], n)
+		}
+	}
+	var order []*Node
+	var ready []*Node
+	for _, n := range m.Nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].ID < ready[j].ID })
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		for _, s := range out[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	// Cycles cannot occur for well-formed graphs (intra edges are forward
+	// and tree edges point upward); append any leftovers defensively.
+	if len(order) < len(m.Nodes) {
+		inOrder := make(map[*Node]bool, len(order))
+		for _, n := range order {
+			inOrder[n] = true
+		}
+		for _, n := range m.Nodes {
+			if !inOrder[n] {
+				order = append(order, n)
+			}
+		}
+	}
+	for i, n := range order {
+		n.ID = i
+	}
+	m.Nodes = order
+}
+
+// NewHandModel builds a model directly from nodes for tests and examples
+// (e.g. the worked example of §4.2.5). Pseudo nodes carry their violation
+// probability in Cost. Nodes must be supplied with In edges referring to
+// other supplied nodes.
+func NewHandModel(nodes []*Node) *Model {
+	m := &Model{Nodes: nodes, ByVC: make(map[*ir.Stmt]*Node)}
+	for i, n := range nodes {
+		n.ID = i
+	}
+	m.topoSort()
+	return m
+}
+
+// String renders the model for debugging.
+func (m *Model) String() string {
+	var b strings.Builder
+	for _, n := range m.Nodes {
+		if n.Pseudo {
+			fmt.Fprintf(&b, "n%d pseudo VC s%d\n", n.ID, n.VC.ID)
+			continue
+		}
+		if n.Stmt != nil {
+			fmt.Fprintf(&b, "n%d s%d/op%d cost=%.0f", n.ID, n.Stmt.ID, n.OpID, n.Cost)
+		} else {
+			fmt.Fprintf(&b, "n%d cost=%.2f", n.ID, n.Cost)
+		}
+		for _, e := range n.In {
+			fmt.Fprintf(&b, " <-(%.2f) n%d", e.Prob, e.From.ID)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

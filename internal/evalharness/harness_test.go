@@ -1,0 +1,99 @@
+package evalharness
+
+import (
+	"strings"
+	"testing"
+
+	"sptc/internal/core"
+)
+
+// TestSuiteShape runs a three-benchmark subset through the full
+// evaluation and checks the qualitative results the paper reports: the
+// basic compilation gains little, dependence profiling (best) unlocks
+// real speedups, and the loop-level metrics are in plausible ranges.
+func TestSuiteShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full compile+simulate sweep")
+	}
+	opt := DefaultEvalOptions()
+	opt.Benchmarks = []string{"bzip2", "gap", "parser"}
+	suite, err := RunSuite(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows, avg := suite.Fig14()
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 benchmarks, got %d", len(rows))
+	}
+	if avg[core.LevelBasic] > avg[core.LevelBest] {
+		t.Errorf("basic average %.3f should not beat best %.3f", avg[core.LevelBasic], avg[core.LevelBest])
+	}
+	if avg[core.LevelBest] < 1.02 {
+		t.Errorf("best compilation should average a real speedup, got %.3f", avg[core.LevelBest])
+	}
+	if avg[core.LevelBasic] > 1.10 {
+		t.Errorf("basic compilation should gain little, got %.3f", avg[core.LevelBasic])
+	}
+	if avg[core.LevelAnticipated] < avg[core.LevelBest]-0.01 {
+		t.Errorf("anticipated %.3f should not trail best %.3f", avg[core.LevelAnticipated], avg[core.LevelBest])
+	}
+
+	for _, r := range suite.Runs {
+		if r.BaseIPC <= 0.05 || r.BaseIPC > 3 {
+			t.Errorf("%s: implausible base IPC %.2f", r.Name, r.BaseIPC)
+		}
+		if r.MaxCoverage <= 0 || r.MaxCoverage > 1.0001 {
+			t.Errorf("%s: bad max coverage %.3f", r.Name, r.MaxCoverage)
+		}
+	}
+
+	br := suite.Fig15(core.LevelBest)
+	if br.Total == 0 || br.Counts[core.DecisionSelected] == 0 {
+		t.Errorf("figure 15 breakdown empty: %+v", br)
+	}
+
+	for _, row := range suite.Fig18(core.LevelBest) {
+		if row.LoopSpeedup > 2.05 {
+			t.Errorf("%s: loop speedup %.2f exceeds the 2-core bound", row.Program, row.LoopSpeedup)
+		}
+		if row.MisspecRatio < 0 || row.MisspecRatio > 1 {
+			t.Errorf("%s: misspeculation ratio %.3f out of range", row.Program, row.MisspecRatio)
+		}
+	}
+
+	pts := suite.Fig19(core.LevelBest)
+	if len(pts) == 0 {
+		t.Error("figure 19 has no points")
+	}
+
+	var buf strings.Builder
+	suite.WriteAll(&buf, core.LevelBest)
+	for _, want := range []string{"Table 1", "Figure 14", "Figure 15", "Figure 16", "Figure 17", "Figure 18", "Figure 19"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestWriteCSV checks the machine-readable export contains every section.
+func TestWriteCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full compile+simulate sweep")
+	}
+	opt := DefaultEvalOptions()
+	opt.Benchmarks = []string{"gap"}
+	suite, err := RunSuite(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := suite.WriteCSV(&buf, core.LevelBest); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# table1", "# fig14", "# fig15", "# fig16", "# fig17", "# fig18", "# fig19", "gap,best,"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("CSV missing %q", want)
+		}
+	}
+}

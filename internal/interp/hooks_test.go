@@ -1,0 +1,147 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"sptc/internal/interp"
+	"sptc/internal/ir"
+)
+
+func TestHooksFire(t *testing.T) {
+	src := `
+var g int;
+var a int[8];
+func main() {
+	var i int;
+	for (i = 0; i < 8; i++) {
+		a[i] = i;
+		g = g + a[i];
+	}
+	print(g);
+}
+`
+	p := compile(t, src, true)
+	var edges, loads, stores, defs, enters, exits int
+	m := interp.New(p, &strings.Builder{})
+	m.Hooks = interp.Hooks{
+		OnEdge:  func(fr *interp.Frame, from, to *ir.Block) { edges++ },
+		OnLoad:  func(fr *interp.Frame, s *ir.Stmt, op *ir.Op, addr int) { loads++ },
+		OnStore: func(fr *interp.Frame, s *ir.Stmt, addr int) { stores++ },
+		OnDef:   func(fr *interp.Frame, s *ir.Stmt, v interp.Value) { defs++ },
+		OnEnter: func(fr *interp.Frame) { enters++ },
+		OnExit:  func(fr *interp.Frame) { exits++ },
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 iterations: 8 array stores + 8 g stores; 8 array loads + 8 g
+	// loads + 1 final g load in print.
+	if stores != 16 {
+		t.Errorf("stores = %d, want 16", stores)
+	}
+	if loads != 17 {
+		t.Errorf("loads = %d, want 17", loads)
+	}
+	if edges == 0 || defs == 0 {
+		t.Errorf("edges=%d defs=%d", edges, defs)
+	}
+	if enters != 1 || exits != 1 {
+		t.Errorf("enters=%d exits=%d", enters, exits)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	src := `
+func main() {
+	var x int = 1;
+	while (x > 0) { x = x + 1; }
+	print(x);
+}
+`
+	p := compile(t, src, true)
+	m := interp.New(p, &strings.Builder{})
+	m.MaxSteps = 1000
+	_, err := m.Run()
+	if err != interp.ErrStepLimit {
+		t.Fatalf("expected step limit, got %v", err)
+	}
+}
+
+func TestDeepRecursionGuard(t *testing.T) {
+	src := `
+func down(n int) int {
+	return down(n + 1);
+}
+func main() {
+	print(down(0));
+}
+`
+	p := compile(t, src, true)
+	m := interp.New(p, &strings.Builder{})
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected stack overflow error")
+	} else if !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	src := `
+func isEven(n int) int {
+	if (n == 0) { return 1; }
+	return isOdd(n - 1);
+}
+func isOdd(n int) int {
+	if (n == 0) { return 0; }
+	return isEven(n - 1);
+}
+func main() {
+	print(isEven(10), isOdd(10), isEven(7));
+}
+`
+	if got := runSrc(t, src, true); got != "1 0 0\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestGlobalInitialValues(t *testing.T) {
+	src := `
+var x int = 40 + 2;
+var f float = 2.5;
+var neg int = -7;
+func main() { print(x, f, neg); }
+`
+	if got := runSrc(t, src, true); got != "42 2.5 -7\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestShiftAndMaskSemantics(t *testing.T) {
+	src := `
+func main() {
+	var neg int = -8;
+	print(neg >> 1);       // arithmetic shift
+	print(1 << 62 >> 60);
+	print(-1 & 255);
+	print(7 % -3, -7 % 3); // Go-style remainder
+}
+`
+	if got := runSrc(t, src, true); got != "-4\n4\n255\n1 -1\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	src := `
+func main() {
+	print(1.0 / 3.0);
+	print(float(10) / 4.0);
+	print(0.1 + 0.2);
+}
+`
+	got := runSrc(t, src, true)
+	if !strings.HasPrefix(got, "0.333333") {
+		t.Errorf("got %q", got)
+	}
+}

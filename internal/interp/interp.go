@@ -1,0 +1,500 @@
+// Package interp executes IR programs directly (in SSA or pre-SSA form).
+// It is the substrate for the profilers (§7.3 of the paper: control-flow
+// edge profiling, data-dependence profiling, and value profiling for
+// software value prediction) and the functional reference for testing the
+// SPT transformation: a transformed program must print exactly what the
+// original printed.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"sptc/internal/ir"
+)
+
+// Value is one runtime scalar. Exactly one of I/F is meaningful,
+// determined by the static kind of the variable or memory cell.
+type Value struct {
+	I int64
+	F float64
+}
+
+// IntVal makes an integer Value.
+func IntVal(i int64) Value { return Value{I: i} }
+
+// FloatVal makes a float Value.
+func FloatVal(f float64) Value { return Value{F: f} }
+
+// Hooks receives execution events. Any field may be nil.
+type Hooks struct {
+	// OnEdge fires for every control transfer between blocks of the same
+	// function, including loop back edges.
+	OnEdge func(fr *Frame, from, to *ir.Block)
+	// OnStmt fires before each statement executes.
+	OnStmt func(fr *Frame, s *ir.Stmt)
+	// OnLoad fires for every memory read (global scalar or array element).
+	OnLoad func(fr *Frame, s *ir.Stmt, op *ir.Op, addr int)
+	// OnStore fires for every memory write, after the value is computed.
+	OnStore func(fr *Frame, s *ir.Stmt, addr int)
+	// OnDef fires when an assignment or phi defines a scalar.
+	OnDef func(fr *Frame, s *ir.Stmt, v Value)
+	// OnEnter/OnExit fire on function entry and exit.
+	OnEnter func(fr *Frame)
+	// OnExit fires when fr returns.
+	OnExit func(fr *Frame)
+}
+
+// Frame is one function activation.
+type Frame struct {
+	Func   *ir.Func
+	Caller *Frame
+	Depth  int
+	Regs   map[*ir.Var]Value
+	ID     int64 // unique activation id
+}
+
+// Machine executes a program.
+type Machine struct {
+	Prog     *ir.Program
+	Mem      []Value
+	Out      io.Writer
+	Hooks    Hooks
+	Steps    int64 // statements executed
+	MaxSteps int64
+
+	nextFrameID int64
+}
+
+// ErrStepLimit is returned when execution exceeds MaxSteps.
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// New creates a machine with memory laid out and globals initialized.
+func New(prog *ir.Program, out io.Writer) *Machine {
+	size := prog.Layout()
+	m := &Machine{Prog: prog, Mem: make([]Value, size), Out: out, MaxSteps: 2_000_000_000}
+	for _, g := range prog.Globals {
+		if !g.IsArray() {
+			if g.Elem == ir.ValFloat {
+				m.Mem[g.Addr] = FloatVal(g.InitF)
+			} else {
+				m.Mem[g.Addr] = IntVal(g.InitInt)
+			}
+		}
+	}
+	return m
+}
+
+// Run executes main and returns its result (zero Value for void).
+func (m *Machine) Run() (Value, error) {
+	if m.Prog.Main == nil {
+		return Value{}, errors.New("interp: program has no main")
+	}
+	return m.Call(m.Prog.Main, nil, nil)
+}
+
+// Call invokes f with the given arguments.
+func (m *Machine) Call(f *ir.Func, args []Value, caller *Frame) (Value, error) {
+	fr := &Frame{Func: f, Caller: caller, Regs: make(map[*ir.Var]Value), ID: m.nextFrameID}
+	m.nextFrameID++
+	if caller != nil {
+		fr.Depth = caller.Depth + 1
+	}
+	if fr.Depth > 10000 {
+		return Value{}, fmt.Errorf("interp: call stack overflow in %s", f.Name)
+	}
+	for i, p := range f.Params {
+		if i < len(args) {
+			fr.Regs[p] = args[i]
+		}
+	}
+	if m.Hooks.OnEnter != nil {
+		m.Hooks.OnEnter(fr)
+	}
+
+	blk := f.Entry
+	var prev *ir.Block
+	for {
+		// Phase 1: evaluate all phis using values from the predecessor.
+		phis := blk.Phis()
+		if len(phis) > 0 && prev != nil {
+			pi := blk.PredIndex(prev)
+			if pi < 0 {
+				return Value{}, fmt.Errorf("interp: %s: b%d entered from non-predecessor b%d", f.Name, blk.ID, prev.ID)
+			}
+			vals := make([]Value, len(phis))
+			for i, phi := range phis {
+				if pi >= len(phi.PhiArgs) {
+					return Value{}, fmt.Errorf("interp: %s: phi arity mismatch in b%d", f.Name, blk.ID)
+				}
+				vals[i] = fr.Regs[phi.PhiArgs[pi]]
+			}
+			for i, phi := range phis {
+				fr.Regs[phi.Dst] = vals[i]
+				if m.Hooks.OnDef != nil {
+					m.Hooks.OnDef(fr, phi, vals[i])
+				}
+				m.Steps++
+			}
+		}
+
+		for _, s := range blk.Stmts[len(phis):] {
+			m.Steps++
+			if m.Steps > m.MaxSteps {
+				return Value{}, ErrStepLimit
+			}
+			if m.Hooks.OnStmt != nil {
+				m.Hooks.OnStmt(fr, s)
+			}
+			switch s.Kind {
+			case ir.StmtAssign:
+				v, err := m.eval(fr, s, s.RHS)
+				if err != nil {
+					return Value{}, err
+				}
+				fr.Regs[s.Dst] = v
+				if m.Hooks.OnDef != nil {
+					m.Hooks.OnDef(fr, s, v)
+				}
+			case ir.StmtStoreG:
+				v, err := m.eval(fr, s, s.RHS)
+				if err != nil {
+					return Value{}, err
+				}
+				m.Mem[s.G.Addr] = v
+				if m.Hooks.OnStore != nil {
+					m.Hooks.OnStore(fr, s, s.G.Addr)
+				}
+			case ir.StmtStoreA:
+				addr, err := m.elemAddr(fr, s, s.G, s.Index)
+				if err != nil {
+					return Value{}, err
+				}
+				v, err := m.eval(fr, s, s.RHS)
+				if err != nil {
+					return Value{}, err
+				}
+				m.Mem[addr] = v
+				if m.Hooks.OnStore != nil {
+					m.Hooks.OnStore(fr, s, addr)
+				}
+			case ir.StmtCall:
+				if _, err := m.eval(fr, s, s.RHS); err != nil {
+					return Value{}, err
+				}
+			case ir.StmtRet:
+				var v Value
+				if s.RHS != nil {
+					var err error
+					v, err = m.eval(fr, s, s.RHS)
+					if err != nil {
+						return Value{}, err
+					}
+				}
+				if m.Hooks.OnExit != nil {
+					m.Hooks.OnExit(fr)
+				}
+				return v, nil
+			case ir.StmtIf:
+				v, err := m.eval(fr, s, s.RHS)
+				if err != nil {
+					return Value{}, err
+				}
+				next := blk.Succs[1]
+				if isTrue(v, s.RHS.Type) {
+					next = blk.Succs[0]
+				}
+				if m.Hooks.OnEdge != nil {
+					m.Hooks.OnEdge(fr, blk, next)
+				}
+				prev, blk = blk, next
+				goto nextBlock
+			case ir.StmtGoto:
+				next := blk.Succs[0]
+				if m.Hooks.OnEdge != nil {
+					m.Hooks.OnEdge(fr, blk, next)
+				}
+				prev, blk = blk, next
+				goto nextBlock
+			case ir.StmtFork, ir.StmtKill:
+				// Functionally, SPT fork/kill are no-ops: speculation
+				// only affects timing. The machine simulator models them.
+			case ir.StmtPhi:
+				return Value{}, fmt.Errorf("interp: %s: phi not at block head (b%d)", f.Name, blk.ID)
+			default:
+				return Value{}, fmt.Errorf("interp: %s: invalid statement kind %s", f.Name, s.Kind)
+			}
+		}
+		return Value{}, fmt.Errorf("interp: %s: block b%d fell through without terminator", f.Name, blk.ID)
+	nextBlock:
+		continue
+	}
+}
+
+func isTrue(v Value, k ir.ValKind) bool {
+	if k == ir.ValFloat {
+		return v.F != 0
+	}
+	return v.I != 0
+}
+
+func (m *Machine) elemAddr(fr *Frame, s *ir.Stmt, g *ir.Global, index []*ir.Op) (int, error) {
+	if len(index) != len(g.Dims) {
+		return 0, fmt.Errorf("interp: %s: wrong index arity for %s", fr.Func.Name, g.Name)
+	}
+	off := 0
+	for d, ix := range index {
+		v, err := m.eval(fr, s, ix)
+		if err != nil {
+			return 0, err
+		}
+		i := int(v.I)
+		if i < 0 || i >= g.Dims[d] {
+			return 0, fmt.Errorf("interp: %s: index %d out of range [0,%d) for %s (stmt s%d)",
+				fr.Func.Name, i, g.Dims[d], g.Name, s.ID)
+		}
+		off = off*g.Dims[d] + i
+	}
+	return g.Addr + off, nil
+}
+
+func (m *Machine) eval(fr *Frame, s *ir.Stmt, o *ir.Op) (Value, error) {
+	switch o.Kind {
+	case ir.OpConstInt:
+		return IntVal(o.ConstI), nil
+	case ir.OpConstFloat:
+		return FloatVal(o.ConstF), nil
+	case ir.OpConstStr:
+		return Value{}, nil
+	case ir.OpUseVar:
+		return fr.Regs[o.Var], nil
+	case ir.OpLoadG:
+		if m.Hooks.OnLoad != nil {
+			m.Hooks.OnLoad(fr, s, o, o.G.Addr)
+		}
+		return m.Mem[o.G.Addr], nil
+	case ir.OpLoadA:
+		addr, err := m.elemAddr(fr, s, o.G, o.Args)
+		if err != nil {
+			return Value{}, err
+		}
+		if m.Hooks.OnLoad != nil {
+			m.Hooks.OnLoad(fr, s, o, addr)
+		}
+		return m.Mem[addr], nil
+	case ir.OpBin:
+		x, err := m.eval(fr, s, o.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		y, err := m.eval(fr, s, o.Args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		return evalBin(fr, s, o, x, y)
+	case ir.OpUn:
+		x, err := m.eval(fr, s, o.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		switch o.Un {
+		case ir.UnNeg:
+			if o.Type == ir.ValFloat {
+				return FloatVal(-x.F), nil
+			}
+			return IntVal(-x.I), nil
+		case ir.UnNot:
+			if isTrue(x, o.Args[0].Type) {
+				return IntVal(0), nil
+			}
+			return IntVal(1), nil
+		case ir.UnBitNot:
+			return IntVal(^x.I), nil
+		}
+	case ir.OpCast:
+		x, err := m.eval(fr, s, o.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if o.Type == ir.ValFloat {
+			if o.Args[0].Type == ir.ValFloat {
+				return x, nil
+			}
+			return FloatVal(float64(x.I)), nil
+		}
+		if o.Args[0].Type == ir.ValFloat {
+			return IntVal(int64(x.F)), nil
+		}
+		return x, nil
+	case ir.OpCall:
+		return m.evalCall(fr, s, o)
+	}
+	return Value{}, fmt.Errorf("interp: invalid op kind %d", o.Kind)
+}
+
+func evalBin(fr *Frame, s *ir.Stmt, o *ir.Op, x, y Value) (Value, error) {
+	lf := o.Args[0].Type == ir.ValFloat || o.Args[1].Type == ir.ValFloat
+	b2i := func(b bool) Value {
+		if b {
+			return IntVal(1)
+		}
+		return IntVal(0)
+	}
+	if lf {
+		switch o.Bin {
+		case ir.BinAdd:
+			return FloatVal(x.F + y.F), nil
+		case ir.BinSub:
+			return FloatVal(x.F - y.F), nil
+		case ir.BinMul:
+			return FloatVal(x.F * y.F), nil
+		case ir.BinDiv:
+			if y.F == 0 {
+				return Value{}, fmt.Errorf("interp: %s: float division by zero (stmt s%d)", fr.Func.Name, s.ID)
+			}
+			return FloatVal(x.F / y.F), nil
+		case ir.BinEq:
+			return b2i(x.F == y.F), nil
+		case ir.BinNeq:
+			return b2i(x.F != y.F), nil
+		case ir.BinLt:
+			return b2i(x.F < y.F), nil
+		case ir.BinLeq:
+			return b2i(x.F <= y.F), nil
+		case ir.BinGt:
+			return b2i(x.F > y.F), nil
+		case ir.BinGeq:
+			return b2i(x.F >= y.F), nil
+		}
+		return Value{}, fmt.Errorf("interp: %s: operator %s on float operands", fr.Func.Name, o.Bin)
+	}
+	switch o.Bin {
+	case ir.BinAdd:
+		return IntVal(x.I + y.I), nil
+	case ir.BinSub:
+		return IntVal(x.I - y.I), nil
+	case ir.BinMul:
+		return IntVal(x.I * y.I), nil
+	case ir.BinDiv:
+		if y.I == 0 {
+			return Value{}, fmt.Errorf("interp: %s: integer division by zero (stmt s%d)", fr.Func.Name, s.ID)
+		}
+		return IntVal(x.I / y.I), nil
+	case ir.BinRem:
+		if y.I == 0 {
+			return Value{}, fmt.Errorf("interp: %s: integer remainder by zero (stmt s%d)", fr.Func.Name, s.ID)
+		}
+		return IntVal(x.I % y.I), nil
+	case ir.BinAnd:
+		return IntVal(x.I & y.I), nil
+	case ir.BinOr:
+		return IntVal(x.I | y.I), nil
+	case ir.BinXor:
+		return IntVal(x.I ^ y.I), nil
+	case ir.BinShl:
+		return IntVal(x.I << uint(y.I&63)), nil
+	case ir.BinShr:
+		return IntVal(x.I >> uint(y.I&63)), nil
+	case ir.BinEq:
+		return b2i(x.I == y.I), nil
+	case ir.BinNeq:
+		return b2i(x.I != y.I), nil
+	case ir.BinLt:
+		return b2i(x.I < y.I), nil
+	case ir.BinLeq:
+		return b2i(x.I <= y.I), nil
+	case ir.BinGt:
+		return b2i(x.I > y.I), nil
+	case ir.BinGeq:
+		return b2i(x.I >= y.I), nil
+	case ir.BinLAnd:
+		return b2i(x.I != 0 && y.I != 0), nil
+	case ir.BinLOr:
+		return b2i(x.I != 0 || y.I != 0), nil
+	}
+	return Value{}, fmt.Errorf("interp: invalid binary operator")
+}
+
+func (m *Machine) evalCall(fr *Frame, s *ir.Stmt, o *ir.Op) (Value, error) {
+	if o.Builtin {
+		return m.evalBuiltin(fr, s, o)
+	}
+	if o.Func == nil {
+		return Value{}, fmt.Errorf("interp: call to unresolved function %s", o.Callee)
+	}
+	args := make([]Value, len(o.Args))
+	for i, a := range o.Args {
+		v, err := m.eval(fr, s, a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	return m.Call(o.Func, args, fr)
+}
+
+func (m *Machine) evalBuiltin(fr *Frame, s *ir.Stmt, o *ir.Op) (Value, error) {
+	switch o.Callee {
+	case "print":
+		for i, a := range o.Args {
+			if i > 0 {
+				fmt.Fprint(m.Out, " ")
+			}
+			if a.Kind == ir.OpConstStr {
+				fmt.Fprint(m.Out, a.Str)
+				continue
+			}
+			v, err := m.eval(fr, s, a)
+			if err != nil {
+				return Value{}, err
+			}
+			if a.Type == ir.ValFloat {
+				fmt.Fprintf(m.Out, "%.6g", v.F)
+			} else {
+				fmt.Fprintf(m.Out, "%d", v.I)
+			}
+		}
+		fmt.Fprintln(m.Out)
+		return Value{}, nil
+	}
+
+	args := make([]Value, len(o.Args))
+	for i, a := range o.Args {
+		v, err := m.eval(fr, s, a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	switch o.Callee {
+	case "fabs":
+		return FloatVal(math.Abs(args[0].F)), nil
+	case "fsqrt":
+		if args[0].F < 0 {
+			return Value{}, fmt.Errorf("interp: fsqrt of negative value")
+		}
+		return FloatVal(math.Sqrt(args[0].F)), nil
+	case "fmin":
+		return FloatVal(math.Min(args[0].F, args[1].F)), nil
+	case "fmax":
+		return FloatVal(math.Max(args[0].F, args[1].F)), nil
+	case "iabs":
+		if args[0].I < 0 {
+			return IntVal(-args[0].I), nil
+		}
+		return args[0], nil
+	case "imin":
+		if args[0].I < args[1].I {
+			return args[0], nil
+		}
+		return args[1], nil
+	case "imax":
+		if args[0].I > args[1].I {
+			return args[0], nil
+		}
+		return args[1], nil
+	}
+	return Value{}, fmt.Errorf("interp: unknown builtin %s", o.Callee)
+}

@@ -1,0 +1,284 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"sptc/internal/interp"
+	"sptc/internal/ir"
+	"sptc/internal/parser"
+	"sptc/internal/sem"
+	"sptc/internal/ssa"
+)
+
+// compile parses, checks, and lowers src, optionally building SSA.
+func compile(t *testing.T, src string, buildSSA bool) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse("test.spl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := ir.Build(info)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := ir.VerifyProgram(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if buildSSA {
+		for _, f := range p.Funcs {
+			dom := ssa.BuildDomTree(f)
+			ssa.Build(f, dom)
+			if err := ir.Verify(f); err != nil {
+				t.Fatalf("verify after SSA (%s): %v\n%s", f.Name, err, ir.FormatFunc(f))
+			}
+		}
+	}
+	return p
+}
+
+// run executes the program and returns its printed output.
+func run(t *testing.T, p *ir.Program) string {
+	t.Helper()
+	var out strings.Builder
+	m := interp.New(p, &out)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, ir.FormatProgram(p))
+	}
+	return out.String()
+}
+
+func runSrc(t *testing.T, src string, ssaForm bool) string {
+	t.Helper()
+	return run(t, compile(t, src, ssaForm))
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+func main() {
+	var x int = 3;
+	var y int = 4;
+	print(x*x + y*y);
+	print(10 / 3, 10 % 3);
+	print(1 << 4, 256 >> 2);
+	print(6 & 3, 6 | 3, 6 ^ 3, ~0);
+	var f float = 1.5;
+	print(f * 2.0 + 0.25);
+	print(int(f * 2.0));
+	print(float(7) / 2.0);
+}
+`
+	want := "25\n3 1\n16 64\n2 7 5 -1\n3.25\n3\n3.5\n"
+	for _, ssaForm := range []bool{false, true} {
+		if got := runSrc(t, src, ssaForm); got != want {
+			t.Errorf("ssa=%v: got %q want %q", ssaForm, got, want)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+func main() {
+	var i int = 0;
+	var sum int = 0;
+	while (i < 10) {
+		if (i % 2 == 0) {
+			sum += i;
+		} else {
+			sum -= 1;
+		}
+		i++;
+	}
+	print(sum);
+	var j int;
+	for (j = 0; j < 5; j++) {
+		if (j == 3) { break; }
+		print(j);
+	}
+	var k int = 0;
+	do {
+		k += 2;
+	} while (k < 7);
+	print(k);
+}
+`
+	want := "15\n0\n1\n2\n8\n"
+	for _, ssaForm := range []bool{false, true} {
+		if got := runSrc(t, src, ssaForm); got != want {
+			t.Errorf("ssa=%v: got %q want %q", ssaForm, got, want)
+		}
+	}
+}
+
+func TestArraysAndGlobals(t *testing.T) {
+	src := `
+var n int = 5;
+var a int[10];
+var m float[3][3];
+
+func fill() {
+	var i int;
+	for (i = 0; i < n; i++) {
+		a[i] = i * i;
+	}
+	var r int;
+	var c int;
+	for (r = 0; r < 3; r++) {
+		for (c = 0; c < 3; c++) {
+			m[r][c] = float(r * 3 + c);
+		}
+	}
+}
+
+func main() {
+	fill();
+	var i int;
+	var sum int = 0;
+	for (i = 0; i < n; i++) {
+		sum += a[i];
+	}
+	print(sum);
+	print(m[2][1]);
+}
+`
+	want := "30\n7\n"
+	for _, ssaForm := range []bool{false, true} {
+		if got := runSrc(t, src, ssaForm); got != want {
+			t.Errorf("ssa=%v: got %q want %q", ssaForm, got, want)
+		}
+	}
+}
+
+func TestFunctionCalls(t *testing.T) {
+	src := `
+func fib(n int) int {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+
+func hyp(a float, b float) float {
+	return fsqrt(a*a + b*b);
+}
+
+func main() {
+	print(fib(10));
+	print(hyp(3.0, 4.0));
+	print(imax(3, 7), imin(3, 7), iabs(-9));
+	print(fmax(1.5, 2.5), fmin(1.5, 2.5), fabs(-2.25));
+}
+`
+	want := "55\n5\n7 3 9\n2.5 1.5 2.25\n"
+	for _, ssaForm := range []bool{false, true} {
+		if got := runSrc(t, src, ssaForm); got != want {
+			t.Errorf("ssa=%v: got %q want %q", ssaForm, got, want)
+		}
+	}
+}
+
+func TestBreakContinueNested(t *testing.T) {
+	src := `
+func main() {
+	var i int;
+	var total int = 0;
+	for (i = 0; i < 6; i++) {
+		var j int;
+		for (j = 0; j < 6; j++) {
+			if (j > i) { break; }
+			if (j % 2 == 1) { continue; }
+			total += j;
+		}
+	}
+	print(total);
+}
+`
+	// i=0: j=0 -> 0 ; i=1: 0 ; i=2: 0+2 ; i=3: 0+2 ; i=4: 0+2+4 ; i=5: 0+2+4
+	want := "16\n"
+	for _, ssaForm := range []bool{false, true} {
+		if got := runSrc(t, src, ssaForm); got != want {
+			t.Errorf("ssa=%v: got %q want %q", ssaForm, got, want)
+		}
+	}
+}
+
+func TestSSAThenCleanupPreservesSemantics(t *testing.T) {
+	src := `
+var acc float;
+
+func main() {
+	var i int = 0;
+	var lim int = 20;
+	while (i < lim) {
+		var t float = float(i) * 0.5;
+		if (i % 3 == 0) {
+			acc = acc + t;
+		}
+		i = i + 1;
+	}
+	print(acc);
+}
+`
+	want := runSrc(t, src, false)
+	p := compile(t, src, true)
+	for _, f := range p.Funcs {
+		ssa.CopyProp(f)
+		ssa.ConstFold(f)
+		ssa.DeadCode(f)
+		if err := ir.Verify(f); err != nil {
+			t.Fatalf("verify after cleanup: %v", err)
+		}
+	}
+	if got := run(t, p); got != want {
+		t.Errorf("after cleanup: got %q want %q", got, want)
+	}
+}
+
+func TestIndexOutOfRangeTraps(t *testing.T) {
+	src := `
+var a int[4];
+func main() {
+	var i int = 9;
+	a[i] = 1;
+}
+`
+	p := compile(t, src, true)
+	var out strings.Builder
+	m := interp.New(p, &out)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	src := `
+func main() {
+	var x int = 0;
+	print(10 / x);
+}
+`
+	p := compile(t, src, true)
+	var out strings.Builder
+	m := interp.New(p, &out)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestEagerLogicalOps(t *testing.T) {
+	// SPL's && and || are eager; both sides always evaluate.
+	src := `
+func main() {
+	var x int = 2;
+	print(x > 1 && x < 5);
+	print(x > 3 || x == 2);
+	print(!(x == 2));
+}
+`
+	want := "1\n1\n0\n"
+	if got := runSrc(t, src, true); got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}

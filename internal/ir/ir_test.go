@@ -1,0 +1,211 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"sptc/internal/ir"
+	"sptc/internal/parser"
+	"sptc/internal/sem"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := parser.Parse("t.spl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(p)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := ir.Build(info)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return prog
+}
+
+func TestBuildVerifies(t *testing.T) {
+	prog := build(t, `
+var g int = 7;
+var a float[16];
+func f(x int) int {
+	if (x > 0) { return x * 2; }
+	return -x;
+}
+func main() {
+	var i int;
+	for (i = 0; i < 16; i++) {
+		a[i] = float(f(i)) * 0.5;
+		if (i % 3 == 0) { continue; }
+		g += i;
+	}
+	while (g > 100) { g = g - 10; }
+	print(g, a[3]);
+}
+`)
+	if err := ir.VerifyProgram(prog); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if prog.Main == nil {
+		t.Fatal("main not registered")
+	}
+	if prog.FuncByName("f") == nil || prog.GlobalByName("a") == nil {
+		t.Fatal("lookup tables incomplete")
+	}
+}
+
+func TestLayoutAssignsDisjointAddresses(t *testing.T) {
+	prog := build(t, `
+var x int;
+var a int[10];
+var y float;
+var m float[3][4];
+func main() { x = 1; y = 2.0; a[0] = 3; m[1][2] = 4.0; }
+`)
+	total := prog.Layout()
+	if total != 1+10+1+12 {
+		t.Fatalf("layout total %d", total)
+	}
+	seen := map[int]string{}
+	for _, g := range prog.Globals {
+		for off := 0; off < g.Size; off++ {
+			addr := g.Addr + off
+			if prev, dup := seen[addr]; dup {
+				t.Fatalf("address %d shared by %s and %s", addr, prev, g.Name)
+			}
+			seen[addr] = g.Name
+		}
+	}
+}
+
+func TestCountOps(t *testing.T) {
+	prog := build(t, `func main() { var x int = 1 + 2 * 3; print(x); }`)
+	f := prog.Main
+	var assign *ir.Stmt
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind == ir.StmtAssign {
+				assign = s
+			}
+		}
+	}
+	if assign == nil {
+		t.Fatal("no assignment found")
+	}
+	// 1, 2, 3, *, + = 5 ops, plus the statement action = 6.
+	if got := assign.CountOps(); got != 6 {
+		t.Errorf("CountOps = %d, want 6\n%s", got, ir.FormatStmt(assign))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	prog := build(t, `var a int[4]; func main() { a[1] = a[0] + 2; }`)
+	f := prog.Main
+	var store *ir.Stmt
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind == ir.StmtStoreA {
+				store = s
+			}
+		}
+	}
+	clone := f.CloneStmt(store)
+	if clone.ID == store.ID {
+		t.Error("clone should get a fresh statement ID")
+	}
+	ids := map[int]bool{}
+	store.Ops(func(o *ir.Op) { ids[o.ID] = true })
+	clone.Ops(func(o *ir.Op) {
+		if ids[o.ID] {
+			t.Errorf("clone shares op ID %d with original", o.ID)
+		}
+	})
+	// Mutating the clone must not affect the original.
+	clone.RHS.ConstI = 99
+	if store.RHS.ConstI == 99 {
+		t.Error("clone aliases original op")
+	}
+}
+
+func TestEdgeHelpers(t *testing.T) {
+	f := &ir.Func{Name: "t"}
+	a, b, c := f.NewBlock(), f.NewBlock(), f.NewBlock()
+	ir.AddEdge(a, b)
+	ir.AddEdge(a, c)
+	if len(a.Succs) != 2 || len(b.Preds) != 1 {
+		t.Fatal("AddEdge broken")
+	}
+	ir.RedirectEdge(a, b, c)
+	if a.Succs[0] != c || len(b.Preds) != 0 || len(c.Preds) != 2 {
+		t.Fatalf("RedirectEdge broken: %v", a.Succs)
+	}
+	ir.RemoveEdge(a, c)
+	if len(a.Succs) != 1 {
+		t.Fatal("RemoveEdge broken")
+	}
+}
+
+func TestFormatProgramMentionsStructure(t *testing.T) {
+	prog := build(t, `
+var g int;
+func main() {
+	var i int;
+	while (i < 3) { g += i; i++; }
+	print(g);
+}
+`)
+	text := ir.FormatProgram(prog)
+	for _, want := range []string{"global g int", "func main()", "if (", "goto", "print"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted program missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVerifyCatchesBrokenCFG(t *testing.T) {
+	prog := build(t, `func main() { print(1); }`)
+	f := prog.Main
+	// Chop the terminator off the entry block.
+	entry := f.Entry
+	saved := entry.Stmts
+	entry.Stmts = entry.Stmts[:len(entry.Stmts)-1]
+	if err := ir.Verify(f); err == nil {
+		t.Error("verify should reject a block without terminator")
+	}
+	entry.Stmts = saved
+
+	// Dangle a successor.
+	ghost := &ir.Block{ID: 999}
+	entry.Succs = append(entry.Succs, ghost)
+	if err := ir.Verify(f); err == nil {
+		t.Error("verify should reject out-of-function successors")
+	}
+	entry.Succs = entry.Succs[:len(entry.Succs)-1]
+}
+
+func TestSizeCache(t *testing.T) {
+	prog := build(t, `
+func leaf(x int) int { return x * 2 + 1; }
+func mid(x int) int { return leaf(x) + leaf(x + 1); }
+func rec(n int) int {
+	if (n <= 0) { return 0; }
+	return rec(n - 1) + 1;
+}
+func main() { print(mid(3), rec(4)); }
+`)
+	sc := ir.NewSizeCache()
+	leaf := sc.FuncSize(prog.FuncByName("leaf"))
+	mid := sc.FuncSize(prog.FuncByName("mid"))
+	if leaf <= 0 || mid <= leaf {
+		t.Errorf("sizes: leaf=%d mid=%d (mid should include two leaf expansions)", leaf, mid)
+	}
+	if mid < 2*leaf {
+		t.Errorf("mid=%d should be at least 2*leaf=%d", mid, 2*leaf)
+	}
+	// Recursion must terminate and give a finite size.
+	if rec := sc.FuncSize(prog.FuncByName("rec")); rec <= 0 {
+		t.Errorf("recursive size %d", rec)
+	}
+}

@@ -1,0 +1,53 @@
+package ir
+
+// SizeCache computes call-expanded operation counts: a non-builtin call
+// counts as its callee's static size (transitively, recursion cycles
+// cut). The SPT framework uses these "effective" sizes wherever the
+// paper bounds the amount of computation — loop body size, pre-fork
+// region size — since a call statement stands for its callee's work.
+type SizeCache struct {
+	memo map[*Func]int
+}
+
+// NewSizeCache returns an empty cache.
+func NewSizeCache() *SizeCache {
+	return &SizeCache{memo: make(map[*Func]int)}
+}
+
+// FuncSize returns the call-expanded static size of f.
+func (c *SizeCache) FuncSize(f *Func) int {
+	if sz, ok := c.memo[f]; ok {
+		return sz
+	}
+	c.memo[f] = 0 // cut recursion cycles
+	n := 0
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			n += c.StmtOps(s)
+		}
+	}
+	c.memo[f] = n
+	return n
+}
+
+// StmtOps returns the call-expanded operation count of one statement.
+func (c *SizeCache) StmtOps(s *Stmt) int {
+	n := s.CountOps()
+	s.Ops(func(o *Op) {
+		if o.Kind == OpCall && !o.Builtin && o.Func != nil {
+			n += c.FuncSize(o.Func)
+		}
+	})
+	return n
+}
+
+// BlocksSize returns the call-expanded size of a block list.
+func (c *SizeCache) BlocksSize(blocks []*Block) int {
+	n := 0
+	for _, b := range blocks {
+		for _, s := range b.Stmts {
+			n += c.StmtOps(s)
+		}
+	}
+	return n
+}

@@ -1,0 +1,86 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of a function's CFG and statements.
+// It returns the first violation found, or nil.
+func Verify(f *Func) error {
+	if f.Entry == nil {
+		return fmt.Errorf("%s: no entry block", f.Name)
+	}
+	inFunc := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		inFunc[b] = true
+	}
+	if !inFunc[f.Entry] {
+		return fmt.Errorf("%s: entry block not in block list", f.Name)
+	}
+	for _, b := range f.Blocks {
+		term := b.Terminator()
+		if term == nil {
+			return fmt.Errorf("%s: b%d has no terminator", f.Name, b.ID)
+		}
+		for i, s := range b.Stmts {
+			if s.IsTerminator() && i != len(b.Stmts)-1 {
+				return fmt.Errorf("%s: b%d has terminator %s mid-block", f.Name, b.ID, s.Kind)
+			}
+			if s.Kind == StmtPhi {
+				if i > 0 && b.Stmts[i-1].Kind != StmtPhi {
+					return fmt.Errorf("%s: b%d phi s%d not at block head", f.Name, b.ID, s.ID)
+				}
+				if len(s.PhiArgs) != len(b.Preds) {
+					return fmt.Errorf("%s: b%d phi s%d has %d args for %d preds",
+						f.Name, b.ID, s.ID, len(s.PhiArgs), len(b.Preds))
+				}
+			}
+		}
+		switch term.Kind {
+		case StmtIf:
+			if len(b.Succs) != 2 {
+				return fmt.Errorf("%s: b%d if-terminated with %d succs", f.Name, b.ID, len(b.Succs))
+			}
+		case StmtGoto:
+			if len(b.Succs) != 1 {
+				return fmt.Errorf("%s: b%d goto-terminated with %d succs", f.Name, b.ID, len(b.Succs))
+			}
+		case StmtRet:
+			if len(b.Succs) != 0 {
+				return fmt.Errorf("%s: b%d ret-terminated with %d succs", f.Name, b.ID, len(b.Succs))
+			}
+		}
+		for _, s := range b.Succs {
+			if !inFunc[s] {
+				return fmt.Errorf("%s: b%d has successor outside function", f.Name, b.ID)
+			}
+			if s.predIndex(b) < 0 {
+				return fmt.Errorf("%s: b%d -> b%d missing back-link", f.Name, b.ID, s.ID)
+			}
+		}
+		for _, p := range b.Preds {
+			if !inFunc[p] {
+				return fmt.Errorf("%s: b%d has predecessor outside function", f.Name, b.ID)
+			}
+			found := false
+			for _, s := range p.Succs {
+				if s == b {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("%s: b%d pred b%d missing forward link", f.Name, b.ID, p.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyProgram verifies every function.
+func VerifyProgram(p *Program) error {
+	for _, f := range p.Funcs {
+		if err := Verify(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+// Package lexer implements the scanner for SPL source text.
+package lexer
+
+import (
+	"sptc/internal/source"
+	"sptc/internal/token"
+)
+
+// A Token is one lexical element with its spelling and position.
+type Token struct {
+	Kind token.Kind
+	Lit  string
+	Pos  source.Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case token.IDENT, token.INTLIT, token.FLOATLIT, token.STRLIT, token.ILLEGAL:
+		return t.Kind.String() + "(" + t.Lit + ")"
+	}
+	return t.Kind.String()
+}
+
+// Lexer scans SPL source text into tokens.
+type Lexer struct {
+	file   *source.File
+	src    string
+	off    int
+	errs   *source.ErrorList
+	peeked *Token
+}
+
+// New returns a Lexer over the given file, reporting errors to errs.
+func New(file *source.File, errs *source.ErrorList) *Lexer {
+	return &Lexer{file: file, src: file.Text, errs: errs}
+}
+
+// File returns the file being scanned.
+func (l *Lexer) File() *source.File { return l.file }
+
+func (l *Lexer) errorf(off int, format string, args ...any) {
+	l.errs.Add(l.file.Name, l.file.PosFor(off), format, args...)
+}
+
+// Peek returns the next token without consuming it.
+func (l *Lexer) Peek() Token {
+	if l.peeked == nil {
+		t := l.scan()
+		l.peeked = &t
+	}
+	return *l.peeked
+}
+
+// Next consumes and returns the next token.
+func (l *Lexer) Next() Token {
+	if l.peeked != nil {
+		t := *l.peeked
+		l.peeked = nil
+		return t
+	}
+	return l.scan()
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.off++
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.off++
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			start := l.off
+			l.off += 2
+			for l.off+1 < len(l.src) && !(l.src[l.off] == '*' && l.src[l.off+1] == '/') {
+				l.off++
+			}
+			if l.off+1 >= len(l.src) {
+				l.errorf(start, "unterminated block comment")
+				l.off = len(l.src)
+				return
+			}
+			l.off += 2
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) scan() Token {
+	l.skipSpaceAndComments()
+	if l.off >= len(l.src) {
+		return Token{Kind: token.EOF, Pos: l.file.PosFor(l.off)}
+	}
+	start := l.off
+	pos := l.file.PosFor(start)
+	c := l.src[l.off]
+
+	switch {
+	case isLetter(c):
+		for l.off < len(l.src) && (isLetter(l.src[l.off]) || isDigit(l.src[l.off])) {
+			l.off++
+		}
+		lit := l.src[start:l.off]
+		return Token{Kind: token.Lookup(lit), Lit: lit, Pos: pos}
+
+	case isDigit(c):
+		return l.scanNumber(start, pos)
+
+	case c == '"':
+		return l.scanString(start, pos)
+	}
+
+	l.off++
+	two := func(next byte, yes, no token.Kind) Token {
+		if l.off < len(l.src) && l.src[l.off] == next {
+			l.off++
+			return Token{Kind: yes, Lit: l.src[start:l.off], Pos: pos}
+		}
+		return Token{Kind: no, Lit: l.src[start:l.off], Pos: pos}
+	}
+
+	switch c {
+	case '+':
+		if l.off < len(l.src) && l.src[l.off] == '+' {
+			l.off++
+			return Token{Kind: token.INC, Lit: "++", Pos: pos}
+		}
+		return two('=', token.PLUSEQ, token.PLUS)
+	case '-':
+		if l.off < len(l.src) && l.src[l.off] == '-' {
+			l.off++
+			return Token{Kind: token.DEC, Lit: "--", Pos: pos}
+		}
+		return two('=', token.MINUSEQ, token.MINUS)
+	case '*':
+		return two('=', token.STAREQ, token.STAR)
+	case '/':
+		return two('=', token.SLASHEQ, token.SLASH)
+	case '%':
+		return two('=', token.PERCENTEQ, token.PERCENT)
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '<':
+		if l.off < len(l.src) && l.src[l.off] == '<' {
+			l.off++
+			return Token{Kind: token.SHL, Lit: "<<", Pos: pos}
+		}
+		return two('=', token.LEQ, token.LT)
+	case '>':
+		if l.off < len(l.src) && l.src[l.off] == '>' {
+			l.off++
+			return Token{Kind: token.SHR, Lit: ">>", Pos: pos}
+		}
+		return two('=', token.GEQ, token.GT)
+	case '&':
+		return two('&', token.LAND, token.AMP)
+	case '|':
+		return two('|', token.LOR, token.PIPE)
+	case '^':
+		return Token{Kind: token.CARET, Lit: "^", Pos: pos}
+	case '~':
+		return Token{Kind: token.TILDE, Lit: "~", Pos: pos}
+	case '(':
+		return Token{Kind: token.LPAREN, Lit: "(", Pos: pos}
+	case ')':
+		return Token{Kind: token.RPAREN, Lit: ")", Pos: pos}
+	case '{':
+		return Token{Kind: token.LBRACE, Lit: "{", Pos: pos}
+	case '}':
+		return Token{Kind: token.RBRACE, Lit: "}", Pos: pos}
+	case '[':
+		return Token{Kind: token.LBRACKET, Lit: "[", Pos: pos}
+	case ']':
+		return Token{Kind: token.RBRACKET, Lit: "]", Pos: pos}
+	case ',':
+		return Token{Kind: token.COMMA, Lit: ",", Pos: pos}
+	case ';':
+		return Token{Kind: token.SEMICOLON, Lit: ";", Pos: pos}
+	case '?':
+		return Token{Kind: token.QUESTION, Lit: "?", Pos: pos}
+	case ':':
+		return Token{Kind: token.COLON, Lit: ":", Pos: pos}
+	}
+
+	l.errorf(start, "illegal character %q", c)
+	return Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+func (l *Lexer) scanNumber(start int, pos source.Pos) Token {
+	kind := token.INTLIT
+	if l.src[l.off] == '0' && l.off+1 < len(l.src) && (l.src[l.off+1] == 'x' || l.src[l.off+1] == 'X') {
+		l.off += 2
+		for l.off < len(l.src) && isHexDigit(l.src[l.off]) {
+			l.off++
+		}
+		if l.off == start+2 {
+			l.errorf(start, "malformed hex literal")
+		}
+		return Token{Kind: token.INTLIT, Lit: l.src[start:l.off], Pos: pos}
+	}
+	for l.off < len(l.src) && isDigit(l.src[l.off]) {
+		l.off++
+	}
+	if l.off < len(l.src) && l.src[l.off] == '.' {
+		kind = token.FLOATLIT
+		l.off++
+		for l.off < len(l.src) && isDigit(l.src[l.off]) {
+			l.off++
+		}
+	}
+	if l.off < len(l.src) && (l.src[l.off] == 'e' || l.src[l.off] == 'E') {
+		kind = token.FLOATLIT
+		l.off++
+		if l.off < len(l.src) && (l.src[l.off] == '+' || l.src[l.off] == '-') {
+			l.off++
+		}
+		digits := false
+		for l.off < len(l.src) && isDigit(l.src[l.off]) {
+			l.off++
+			digits = true
+		}
+		if !digits {
+			l.errorf(start, "malformed exponent in float literal")
+		}
+	}
+	return Token{Kind: kind, Lit: l.src[start:l.off], Pos: pos}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+
+func (l *Lexer) scanString(start int, pos source.Pos) Token {
+	l.off++ // opening quote
+	for l.off < len(l.src) && l.src[l.off] != '"' && l.src[l.off] != '\n' {
+		if l.src[l.off] == '\\' && l.off+1 < len(l.src) {
+			l.off++
+		}
+		l.off++
+	}
+	if l.off >= len(l.src) || l.src[l.off] != '"' {
+		l.errorf(start, "unterminated string literal")
+		return Token{Kind: token.ILLEGAL, Lit: l.src[start:l.off], Pos: pos}
+	}
+	l.off++
+	return Token{Kind: token.STRLIT, Lit: l.src[start+1 : l.off-1], Pos: pos}
+}
+
+// ScanAll tokenizes the whole file, including the trailing EOF token.
+func ScanAll(file *source.File, errs *source.ErrorList) []Token {
+	l := New(file, errs)
+	var out []Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}

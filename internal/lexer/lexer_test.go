@@ -1,0 +1,217 @@
+package lexer_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sptc/internal/lexer"
+	"sptc/internal/source"
+	"sptc/internal/token"
+)
+
+func scan(t *testing.T, src string) ([]lexer.Token, *source.ErrorList) {
+	t.Helper()
+	var errs source.ErrorList
+	toks := lexer.ScanAll(source.NewFile("t.spl", src), &errs)
+	return toks, &errs
+}
+
+func kinds(toks []lexer.Token) []token.Kind {
+	out := make([]token.Kind, 0, len(toks))
+	for _, t := range toks {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestOperators(t *testing.T) {
+	cases := map[string]token.Kind{
+		"+": token.PLUS, "-": token.MINUS, "*": token.STAR, "/": token.SLASH,
+		"%": token.PERCENT, "&": token.AMP, "|": token.PIPE, "^": token.CARET,
+		"<<": token.SHL, ">>": token.SHR, "&&": token.LAND, "||": token.LOR,
+		"!": token.NOT, "=": token.ASSIGN, "+=": token.PLUSEQ, "-=": token.MINUSEQ,
+		"*=": token.STAREQ, "/=": token.SLASHEQ, "%=": token.PERCENTEQ,
+		"++": token.INC, "--": token.DEC, "==": token.EQ, "!=": token.NEQ,
+		"<": token.LT, ">": token.GT, "<=": token.LEQ, ">=": token.GEQ,
+		"~": token.TILDE, ";": token.SEMICOLON, ",": token.COMMA,
+		"(": token.LPAREN, ")": token.RPAREN, "{": token.LBRACE, "}": token.RBRACE,
+		"[": token.LBRACKET, "]": token.RBRACKET,
+	}
+	for src, want := range cases {
+		toks, errs := scan(t, src)
+		if errs.Len() != 0 {
+			t.Errorf("%q: unexpected errors: %v", src, errs.Err())
+			continue
+		}
+		if len(toks) != 2 || toks[0].Kind != want {
+			t.Errorf("%q: got %v, want [%s EOF]", src, kinds(toks), want)
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	toks, errs := scan(t, "func var if else while for do break continue return int float foo _bar x9")
+	if errs.Len() != 0 {
+		t.Fatalf("errors: %v", errs.Err())
+	}
+	want := []token.Kind{
+		token.FUNC, token.VAR, token.IF, token.ELSE, token.WHILE, token.FOR,
+		token.DO, token.BREAK, token.CONTINUE, token.RETURN, token.INT, token.FLOAT,
+		token.IDENT, token.IDENT, token.IDENT, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+	}{
+		{"0", token.INTLIT},
+		{"42", token.INTLIT},
+		{"0x1F", token.INTLIT},
+		{"1.5", token.FLOATLIT},
+		{"2.", token.FLOATLIT},
+		{"1e9", token.FLOATLIT},
+		{"2.5e-3", token.FLOATLIT},
+		{"7E+2", token.FLOATLIT},
+	}
+	for _, c := range cases {
+		toks, errs := scan(t, c.src)
+		if errs.Len() != 0 {
+			t.Errorf("%q: errors: %v", c.src, errs.Err())
+			continue
+		}
+		if toks[0].Kind != c.kind || toks[0].Lit != c.src {
+			t.Errorf("%q: got %s %q", c.src, toks[0].Kind, toks[0].Lit)
+		}
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	toks, errs := scan(t, "a // line comment\nb /* block\ncomment */ c")
+	if errs.Len() != 0 {
+		t.Fatalf("errors: %v", errs.Err())
+	}
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens, want ident ident ident EOF", len(toks))
+	}
+	if toks[0].Lit != "a" || toks[1].Lit != "b" || toks[2].Lit != "c" {
+		t.Errorf("got %v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := scan(t, "a\n  bb\n\tccc")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v", toks[1].Pos)
+	}
+	if toks[2].Pos.Line != 3 || toks[2].Pos.Col != 2 {
+		t.Errorf("ccc at %v", toks[2].Pos)
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	toks, errs := scan(t, `"hello world"`)
+	if errs.Len() != 0 {
+		t.Fatalf("errors: %v", errs.Err())
+	}
+	if toks[0].Kind != token.STRLIT || toks[0].Lit != "hello world" {
+		t.Errorf("got %v", toks[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{"@", "\"unterminated", "/* unterminated", "1e"} {
+		_, errs := scan(t, src)
+		if errs.Len() == 0 {
+			t.Errorf("%q: expected a lex error", src)
+		}
+	}
+}
+
+func TestMaximalMunch(t *testing.T) {
+	toks, _ := scan(t, "a<<=b")
+	// SPL has no <<=; expect SHL then ASSIGN.
+	got := kinds(toks)
+	want := []token.Kind{token.IDENT, token.SHL, token.ASSIGN, token.IDENT, token.EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+// TestQuickIdentifiers: any identifier-shaped string lexes to a single
+// IDENT (or keyword) token with the same spelling.
+func TestQuickIdentifiers(t *testing.T) {
+	letters := "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+	digits := "0123456789"
+	f := func(seed uint32, n uint8) bool {
+		length := int(n)%12 + 1
+		var b strings.Builder
+		x := seed
+		for i := 0; i < length; i++ {
+			x = x*1664525 + 1013904223
+			if i == 0 {
+				b.WriteByte(letters[int(x>>8)%len(letters)])
+			} else {
+				all := letters + digits
+				b.WriteByte(all[int(x>>8)%len(all)])
+			}
+		}
+		src := b.String()
+		var errs source.ErrorList
+		toks := lexer.ScanAll(source.NewFile("q.spl", src), &errs)
+		if errs.Len() != 0 || len(toks) != 2 {
+			return false
+		}
+		return toks[0].Lit == src &&
+			(toks[0].Kind == token.IDENT || toks[0].Kind.IsKeyword())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIntLiterals: every non-negative int literal round-trips.
+func TestQuickIntLiterals(t *testing.T) {
+	f := func(v uint32) bool {
+		src := source.NewFile("q.spl", "")
+		_ = src
+		lit := fmt_uint(v)
+		var errs source.ErrorList
+		toks := lexer.ScanAll(source.NewFile("q.spl", lit), &errs)
+		return errs.Len() == 0 && len(toks) == 2 &&
+			toks[0].Kind == token.INTLIT && toks[0].Lit == lit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fmt_uint(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,147 @@
+package machine
+
+// cacheLevel is one set-associative level with LRU replacement.
+type cacheLevel struct {
+	sets     int
+	assoc    int
+	lineBits uint
+	lat      float64
+	tags     [][]int64 // tag per way, -1 = invalid
+	lru      [][]int64 // last-use stamp per way
+	stamp    int64
+
+	hits, misses int64
+}
+
+func newCacheLevel(words, assoc, lineWords int, lat float64) *cacheLevel {
+	lineBits := uint(0)
+	for 1<<lineBits < lineWords {
+		lineBits++
+	}
+	lines := words / lineWords
+	sets := lines / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	c := &cacheLevel{sets: sets, assoc: assoc, lineBits: lineBits, lat: lat}
+	c.tags = make([][]int64, sets)
+	c.lru = make([][]int64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]int64, assoc)
+		c.lru[i] = make([]int64, assoc)
+		for w := range c.tags[i] {
+			c.tags[i][w] = -1
+		}
+	}
+	return c
+}
+
+// access looks up the line holding addr, filling it on miss. Returns
+// whether it hit.
+func (c *cacheLevel) access(addr int) bool {
+	line := int64(addr) >> c.lineBits
+	set := int(line % int64(c.sets))
+	c.stamp++
+	ways := c.tags[set]
+	for w, t := range ways {
+		if t == line {
+			c.lru[set][w] = c.stamp
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	// Fill: evict LRU way.
+	victim := 0
+	for w := 1; w < c.assoc; w++ {
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	ways[victim] = line
+	c.lru[set][victim] = c.stamp
+	return false
+}
+
+// hierarchy is the shared three-level cache plus memory.
+type hierarchy struct {
+	l1, l2, l3 *cacheLevel
+	memLat     float64
+	memAccess  int64
+}
+
+func newHierarchy(cfg Config) *hierarchy {
+	return &hierarchy{
+		l1:     newCacheLevel(cfg.L1Words, cfg.L1Assoc, cfg.LineWords, cfg.L1Lat),
+		l2:     newCacheLevel(cfg.L2Words, cfg.L2Assoc, cfg.LineWords, cfg.L2Lat),
+		l3:     newCacheLevel(cfg.L3Words, cfg.L3Assoc, cfg.LineWords, cfg.L3Lat),
+		memLat: cfg.MemLat,
+	}
+}
+
+// load returns the latency of a load from addr.
+func (h *hierarchy) load(addr int) float64 {
+	if h.l1.access(addr) {
+		return h.l1.lat
+	}
+	if h.l2.access(addr) {
+		return h.l2.lat
+	}
+	if h.l3.access(addr) {
+		return h.l3.lat
+	}
+	h.memAccess++
+	return h.memLat
+}
+
+// store touches the hierarchy (write-allocate) but is charged as issue
+// cost only; store latency hides behind the store buffer.
+func (h *hierarchy) store(addr int) {
+	if h.l1.access(addr) {
+		return
+	}
+	if h.l2.access(addr) {
+		return
+	}
+	if h.l3.access(addr) {
+		return
+	}
+	h.memAccess++
+}
+
+// branchPredictor is a table of 2-bit saturating counters indexed by a
+// hash of the branch site.
+type branchPredictor struct {
+	table []uint8
+	mask  int
+
+	lookups, misses int64
+}
+
+func newPredictor(entries int) *branchPredictor {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &branchPredictor{table: make([]uint8, n), mask: n - 1}
+}
+
+// predict consults and updates the counter for site; returns true when
+// the prediction matched the outcome.
+func (bp *branchPredictor) predict(site int, taken bool) bool {
+	idx := (site * 2654435761) & bp.mask
+	ctr := bp.table[idx]
+	pred := ctr >= 2
+	if taken && ctr < 3 {
+		bp.table[idx] = ctr + 1
+	}
+	if !taken && ctr > 0 {
+		bp.table[idx] = ctr - 1
+	}
+	bp.lookups++
+	if pred != taken {
+		bp.misses++
+		return false
+	}
+	return true
+}

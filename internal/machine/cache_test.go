@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheLevelHitsAndMisses(t *testing.T) {
+	// 8 lines of 8 words, 2-way: 4 sets.
+	c := newCacheLevel(64, 2, 8, 1)
+	if c.sets != 4 {
+		t.Fatalf("sets = %d", c.sets)
+	}
+	if c.access(0) {
+		t.Error("first access should miss")
+	}
+	if !c.access(0) || !c.access(7) {
+		t.Error("same line should hit")
+	}
+	if c.access(8) {
+		t.Error("next line should miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCacheLevel(64, 2, 8, 1)
+	// Three lines mapping to the same set (set count 4, line 8 words):
+	// addresses 0, 4*8=32... set = line % 4: lines 0, 4, 8 -> set 0.
+	a, b, d := 0, 4*8, 8*8
+	c.access(a)
+	c.access(b)
+	c.access(a) // a most recent
+	c.access(d) // evicts b (LRU)
+	if !c.access(a) {
+		t.Error("a should still be resident")
+	}
+	if c.access(b) {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	cfg := DefaultConfig()
+	h := newHierarchy(cfg)
+	// Cold: full memory latency.
+	if lat := h.load(0); lat != cfg.MemLat {
+		t.Errorf("cold load latency %v, want %v", lat, cfg.MemLat)
+	}
+	// Hot: L1 latency.
+	if lat := h.load(1); lat != cfg.L1Lat {
+		t.Errorf("hot load latency %v, want %v", lat, cfg.L1Lat)
+	}
+	// Evict from L1 by streaming past its capacity; then the line should
+	// still be in L2.
+	for a := 0; a < cfg.L1Words*2; a += cfg.LineWords {
+		h.load(a + 1024*1024)
+	}
+	lat := h.load(0)
+	if lat != cfg.L2Lat && lat != cfg.L3Lat {
+		t.Errorf("post-eviction latency %v, want L2 (%v) or L3 (%v)", lat, cfg.L2Lat, cfg.L3Lat)
+	}
+}
+
+func TestPredictorLearnsBias(t *testing.T) {
+	bp := newPredictor(64)
+	// Always-taken branch: after warmup, every prediction is correct.
+	for i := 0; i < 4; i++ {
+		bp.predict(7, true)
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if bp.predict(7, true) {
+			correct++
+		}
+	}
+	if correct != 100 {
+		t.Errorf("biased branch: %d/100 correct", correct)
+	}
+	// Alternating branch on a 2-bit counter: poor accuracy.
+	miss := 0
+	for i := 0; i < 100; i++ {
+		if !bp.predict(13, i%2 == 0) {
+			miss++
+		}
+	}
+	if miss < 40 {
+		t.Errorf("alternating branch should mispredict often, missed %d/100", miss)
+	}
+}
+
+// TestQuickCacheNeverPanics: arbitrary access sequences are safe and
+// deterministic.
+func TestQuickCacheDeterministic(t *testing.T) {
+	f := func(seed uint32, n uint8) bool {
+		run := func() (int64, int64) {
+			c := newCacheLevel(256, 4, 8, 1)
+			x := seed
+			for i := 0; i < int(n); i++ {
+				x = x*1664525 + 1013904223
+				c.access(int(x % 4096))
+			}
+			return c.hits, c.misses
+		}
+		h1, m1 := run()
+		h2, m2 := run()
+		return h1 == h2 && m1 == m2 && h1+m1 == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigContention(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MemContention < 0 || cfg.MemContention > 1 {
+		t.Errorf("contention factor %v out of [0,1]", cfg.MemContention)
+	}
+}

@@ -1,0 +1,99 @@
+// Package machine simulates the SPT architecture of §8: a tightly-coupled
+// dual-core machine with one main core and one speculative core. Each
+// core is an in-order Itanium2-like core with its own branch predictor;
+// the cores share the memory/cache hierarchy. The minimum overheads to
+// fork and commit a speculative thread are 6 and 5 cycles; branch
+// misprediction costs 5 cycles — the paper's configuration.
+//
+// The simulator executes programs functionally (producing the same output
+// as the interpreter) while accounting cycles. SPT loops execute in the
+// paper's pairwise model: the main thread runs iteration i, forks a
+// speculative thread that runs iteration i+1 concurrently from the fork
+// point, then commits the speculative results, re-executing whatever was
+// misspeculated. Violations are detected by value: a speculative read is
+// violated when the value at fork time differs from the value the main
+// thread eventually produced.
+package machine
+
+// Config holds the machine parameters.
+type Config struct {
+	// SPT overheads (cycles), §8.
+	ForkOverhead   float64
+	CommitOverhead float64
+	KillOverhead   float64
+
+	// Branch misprediction penalty (cycles), §8.
+	MispredictPenalty float64
+	// PredictorEntries sizes the per-core 2-bit predictor table.
+	PredictorEntries int
+
+	// Issue cost per simple instruction (cycles). 0.5 approximates a
+	// sustained 2-wide in-order pipeline on dependent integer code.
+	IssueCost float64
+
+	// Operation latencies (cycles, charged per dynamic instruction).
+	IntMulCost   float64
+	IntDivCost   float64
+	FloatCost    float64 // fp add/sub/mul/compare
+	FloatDivCost float64
+	SqrtCost     float64
+	CallOverhead float64
+	PrintCost    float64
+
+	// Cache hierarchy (Itanium2-like sizes and latencies). Sizes are in
+	// words (8 bytes); lines in words.
+	LineWords int
+	L1Words   int
+	L1Assoc   int
+	L1Lat     float64
+	L2Words   int
+	L2Assoc   int
+	L2Lat     float64
+	L3Words   int
+	L3Assoc   int
+	L3Lat     float64
+	MemLat    float64
+
+	// MemContention is the fraction of overlapping below-L1 memory time
+	// of the two cores that serializes on the shared cache/memory path.
+	MemContention float64
+
+	// MaxSteps bounds execution (statements).
+	MaxSteps int64
+}
+
+// DefaultConfig returns the paper-faithful machine configuration.
+func DefaultConfig() Config {
+	return Config{
+		ForkOverhead:      6,
+		CommitOverhead:    5,
+		KillOverhead:      1,
+		MispredictPenalty: 5,
+		PredictorEntries:  4096,
+
+		IssueCost:    0.5,
+		IntMulCost:   1.5,
+		IntDivCost:   10,
+		FloatCost:    1.5,
+		FloatDivCost: 15,
+		SqrtCost:     18,
+		CallOverhead: 2,
+		PrintCost:    10,
+
+		LineWords: 8,        // 64-byte lines
+		L1Words:   2 * 1024, // 16 KiB
+		L1Assoc:   4,
+		L1Lat:     1,
+		L2Words:   32 * 1024, // 256 KiB
+		L2Assoc:   8,
+		L2Lat:     7,
+		L3Words:   384 * 1024, // 3 MiB
+		L3Assoc:   12,
+		L3Lat:     14,
+		MemLat:    200,
+
+		MemContention: 0.6,
+
+		MaxSteps: 4_000_000_000,
+	}
+}

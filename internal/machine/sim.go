@@ -1,0 +1,873 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"sptc/internal/interp"
+	"sptc/internal/ir"
+)
+
+// Value aliases the interpreter's runtime value.
+type Value = interp.Value
+
+// LoopStats accumulates per-SPT-loop metrics.
+type LoopStats struct {
+	ID           int
+	Invocations  int64
+	Iterations   int64 // total iterations executed (main + spec)
+	SpecIters    int64 // iterations executed speculatively
+	MisspecIters int64 // speculative iterations with any re-execution
+	SpecOps      int64 // instructions executed speculatively
+	ReexecOps    int64 // instructions re-executed due to misspeculation
+	SpecCycles   float64
+	ReexecCycles float64
+	SeqCycles    float64 // work cycles (what sequential execution would cost)
+	Elapsed      float64 // actual cycles attributed to the loop under SPT
+	Forks, Kills int64
+}
+
+// ReexecRatio is the fraction of speculative computation re-executed
+// (Figure 19's y-axis).
+func (l *LoopStats) ReexecRatio() float64 {
+	if l.SpecOps == 0 {
+		return 0
+	}
+	return float64(l.ReexecOps) / float64(l.SpecOps)
+}
+
+// LoopSpeedup is the loop-local speedup over sequential execution
+// (Figure 18).
+func (l *LoopStats) LoopSpeedup() float64 {
+	if l.Elapsed == 0 {
+		return 1
+	}
+	return l.SeqCycles / l.Elapsed
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Cycles float64
+	Ops    int64 // dynamic instructions, excluding nops/phis/operand refs
+
+	Loops map[int]*LoopStats
+
+	// CyclesByLoop attributes cycles to statically identified loops when
+	// loop attribution was requested (coverage measurements).
+	CyclesByLoop map[int]float64
+
+	BranchLookups int64
+	BranchMisses  int64
+	MemAccesses   int64
+}
+
+// IPC returns instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Cycles
+}
+
+// RunOptions configure a simulation run.
+type RunOptions struct {
+	// SPTHeaders maps SPT loop headers to loop IDs; those loops execute
+	// in the speculative pairwise model.
+	SPTHeaders map[*ir.Block]int
+	// AttributeLoops maps arbitrary loop headers to keys; cycles executed
+	// while inside such a loop are attributed to its key (innermost
+	// wins). Used for coverage measurements.
+	AttributeLoops map[*ir.Block]int
+	// LoopBlocks gives the block membership for every header in
+	// SPTHeaders and AttributeLoops.
+	LoopBlocks map[*ir.Block]map[*ir.Block]bool
+	Out        io.Writer
+}
+
+// ErrStepLimit mirrors the interpreter's limit error.
+var ErrStepLimit = errors.New("machine: step limit exceeded")
+
+type frame struct {
+	fn   *ir.Func
+	regs map[*ir.Var]Value
+	// baseVals tracks the latest value per base variable — the physical
+	// register file the fork instruction copies into the speculative
+	// thread's context (SSA versions are a compiler artifact).
+	baseVals map[*ir.Var]Value
+	taint    map[*ir.Var]bool // allocated during speculative legs
+	depth    int
+}
+
+// specCtx tracks the merged functional/speculative evaluation of one
+// speculatively executed iteration.
+type specCtx struct {
+	loopFrame *frame
+	// snapshot holds the loop frame's base-variable values at fork time
+	// (the context copy the speculative thread starts from).
+	snapshot map[*ir.Var]Value
+	defined  map[*ir.Var]bool
+	undo     map[int]Value // fork-time values of post-fork-written addrs
+	written  map[int]bool
+	taintMem map[int]bool
+
+	ops          int64
+	reexecOps    int64
+	reexecCycles float64
+}
+
+type sim struct {
+	cfg  Config
+	prog *ir.Program
+	mem  []Value
+	hier *hierarchy
+	bpM  *branchPredictor // main core
+	bpS  *branchPredictor // speculative core
+	out  io.Writer
+
+	cycles    float64
+	ops       int64
+	steps     int64
+	memCycles float64 // cycles spent below L1 (shared L2/L3/memory)
+
+	spt        map[*ir.Block]int
+	loopBlocks map[*ir.Block]map[*ir.Block]bool
+	loops      map[int]*LoopStats
+	sptActive  bool
+
+	undo     *map[int]Value         // active post-fork undo log
+	spec     *specCtx               // active speculative leg
+	forkHook func(*frame, *ir.Stmt) // set during main SPT legs
+
+	// loop attribution
+	attr      map[*ir.Block]int
+	attrStack []attrEntry
+	attrCyc   map[int]float64
+	lastAttr  float64 // cycle checkpoint for attribution
+}
+
+type attrEntry struct {
+	key    int
+	header *ir.Block
+	fr     *frame
+}
+
+// bp returns the active core's branch predictor.
+func (s *sim) bp() *branchPredictor {
+	if s.spec != nil {
+		return s.bpS
+	}
+	return s.bpM
+}
+
+// Run simulates the program to completion.
+func Run(prog *ir.Program, cfg Config, opt RunOptions) (*Result, error) {
+	if opt.Out == nil {
+		opt.Out = io.Discard
+	}
+	s := &sim{
+		cfg:        cfg,
+		prog:       prog,
+		mem:        make([]Value, prog.Layout()),
+		hier:       newHierarchy(cfg),
+		bpM:        newPredictor(cfg.PredictorEntries),
+		bpS:        newPredictor(cfg.PredictorEntries),
+		out:        opt.Out,
+		spt:        opt.SPTHeaders,
+		loopBlocks: opt.LoopBlocks,
+		loops:      make(map[int]*LoopStats),
+		attr:       opt.AttributeLoops,
+		attrCyc:    make(map[int]float64),
+	}
+	for _, g := range prog.Globals {
+		if !g.IsArray() {
+			if g.Elem == ir.ValFloat {
+				s.mem[g.Addr] = Value{F: g.InitF}
+			} else {
+				s.mem[g.Addr] = Value{I: g.InitInt}
+			}
+		}
+	}
+	if prog.Main == nil {
+		return nil, errors.New("machine: program has no main")
+	}
+	if _, err := s.call(prog.Main, nil, 0); err != nil {
+		return nil, err
+	}
+	s.flushAttr()
+	res := &Result{
+		Cycles:        s.cycles,
+		Ops:           s.ops,
+		Loops:         s.loops,
+		CyclesByLoop:  s.attrCyc,
+		BranchLookups: s.bpM.lookups + s.bpS.lookups,
+		BranchMisses:  s.bpM.misses + s.bpS.misses,
+		MemAccesses:   s.hier.memAccess,
+	}
+	return res, nil
+}
+
+func (s *sim) call(f *ir.Func, args []Value, depth int) (Value, error) {
+	if depth > 10000 {
+		return Value{}, fmt.Errorf("machine: call stack overflow in %s", f.Name)
+	}
+	fr := &frame{fn: f, regs: make(map[*ir.Var]Value), baseVals: make(map[*ir.Var]Value), depth: depth}
+	if s.spec != nil {
+		fr.taint = make(map[*ir.Var]bool)
+	}
+	for i, p := range f.Params {
+		if i < len(args) {
+			fr.regs[p] = args[i]
+			fr.baseVals[p.Base] = args[i]
+		}
+	}
+	s.cycles += s.cfg.CallOverhead
+	out, err := s.exec(fr, f.Entry, nil, nil)
+	if err != nil {
+		return Value{}, err
+	}
+	s.popAttrFrame(fr)
+	if !out.ret {
+		return Value{}, fmt.Errorf("machine: %s finished without return", f.Name)
+	}
+	return out.retVal, nil
+}
+
+// popAttrFrame drops attribution entries belonging to a returning frame.
+func (s *sim) popAttrFrame(fr *frame) {
+	if s.attr == nil {
+		return
+	}
+	s.flushAttr()
+	for len(s.attrStack) > 0 && s.attrStack[len(s.attrStack)-1].fr == fr {
+		s.attrStack = s.attrStack[:len(s.attrStack)-1]
+	}
+}
+
+type execOutcome struct {
+	ret     bool
+	retVal  Value
+	stopped *ir.Block // set when the stop predicate fired (block not executed)
+	prev    *ir.Block // predecessor on arrival at stopped
+}
+
+// exec runs from blk (entered from prev) until the function returns or
+// stop fires for a block about to be entered.
+func (s *sim) exec(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool) (execOutcome, error) {
+	for {
+		// SPT loop entry: only from the outermost, non-speculative
+		// context, and only when not already inside an SPT region.
+		if id, ok := s.spt[blk]; ok && !s.sptActive {
+			exit, exitPrev, err := s.runSPTLoop(fr, blk, prev, id)
+			if rt, ok := err.(errReturnThroughLoop); ok {
+				return execOutcome{ret: true, retVal: rt.val}, nil
+			}
+			if err != nil {
+				return execOutcome{}, err
+			}
+			blk, prev = exit, exitPrev
+			if stop != nil && stop(blk) {
+				return execOutcome{stopped: blk, prev: prev}, nil
+			}
+			continue
+		}
+		s.noteBlock(fr, blk)
+
+		// Phis evaluate in parallel from the predecessor's values.
+		phis := blk.Phis()
+		if len(phis) > 0 && prev != nil {
+			pi := blk.PredIndex(prev)
+			if pi < 0 {
+				return execOutcome{}, fmt.Errorf("machine: %s: b%d entered from non-pred b%d", fr.fn.Name, blk.ID, prev.ID)
+			}
+			vals := make([]Value, len(phis))
+			taints := make([]bool, len(phis))
+			for i, phi := range phis {
+				v, tnt := s.readVar(fr, phi.PhiArgs[pi])
+				vals[i], taints[i] = v, tnt
+			}
+			for i, phi := range phis {
+				s.defineVar(fr, phi, phi.Dst, vals[i], taints[i])
+			}
+		}
+
+		for _, st := range blk.Stmts[len(phis):] {
+			s.steps++
+			if s.steps > s.cfg.MaxSteps {
+				return execOutcome{}, ErrStepLimit
+			}
+			c0, o0 := s.cycles, s.ops
+
+			switch st.Kind {
+			case ir.StmtAssign:
+				v, tnt, err := s.eval(fr, st, st.RHS)
+				if err != nil {
+					return execOutcome{}, err
+				}
+				s.cycles += s.cfg.IssueCost
+				s.ops++
+				s.defineVar(fr, st, st.Dst, v, tnt)
+				s.chargeSpec(st, tnt, c0, o0)
+
+			case ir.StmtStoreG, ir.StmtStoreA:
+				addr := st.G.Addr
+				tnt := false
+				if st.Kind == ir.StmtStoreA {
+					a, t, err := s.elemAddr(fr, st, st.G, st.Index)
+					if err != nil {
+						return execOutcome{}, err
+					}
+					addr, tnt = a, t
+				}
+				v, t2, err := s.eval(fr, st, st.RHS)
+				if err != nil {
+					return execOutcome{}, err
+				}
+				tnt = tnt || t2
+				s.cycles += s.cfg.IssueCost
+				s.ops++
+				s.writeMem(addr, v, tnt)
+				s.chargeSpec(st, tnt, c0, o0)
+
+			case ir.StmtCall:
+				_, tnt, err := s.eval(fr, st, st.RHS)
+				if err != nil {
+					return execOutcome{}, err
+				}
+				s.chargeSpec(st, tnt, c0, o0)
+
+			case ir.StmtRet:
+				var v Value
+				var tnt bool
+				if st.RHS != nil {
+					var err error
+					v, tnt, err = s.eval(fr, st, st.RHS)
+					if err != nil {
+						return execOutcome{}, err
+					}
+				}
+				s.cycles += s.cfg.IssueCost
+				s.ops++
+				s.chargeSpec(st, tnt, c0, o0)
+				return execOutcome{ret: true, retVal: v}, nil
+
+			case ir.StmtIf:
+				v, tnt, err := s.eval(fr, st, st.RHS)
+				if err != nil {
+					return execOutcome{}, err
+				}
+				s.cycles += s.cfg.IssueCost
+				s.ops++
+				taken := isTrue(v, st.RHS.Type)
+				if !s.bp().predict(st.ID, taken) {
+					s.cycles += s.cfg.MispredictPenalty
+				}
+				next := blk.Succs[1]
+				if taken {
+					next = blk.Succs[0]
+				}
+				s.chargeSpec(st, tnt, c0, o0)
+				prev, blk = blk, next
+				goto nextBlock
+
+			case ir.StmtGoto:
+				prev, blk = blk, blk.Succs[0]
+				goto nextBlock
+
+			case ir.StmtFork:
+				if s.forkHook != nil {
+					s.forkHook(fr, st)
+				}
+				// Outside an active main SPT leg (including speculative
+				// legs) the fork is a no-op.
+
+			case ir.StmtKill:
+				if s.spec == nil {
+					s.cycles += s.cfg.KillOverhead
+				}
+				s.ops++
+
+			default:
+				return execOutcome{}, fmt.Errorf("machine: invalid statement kind %s", st.Kind)
+			}
+		}
+		return execOutcome{}, fmt.Errorf("machine: %s: b%d fell through", fr.fn.Name, blk.ID)
+
+	nextBlock:
+		if stop != nil && stop(blk) {
+			return execOutcome{stopped: blk, prev: prev}, nil
+		}
+	}
+}
+
+// chargeSpec records a statement's cost as re-execution when it was
+// misspeculated during a speculative leg.
+func (s *sim) chargeSpec(st *ir.Stmt, tainted bool, c0 float64, o0 int64) {
+	if s.spec == nil {
+		return
+	}
+	s.spec.ops += s.ops - o0
+	if tainted {
+		s.spec.reexecCycles += s.cycles - c0
+		s.spec.reexecOps += s.ops - o0
+	}
+	_ = st
+}
+
+// readVar reads a scalar, performing the speculative context check: a
+// variable not yet defined in the speculative iteration was provided by
+// the fork-time context copy (one value per base variable — a physical
+// register); if the main thread has since produced a different value for
+// that register, the read is violated.
+func (s *sim) readVar(fr *frame, v *ir.Var) (Value, bool) {
+	val := fr.regs[v]
+	if s.spec == nil {
+		return val, false
+	}
+	if fr == s.spec.loopFrame && !s.spec.defined[v] {
+		if s.spec.snapshot[v.Base] != val {
+			return val, true // violated: stale context value
+		}
+		return val, false
+	}
+	return val, fr.taint[v]
+}
+
+func (s *sim) defineVar(fr *frame, st *ir.Stmt, v *ir.Var, val Value, tnt bool) {
+	fr.regs[v] = val
+	fr.baseVals[v.Base] = val
+	if s.spec != nil {
+		if fr == s.spec.loopFrame {
+			s.spec.defined[v] = true
+		}
+		if fr.taint == nil {
+			fr.taint = make(map[*ir.Var]bool)
+		}
+		fr.taint[v] = tnt
+	}
+	_ = st
+}
+
+// writeMem stores to memory, maintaining the undo log and speculative
+// write-set.
+func (s *sim) writeMem(addr int, v Value, tnt bool) {
+	if s.undo != nil {
+		if _, seen := (*s.undo)[addr]; !seen {
+			(*s.undo)[addr] = s.mem[addr]
+		}
+	}
+	if s.spec != nil {
+		s.spec.written[addr] = true
+		s.spec.taintMem[addr] = tnt
+	}
+	s.mem[addr] = v
+	s.hier.store(addr)
+}
+
+// readMem performs the speculative memory check: an address written by
+// the main thread after the fork is stale in the speculative thread; the
+// read is violated when the values differ. The speculative thread's own
+// buffered writes are read through with their taint.
+func (s *sim) readMem(addr int) (Value, bool) {
+	v := s.mem[addr]
+	if s.spec == nil {
+		return v, false
+	}
+	if s.spec.written[addr] {
+		return v, s.spec.taintMem[addr]
+	}
+	if old, ok := s.spec.undo[addr]; ok && old != v {
+		return v, true
+	}
+	return v, false
+}
+
+func isTrue(v Value, k ir.ValKind) bool {
+	if k == ir.ValFloat {
+		return v.F != 0
+	}
+	return v.I != 0
+}
+
+func (s *sim) elemAddr(fr *frame, st *ir.Stmt, g *ir.Global, index []*ir.Op) (int, bool, error) {
+	off := 0
+	tnt := false
+	for d, ix := range index {
+		v, t, err := s.eval(fr, st, ix)
+		if err != nil {
+			return 0, false, err
+		}
+		tnt = tnt || t
+		i := int(v.I)
+		if i < 0 || i >= g.Dims[d] {
+			return 0, false, fmt.Errorf("machine: %s: index %d out of range [0,%d) for %s (stmt s%d)",
+				fr.fn.Name, i, g.Dims[d], g.Name, st.ID)
+		}
+		off = off*g.Dims[d] + i
+	}
+	return g.Addr + off, tnt, nil
+}
+
+func (s *sim) eval(fr *frame, st *ir.Stmt, o *ir.Op) (Value, bool, error) {
+	switch o.Kind {
+	case ir.OpConstInt:
+		return Value{I: o.ConstI}, false, nil
+	case ir.OpConstFloat:
+		return Value{F: o.ConstF}, false, nil
+	case ir.OpConstStr:
+		return Value{}, false, nil
+	case ir.OpUseVar:
+		v, tnt := s.readVar(fr, o.Var)
+		return v, tnt, nil
+	case ir.OpLoadG:
+		s.ops++
+		lat := s.hier.load(o.G.Addr)
+		s.cycles += lat
+		if lat > s.cfg.L1Lat {
+			s.memCycles += lat
+		}
+		v, tnt := s.readMem(o.G.Addr)
+		return v, tnt, nil
+	case ir.OpLoadA:
+		addr, tnt, err := s.elemAddr(fr, st, o.G, o.Args)
+		if err != nil {
+			return Value{}, false, err
+		}
+		s.ops++
+		lat := s.hier.load(addr)
+		s.cycles += lat
+		if lat > s.cfg.L1Lat {
+			s.memCycles += lat
+		}
+		v, t2 := s.readMem(addr)
+		return v, tnt || t2, nil
+	case ir.OpBin:
+		x, tx, err := s.eval(fr, st, o.Args[0])
+		if err != nil {
+			return Value{}, false, err
+		}
+		y, ty, err := s.eval(fr, st, o.Args[1])
+		if err != nil {
+			return Value{}, false, err
+		}
+		s.ops++
+		s.cycles += s.binCost(o)
+		v, err := evalBinMachine(fr, st, o, x, y)
+		return v, tx || ty, err
+	case ir.OpUn:
+		x, tnt, err := s.eval(fr, st, o.Args[0])
+		if err != nil {
+			return Value{}, false, err
+		}
+		s.ops++
+		s.cycles += s.cfg.IssueCost
+		switch o.Un {
+		case ir.UnNeg:
+			if o.Type == ir.ValFloat {
+				return Value{F: -x.F}, tnt, nil
+			}
+			return Value{I: -x.I}, tnt, nil
+		case ir.UnNot:
+			if isTrue(x, o.Args[0].Type) {
+				return Value{I: 0}, tnt, nil
+			}
+			return Value{I: 1}, tnt, nil
+		case ir.UnBitNot:
+			return Value{I: ^x.I}, tnt, nil
+		}
+		return Value{}, false, fmt.Errorf("machine: bad unary op")
+	case ir.OpCast:
+		x, tnt, err := s.eval(fr, st, o.Args[0])
+		if err != nil {
+			return Value{}, false, err
+		}
+		s.ops++
+		s.cycles += s.cfg.IssueCost
+		if o.Type == ir.ValFloat {
+			if o.Args[0].Type == ir.ValFloat {
+				return x, tnt, nil
+			}
+			return Value{F: float64(x.I)}, tnt, nil
+		}
+		if o.Args[0].Type == ir.ValFloat {
+			return Value{I: int64(x.F)}, tnt, nil
+		}
+		return x, tnt, nil
+	case ir.OpCall:
+		return s.evalCall(fr, st, o)
+	}
+	return Value{}, false, fmt.Errorf("machine: invalid op kind %d", o.Kind)
+}
+
+func (s *sim) binCost(o *ir.Op) float64 {
+	floatOperands := o.Args[0].Type == ir.ValFloat || o.Args[1].Type == ir.ValFloat
+	switch o.Bin {
+	case ir.BinMul:
+		if floatOperands {
+			return s.cfg.FloatCost
+		}
+		return s.cfg.IntMulCost
+	case ir.BinDiv:
+		if floatOperands {
+			return s.cfg.FloatDivCost
+		}
+		return s.cfg.IntDivCost
+	case ir.BinRem:
+		return s.cfg.IntDivCost
+	default:
+		if floatOperands {
+			return s.cfg.FloatCost
+		}
+		return s.cfg.IssueCost
+	}
+}
+
+func (s *sim) evalCall(fr *frame, st *ir.Stmt, o *ir.Op) (Value, bool, error) {
+	if o.Builtin {
+		return s.evalBuiltin(fr, st, o)
+	}
+	if o.Func == nil {
+		return Value{}, false, fmt.Errorf("machine: unresolved call %s", o.Callee)
+	}
+	args := make([]Value, len(o.Args))
+	argTaint := false
+	for i, a := range o.Args {
+		v, t, err := s.eval(fr, st, a)
+		if err != nil {
+			return Value{}, false, err
+		}
+		args[i] = v
+		argTaint = argTaint || t
+	}
+	s.ops++
+	v, err := s.callTainted(o.Func, args, fr.depth+1, argTaint)
+	return v, argTaint, err
+}
+
+// callTainted invokes a function during either normal or speculative
+// execution. Argument taint seeds the callee's parameter taint.
+func (s *sim) callTainted(f *ir.Func, args []Value, depth int, argTaint bool) (Value, error) {
+	fr := &frame{fn: f, regs: make(map[*ir.Var]Value), baseVals: make(map[*ir.Var]Value), depth: depth}
+	if s.spec != nil {
+		fr.taint = make(map[*ir.Var]bool)
+	}
+	for i, p := range f.Params {
+		if i < len(args) {
+			fr.regs[p] = args[i]
+			fr.baseVals[p.Base] = args[i]
+			if s.spec != nil && argTaint {
+				fr.taint[p] = true
+			}
+		}
+	}
+	s.cycles += s.cfg.CallOverhead
+	out, err := s.exec(fr, f.Entry, nil, nil)
+	if err != nil {
+		return Value{}, err
+	}
+	s.popAttrFrame(fr)
+	if !out.ret {
+		return Value{}, fmt.Errorf("machine: %s finished without return", f.Name)
+	}
+	return out.retVal, nil
+}
+
+func (s *sim) evalBuiltin(fr *frame, st *ir.Stmt, o *ir.Op) (Value, bool, error) {
+	if o.Callee == "print" {
+		s.ops++
+		s.cycles += s.cfg.PrintCost
+		tnt := false
+		for i, a := range o.Args {
+			if i > 0 {
+				fmt.Fprint(s.out, " ")
+			}
+			if a.Kind == ir.OpConstStr {
+				fmt.Fprint(s.out, a.Str)
+				continue
+			}
+			v, t, err := s.eval(fr, st, a)
+			if err != nil {
+				return Value{}, false, err
+			}
+			tnt = tnt || t
+			if a.Type == ir.ValFloat {
+				fmt.Fprintf(s.out, "%.6g", v.F)
+			} else {
+				fmt.Fprintf(s.out, "%d", v.I)
+			}
+		}
+		fmt.Fprintln(s.out)
+		return Value{}, tnt, nil
+	}
+
+	args := make([]Value, len(o.Args))
+	tnt := false
+	for i, a := range o.Args {
+		v, t, err := s.eval(fr, st, a)
+		if err != nil {
+			return Value{}, false, err
+		}
+		args[i] = v
+		tnt = tnt || t
+	}
+	s.ops++
+	switch o.Callee {
+	case "fabs":
+		s.cycles += s.cfg.IssueCost
+		return Value{F: math.Abs(args[0].F)}, tnt, nil
+	case "fsqrt":
+		s.cycles += s.cfg.SqrtCost
+		if args[0].F < 0 {
+			return Value{}, false, fmt.Errorf("machine: fsqrt of negative value")
+		}
+		return Value{F: math.Sqrt(args[0].F)}, tnt, nil
+	case "fmin":
+		s.cycles += s.cfg.FloatCost
+		return Value{F: math.Min(args[0].F, args[1].F)}, tnt, nil
+	case "fmax":
+		s.cycles += s.cfg.FloatCost
+		return Value{F: math.Max(args[0].F, args[1].F)}, tnt, nil
+	case "iabs":
+		s.cycles += s.cfg.IssueCost
+		if args[0].I < 0 {
+			return Value{I: -args[0].I}, tnt, nil
+		}
+		return args[0], tnt, nil
+	case "imin":
+		s.cycles += s.cfg.IssueCost
+		if args[0].I < args[1].I {
+			return args[0], tnt, nil
+		}
+		return args[1], tnt, nil
+	case "imax":
+		s.cycles += s.cfg.IssueCost
+		if args[0].I > args[1].I {
+			return args[0], tnt, nil
+		}
+		return args[1], tnt, nil
+	}
+	return Value{}, false, fmt.Errorf("machine: unknown builtin %s", o.Callee)
+}
+
+// evalBinMachine mirrors the interpreter's binary semantics.
+func evalBinMachine(fr *frame, st *ir.Stmt, o *ir.Op, x, y Value) (Value, error) {
+	lf := o.Args[0].Type == ir.ValFloat || o.Args[1].Type == ir.ValFloat
+	b2i := func(b bool) Value {
+		if b {
+			return Value{I: 1}
+		}
+		return Value{I: 0}
+	}
+	if lf {
+		switch o.Bin {
+		case ir.BinAdd:
+			return Value{F: x.F + y.F}, nil
+		case ir.BinSub:
+			return Value{F: x.F - y.F}, nil
+		case ir.BinMul:
+			return Value{F: x.F * y.F}, nil
+		case ir.BinDiv:
+			if y.F == 0 {
+				return Value{}, fmt.Errorf("machine: %s: float division by zero (stmt s%d)", fr.fn.Name, st.ID)
+			}
+			return Value{F: x.F / y.F}, nil
+		case ir.BinEq:
+			return b2i(x.F == y.F), nil
+		case ir.BinNeq:
+			return b2i(x.F != y.F), nil
+		case ir.BinLt:
+			return b2i(x.F < y.F), nil
+		case ir.BinLeq:
+			return b2i(x.F <= y.F), nil
+		case ir.BinGt:
+			return b2i(x.F > y.F), nil
+		case ir.BinGeq:
+			return b2i(x.F >= y.F), nil
+		}
+		return Value{}, fmt.Errorf("machine: op %s on floats", o.Bin)
+	}
+	switch o.Bin {
+	case ir.BinAdd:
+		return Value{I: x.I + y.I}, nil
+	case ir.BinSub:
+		return Value{I: x.I - y.I}, nil
+	case ir.BinMul:
+		return Value{I: x.I * y.I}, nil
+	case ir.BinDiv:
+		if y.I == 0 {
+			return Value{}, fmt.Errorf("machine: %s: integer division by zero (stmt s%d)", fr.fn.Name, st.ID)
+		}
+		return Value{I: x.I / y.I}, nil
+	case ir.BinRem:
+		if y.I == 0 {
+			return Value{}, fmt.Errorf("machine: %s: integer remainder by zero (stmt s%d)", fr.fn.Name, st.ID)
+		}
+		return Value{I: x.I % y.I}, nil
+	case ir.BinAnd:
+		return Value{I: x.I & y.I}, nil
+	case ir.BinOr:
+		return Value{I: x.I | y.I}, nil
+	case ir.BinXor:
+		return Value{I: x.I ^ y.I}, nil
+	case ir.BinShl:
+		return Value{I: x.I << uint(y.I&63)}, nil
+	case ir.BinShr:
+		return Value{I: x.I >> uint(y.I&63)}, nil
+	case ir.BinEq:
+		return b2i(x.I == y.I), nil
+	case ir.BinNeq:
+		return b2i(x.I != y.I), nil
+	case ir.BinLt:
+		return b2i(x.I < y.I), nil
+	case ir.BinLeq:
+		return b2i(x.I <= y.I), nil
+	case ir.BinGt:
+		return b2i(x.I > y.I), nil
+	case ir.BinGeq:
+		return b2i(x.I >= y.I), nil
+	case ir.BinLAnd:
+		return b2i(x.I != 0 && y.I != 0), nil
+	case ir.BinLOr:
+		return b2i(x.I != 0 || y.I != 0), nil
+	}
+	return Value{}, fmt.Errorf("machine: invalid binary operator")
+}
+
+// noteBlock maintains loop-cycle attribution.
+func (s *sim) noteBlock(fr *frame, blk *ir.Block) {
+	if s.attr == nil {
+		return
+	}
+	// Charge elapsed cycles to the current top before updating the stack.
+	s.flushAttr()
+	// Pop loops of this frame that do not contain blk.
+	for len(s.attrStack) > 0 {
+		top := s.attrStack[len(s.attrStack)-1]
+		if top.fr != fr {
+			break
+		}
+		set := s.loopBlocks[top.header]
+		if set != nil && set[blk] {
+			break
+		}
+		s.attrStack = s.attrStack[:len(s.attrStack)-1]
+	}
+	if key, ok := s.attr[blk]; ok {
+		if n := len(s.attrStack); n > 0 && s.attrStack[n-1].header == blk && s.attrStack[n-1].fr == fr {
+			return // back edge of the same instance
+		}
+		s.attrStack = append(s.attrStack, attrEntry{key: key, header: blk, fr: fr})
+	}
+}
+
+func (s *sim) flushAttr() {
+	if s.attr == nil {
+		return
+	}
+	delta := s.cycles - s.lastAttr
+	if delta > 0 && len(s.attrStack) > 0 {
+		s.attrCyc[s.attrStack[len(s.attrStack)-1].key] += delta
+	}
+	s.lastAttr = s.cycles
+}

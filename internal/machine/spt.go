@@ -1,0 +1,187 @@
+package machine
+
+import (
+	"fmt"
+
+	"sptc/internal/ir"
+)
+
+// iterRun describes one executed loop iteration.
+type iterRun struct {
+	cycles    float64 // work cycles for the iteration (excl. fork overhead)
+	preCycles float64 // cycles from iteration start to the fork point
+	memCycles float64 // shared-memory cycles in the iteration
+	preMem    float64 // shared-memory cycles before the fork point
+	ops       int64
+	forked    bool
+	snapshot  map[*ir.Var]Value
+	undo      map[int]Value
+	next      *ir.Block // header (another iteration) or an exit block
+	prev      *ir.Block // predecessor block on arrival at next
+}
+
+// runIteration executes one iteration of the loop starting at header
+// (entered from prev), stopping when control returns to the header or
+// leaves the loop. When mainLeg is set, the fork instruction snapshots
+// the context and opens the undo log.
+func (s *sim) runIteration(fr *frame, header, from, prev *ir.Block, inLoop map[*ir.Block]bool, mainLeg bool) (*iterRun, error) {
+	it := &iterRun{}
+	c0, o0, m0 := s.cycles, s.ops, s.memCycles
+
+	if mainLeg {
+		s.forkHook = func(f *frame, st *ir.Stmt) {
+			if it.forked || f != fr {
+				return // only the loop's own fork, once
+			}
+			it.forked = true
+			it.preCycles = s.cycles - c0
+			it.preMem = s.memCycles - m0
+			s.cycles += s.cfg.ForkOverhead
+			it.snapshot = make(map[*ir.Var]Value, len(fr.baseVals))
+			for v, val := range fr.baseVals {
+				it.snapshot[v] = val
+			}
+			it.undo = make(map[int]Value)
+			s.undo = &it.undo
+		}
+	}
+
+	stop := func(b *ir.Block) bool {
+		return b == header || !inLoop[b]
+	}
+
+	out, err := s.exec(fr, from, prev, stop)
+	if mainLeg {
+		s.forkHook = nil
+		s.undo = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if out.ret {
+		// A return from inside the loop leaves the function entirely; the
+		// SPT runner treats it as an exit with the value propagated.
+		return nil, errReturnThroughLoop{out.retVal}
+	}
+	it.cycles = s.cycles - c0
+	it.memCycles = s.memCycles - m0
+	if it.forked {
+		it.cycles -= s.cfg.ForkOverhead
+	}
+	it.ops = s.ops - o0
+	it.next = out.stopped
+	it.prev = out.prev
+	return it, nil
+}
+
+// errReturnThroughLoop unwinds a function return that happened inside an
+// SPT loop body back to the SPT runner.
+type errReturnThroughLoop struct{ val Value }
+
+func (errReturnThroughLoop) Error() string { return "return through SPT loop" }
+
+// runSPTLoop executes one dynamic instance of an SPT loop in the paper's
+// pairwise execution model. It returns the exit block and the
+// predecessor with which normal execution resumes.
+func (s *sim) runSPTLoop(fr *frame, header, prev *ir.Block, loopID int) (*ir.Block, *ir.Block, error) {
+	st := s.loops[loopID]
+	if st == nil {
+		st = &LoopStats{ID: loopID}
+		s.loops[loopID] = st
+	}
+	st.Invocations++
+	inLoop := s.loopBlocks[header]
+	if inLoop == nil {
+		return nil, nil, fmt.Errorf("machine: no block set for SPT loop %d", loopID)
+	}
+
+	s.sptActive = true
+	defer func() { s.sptActive = false }()
+
+	elapsed0 := s.cycles
+	cur, curPrev := header, prev
+	for {
+		// Main leg: iteration j.
+		j, err := s.runIteration(fr, header, cur, curPrev, inLoop, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.Iterations++
+		st.SeqCycles += j.cycles
+
+		if j.next != header {
+			// Loop exited during the main leg. A pending fork (exit after
+			// the fork point) spawned a speculative thread that the
+			// SPT_KILL on the exit edge already discarded.
+			if j.forked {
+				st.Forks++
+				st.Kills++
+			}
+			st.Elapsed += s.cycles - elapsed0
+			return j.next, j.prev, nil
+		}
+		if !j.forked {
+			// No fork executed (should not happen for a transformed loop
+			// that stays inside); continue sequentially.
+			cur, curPrev = j.next, j.prev
+			continue
+		}
+		st.Forks++
+
+		// Speculative leg: iteration j+1, executed functionally while
+		// checking what the speculative thread would have observed.
+		s.spec = &specCtx{
+			loopFrame: fr,
+			snapshot:  j.snapshot,
+			defined:   make(map[*ir.Var]bool),
+			undo:      j.undo,
+			written:   make(map[int]bool),
+			taintMem:  make(map[int]bool),
+		}
+		sp, err := s.runIteration(fr, header, header, j.prev, inLoop, false)
+		spec := s.spec
+		s.spec = nil
+		if err != nil {
+			return nil, nil, err
+		}
+		st.Iterations++
+		st.SpecIters++
+		st.SeqCycles += sp.cycles
+		st.SpecOps += spec.ops
+		st.SpecCycles += sp.cycles
+		st.ReexecOps += spec.reexecOps
+		st.ReexecCycles += spec.reexecCycles
+		if spec.reexecOps > 0 {
+			st.MisspecIters++
+		}
+
+		// Pair timing: the speculative thread starts ForkOverhead after
+		// the main leg's pre-fork region; the main thread commits at the
+		// later of both completions, then re-executes misspeculated work.
+		// The cores share the L2/L3/memory path, so below-L1 cycles of
+		// the two concurrent legs serialize rather than overlap.
+		mainWork := j.cycles + s.cfg.ForkOverhead // as accumulated serially
+		specWork := sp.cycles
+		tFork := j.preCycles + s.cfg.ForkOverhead
+		contention := j.memCycles - j.preMem // post-fork shared-memory time
+		if sp.memCycles < contention {
+			contention = sp.memCycles
+		}
+		contention *= s.cfg.MemContention
+		pairTime := tFork + j.cycles - j.preCycles // main finishes j
+		specEnd := tFork + specWork
+		if specEnd > pairTime {
+			pairTime = specEnd
+		}
+		pairTime += contention
+		pairTime += s.cfg.CommitOverhead + spec.reexecCycles
+		serial := mainWork + specWork
+		s.cycles += pairTime - serial // adjust for overlap (negative when speculation wins)
+
+		if sp.next != header {
+			st.Elapsed += s.cycles - elapsed0
+			return sp.next, sp.prev, nil
+		}
+		cur, curPrev = sp.next, sp.prev
+	}
+}

@@ -1,0 +1,466 @@
+// Package parser implements a recursive-descent parser for SPL.
+package parser
+
+import (
+	"strconv"
+
+	"sptc/internal/ast"
+	"sptc/internal/lexer"
+	"sptc/internal/source"
+	"sptc/internal/token"
+)
+
+// Parse parses the given source text as an SPL program. The returned
+// program is nil when errors were found.
+func Parse(filename, text string) (*ast.Program, error) {
+	file := source.NewFile(filename, text)
+	var errs source.ErrorList
+	p := &parser{lex: lexer.New(file, &errs), errs: &errs, file: file}
+	p.next()
+	prog := p.parseProgram()
+	errs.Sort()
+	if err := errs.Err(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lex  *lexer.Lexer
+	errs *source.ErrorList
+	file *source.File
+	tok  lexer.Token
+}
+
+func (p *parser) next() { p.tok = p.lex.Next() }
+
+func (p *parser) errorf(pos source.Pos, format string, args ...any) {
+	p.errs.Add(p.file.Name, pos, format, args...)
+}
+
+func (p *parser) expect(k token.Kind) lexer.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		// Do not consume: let the caller's recovery handle it, except
+		// when the found token can never start anything useful.
+		if t.Kind == token.ILLEGAL {
+			p.next()
+		}
+		return lexer.Token{Kind: k, Pos: t.Pos}
+	}
+	p.next()
+	return t
+}
+
+// sync skips tokens until a likely statement boundary.
+func (p *parser) sync() {
+	for {
+		switch p.tok.Kind {
+		case token.EOF, token.SEMICOLON, token.RBRACE:
+			if p.tok.Kind == token.SEMICOLON {
+				p.next()
+			}
+			return
+		case token.IF, token.WHILE, token.FOR, token.DO, token.RETURN,
+			token.BREAK, token.CONTINUE, token.VAR, token.FUNC:
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{File: p.file}
+	for p.tok.Kind != token.EOF {
+		switch p.tok.Kind {
+		case token.VAR:
+			d := p.parseVarDecl()
+			if d != nil {
+				prog.Globals = append(prog.Globals, d)
+			}
+		case token.FUNC:
+			f := p.parseFuncDecl()
+			if f != nil {
+				prog.Funcs = append(prog.Funcs, f)
+			}
+		default:
+			p.errorf(p.tok.Pos, "expected declaration, found %s", p.tok)
+			p.sync()
+			if p.tok.Kind == token.SEMICOLON || p.tok.Kind == token.RBRACE {
+				p.next()
+			}
+		}
+	}
+	return prog
+}
+
+// parseVarDecl parses: var name type [= expr] ;
+// where type := int | float | int[N] | int[N][M] | float[N] | float[N][M]
+func (p *parser) parseVarDecl() *ast.VarDecl {
+	pos := p.expect(token.VAR).Pos
+	name := p.expect(token.IDENT)
+	typ, ok := p.parseType()
+	if !ok {
+		p.sync()
+		return nil
+	}
+	d := &ast.VarDecl{PosTok: pos, Name: name.Lit, Type: typ}
+	if p.tok.Kind == token.ASSIGN {
+		p.next()
+		d.Init = p.parseExpr()
+	}
+	p.expect(token.SEMICOLON)
+	return d
+}
+
+func (p *parser) parseType() (ast.Type, bool) {
+	var base ast.TypeKind
+	switch p.tok.Kind {
+	case token.INT:
+		base = ast.TypeInt
+	case token.FLOAT:
+		base = ast.TypeFloat
+	default:
+		p.errorf(p.tok.Pos, "expected type, found %s", p.tok)
+		return ast.Type{}, false
+	}
+	p.next()
+	if p.tok.Kind != token.LBRACKET {
+		return ast.Type{Kind: base}, true
+	}
+	var dims []int
+	for p.tok.Kind == token.LBRACKET && len(dims) < 2 {
+		p.next()
+		sz := p.expect(token.INTLIT)
+		n, err := strconv.Atoi(sz.Lit)
+		if err != nil || n <= 0 {
+			p.errorf(sz.Pos, "array dimension must be a positive integer")
+			n = 1
+		}
+		dims = append(dims, n)
+		p.expect(token.RBRACKET)
+	}
+	return ast.Type{Kind: ast.TypeArray, Elem: base, Dims: dims}, true
+}
+
+func (p *parser) parseFuncDecl() *ast.FuncDecl {
+	pos := p.expect(token.FUNC).Pos
+	name := p.expect(token.IDENT)
+	f := &ast.FuncDecl{PosTok: pos, Name: name.Lit, Result: ast.Type{Kind: ast.TypeVoid}}
+	p.expect(token.LPAREN)
+	for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+		pn := p.expect(token.IDENT)
+		pt, ok := p.parseType()
+		if !ok {
+			p.sync()
+			break
+		}
+		if pt.Kind == ast.TypeArray {
+			p.errorf(pn.Pos, "array parameters are not supported; use globals")
+		}
+		f.Params = append(f.Params, ast.Param{PosTok: pn.Pos, Name: pn.Lit, Type: pt})
+		if p.tok.Kind == token.COMMA {
+			p.next()
+			continue
+		}
+		break
+	}
+	p.expect(token.RPAREN)
+	if p.tok.Kind == token.INT || p.tok.Kind == token.FLOAT {
+		rt, _ := p.parseType()
+		f.Result = rt
+	}
+	f.Body = p.parseBlock()
+	return f
+}
+
+func (p *parser) parseBlock() *ast.BlockStmt {
+	pos := p.expect(token.LBRACE).Pos
+	b := &ast.BlockStmt{PosTok: pos}
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		s := p.parseStmt()
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.tok.Kind {
+	case token.VAR:
+		d := p.parseVarDecl()
+		if d == nil {
+			return nil
+		}
+		return &ast.DeclStmt{Decl: d}
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.IF:
+		return p.parseIf()
+	case token.WHILE:
+		return p.parseWhile()
+	case token.DO:
+		return p.parseDoWhile()
+	case token.FOR:
+		return p.parseFor()
+	case token.BREAK:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.BreakStmt{PosTok: pos}
+	case token.CONTINUE:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.ContinueStmt{PosTok: pos}
+	case token.RETURN:
+		pos := p.tok.Pos
+		p.next()
+		r := &ast.ReturnStmt{PosTok: pos}
+		if p.tok.Kind != token.SEMICOLON {
+			r.X = p.parseExpr()
+		}
+		p.expect(token.SEMICOLON)
+		return r
+	case token.SEMICOLON:
+		p.next()
+		return nil
+	case token.IDENT:
+		s := p.parseSimpleStmt()
+		p.expect(token.SEMICOLON)
+		return s
+	default:
+		p.errorf(p.tok.Pos, "expected statement, found %s", p.tok)
+		p.sync()
+		return nil
+	}
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or a call statement.
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	lhs := p.parsePrimary()
+	switch p.tok.Kind {
+	case token.ASSIGN, token.PLUSEQ, token.MINUSEQ, token.STAREQ, token.SLASHEQ, token.PERCENTEQ:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		rhs := p.parseExpr()
+		if !isLValue(lhs) {
+			p.errorf(lhs.Pos(), "cannot assign to this expression")
+		}
+		return &ast.AssignStmt{PosTok: pos, LHS: lhs, Op: op, RHS: rhs}
+	case token.INC, token.DEC:
+		op := token.PLUSEQ
+		if p.tok.Kind == token.DEC {
+			op = token.MINUSEQ
+		}
+		pos := p.tok.Pos
+		p.next()
+		if !isLValue(lhs) {
+			p.errorf(lhs.Pos(), "cannot increment this expression")
+		}
+		one := &ast.IntLit{PosTok: pos, Value: 1}
+		return &ast.AssignStmt{PosTok: pos, LHS: lhs, Op: op, RHS: one}
+	default:
+		if _, ok := lhs.(*ast.CallExpr); !ok {
+			p.errorf(lhs.Pos(), "expression is not a statement")
+		}
+		return &ast.ExprStmt{X: lhs}
+	}
+}
+
+func isLValue(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.expect(token.IF).Pos
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	then := p.parseBlock()
+	s := &ast.IfStmt{PosTok: pos, Cond: cond, Then: then}
+	if p.tok.Kind == token.ELSE {
+		p.next()
+		if p.tok.Kind == token.IF {
+			s.Else = p.parseIf()
+		} else {
+			s.Else = p.parseBlock()
+		}
+	}
+	return s
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	pos := p.expect(token.WHILE).Pos
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	body := p.parseBlock()
+	return &ast.WhileStmt{PosTok: pos, Cond: cond, Body: body}
+}
+
+func (p *parser) parseDoWhile() ast.Stmt {
+	pos := p.expect(token.DO).Pos
+	body := p.parseBlock()
+	p.expect(token.WHILE)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	p.expect(token.SEMICOLON)
+	return &ast.DoWhileStmt{PosTok: pos, Body: body, Cond: cond}
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	pos := p.expect(token.FOR).Pos
+	p.expect(token.LPAREN)
+	f := &ast.ForStmt{PosTok: pos}
+	if p.tok.Kind != token.SEMICOLON {
+		if p.tok.Kind == token.VAR {
+			d := p.parseVarDecl() // consumes the semicolon
+			if d != nil {
+				f.Init = &ast.DeclStmt{Decl: d}
+			}
+		} else {
+			f.Init = p.parseSimpleStmt()
+			p.expect(token.SEMICOLON)
+		}
+	} else {
+		p.next()
+	}
+	if p.tok.Kind != token.SEMICOLON {
+		f.Cond = p.parseExpr()
+	}
+	p.expect(token.SEMICOLON)
+	if p.tok.Kind != token.RPAREN {
+		f.Post = p.parseSimpleStmt()
+	}
+	p.expect(token.RPAREN)
+	f.Body = p.parseBlock()
+	return f
+}
+
+// ---- Expressions ----
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		prec := p.tok.Kind.Precedence()
+		if prec < minPrec {
+			return x
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseBinary(prec + 1)
+		x = &ast.BinaryExpr{PosTok: pos, Op: op, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.tok.Kind {
+	case token.MINUS, token.NOT, token.TILDE:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		x := p.parseUnary()
+		return &ast.UnaryExpr{PosTok: pos, Op: op, X: x}
+	case token.PLUS:
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	switch p.tok.Kind {
+	case token.INTLIT:
+		t := p.tok
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 0, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{PosTok: t.Pos, Value: v}
+	case token.FLOATLIT:
+		t := p.tok
+		p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid float literal %q", t.Lit)
+		}
+		return &ast.FloatLit{PosTok: t.Pos, Value: v}
+	case token.STRLIT:
+		t := p.tok
+		p.next()
+		return &ast.StrLit{PosTok: t.Pos, Value: t.Lit}
+	case token.INT, token.FLOAT:
+		to := ast.TypeInt
+		if p.tok.Kind == token.FLOAT {
+			to = ast.TypeFloat
+		}
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.LPAREN)
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return &ast.CastExpr{PosTok: pos, To: to, X: x}
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return x
+	case token.IDENT:
+		id := p.tok
+		p.next()
+		switch p.tok.Kind {
+		case token.LPAREN:
+			return p.parseCall(id)
+		case token.LBRACKET:
+			return p.parseIndex(id)
+		}
+		return &ast.Ident{PosTok: id.Pos, Name: id.Lit}
+	default:
+		p.errorf(p.tok.Pos, "expected expression, found %s", p.tok)
+		pos := p.tok.Pos
+		if p.tok.Kind != token.EOF && p.tok.Kind != token.SEMICOLON &&
+			p.tok.Kind != token.RPAREN && p.tok.Kind != token.RBRACE {
+			p.next()
+		}
+		return &ast.IntLit{PosTok: pos}
+	}
+}
+
+func (p *parser) parseCall(id lexer.Token) ast.Expr {
+	p.expect(token.LPAREN)
+	c := &ast.CallExpr{PosTok: id.Pos, Name: id.Lit}
+	for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+		c.Args = append(c.Args, p.parseExpr())
+		if p.tok.Kind == token.COMMA {
+			p.next()
+			continue
+		}
+		break
+	}
+	p.expect(token.RPAREN)
+	return c
+}
+
+func (p *parser) parseIndex(id lexer.Token) ast.Expr {
+	ix := &ast.IndexExpr{PosTok: id.Pos, Array: &ast.Ident{PosTok: id.Pos, Name: id.Lit}}
+	for p.tok.Kind == token.LBRACKET && len(ix.Index) < 2 {
+		p.next()
+		ix.Index = append(ix.Index, p.parseExpr())
+		p.expect(token.RBRACKET)
+	}
+	return ix
+}

@@ -1,0 +1,222 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"sptc/internal/ast"
+	"sptc/internal/parser"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse("t.spl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func parseErr(t *testing.T, src string) error {
+	t.Helper()
+	_, err := parser.Parse("t.spl", src)
+	if err == nil {
+		t.Fatalf("expected parse error for %q", src)
+	}
+	return err
+}
+
+func TestDeclarations(t *testing.T) {
+	p := parse(t, `
+var a int;
+var b float = 1.5;
+var c int[10];
+var m float[4][8];
+func f(x int, y float) int { return x; }
+func g() { }
+`)
+	if len(p.Globals) != 4 {
+		t.Fatalf("got %d globals", len(p.Globals))
+	}
+	if p.Globals[2].Type.Kind != ast.TypeArray || p.Globals[2].Type.Dims[0] != 10 {
+		t.Errorf("c: %v", p.Globals[2].Type)
+	}
+	if p.Globals[3].Type.Elem != ast.TypeFloat || len(p.Globals[3].Type.Dims) != 2 {
+		t.Errorf("m: %v", p.Globals[3].Type)
+	}
+	if len(p.Funcs) != 2 {
+		t.Fatalf("got %d funcs", len(p.Funcs))
+	}
+	f := p.Funcs[0]
+	if f.Name != "f" || len(f.Params) != 2 || f.Result.Kind != ast.TypeInt {
+		t.Errorf("f: %+v", f)
+	}
+	if p.Funcs[1].Result.Kind != ast.TypeVoid {
+		t.Errorf("g should be void")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	p := parse(t, `func main() { var x int = 1 + 2 * 3; var y int = (1 + 2) * 3; }`)
+	body := p.Funcs[0].Body.Stmts
+	x := body[0].(*ast.DeclStmt).Decl.Init.(*ast.BinaryExpr)
+	if x.Op.String() != "+" {
+		t.Fatalf("1+2*3 root should be +, got %s", x.Op)
+	}
+	if mul, ok := x.Y.(*ast.BinaryExpr); !ok || mul.Op.String() != "*" {
+		t.Fatalf("rhs of + should be *")
+	}
+	y := body[1].(*ast.DeclStmt).Decl.Init.(*ast.BinaryExpr)
+	if y.Op.String() != "*" {
+		t.Fatalf("(1+2)*3 root should be *, got %s", y.Op)
+	}
+}
+
+func TestControlFlowForms(t *testing.T) {
+	p := parse(t, `
+func main() {
+	if (1) { } else if (2) { } else { }
+	while (1) { break; }
+	do { continue; } while (0);
+	for (var i int = 0; i < 10; i++) { }
+	for (; ; ) { break; }
+}
+`)
+	stmts := p.Funcs[0].Body.Stmts
+	ifs := stmts[0].(*ast.IfStmt)
+	if _, ok := ifs.Else.(*ast.IfStmt); !ok {
+		t.Error("else-if should nest as IfStmt")
+	}
+	if _, ok := stmts[1].(*ast.WhileStmt); !ok {
+		t.Error("expected while")
+	}
+	if _, ok := stmts[2].(*ast.DoWhileStmt); !ok {
+		t.Error("expected do-while")
+	}
+	forStmt := stmts[3].(*ast.ForStmt)
+	if forStmt.Init == nil || forStmt.Cond == nil || forStmt.Post == nil {
+		t.Error("for pieces missing")
+	}
+	empty := stmts[4].(*ast.ForStmt)
+	if empty.Init != nil || empty.Cond != nil || empty.Post != nil {
+		t.Error("empty for should have nil pieces")
+	}
+}
+
+func TestIncDecDesugar(t *testing.T) {
+	p := parse(t, `func main() { var i int; i++; i--; i += 2; }`)
+	stmts := p.Funcs[0].Body.Stmts
+	inc := stmts[1].(*ast.AssignStmt)
+	if inc.Op.String() != "+=" {
+		t.Errorf("i++ desugars to +=, got %s", inc.Op)
+	}
+	if lit, ok := inc.RHS.(*ast.IntLit); !ok || lit.Value != 1 {
+		t.Errorf("i++ RHS should be 1")
+	}
+	dec := stmts[2].(*ast.AssignStmt)
+	if dec.Op.String() != "-=" {
+		t.Errorf("i-- desugars to -=, got %s", dec.Op)
+	}
+}
+
+func TestIndexAndCalls(t *testing.T) {
+	p := parse(t, `
+var a int[4];
+var m int[2][2];
+func f(x int) int { return x; }
+func main() {
+	a[1] = m[0][1] + f(a[2]);
+	f(f(1));
+}
+`)
+	mainFn := p.Funcs[1]
+	asg := mainFn.Body.Stmts[0].(*ast.AssignStmt)
+	lhs := asg.LHS.(*ast.IndexExpr)
+	if len(lhs.Index) != 1 {
+		t.Errorf("a[1] should have 1 index")
+	}
+	add := asg.RHS.(*ast.BinaryExpr)
+	if ix, ok := add.X.(*ast.IndexExpr); !ok || len(ix.Index) != 2 {
+		t.Errorf("m[0][1] should have 2 indexes")
+	}
+	if _, ok := add.Y.(*ast.CallExpr); !ok {
+		t.Errorf("expected call")
+	}
+}
+
+func TestCasts(t *testing.T) {
+	p := parse(t, `func main() { var x float = float(3); var y int = int(x + 0.5); }`)
+	d := p.Funcs[0].Body.Stmts[0].(*ast.DeclStmt)
+	if c, ok := d.Decl.Init.(*ast.CastExpr); !ok || c.To != ast.TypeFloat {
+		t.Errorf("expected float cast")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"func main() { var x int = ; }",
+		"func main() { if 1 { } }", // missing parens
+		"func main() { x = 1 }",    // missing semicolon
+		"func ()",                  // missing name
+		"var a int[0];",            // bad dimension
+		"func main() { 1 + 2; }",   // expression is not a statement
+		"func main() { break }",    // missing semicolon
+		"var x notatype;",
+	}
+	for _, src := range cases {
+		parseErr(t, src)
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	err := parseErr(t, "func main() {\n  var x int = ;\n}")
+	if !strings.Contains(err.Error(), "t.spl:2:") {
+		t.Errorf("error should point at line 2: %v", err)
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	p := parse(t, `
+var g int = 3;
+func f(x int) int { return x * g; }
+func main() {
+	var i int;
+	for (i = 0; i < 4; i++) {
+		if (i % 2 == 0) { g += f(i); } else { g -= 1; }
+	}
+	while (g > 0) { g = g - 3; }
+	do { g++; } while (g < 2);
+	print("done", g);
+}
+`)
+	var idents, calls, bins int
+	ast.Walk(p, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.Ident:
+			idents++
+		case *ast.CallExpr:
+			calls++
+		case *ast.BinaryExpr:
+			bins++
+		}
+		return true
+	})
+	if idents < 10 || calls < 2 || bins < 6 {
+		t.Errorf("walk too shallow: idents=%d calls=%d bins=%d", idents, calls, bins)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	// Deeply nested expressions should parse without issue.
+	var b strings.Builder
+	b.WriteString("func main() { var x int = ")
+	for i := 0; i < 100; i++ {
+		b.WriteString("(1 + ")
+	}
+	b.WriteString("0")
+	for i := 0; i < 100; i++ {
+		b.WriteString(")")
+	}
+	b.WriteString("; }")
+	parse(t, b.String())
+}

@@ -1,0 +1,382 @@
+// Package partition implements §5 of the paper: finding the optimal SPT
+// loop partition. The search space is the set of downward-closed subsets
+// of violation candidates in the VC-dependence graph; a branch-and-bound
+// search with the paper's two pruning heuristics finds the legal partition
+// of minimum misspeculation cost subject to a pre-fork size threshold.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sptc/internal/cost"
+	"sptc/internal/depgraph"
+	"sptc/internal/ir"
+)
+
+// Options configures the search.
+type Options struct {
+	// MaxVCs skips loops with more violation candidates (paper: 30).
+	MaxVCs int
+	// PreForkFraction bounds the pre-fork region size as a fraction of
+	// the loop body size.
+	PreForkFraction float64
+	// PruneSize enables heuristic 1 (§5.2.1): stop descending once the
+	// pre-fork region exceeds the size threshold.
+	PruneSize bool
+	// PruneBound enables heuristic 2: stop descending when the optimistic
+	// lower bound already exceeds the best cost found.
+	PruneBound bool
+	// MaxSearchNodes caps the search as a safety valve.
+	MaxSearchNodes int
+	// BodySize overrides the loop body size used for thresholds (0 =
+	// static op count). The pipeline passes the effective, call-expanded
+	// size here.
+	BodySize int
+}
+
+// DefaultOptions mirror the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		MaxVCs:          30,
+		PreForkFraction: 0.3,
+		PruneSize:       true,
+		PruneBound:      true,
+		MaxSearchNodes:  1 << 20,
+	}
+}
+
+// Closure is what moving one statement into the pre-fork region entails.
+type Closure struct {
+	// Move is the set of statements that must execute in the pre-fork
+	// region (the statement plus its intra-iteration producers).
+	Move map[*ir.Stmt]bool
+	// CopyConds is the set of branch (StmtIf) statements whose conditions
+	// must be replicated into the pre-fork region (Figure 12).
+	CopyConds map[*ir.Stmt]bool
+}
+
+// Size is the call-expanded pre-fork op count the closure implies.
+func (c Closure) Size() int { return closureSize(ir.NewSizeCache(), c.Move, c.CopyConds) }
+
+// Result is the outcome of the optimal-partition search for one loop.
+type Result struct {
+	Graph *depgraph.Graph
+	Model *cost.Model
+
+	Skipped   bool // too many violation candidates
+	VCCount   int
+	BodySize  int
+	SizeLimit int
+
+	// Best partition found.
+	PreForkVCs  []*ir.Stmt
+	Move        map[*ir.Stmt]bool
+	CopyConds   map[*ir.Stmt]bool
+	PreForkSize int
+	Cost        float64
+
+	// EmptyCost is the misspeculation cost with an empty pre-fork region
+	// (no reordering), for comparison.
+	EmptyCost float64
+
+	SearchNodes int
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	if r.Skipped {
+		return fmt.Sprintf("skipped (%d violation candidates)", r.VCCount)
+	}
+	var vcs []string
+	for _, vc := range r.PreForkVCs {
+		vcs = append(vcs, fmt.Sprintf("s%d", vc.ID))
+	}
+	return fmt.Sprintf("cost=%.3f (empty=%.3f) prefork=%d/%d ops, vcs=[%s], %d search nodes",
+		r.Cost, r.EmptyCost, r.PreForkSize, r.BodySize, strings.Join(vcs, " "), r.SearchNodes)
+}
+
+// ComputeClosure determines the move set and condition copies required to
+// place s (and everything it depends on within the iteration) into the
+// pre-fork region.
+func ComputeClosure(g *depgraph.Graph, s *ir.Stmt) Closure {
+	c := Closure{Move: make(map[*ir.Stmt]bool), CopyConds: make(map[*ir.Stmt]bool)}
+
+	// Index legality producers once per graph would be better; graphs are
+	// small enough that a local index is fine.
+	producers := make(map[*ir.Stmt][]*ir.Stmt)
+	for _, e := range g.Legal {
+		producers[e.Later] = append(producers[e.Later], e.Earlier)
+	}
+
+	var addMove func(*ir.Stmt)
+	var addCond func(*ir.Stmt)
+	addMove = func(s *ir.Stmt) {
+		if s.IsTerminator() {
+			// Branches are never moved; when a dependence requires a
+			// branch's value in the pre-fork region (e.g. a memory
+			// anti-dependence on its condition), the condition is
+			// replicated instead (Figure 12's temp_cond).
+			addCond(s)
+			return
+		}
+		if c.Move[s] {
+			return
+		}
+		c.Move[s] = true
+		for _, p := range producers[s] {
+			addMove(p)
+		}
+		for _, cd := range g.Ctrl[s] {
+			addCond(cd.Branch)
+		}
+	}
+	addCond = func(b *ir.Stmt) {
+		if c.CopyConds[b] || c.Move[b] {
+			return
+		}
+		c.CopyConds[b] = true
+		// The condition's inputs must be available in the pre-fork region.
+		for _, p := range producers[b] {
+			addMove(p)
+		}
+		for _, cd := range g.Ctrl[b] {
+			addCond(cd.Branch)
+		}
+	}
+	addMove(s)
+	return c
+}
+
+// closureSize is the call-expanded op count of a combined closure.
+func closureSize(sc *ir.SizeCache, move, conds map[*ir.Stmt]bool) int {
+	n := 0
+	for s := range move {
+		n += sc.StmtOps(s)
+	}
+	for s := range conds {
+		if !move[s] {
+			n += sc.StmtOps(s)
+		}
+	}
+	return n
+}
+
+// vcDepGraph computes, for each violation candidate, the set of violation
+// candidates it transitively depends on through intra-iteration true
+// dependences (§5.1).
+func vcDepGraph(g *depgraph.Graph) map[*ir.Stmt][]*ir.Stmt {
+	// Transitive reachability over intra edges, restricted to VCs.
+	intraPreds := make(map[*ir.Stmt][]*ir.Stmt)
+	for _, e := range g.True {
+		if !e.Cross {
+			intraPreds[e.To] = append(intraPreds[e.To], e.From)
+		}
+	}
+	isVC := make(map[*ir.Stmt]bool, len(g.VCs))
+	for _, vc := range g.VCs {
+		isVC[vc] = true
+	}
+
+	memo := make(map[*ir.Stmt]map[*ir.Stmt]bool)
+	var reach func(s *ir.Stmt, visiting map[*ir.Stmt]bool) map[*ir.Stmt]bool
+	reach = func(s *ir.Stmt, visiting map[*ir.Stmt]bool) map[*ir.Stmt]bool {
+		if r, ok := memo[s]; ok {
+			return r
+		}
+		if visiting[s] {
+			return nil
+		}
+		visiting[s] = true
+		r := make(map[*ir.Stmt]bool)
+		for _, p := range intraPreds[s] {
+			if isVC[p] {
+				r[p] = true
+			}
+			for q := range reach(p, visiting) {
+				r[q] = true
+			}
+		}
+		delete(visiting, s)
+		memo[s] = r
+		return r
+	}
+
+	out := make(map[*ir.Stmt][]*ir.Stmt, len(g.VCs))
+	for _, vc := range g.VCs {
+		var preds []*ir.Stmt
+		for p := range reach(vc, make(map[*ir.Stmt]bool)) {
+			if p != vc {
+				preds = append(preds, p)
+			}
+		}
+		sort.Slice(preds, func(i, j int) bool { return g.Order[preds[i]] < g.Order[preds[j]] })
+		out[vc] = preds
+	}
+	return out
+}
+
+// Search finds the optimal partition for the loop described by g.
+func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
+	r := &Result{
+		Graph:     g,
+		Model:     m,
+		VCCount:   len(g.VCs),
+		BodySize:  g.Loop.BodySize(),
+		Move:      make(map[*ir.Stmt]bool),
+		CopyConds: make(map[*ir.Stmt]bool),
+	}
+	if opt.BodySize > 0 {
+		r.BodySize = opt.BodySize
+	}
+	r.SizeLimit = int(float64(r.BodySize) * opt.PreForkFraction)
+	r.EmptyCost = m.Evaluate(nil)
+
+	if opt.MaxVCs > 0 && len(g.VCs) > opt.MaxVCs {
+		r.Skipped = true
+		return r
+	}
+
+	// VCs are already in iteration order, which topologically orders the
+	// VC-dep graph (intra edges are forward).
+	vcs := g.VCs
+	vcPreds := vcDepGraph(g)
+	closures := make([]Closure, len(vcs))
+	for i, vc := range vcs {
+		closures[i] = ComputeClosure(g, vc)
+	}
+	idxOf := make(map[*ir.Stmt]int, len(vcs))
+	for i, vc := range vcs {
+		idxOf[vc] = i
+	}
+
+	// suffixMayMove[i] = union of closures of vcs[i..] (move sets), used
+	// for the optimistic lower bound of heuristic 2.
+	suffixMayMove := make([]map[*ir.Stmt]bool, len(vcs)+1)
+	suffixMayMove[len(vcs)] = map[*ir.Stmt]bool{}
+	for i := len(vcs) - 1; i >= 0; i-- {
+		u := make(map[*ir.Stmt]bool, len(suffixMayMove[i+1])+len(closures[i].Move))
+		for s := range suffixMayMove[i+1] {
+			u[s] = true
+		}
+		for s := range closures[i].Move {
+			u[s] = true
+		}
+		suffixMayMove[i] = u
+	}
+
+	// Best so far: the empty partition (always legal, size 0).
+	r.Cost = r.EmptyCost
+	r.PreForkSize = 0
+
+	inSet := make([]bool, len(vcs))
+	curMove := make(map[*ir.Stmt]bool)
+	curConds := make(map[*ir.Stmt]bool)
+	moveRef := make(map[*ir.Stmt]int)
+	condRef := make(map[*ir.Stmt]int)
+
+	sizes := ir.NewSizeCache()
+	record := func() {
+		sz := closureSize(sizes, curMove, curConds)
+		c := m.Evaluate(curMove)
+		if c < r.Cost-1e-12 || (c < r.Cost+1e-12 && sz < r.PreForkSize) {
+			r.Cost = c
+			r.PreForkSize = sz
+			r.PreForkVCs = nil
+			for i, vc := range vcs {
+				if inSet[i] {
+					r.PreForkVCs = append(r.PreForkVCs, vc)
+				}
+			}
+			r.Move = copySet(curMove)
+			r.CopyConds = copySet(curConds)
+		}
+	}
+
+	push := func(i int) {
+		inSet[i] = true
+		for s := range closures[i].Move {
+			if moveRef[s] == 0 {
+				curMove[s] = true
+			}
+			moveRef[s]++
+		}
+		for s := range closures[i].CopyConds {
+			if condRef[s] == 0 {
+				curConds[s] = true
+			}
+			condRef[s]++
+		}
+	}
+	pop := func(i int) {
+		inSet[i] = false
+		for s := range closures[i].Move {
+			moveRef[s]--
+			if moveRef[s] == 0 {
+				delete(curMove, s)
+			}
+		}
+		for s := range closures[i].CopyConds {
+			condRef[s]--
+			if condRef[s] == 0 {
+				delete(curConds, s)
+			}
+		}
+	}
+
+	var search func(lastIdx int)
+	search = func(lastIdx int) {
+		if r.SearchNodes >= opt.MaxSearchNodes {
+			return
+		}
+		r.SearchNodes++
+
+		if opt.PruneBound {
+			lb := m.EvaluateOptimistic(curMove, suffixMayMove[lastIdx+1])
+			if lb >= r.Cost-1e-12 {
+				return
+			}
+		}
+
+		for i := lastIdx + 1; i < len(vcs); i++ {
+			// §5.2: a node may be added only when all its VC-dep
+			// predecessors are already in the pre-fork region.
+			ok := true
+			for _, p := range vcPreds[vcs[i]] {
+				if !inSet[idxOf[p]] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			push(i)
+			sz := closureSize(sizes, curMove, curConds)
+			if opt.PruneSize && sz > r.SizeLimit {
+				pop(i)
+				continue // heuristic 1: descendants only grow
+			}
+			if sz <= r.SizeLimit {
+				record()
+			}
+			search(i)
+			pop(i)
+		}
+	}
+
+	record() // empty partition
+	search(-1)
+	return r
+}
+
+func copySet(m map[*ir.Stmt]bool) map[*ir.Stmt]bool {
+	out := make(map[*ir.Stmt]bool, len(m))
+	for k, v := range m {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,450 @@
+// Package profile implements the three profilers the SPT framework uses
+// (§7 of the paper): control-flow edge profiling (reaching probabilities),
+// data-dependence profiling (intra- vs cross-iteration true dependences
+// with probabilities), and value profiling for software value prediction.
+//
+// All three run off interpreter hooks in a single profiling execution,
+// mirroring the paper's offline profiling runs on trimmed inputs.
+package profile
+
+import (
+	"sptc/internal/interp"
+	"sptc/internal/ir"
+	"sptc/internal/ssa"
+)
+
+// EdgeProfile records block and edge execution counts.
+type EdgeProfile struct {
+	BlockFreq map[*ir.Block]int64
+	// EdgeCount[b][i] counts traversals of b.Succs[i].
+	EdgeCount map[*ir.Block][]int64
+}
+
+// LoopStats summarizes a loop's dynamic behaviour.
+type LoopStats struct {
+	Entries    int64 // times the loop was entered from outside
+	Iterations int64 // total body iterations (header executions from inside+entry)
+	AvgTrip    float64
+}
+
+// DepKey identifies a dependence pair relative to one loop.
+type DepKey struct {
+	W    *ir.Stmt // writing statement
+	R    *ir.Stmt // reading statement
+	Loop *ssa.Loop
+}
+
+// DepCount accumulates observations for one dependence pair.
+type DepCount struct {
+	ROp      int   // op ID of the reading operation within R
+	Intra    int64 // read in the same iteration as the write
+	Cross1   int64 // read in the iteration immediately after the write
+	CrossAny int64 // read in any strictly later iteration
+}
+
+// DepProfile is the result of data-dependence profiling.
+type DepProfile struct {
+	Pairs map[DepKey]*DepCount
+	// WriteExec counts executions of a store statement while a given loop
+	// instance was active (the paper's N in "for every N writes at W").
+	WriteExec map[stmtLoop]int64
+	// StmtExec counts total executions per statement.
+	StmtExec map[*ir.Stmt]int64
+}
+
+type stmtLoop struct {
+	S    *ir.Stmt
+	Loop *ssa.Loop
+}
+
+// CrossProb returns the probability that a write at w is read at r in the
+// immediately following iteration of loop (the violation-relevant
+// probability for next-iteration speculation).
+func (d *DepProfile) CrossProb(w, r *ir.Stmt, loop *ssa.Loop) float64 {
+	c, ok := d.Pairs[DepKey{W: w, R: r, Loop: loop}]
+	if !ok {
+		return 0
+	}
+	n := d.WriteExec[stmtLoop{w, loop}]
+	if n == 0 {
+		return 0
+	}
+	p := float64(c.Cross1) / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// IntraProb returns the probability that a write at w is read at r within
+// the same iteration of loop.
+func (d *DepProfile) IntraProb(w, r *ir.Stmt, loop *ssa.Loop) float64 {
+	c, ok := d.Pairs[DepKey{W: w, R: r, Loop: loop}]
+	if !ok {
+		return 0
+	}
+	n := d.WriteExec[stmtLoop{w, loop}]
+	if n == 0 {
+		return 0
+	}
+	p := float64(c.Intra) / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// LoopPairs returns all observed dependence pairs for the loop.
+func (d *DepProfile) LoopPairs(loop *ssa.Loop) []DepKey {
+	var out []DepKey
+	for k := range d.Pairs {
+		if k.Loop == loop {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// ValuePattern summarizes the value sequence produced by one statement.
+type ValuePattern struct {
+	Total      int64 // observations with a previous value available
+	BestStride int64 // most frequent delta between consecutive values
+	BestCount  int64 // occurrences of BestStride
+	LastSame   int64 // occurrences of delta 0 (last-value predictable)
+}
+
+// Confidence is the fraction of deltas equal to BestStride.
+func (v *ValuePattern) Confidence() float64 {
+	if v.Total == 0 {
+		return 0
+	}
+	return float64(v.BestCount) / float64(v.Total)
+}
+
+// ValueProfile records per-statement value patterns for integer defs.
+type ValueProfile struct {
+	patterns map[*ir.Stmt]*valueState
+}
+
+type valueState struct {
+	prev    int64
+	hasPrev bool
+	strides map[int64]int64
+	total   int64
+}
+
+// Pattern returns the observed pattern for s, or nil.
+func (v *ValueProfile) Pattern(s *ir.Stmt) *ValuePattern {
+	st, ok := v.patterns[s]
+	if !ok || st.total == 0 {
+		return nil
+	}
+	p := &ValuePattern{Total: st.total, LastSame: st.strides[0]}
+	for d, c := range st.strides {
+		if c > p.BestCount || (c == p.BestCount && d == 0) {
+			p.BestCount = c
+			p.BestStride = d
+		}
+	}
+	return p
+}
+
+// Profiler collects all three profiles in one run.
+type Profiler struct {
+	Edge  *EdgeProfile
+	Dep   *DepProfile
+	Value *ValueProfile
+
+	nests map[*ir.Func]*ssa.LoopNest
+
+	// active is the global stack of live loop instances across the call
+	// stack; writes snapshot it so reads can classify intra/cross.
+	active       []loopInst
+	nextInstance int64
+
+	shadow []writeRec // indexed by address
+}
+
+type loopInst struct {
+	loop     *ssa.Loop
+	frameID  int64
+	instance int64
+	iter     int64
+}
+
+const maxSnapDepth = 6
+
+type writeRec struct {
+	stmt  *ir.Stmt
+	valid bool
+	depth int
+	snap  [maxSnapDepth]instIter
+}
+
+type instIter struct {
+	loop     *ssa.Loop
+	instance int64
+	iter     int64
+}
+
+// NewProfiler creates a profiler for prog. nests maps each function to
+// its loop nest (computed on the same IR that will execute).
+func NewProfiler(prog *ir.Program, nests map[*ir.Func]*ssa.LoopNest) *Profiler {
+	return &Profiler{
+		Edge: &EdgeProfile{
+			BlockFreq: make(map[*ir.Block]int64),
+			EdgeCount: make(map[*ir.Block][]int64),
+		},
+		Dep: &DepProfile{
+			Pairs:     make(map[DepKey]*DepCount),
+			WriteExec: make(map[stmtLoop]int64),
+			StmtExec:  make(map[*ir.Stmt]int64),
+		},
+		Value:  &ValueProfile{patterns: make(map[*ir.Stmt]*valueState)},
+		nests:  nests,
+		shadow: make([]writeRec, prog.Layout()),
+	}
+}
+
+// Hooks returns interpreter hooks that feed this profiler.
+func (p *Profiler) Hooks() interp.Hooks {
+	return interp.Hooks{
+		OnEnter: p.onEnter,
+		OnExit:  p.onExit,
+		OnEdge:  p.onEdge,
+		OnLoad:  p.onLoad,
+		OnStore: p.onStore,
+		OnDef:   p.onDef,
+	}
+}
+
+func (p *Profiler) onEnter(fr *interp.Frame) {
+	p.Edge.BlockFreq[fr.Func.Entry]++
+	// The entry block may itself be a loop header after transformations;
+	// loops are only entered via edges, so nothing else to do.
+}
+
+func (p *Profiler) onExit(fr *interp.Frame) {
+	for len(p.active) > 0 && p.active[len(p.active)-1].frameID == fr.ID {
+		p.active = p.active[:len(p.active)-1]
+	}
+}
+
+func (p *Profiler) onEdge(fr *interp.Frame, from, to *ir.Block) {
+	p.Edge.BlockFreq[to]++
+	counts := p.Edge.EdgeCount[from]
+	if counts == nil {
+		counts = make([]int64, len(from.Succs))
+		p.Edge.EdgeCount[from] = counts
+	}
+	for i, s := range from.Succs {
+		if s == to {
+			counts[i]++
+			break
+		}
+	}
+
+	// Maintain the active loop stack for this frame.
+	for len(p.active) > 0 {
+		top := p.active[len(p.active)-1]
+		if top.frameID != fr.ID || top.loop.Contains(to) {
+			break
+		}
+		p.active = p.active[:len(p.active)-1]
+	}
+	nest := p.nests[fr.Func]
+	if nest == nil {
+		return
+	}
+	if l := nest.ByHeader[to]; l != nil {
+		if n := len(p.active); n > 0 && p.active[n-1].loop == l && p.active[n-1].frameID == fr.ID {
+			p.active[n-1].iter++ // back edge
+		} else {
+			p.nextInstance++
+			p.active = append(p.active, loopInst{loop: l, frameID: fr.ID, instance: p.nextInstance})
+		}
+	}
+}
+
+func (p *Profiler) onStore(fr *interp.Frame, s *ir.Stmt, addr int) {
+	p.Dep.StmtExec[s]++
+	rec := &p.shadow[addr]
+	rec.stmt = s
+	rec.valid = true
+	rec.depth = 0
+	for i := len(p.active) - 1; i >= 0 && rec.depth < maxSnapDepth; i-- {
+		a := p.active[i]
+		rec.snap[rec.depth] = instIter{loop: a.loop, instance: a.instance, iter: a.iter}
+		rec.depth++
+	}
+	for i := range p.active {
+		p.Dep.WriteExec[stmtLoop{s, p.active[i].loop}]++
+	}
+}
+
+func (p *Profiler) onLoad(fr *interp.Frame, s *ir.Stmt, op *ir.Op, addr int) {
+	rec := &p.shadow[addr]
+	if !rec.valid {
+		return
+	}
+	// For each loop instance active now that was also active at the write,
+	// classify the dependence at that loop level.
+	for i := range p.active {
+		a := p.active[i]
+		for j := 0; j < rec.depth; j++ {
+			w := rec.snap[j]
+			if w.instance != a.instance {
+				continue
+			}
+			key := DepKey{W: rec.stmt, R: s, Loop: a.loop}
+			c := p.Dep.Pairs[key]
+			if c == nil {
+				c = &DepCount{ROp: op.ID}
+				p.Dep.Pairs[key] = c
+			}
+			switch {
+			case a.iter == w.iter:
+				c.Intra++
+			case a.iter == w.iter+1:
+				c.Cross1++
+				c.CrossAny++
+			case a.iter > w.iter:
+				c.CrossAny++
+			}
+		}
+	}
+}
+
+func (p *Profiler) onDef(fr *interp.Frame, s *ir.Stmt, v interp.Value) {
+	if s.Dst == nil || s.Dst.Kind != ir.ValInt || s.Kind == ir.StmtPhi {
+		return
+	}
+	st := p.Value.patterns[s]
+	if st == nil {
+		st = &valueState{strides: make(map[int64]int64)}
+		p.Value.patterns[s] = st
+	}
+	if st.hasPrev {
+		st.strides[v.I-st.prev]++
+		st.total++
+	}
+	st.prev = v.I
+	st.hasPrev = true
+}
+
+// Apply writes the edge profile into Block.Freq and Block.SuccProb for
+// every block observed. Unobserved two-way branches get a 50/50 split.
+func (e *EdgeProfile) Apply(prog *ir.Program) {
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			b.Freq = float64(e.BlockFreq[b])
+			if len(b.Succs) == 0 {
+				b.SuccProb = nil
+				continue
+			}
+			b.SuccProb = make([]float64, len(b.Succs))
+			counts := e.EdgeCount[b]
+			var total int64
+			for _, c := range counts {
+				total += c
+			}
+			if total == 0 {
+				for i := range b.SuccProb {
+					b.SuccProb[i] = 1 / float64(len(b.Succs))
+				}
+				continue
+			}
+			for i := range b.SuccProb {
+				b.SuccProb[i] = float64(counts[i]) / float64(total)
+			}
+		}
+	}
+}
+
+// Stats computes dynamic statistics for one loop from the edge profile.
+func (e *EdgeProfile) Stats(l *ssa.Loop) LoopStats {
+	var entries, backs int64
+	for _, pred := range l.Header.Preds {
+		counts := e.EdgeCount[pred]
+		if counts == nil {
+			continue
+		}
+		for i, s := range pred.Succs {
+			if s != l.Header {
+				continue
+			}
+			if l.Contains(pred) {
+				backs += counts[i]
+			} else {
+				entries += counts[i]
+			}
+		}
+	}
+	st := LoopStats{Entries: entries, Iterations: backs + entries}
+	// For a canonical while/for loop the header executes once more than
+	// the body per entry; iterations of the *body* are backs + entries
+	// minus early exits. Using backs+entries approximates body runs for
+	// loops that execute at least one iteration per entry.
+	if entries > 0 {
+		st.AvgTrip = float64(st.Iterations) / float64(entries)
+	}
+	return st
+}
+
+// StaticEstimate fills Freq/SuccProb with static heuristics when no
+// profile is available: branch edges split 50/50 except loop back edges,
+// which get probability 0.9 (the classic static loop heuristic).
+func StaticEstimate(f *ir.Func, nest *ssa.LoopNest) {
+	inLoopDepth := func(b *ir.Block) int {
+		d := 0
+		for _, l := range nest.Loops {
+			if l.Contains(b) {
+				d++
+			}
+		}
+		return d
+	}
+	for _, b := range f.Blocks {
+		b.Freq = 1
+		for d := inLoopDepth(b); d > 0; d-- {
+			b.Freq *= 10
+		}
+		if len(b.Succs) == 0 {
+			continue
+		}
+		b.SuccProb = make([]float64, len(b.Succs))
+		if len(b.Succs) == 1 {
+			b.SuccProb[0] = 1
+			continue
+		}
+		// Favor staying in the loop.
+		for i, s := range b.Succs {
+			var stays bool
+			for _, l := range nest.Loops {
+				if l.Contains(b) && l.Contains(s) {
+					stays = true
+					break
+				}
+			}
+			if stays {
+				b.SuccProb[i] = 0.9
+			} else {
+				b.SuccProb[i] = 0.1
+			}
+		}
+		// Normalize.
+		sum := 0.0
+		for _, p := range b.SuccProb {
+			sum += p
+		}
+		if sum == 0 {
+			for i := range b.SuccProb {
+				b.SuccProb[i] = 1 / float64(len(b.Succs))
+			}
+		} else {
+			for i := range b.SuccProb {
+				b.SuccProb[i] /= sum
+			}
+		}
+	}
+}

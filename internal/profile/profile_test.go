@@ -1,0 +1,273 @@
+package profile_test
+
+import (
+	"math"
+	"testing"
+
+	"sptc/internal/interp"
+	"sptc/internal/ir"
+	"sptc/internal/parser"
+	"sptc/internal/profile"
+	"sptc/internal/sem"
+	"sptc/internal/ssa"
+)
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func profileRun(t *testing.T, src string) (*ir.Program, map[*ir.Func]*ssa.LoopNest, *profile.Profiler) {
+	t.Helper()
+	p, err := parser.Parse("t.spl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(p)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := ir.Build(info)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	nests := make(map[*ir.Func]*ssa.LoopNest)
+	for _, f := range prog.Funcs {
+		dom := ssa.BuildDomTree(f)
+		ssa.Build(f, dom)
+		nests[f] = ssa.FindLoops(f, ssa.BuildDomTree(f))
+	}
+	prof := profile.NewProfiler(prog, nests)
+	m := interp.New(prog, discard{})
+	m.Hooks = prof.Hooks()
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return prog, nests, prof
+}
+
+func TestEdgeProfileCountsAndProbabilities(t *testing.T) {
+	prog, nests, prof := profileRun(t, `
+var s int;
+func main() {
+	var i int;
+	for (i = 0; i < 100; i++) {
+		if (i % 4 == 0) { s += i; }
+	}
+	print(s);
+}
+`)
+	prof.Edge.Apply(prog)
+	f := prog.Main
+	nest := nests[f]
+	if len(nest.Loops) != 1 {
+		t.Fatalf("%d loops", len(nest.Loops))
+	}
+	l := nest.Loops[0]
+	st := prof.Edge.Stats(l)
+	if st.Entries != 1 || st.Iterations != 101 {
+		t.Errorf("entries=%d iterations=%d", st.Entries, st.Iterations)
+	}
+	if st.AvgTrip < 100 || st.AvgTrip > 102 {
+		t.Errorf("avg trip %.1f", st.AvgTrip)
+	}
+
+	// The if-branch inside the loop is taken 25% of the time.
+	var branch *ir.Block
+	for _, b := range l.Blocks {
+		if b == l.Header {
+			continue
+		}
+		if term := b.Terminator(); term != nil && term.Kind == ir.StmtIf {
+			branch = b
+		}
+	}
+	if branch == nil {
+		t.Fatal("no branch in loop")
+	}
+	if p := branch.SuccProb[0]; math.Abs(p-0.25) > 0.02 {
+		t.Errorf("then-probability %.3f, want ~0.25", p)
+	}
+}
+
+func TestDependenceProfileDistances(t *testing.T) {
+	prog, nests, prof := profileRun(t, `
+var a int[64];
+func main() {
+	var i int;
+	a[0] = 1;
+	for (i = 1; i < 64; i++) {
+		a[i] = a[i-1] + 1;
+	}
+	print(a[63]);
+}
+`)
+	_ = prog
+	f := prog.Main
+	l := nests[f].Loops[0]
+
+	// Find the store and the load statement inside the loop.
+	var store *ir.Stmt
+	for _, b := range l.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind == ir.StmtStoreA {
+				store = s
+			}
+		}
+	}
+	if store == nil {
+		t.Fatal("no store")
+	}
+	// The a[i-1] load reads the previous iteration's store: cross
+	// distance one with probability ~1.
+	p := prof.Dep.CrossProb(store, store, l)
+	if p < 0.9 {
+		t.Errorf("distance-1 cross probability %.3f, want ~1", p)
+	}
+	if ip := prof.Dep.IntraProb(store, store, l); ip > 0.1 {
+		t.Errorf("intra probability %.3f, want ~0", ip)
+	}
+}
+
+func TestDependenceProfileRareCollisions(t *testing.T) {
+	prog, nests, prof := profileRun(t, `
+var tab int[512];
+var idx int[512];
+func main() {
+	var i int;
+	for (i = 0; i < 512; i++) {
+		idx[i] = (i * 2654435761) & 511;
+	}
+	for (i = 0; i < 512; i++) {
+		tab[idx[i]] = tab[idx[i]] + 1;
+	}
+	print(tab[0]);
+}
+`)
+	f := prog.Main
+	var second *ssa.Loop
+	for _, l := range nests[f].Loops {
+		if l.Header.ID > nests[f].Loops[0].Header.ID {
+			second = l
+		}
+	}
+	if second == nil {
+		second = nests[f].Loops[len(nests[f].Loops)-1]
+	}
+	var store *ir.Stmt
+	for _, b := range second.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind == ir.StmtStoreA && s.G.Name == "tab" {
+				store = s
+			}
+		}
+	}
+	if store == nil {
+		t.Skip("store not in this loop ordering")
+	}
+	if p := prof.Dep.CrossProb(store, store, second); p > 0.2 {
+		t.Errorf("hashed updates should rarely collide at distance 1: %.3f", p)
+	}
+}
+
+func TestValueProfileStride(t *testing.T) {
+	prog, nests, prof := profileRun(t, `
+func main() {
+	var x int = 0;
+	var s int = 0;
+	while (x < 1000) {
+		s = s + (x & 7);
+		x = x + 4;
+	}
+	print(s);
+}
+`)
+	f := prog.Main
+	l := nests[f].Loops[0]
+	var upd *ir.Stmt
+	for _, b := range l.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind == ir.StmtAssign && s.Dst != nil && s.Dst.Base.Name == "x" {
+				upd = s
+			}
+		}
+	}
+	if upd == nil {
+		t.Fatal("no x update")
+	}
+	pat := prof.Value.Pattern(upd)
+	if pat == nil {
+		t.Fatal("no value pattern recorded")
+	}
+	if pat.BestStride != 4 {
+		t.Errorf("stride %d, want 4", pat.BestStride)
+	}
+	if pat.Confidence() < 0.95 {
+		t.Errorf("confidence %.3f", pat.Confidence())
+	}
+}
+
+func TestValueProfileUnpredictable(t *testing.T) {
+	prog, nests, prof := profileRun(t, `
+func main() {
+	var x int = 12345;
+	var i int;
+	var s int;
+	for (i = 0; i < 500; i++) {
+		x = (x * 1103515245 + 12345) & 1073741823;
+		s = s ^ x;
+	}
+	print(s);
+}
+`)
+	f := prog.Main
+	l := nests[f].Loops[0]
+	var upd *ir.Stmt
+	for _, b := range l.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind == ir.StmtAssign && s.Dst != nil && s.Dst.Base.Name == "x" {
+				upd = s
+			}
+		}
+	}
+	pat := prof.Value.Pattern(upd)
+	if pat != nil && pat.Confidence() > 0.5 {
+		t.Errorf("LCG should not look stride-predictable: %.3f", pat.Confidence())
+	}
+}
+
+func TestStaticEstimateNormalizes(t *testing.T) {
+	p, _ := parser.Parse("t.spl", `
+func main() {
+	var i int;
+	var s int;
+	for (i = 0; i < 10; i++) {
+		if (i & 1) { s++; }
+	}
+	print(s);
+}
+`)
+	info, _ := sem.Check(p)
+	prog, _ := ir.Build(info)
+	f := prog.Main
+	dom := ssa.BuildDomTree(f)
+	nest := ssa.FindLoops(f, dom)
+	profile.StaticEstimate(f, nest)
+	for _, b := range f.Blocks {
+		if len(b.Succs) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, pr := range b.SuccProb {
+			if pr < 0 || pr > 1 {
+				t.Errorf("b%d: probability %.3f out of range", b.ID, pr)
+			}
+			sum += pr
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("b%d: probabilities sum to %.3f", b.ID, sum)
+		}
+		if b.Freq <= 0 {
+			t.Errorf("b%d: nonpositive frequency", b.ID)
+		}
+	}
+}

@@ -1,0 +1,505 @@
+// Package sem implements symbol resolution and type checking for SPL.
+package sem
+
+import (
+	"sptc/internal/ast"
+	"sptc/internal/source"
+	"sptc/internal/token"
+)
+
+// SymbolKind distinguishes where a symbol lives.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	SymGlobal SymbolKind = iota
+	SymParam
+	SymLocal
+)
+
+func (k SymbolKind) String() string {
+	switch k {
+	case SymGlobal:
+		return "global"
+	case SymParam:
+		return "param"
+	case SymLocal:
+		return "local"
+	}
+	return "?"
+}
+
+// Symbol is a resolved variable.
+type Symbol struct {
+	ID   int // unique within the program
+	Name string
+	Kind SymbolKind
+	Type ast.Type
+	Decl *ast.VarDecl // nil for params
+}
+
+// Builtin describes a builtin function signature.
+type Builtin struct {
+	Name     string
+	Params   []ast.TypeKind // TypeInvalid means "any numeric"
+	Variadic bool           // print
+	Result   ast.TypeKind
+}
+
+// Builtins is the table of SPL builtin functions.
+var Builtins = map[string]*Builtin{
+	"fabs":  {Name: "fabs", Params: []ast.TypeKind{ast.TypeFloat}, Result: ast.TypeFloat},
+	"fmin":  {Name: "fmin", Params: []ast.TypeKind{ast.TypeFloat, ast.TypeFloat}, Result: ast.TypeFloat},
+	"fmax":  {Name: "fmax", Params: []ast.TypeKind{ast.TypeFloat, ast.TypeFloat}, Result: ast.TypeFloat},
+	"fsqrt": {Name: "fsqrt", Params: []ast.TypeKind{ast.TypeFloat}, Result: ast.TypeFloat},
+	"iabs":  {Name: "iabs", Params: []ast.TypeKind{ast.TypeInt}, Result: ast.TypeInt},
+	"imin":  {Name: "imin", Params: []ast.TypeKind{ast.TypeInt, ast.TypeInt}, Result: ast.TypeInt},
+	"imax":  {Name: "imax", Params: []ast.TypeKind{ast.TypeInt, ast.TypeInt}, Result: ast.TypeInt},
+	"print": {Name: "print", Variadic: true, Result: ast.TypeVoid},
+}
+
+// Info holds the results of semantic analysis for one program.
+type Info struct {
+	Program *ast.Program
+	// Uses maps each identifier occurrence to its symbol.
+	Uses map[*ast.Ident]*Symbol
+	// Decls maps each declaration to its symbol.
+	Decls map[*ast.VarDecl]*Symbol
+	// ParamSyms maps each function to its parameter symbols, in order.
+	ParamSyms map[*ast.FuncDecl][]*Symbol
+	// Calls maps call expressions to the callee declaration (nil for builtins).
+	Calls map[*ast.CallExpr]*ast.FuncDecl
+	// Funcs maps function names to declarations.
+	Funcs map[string]*ast.FuncDecl
+	// Globals lists global symbols in declaration order.
+	Globals []*Symbol
+
+	nextID int
+}
+
+// Check resolves and type-checks prog.
+func Check(prog *ast.Program) (*Info, error) {
+	info := &Info{
+		Program:   prog,
+		Uses:      make(map[*ast.Ident]*Symbol),
+		Decls:     make(map[*ast.VarDecl]*Symbol),
+		ParamSyms: make(map[*ast.FuncDecl][]*Symbol),
+		Calls:     make(map[*ast.CallExpr]*ast.FuncDecl),
+		Funcs:     make(map[string]*ast.FuncDecl),
+	}
+	c := &checker{info: info, file: prog.File}
+
+	globalScope := newScope(nil)
+	for _, d := range prog.Globals {
+		sym := c.declare(globalScope, d, SymGlobal)
+		info.Globals = append(info.Globals, sym)
+		if d.Init != nil {
+			t := c.checkExpr(globalScope, d.Init, nil)
+			c.checkAssignable(d.Pos(), d.Type, t, d.Init)
+			if !isConstExpr(d.Init) {
+				c.errorf(d.Init.Pos(), "global initializer must be a constant expression")
+			}
+		}
+	}
+	for _, f := range prog.Funcs {
+		if prev, ok := info.Funcs[f.Name]; ok {
+			c.errorf(f.Pos(), "function %s redeclared (previous at %s)", f.Name, prev.Pos())
+			continue
+		}
+		if _, isBuiltin := Builtins[f.Name]; isBuiltin {
+			c.errorf(f.Pos(), "cannot redeclare builtin %s", f.Name)
+			continue
+		}
+		info.Funcs[f.Name] = f
+	}
+	for _, f := range prog.Funcs {
+		c.checkFunc(globalScope, f)
+	}
+	if _, ok := info.Funcs["main"]; !ok && len(prog.Funcs) > 0 {
+		c.errorf(prog.Pos(), "program has no main function")
+	}
+	c.errs.Sort()
+	if err := c.errs.Err(); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+type scope struct {
+	parent *scope
+	names  map[string]*Symbol
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, names: make(map[string]*Symbol)}
+}
+
+func (s *scope) lookup(name string) *Symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.names[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	info *Info
+	file *source.File
+	errs source.ErrorList
+	fn   *ast.FuncDecl // current function
+	loop int           // loop nesting depth
+}
+
+func (c *checker) errorf(pos source.Pos, format string, args ...any) {
+	c.errs.Add(c.file.Name, pos, format, args...)
+}
+
+func (c *checker) declare(sc *scope, d *ast.VarDecl, kind SymbolKind) *Symbol {
+	if prev, ok := sc.names[d.Name]; ok {
+		c.errorf(d.Pos(), "%s redeclared in this scope (previous %s)", d.Name, prev.Kind)
+	}
+	if d.Type.Kind == ast.TypeArray && kind != SymGlobal {
+		c.errorf(d.Pos(), "array %s must be declared at global scope", d.Name)
+	}
+	sym := &Symbol{ID: c.info.nextID, Name: d.Name, Kind: kind, Type: d.Type, Decl: d}
+	c.info.nextID++
+	sc.names[d.Name] = sym
+	c.info.Decls[d] = sym
+	return sym
+}
+
+func (c *checker) checkFunc(global *scope, f *ast.FuncDecl) {
+	c.fn = f
+	sc := newScope(global)
+	for _, p := range f.Params {
+		if _, ok := sc.names[p.Name]; ok {
+			c.errorf(p.PosTok, "parameter %s redeclared", p.Name)
+		}
+		sym := &Symbol{ID: c.info.nextID, Name: p.Name, Kind: SymParam, Type: p.Type}
+		c.info.nextID++
+		sc.names[p.Name] = sym
+		c.info.ParamSyms[f] = append(c.info.ParamSyms[f], sym)
+	}
+	c.checkBlock(sc, f.Body)
+	c.fn = nil
+}
+
+func (c *checker) checkBlock(parent *scope, b *ast.BlockStmt) {
+	sc := newScope(parent)
+	for _, s := range b.Stmts {
+		c.checkStmt(sc, s)
+	}
+}
+
+func (c *checker) checkStmt(sc *scope, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.checkBlock(sc, s)
+	case *ast.DeclStmt:
+		d := s.Decl
+		if d.Init != nil {
+			t := c.checkExpr(sc, d.Init, nil)
+			c.checkAssignable(d.Pos(), d.Type, t, d.Init)
+		}
+		c.declare(sc, d, SymLocal)
+	case *ast.AssignStmt:
+		lt := c.checkLValue(sc, s.LHS)
+		rt := c.checkExpr(sc, s.RHS, nil)
+		if s.Op != token.ASSIGN && lt.Kind == ast.TypeFloat && s.Op == token.PERCENTEQ {
+			c.errorf(s.Pos(), "%% is not defined on float")
+		}
+		c.checkAssignable(s.Pos(), lt, rt, s.RHS)
+	case *ast.ExprStmt:
+		c.checkExpr(sc, s.X, nil)
+	case *ast.IfStmt:
+		c.checkCond(sc, s.Cond)
+		c.checkBlock(sc, s.Then)
+		if s.Else != nil {
+			c.checkStmt(sc, s.Else)
+		}
+	case *ast.WhileStmt:
+		c.checkCond(sc, s.Cond)
+		c.loop++
+		c.checkBlock(sc, s.Body)
+		c.loop--
+	case *ast.DoWhileStmt:
+		c.loop++
+		c.checkBlock(sc, s.Body)
+		c.loop--
+		c.checkCond(sc, s.Cond)
+	case *ast.ForStmt:
+		inner := newScope(sc)
+		if s.Init != nil {
+			c.checkStmt(inner, s.Init)
+		}
+		if s.Cond != nil {
+			c.checkCond(inner, s.Cond)
+		}
+		if s.Post != nil {
+			c.checkStmt(inner, s.Post)
+		}
+		c.loop++
+		c.checkBlock(inner, s.Body)
+		c.loop--
+	case *ast.BreakStmt:
+		if c.loop == 0 {
+			c.errorf(s.Pos(), "break outside loop")
+		}
+	case *ast.ContinueStmt:
+		if c.loop == 0 {
+			c.errorf(s.Pos(), "continue outside loop")
+		}
+	case *ast.ReturnStmt:
+		want := c.fn.Result
+		if s.X == nil {
+			if want.Kind != ast.TypeVoid {
+				c.errorf(s.Pos(), "missing return value (function returns %s)", want)
+			}
+			return
+		}
+		if want.Kind == ast.TypeVoid {
+			c.errorf(s.Pos(), "void function returns a value")
+			c.checkExpr(sc, s.X, nil)
+			return
+		}
+		t := c.checkExpr(sc, s.X, nil)
+		c.checkAssignable(s.Pos(), want, t, s.X)
+	}
+}
+
+func (c *checker) checkCond(sc *scope, e ast.Expr) {
+	t := c.checkExpr(sc, e, nil)
+	if !t.IsNumeric() {
+		c.errorf(e.Pos(), "condition must be numeric, got %s", t)
+	}
+}
+
+func (c *checker) checkLValue(sc *scope, e ast.Expr) ast.Type {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sym := c.resolve(sc, e)
+		if sym == nil {
+			return ast.Type{Kind: ast.TypeInt}
+		}
+		if sym.Type.Kind == ast.TypeArray {
+			c.errorf(e.Pos(), "cannot assign to array %s as a whole", e.Name)
+			return ast.Type{Kind: sym.Type.Elem}
+		}
+		ast.SetType(e, sym.Type)
+		return sym.Type
+	case *ast.IndexExpr:
+		return c.checkExpr(sc, e, nil)
+	default:
+		c.errorf(e.Pos(), "invalid assignment target")
+		return ast.Type{Kind: ast.TypeInt}
+	}
+}
+
+func (c *checker) resolve(sc *scope, id *ast.Ident) *Symbol {
+	sym := sc.lookup(id.Name)
+	if sym == nil {
+		c.errorf(id.Pos(), "undefined: %s", id.Name)
+		return nil
+	}
+	c.info.Uses[id] = sym
+	return sym
+}
+
+func (c *checker) checkAssignable(pos source.Pos, dst, src ast.Type, rhs ast.Expr) {
+	if dst.Kind == ast.TypeArray {
+		return // already reported
+	}
+	if dst.Kind == src.Kind {
+		return
+	}
+	if dst.Kind == ast.TypeFloat && src.Kind == ast.TypeInt {
+		return // implicit widening
+	}
+	c.errorf(pos, "cannot assign %s to %s (use an explicit cast)", src, dst)
+	_ = rhs
+}
+
+func (c *checker) checkExpr(sc *scope, e ast.Expr, _ *ast.Type) ast.Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		t := ast.Type{Kind: ast.TypeInt}
+		ast.SetType(e, t)
+		return t
+	case *ast.FloatLit:
+		t := ast.Type{Kind: ast.TypeFloat}
+		ast.SetType(e, t)
+		return t
+	case *ast.StrLit:
+		c.errorf(e.Pos(), "string literal only allowed as print argument")
+		t := ast.Type{Kind: ast.TypeInt}
+		ast.SetType(e, t)
+		return t
+	case *ast.Ident:
+		sym := c.resolve(sc, e)
+		if sym == nil {
+			t := ast.Type{Kind: ast.TypeInt}
+			ast.SetType(e, t)
+			return t
+		}
+		if sym.Type.Kind == ast.TypeArray {
+			c.errorf(e.Pos(), "array %s used without index", e.Name)
+			t := ast.Type{Kind: sym.Type.Elem}
+			ast.SetType(e, t)
+			return t
+		}
+		ast.SetType(e, sym.Type)
+		return sym.Type
+	case *ast.IndexExpr:
+		sym := c.resolve(sc, e.Array)
+		elem := ast.TypeInt
+		if sym != nil {
+			if sym.Type.Kind != ast.TypeArray {
+				c.errorf(e.Pos(), "%s is not an array", e.Array.Name)
+			} else {
+				elem = sym.Type.Elem
+				if len(e.Index) != len(sym.Type.Dims) {
+					c.errorf(e.Pos(), "array %s has %d dimension(s), %d index(es) given",
+						e.Array.Name, len(sym.Type.Dims), len(e.Index))
+				}
+			}
+			ast.SetType(e.Array, sym.Type)
+		}
+		for _, ix := range e.Index {
+			t := c.checkExpr(sc, ix, nil)
+			if t.Kind != ast.TypeInt {
+				c.errorf(ix.Pos(), "array index must be int, got %s", t)
+			}
+		}
+		t := ast.Type{Kind: elem}
+		ast.SetType(e, t)
+		return t
+	case *ast.BinaryExpr:
+		xt := c.checkExpr(sc, e.X, nil)
+		yt := c.checkExpr(sc, e.Y, nil)
+		t := c.binaryType(e, xt, yt)
+		ast.SetType(e, t)
+		return t
+	case *ast.UnaryExpr:
+		xt := c.checkExpr(sc, e.X, nil)
+		switch e.Op {
+		case token.MINUS:
+			if !xt.IsNumeric() {
+				c.errorf(e.Pos(), "operand of - must be numeric")
+			}
+			ast.SetType(e, xt)
+			return xt
+		case token.NOT:
+			if !xt.IsNumeric() {
+				c.errorf(e.Pos(), "operand of ! must be numeric")
+			}
+			t := ast.Type{Kind: ast.TypeInt}
+			ast.SetType(e, t)
+			return t
+		case token.TILDE:
+			if xt.Kind != ast.TypeInt {
+				c.errorf(e.Pos(), "operand of ~ must be int")
+			}
+			t := ast.Type{Kind: ast.TypeInt}
+			ast.SetType(e, t)
+			return t
+		}
+		t := ast.Type{Kind: ast.TypeInt}
+		ast.SetType(e, t)
+		return t
+	case *ast.CastExpr:
+		c.checkExpr(sc, e.X, nil)
+		t := ast.Type{Kind: e.To}
+		ast.SetType(e, t)
+		return t
+	case *ast.CallExpr:
+		return c.checkCall(sc, e)
+	}
+	return ast.Type{Kind: ast.TypeInvalid}
+}
+
+func (c *checker) binaryType(e *ast.BinaryExpr, xt, yt ast.Type) ast.Type {
+	intT := ast.Type{Kind: ast.TypeInt}
+	floatT := ast.Type{Kind: ast.TypeFloat}
+	if !xt.IsNumeric() || !yt.IsNumeric() {
+		c.errorf(e.Pos(), "operands of %s must be numeric", e.Op)
+		return intT
+	}
+	switch e.Op {
+	case token.EQ, token.NEQ, token.LT, token.GT, token.LEQ, token.GEQ, token.LAND, token.LOR:
+		return intT
+	case token.PERCENT, token.AMP, token.PIPE, token.CARET, token.SHL, token.SHR:
+		if xt.Kind != ast.TypeInt || yt.Kind != ast.TypeInt {
+			c.errorf(e.Pos(), "operands of %s must be int", e.Op)
+		}
+		return intT
+	default:
+		if xt.Kind == ast.TypeFloat || yt.Kind == ast.TypeFloat {
+			return floatT
+		}
+		return intT
+	}
+}
+
+func (c *checker) checkCall(sc *scope, e *ast.CallExpr) ast.Type {
+	if b, ok := Builtins[e.Name]; ok {
+		if b.Variadic {
+			for _, a := range e.Args {
+				if _, isStr := a.(*ast.StrLit); isStr {
+					ast.SetType(a, ast.Type{Kind: ast.TypeInt})
+					continue
+				}
+				c.checkExpr(sc, a, nil)
+			}
+		} else {
+			if len(e.Args) != len(b.Params) {
+				c.errorf(e.Pos(), "%s expects %d argument(s), got %d", b.Name, len(b.Params), len(e.Args))
+			}
+			for i, a := range e.Args {
+				t := c.checkExpr(sc, a, nil)
+				if i < len(b.Params) {
+					want := b.Params[i]
+					if t.Kind != want && !(want == ast.TypeFloat && t.Kind == ast.TypeInt) {
+						c.errorf(a.Pos(), "argument %d of %s must be %s, got %s", i+1, b.Name, want, t)
+					}
+				}
+			}
+		}
+		t := ast.Type{Kind: b.Result}
+		ast.SetType(e, t)
+		return t
+	}
+	f, ok := c.info.Funcs[e.Name]
+	if !ok {
+		c.errorf(e.Pos(), "undefined function: %s", e.Name)
+		t := ast.Type{Kind: ast.TypeInt}
+		ast.SetType(e, t)
+		return t
+	}
+	c.info.Calls[e] = f
+	if len(e.Args) != len(f.Params) {
+		c.errorf(e.Pos(), "%s expects %d argument(s), got %d", f.Name, len(f.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		t := c.checkExpr(sc, a, nil)
+		if i < len(f.Params) {
+			c.checkAssignable(a.Pos(), f.Params[i].Type, t, a)
+		}
+	}
+	ast.SetType(e, f.Result)
+	return f.Result
+}
+
+func isConstExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.IntLit, *ast.FloatLit:
+		return true
+	case *ast.UnaryExpr:
+		return isConstExpr(e.X)
+	case *ast.BinaryExpr:
+		return isConstExpr(e.X) && isConstExpr(e.Y)
+	case *ast.CastExpr:
+		return isConstExpr(e.X)
+	}
+	return false
+}

@@ -1,0 +1,160 @@
+package sem_test
+
+import (
+	"strings"
+	"testing"
+
+	"sptc/internal/parser"
+	"sptc/internal/sem"
+)
+
+func check(t *testing.T, src string) (*sem.Info, error) {
+	t.Helper()
+	p, err := parser.Parse("t.spl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sem.Check(p)
+}
+
+func mustCheck(t *testing.T, src string) *sem.Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func mustFail(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not mention %q", err, wantSubstr)
+	}
+}
+
+func TestValidProgram(t *testing.T) {
+	info := mustCheck(t, `
+var g int = 2 + 3;
+var a float[8];
+
+func helper(x int, s float) float {
+	return float(x) + s;
+}
+
+func main() {
+	var i int;
+	for (i = 0; i < 8; i++) {
+		a[i] = helper(i, 0.5) * 2.0;
+	}
+	print("sum", a[0], g);
+}
+`)
+	if len(info.Globals) != 2 {
+		t.Errorf("globals: %d", len(info.Globals))
+	}
+	if info.Funcs["helper"] == nil || info.Funcs["main"] == nil {
+		t.Error("function table incomplete")
+	}
+}
+
+func TestScoping(t *testing.T) {
+	mustCheck(t, `
+func main() {
+	var x int = 1;
+	{
+		var x float = 2.0; // shadows outer x
+		print(x);
+	}
+	print(x);
+}
+`)
+	mustFail(t, `func main() { var x int; var x int; }`, "redeclared")
+	mustFail(t, `func main() { print(y); }`, "undefined: y")
+	mustFail(t, `func f(a int, a int) { }`, "redeclared")
+}
+
+func TestTypeRules(t *testing.T) {
+	// Implicit int->float widening is allowed.
+	mustCheck(t, `func main() { var f float = 3; f = f + 1; }`)
+	// float->int requires a cast.
+	mustFail(t, `func main() { var i int = 1.5; }`, "cast")
+	mustFail(t, `func main() { var f float; var i int = f; }`, "cast")
+	// % and bitwise ops are int-only.
+	mustFail(t, `func main() { var f float = 1.5 % 2.0; }`, "int")
+	mustFail(t, `func main() { var f float = 1.0 & 2.0; }`, "int")
+	// Array index must be int.
+	mustFail(t, `var a int[4]; func main() { a[1.5] = 0; }`, "index must be int")
+}
+
+func TestArrays(t *testing.T) {
+	mustFail(t, `func main() { var a int[4]; }`, "global scope")
+	mustFail(t, `var a int[4]; func main() { a = 3; }`, "array")
+	mustFail(t, `var a int[4]; func main() { print(a); }`, "without index")
+	mustFail(t, `var m int[2][2]; func main() { m[0] = 1; }`, "dimension")
+}
+
+func TestFunctions(t *testing.T) {
+	mustFail(t, `func f() int { } func main() { f(1); }`, "argument")
+	mustFail(t, `func f(x int) {} func main() { f(); }`, "argument")
+	mustFail(t, `func main() { nosuch(); }`, "undefined function")
+	mustFail(t, `func f() {} func f() {} func main() {}`, "redeclared")
+	mustFail(t, `func print() {} func main() {}`, "builtin")
+	mustFail(t, `func f() int { return; } func main() {}`, "missing return value")
+	mustFail(t, `func f() { return 3; } func main() {}`, "void function")
+}
+
+func TestBreakContinueOutsideLoop(t *testing.T) {
+	mustFail(t, `func main() { break; }`, "break outside loop")
+	mustFail(t, `func main() { continue; }`, "continue outside loop")
+	mustCheck(t, `func main() { while (1) { if (1) { break; } continue; } }`)
+}
+
+func TestBuiltins(t *testing.T) {
+	mustCheck(t, `func main() {
+		print(fabs(-1.5), fsqrt(2.0), fmin(1.0, 2.0), fmax(1.0, 2.0));
+		print(iabs(-3), imin(1, 2), imax(1, 2));
+	}`)
+	mustFail(t, `func main() { var f float = fabs(); }`, "argument")
+	mustFail(t, `func main() { print(imin(1.5, 2)); }`, "must be int")
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	mustCheck(t, `var x int = 1 << 4; func main() {}`)
+	mustFail(t, `var x int = y; var y int; func main() {}`, "")
+	mustFail(t, `func f() int { return 1; } var x int = f(); func main() {}`, "constant")
+}
+
+func TestMainRequired(t *testing.T) {
+	mustFail(t, `func helper() {}`, "no main")
+}
+
+func TestStringOnlyInPrint(t *testing.T) {
+	mustCheck(t, `func main() { print("label", 3); }`)
+	mustFail(t, `func main() { var x int = "nope"; }`, "string literal")
+}
+
+func TestUsesResolved(t *testing.T) {
+	info := mustCheck(t, `
+var g int;
+func main() {
+	var l int = g;
+	l = l + g;
+	print(l);
+}
+`)
+	// Every identifier use must resolve to a symbol.
+	countGlobal := 0
+	for _, sym := range info.Uses {
+		if sym.Kind == sem.SymGlobal {
+			countGlobal++
+		}
+	}
+	if countGlobal != 2 {
+		t.Errorf("expected 2 uses of global g, got %d", countGlobal)
+	}
+}

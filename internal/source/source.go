@@ -1,0 +1,139 @@
+// Package source provides source positions and diagnostics shared by the
+// SPL front end (lexer, parser, semantic analysis).
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos identifies a location in a source file by 1-based line and column.
+// The zero Pos is "no position".
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p denotes an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Before reports whether p appears strictly before q in the file.
+func (p Pos) Before(q Pos) bool {
+	return p.Line < q.Line || (p.Line == q.Line && p.Col < q.Col)
+}
+
+// File associates a name with source text and supports position lookup.
+type File struct {
+	Name string
+	Text string
+
+	lineStarts []int // byte offset of each line start
+}
+
+// NewFile creates a File and indexes its line starts.
+func NewFile(name, text string) *File {
+	f := &File{Name: name, Text: text}
+	f.lineStarts = append(f.lineStarts, 0)
+	for i := 0; i < len(text); i++ {
+		if text[i] == '\n' {
+			f.lineStarts = append(f.lineStarts, i+1)
+		}
+	}
+	return f
+}
+
+// PosFor converts a byte offset into a Pos.
+func (f *File) PosFor(offset int) Pos {
+	if offset < 0 {
+		return Pos{}
+	}
+	if offset > len(f.Text) {
+		offset = len(f.Text)
+	}
+	line := sort.Search(len(f.lineStarts), func(i int) bool {
+		return f.lineStarts[i] > offset
+	})
+	return Pos{Line: line, Col: offset - f.lineStarts[line-1] + 1}
+}
+
+// Line returns the text of the 1-based line n, without the newline.
+func (f *File) Line(n int) string {
+	if n < 1 || n > len(f.lineStarts) {
+		return ""
+	}
+	start := f.lineStarts[n-1]
+	end := len(f.Text)
+	if n < len(f.lineStarts) {
+		end = f.lineStarts[n] - 1
+	}
+	return f.Text[start:end]
+}
+
+// An Error is a diagnostic tied to a source position.
+type Error struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.File == "" {
+		return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+}
+
+// ErrorList accumulates diagnostics. The zero value is ready to use.
+type ErrorList struct {
+	list []*Error
+}
+
+// Add appends a new diagnostic.
+func (l *ErrorList) Add(file string, pos Pos, format string, args ...any) {
+	l.list = append(l.list, &Error{File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of diagnostics collected.
+func (l *ErrorList) Len() int { return len(l.list) }
+
+// All returns the collected diagnostics in order of addition.
+func (l *ErrorList) All() []*Error { return l.list }
+
+// Err returns an error summarizing the list, or nil if it is empty.
+func (l *ErrorList) Err() error {
+	if len(l.list) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Error formats every diagnostic, one per line.
+func (l *ErrorList) Error() string {
+	var b strings.Builder
+	for i, e := range l.list {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Sort orders the diagnostics by file, then position.
+func (l *ErrorList) Sort() {
+	sort.SliceStable(l.list, func(i, j int) bool {
+		a, b := l.list[i], l.list[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Pos.Before(b.Pos)
+	})
+}

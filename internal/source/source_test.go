@@ -1,0 +1,111 @@
+package source_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sptc/internal/source"
+)
+
+func TestPosFor(t *testing.T) {
+	f := source.NewFile("t", "ab\ncd\n\nxyz")
+	cases := []struct {
+		off       int
+		line, col int
+	}{
+		{0, 1, 1}, {1, 1, 2}, {2, 1, 3},
+		{3, 2, 1}, {5, 2, 3},
+		{6, 3, 1},
+		{7, 4, 1}, {9, 4, 3},
+	}
+	for _, c := range cases {
+		got := f.PosFor(c.off)
+		if got.Line != c.line || got.Col != c.col {
+			t.Errorf("PosFor(%d) = %v, want %d:%d", c.off, got, c.line, c.col)
+		}
+	}
+	if p := f.PosFor(-1); p.IsValid() {
+		t.Error("negative offset should be invalid")
+	}
+}
+
+func TestLine(t *testing.T) {
+	f := source.NewFile("t", "first\nsecond\nthird")
+	if got := f.Line(2); got != "second" {
+		t.Errorf("Line(2) = %q", got)
+	}
+	if got := f.Line(3); got != "third" {
+		t.Errorf("Line(3) = %q", got)
+	}
+	if got := f.Line(99); got != "" {
+		t.Errorf("Line(99) = %q", got)
+	}
+}
+
+func TestErrorListSortAndFormat(t *testing.T) {
+	var l source.ErrorList
+	l.Add("b.spl", source.Pos{Line: 1, Col: 1}, "later file")
+	l.Add("a.spl", source.Pos{Line: 5, Col: 2}, "second")
+	l.Add("a.spl", source.Pos{Line: 2, Col: 9}, "first %d", 42)
+	l.Sort()
+	all := l.All()
+	if all[0].Msg != "first 42" || all[1].Msg != "second" || all[2].Msg != "later file" {
+		t.Errorf("sort order wrong: %v", l.Error())
+	}
+	msg := l.Error()
+	if !strings.Contains(msg, "a.spl:2:9: first 42") {
+		t.Errorf("format: %q", msg)
+	}
+	if l.Err() == nil {
+		t.Error("non-empty list should be an error")
+	}
+	var empty source.ErrorList
+	if empty.Err() != nil {
+		t.Error("empty list should be nil error")
+	}
+}
+
+func TestPosBefore(t *testing.T) {
+	a := source.Pos{Line: 1, Col: 5}
+	b := source.Pos{Line: 1, Col: 6}
+	c := source.Pos{Line: 2, Col: 1}
+	if !a.Before(b) || !b.Before(c) || c.Before(a) || a.Before(a) {
+		t.Error("Before ordering broken")
+	}
+}
+
+// TestQuickPosForRoundTrip: for any generated text, PosFor(offset) maps
+// back to the exact byte via line starts.
+func TestQuickPosForRoundTrip(t *testing.T) {
+	f := func(seed uint32, n uint8) bool {
+		var b strings.Builder
+		x := seed
+		for i := 0; i < int(n); i++ {
+			x = x*1664525 + 1013904223
+			if x%7 == 0 {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(byte('a' + x%26))
+			}
+		}
+		text := b.String()
+		file := source.NewFile("q", text)
+		lineStart := 0
+		line := 1
+		for off := 0; off < len(text); off++ {
+			p := file.PosFor(off)
+			if p.Line != line || p.Col != off-lineStart+1 {
+				return false
+			}
+			if text[off] == '\n' {
+				line++
+				lineStart = off + 1
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package ssa
+
+import (
+	"sptc/internal/ir"
+)
+
+// Build converts f into SSA form: phi insertion at dominance frontiers
+// followed by dominator-tree renaming. Only scalar locals participate;
+// globals and arrays remain explicit memory operations, matching the
+// paper's HSSA-based setting where aliased memory stays in mu/chi form.
+func Build(f *ir.Func, dom *DomTree) {
+	insertPhis(f, dom)
+	rename(f, dom)
+}
+
+func insertPhis(f *ir.Func, dom *DomTree) {
+	// Definition sites per base variable.
+	defSites := make(map[*ir.Var][]*ir.Block)
+	defBlocks := make(map[*ir.Var]map[*ir.Block]bool)
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			if d := s.Defs(); d != nil {
+				base := d.Base
+				if defBlocks[base] == nil {
+					defBlocks[base] = make(map[*ir.Block]bool)
+				}
+				if !defBlocks[base][b] {
+					defBlocks[base][b] = true
+					defSites[base] = append(defSites[base], b)
+				}
+			}
+		}
+	}
+
+	for base, sites := range defSites {
+		hasPhi := make(map[*ir.Block]bool)
+		work := append([]*ir.Block(nil), sites...)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, d := range dom.Frontier[b] {
+				if hasPhi[d] {
+					continue
+				}
+				hasPhi[d] = true
+				phi := f.NewStmt(ir.StmtPhi)
+				phi.Dst = base // placeholder; renamed later
+				phi.PhiArgs = make([]*ir.Var, len(d.Preds))
+				for i := range phi.PhiArgs {
+					phi.PhiArgs[i] = base
+				}
+				d.Stmts = append([]*ir.Stmt{phi}, d.Stmts...)
+				if !defBlocks[base][d] {
+					defBlocks[base][d] = true
+					work = append(work, d)
+				}
+			}
+		}
+	}
+}
+
+func rename(f *ir.Func, dom *DomTree) {
+	stacks := make(map[*ir.Var][]*ir.Var) // base -> version stack
+	counter := make(map[*ir.Var]int)
+
+	top := func(base *ir.Var) *ir.Var {
+		st := stacks[base]
+		if len(st) == 0 {
+			// Use before def (possible only for params, which are their
+			// own version 0, or for ill-formed code): the base itself.
+			return base
+		}
+		return st[len(st)-1]
+	}
+	push := func(base *ir.Var) *ir.Var {
+		counter[base]++
+		nv := f.NewVersion(base, counter[base])
+		stacks[base] = append(stacks[base], nv)
+		return nv
+	}
+
+	for _, p := range f.Params {
+		stacks[p] = append(stacks[p], p)
+	}
+
+	renameOp := func(o *ir.Op) {
+		o.Walk(func(x *ir.Op) {
+			if x.Kind == ir.OpUseVar {
+				x.Var = top(x.Var.Base)
+			}
+		})
+	}
+
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		pushed := make(map[*ir.Var]int)
+
+		for _, s := range b.Stmts {
+			if s.Kind != ir.StmtPhi {
+				for _, ix := range s.Index {
+					renameOp(ix)
+				}
+				if s.RHS != nil {
+					renameOp(s.RHS)
+				}
+			}
+			if d := s.Defs(); d != nil {
+				base := d.Base
+				s.Dst = push(base)
+				pushed[base]++
+			}
+		}
+
+		// Fill phi args in successors.
+		for _, succ := range b.Succs {
+			pi := succ.PredIndex(b)
+			if pi < 0 {
+				continue
+			}
+			for _, phi := range succ.Phis() {
+				base := phi.PhiArgs[pi].Base
+				phi.PhiArgs[pi] = top(base)
+			}
+		}
+
+		for _, c := range dom.Children[b] {
+			walk(c)
+		}
+
+		for base, n := range pushed {
+			stacks[base] = stacks[base][:len(stacks[base])-n]
+		}
+	}
+	walk(f.Entry)
+}
+
+// Collapse takes f out of SSA form: phi nodes are removed and every
+// variable occurrence is replaced by its base (version-0) variable. This
+// is only semantics-preserving when the SSA form was derived directly
+// from an imperative program without interleaving-live-range rewrites
+// (i.e., before copy propagation); the SPT transformation passes rely on
+// this to perform code motion at the base-variable level, exactly where
+// the paper inserts its temporaries (Figures 10/11).
+func Collapse(f *ir.Func) {
+	for _, b := range f.Blocks {
+		var kept []*ir.Stmt
+		for _, s := range b.Stmts {
+			if s.Kind == ir.StmtPhi {
+				continue
+			}
+			if s.Dst != nil {
+				s.Dst = s.Dst.Base
+			}
+			s.Ops(func(o *ir.Op) {
+				if o.Kind == ir.OpUseVar {
+					o.Var = o.Var.Base
+				}
+			})
+			kept = append(kept, s)
+		}
+		b.Stmts = kept
+	}
+}
+
+// Repair rebuilds SSA from scratch after a transformation: it collapses
+// every variable to its base version, removes phis, then re-runs phi
+// insertion and renaming (the paper's "SSA renaming" cleanup step).
+func Repair(f *ir.Func) *DomTree {
+	Collapse(f)
+	dom := BuildDomTree(f)
+	Build(f, dom)
+	return dom
+}

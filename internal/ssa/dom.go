@@ -1,0 +1,148 @@
+// Package ssa implements SSA construction and the supporting CFG analyses
+// (dominator tree, dominance frontiers, natural-loop detection) plus the
+// SSA cleanup passes the paper's transformation relies on: copy
+// propagation and dead-code elimination.
+package ssa
+
+import "sptc/internal/ir"
+
+// DomTree holds immediate-dominator information for one function.
+type DomTree struct {
+	Func *ir.Func
+	// Idom maps a block to its immediate dominator (nil for entry).
+	Idom map[*ir.Block]*ir.Block
+	// Children maps a block to the blocks it immediately dominates.
+	Children map[*ir.Block][]*ir.Block
+	// Frontier is the dominance frontier of each block.
+	Frontier map[*ir.Block][]*ir.Block
+
+	rpoNum map[*ir.Block]int
+	rpo    []*ir.Block
+}
+
+// BuildDomTree computes the dominator tree and dominance frontiers using
+// the Cooper-Harvey-Kennedy iterative algorithm.
+func BuildDomTree(f *ir.Func) *DomTree {
+	t := &DomTree{
+		Func:     f,
+		Idom:     make(map[*ir.Block]*ir.Block),
+		Children: make(map[*ir.Block][]*ir.Block),
+		Frontier: make(map[*ir.Block][]*ir.Block),
+		rpoNum:   make(map[*ir.Block]int),
+	}
+
+	// Reverse postorder.
+	seen := make(map[*ir.Block]bool)
+	var post []*ir.Block
+	var dfs func(*ir.Block)
+	dfs = func(b *ir.Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry)
+	for i := len(post) - 1; i >= 0; i-- {
+		t.rpo = append(t.rpo, post[i])
+	}
+	for i, b := range t.rpo {
+		t.rpoNum[b] = i
+	}
+
+	// Iterative idom computation.
+	t.Idom[f.Entry] = f.Entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range t.rpo {
+			if b == f.Entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if _, ok := t.Idom[p]; !ok {
+					continue // not yet processed / unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.Idom[b] != newIdom {
+				t.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	t.Idom[f.Entry] = nil
+
+	for b, id := range t.Idom {
+		if id != nil {
+			t.Children[id] = append(t.Children[id], b)
+		}
+	}
+
+	// Dominance frontiers.
+	for _, b := range t.rpo {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if _, ok := t.rpoNum[p]; !ok {
+				continue
+			}
+			runner := p
+			for runner != nil && runner != t.Idom[b] {
+				t.Frontier[runner] = appendUnique(t.Frontier[runner], b)
+				runner = t.Idom[runner]
+			}
+		}
+	}
+	return t
+}
+
+func appendUnique(list []*ir.Block, b *ir.Block) []*ir.Block {
+	for _, x := range list {
+		if x == b {
+			return list
+		}
+	}
+	return append(list, b)
+}
+
+func (t *DomTree) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for t.rpoNum[a] > t.rpoNum[b] {
+			a = t.Idom[a]
+			if a == nil {
+				return b
+			}
+		}
+		for t.rpoNum[b] > t.rpoNum[a] {
+			b = t.Idom[b]
+			if b == nil {
+				return a
+			}
+		}
+	}
+	return a
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = t.Idom[b]
+	}
+	return false
+}
+
+// RPO returns the blocks in reverse postorder.
+func (t *DomTree) RPO() []*ir.Block { return t.rpo }

@@ -1,0 +1,332 @@
+package ssa
+
+import (
+	"fmt"
+	"sort"
+
+	"sptc/internal/ir"
+)
+
+// Loop describes one natural loop.
+type Loop struct {
+	ID       int
+	Func     *ir.Func
+	Header   *ir.Block
+	Latches  []*ir.Block        // sources of back edges into Header
+	Blocks   []*ir.Block        // all blocks in the loop, header first
+	blockSet map[*ir.Block]bool //
+	Exits    []*ir.Block        // blocks outside the loop targeted from inside
+	Parent   *Loop              // enclosing loop, or nil
+	Children []*Loop            // directly nested loops
+	Depth    int                // 1 for outermost
+	Kind     LoopKind           // structural classification
+}
+
+// LoopKind classifies loop shapes, mirroring the paper's DO-loop vs
+// while-loop distinction (ORC's LNO unrolled only DO loops).
+type LoopKind int
+
+// Loop kinds.
+const (
+	// LoopWhile is a general loop whose trip count is not a simple
+	// affine function of an induction variable.
+	LoopWhile LoopKind = iota
+	// LoopDo is a counted (DO) loop: header test i <op> bound with a
+	// single induction increment in the loop.
+	LoopDo
+)
+
+func (k LoopKind) String() string {
+	if k == LoopDo {
+		return "do"
+	}
+	return "while"
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *ir.Block) bool { return l.blockSet[b] }
+
+// BodySize returns the loop body size in elementary operations.
+func (l *Loop) BodySize() int { return ir.BodySize(l.Blocks) }
+
+// EffectiveBodySize returns the loop body size with every non-builtin
+// call expanded to its callee's static size (transitively, with cycles
+// cut). This is the size of the speculative thread the hardware must
+// buffer, which is what the paper's body-size criteria bound: a loop
+// whose body is one call to a large function is not a small loop.
+func (l *Loop) EffectiveBodySize() int {
+	return ir.NewSizeCache().BlocksSize(l.Blocks)
+}
+
+// String identifies the loop for diagnostics.
+func (l *Loop) String() string {
+	return fmt.Sprintf("loop%d(%s,header=b%d,depth=%d)", l.ID, l.Kind, l.Header.ID, l.Depth)
+}
+
+// LoopNest is all loops of a function.
+type LoopNest struct {
+	Func  *ir.Func
+	Loops []*Loop // all loops, outer before inner
+	Top   []*Loop // outermost loops
+	// ByHeader maps header blocks to their loop.
+	ByHeader map[*ir.Block]*Loop
+}
+
+// FindLoops detects natural loops via dominator-based back-edge analysis
+// and builds the loop-nest tree.
+func FindLoops(f *ir.Func, dom *DomTree) *LoopNest {
+	nest := &LoopNest{Func: f, ByHeader: make(map[*ir.Block]*Loop)}
+
+	// Back edges: b -> h where h dominates b.
+	type backEdge struct{ from, to *ir.Block }
+	var backs []backEdge
+	for _, b := range dom.RPO() {
+		for _, s := range b.Succs {
+			if dom.Dominates(s, b) {
+				backs = append(backs, backEdge{b, s})
+			}
+		}
+	}
+
+	// Group back edges by header; collect the natural loop of each.
+	byHeader := make(map[*ir.Block][]*ir.Block)
+	for _, e := range backs {
+		byHeader[e.to] = append(byHeader[e.to], e.from)
+	}
+
+	var headers []*ir.Block
+	for h := range byHeader {
+		headers = append(headers, h)
+	}
+	sort.Slice(headers, func(i, j int) bool { return headers[i].ID < headers[j].ID })
+
+	id := 0
+	for _, h := range headers {
+		l := &Loop{ID: id, Func: f, Header: h, Latches: byHeader[h], blockSet: map[*ir.Block]bool{h: true}}
+		id++
+		// Natural loop: h plus all blocks that reach a latch without
+		// passing through h.
+		var stack []*ir.Block
+		for _, latch := range l.Latches {
+			if !l.blockSet[latch] {
+				l.blockSet[latch] = true
+				stack = append(stack, latch)
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range b.Preds {
+				if !l.blockSet[p] {
+					l.blockSet[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		l.Blocks = append(l.Blocks, h)
+		for _, b := range dom.RPO() {
+			if b != h && l.blockSet[b] {
+				l.Blocks = append(l.Blocks, b)
+			}
+		}
+		exitSet := make(map[*ir.Block]bool)
+		for _, b := range l.Blocks {
+			for _, s := range b.Succs {
+				if !l.blockSet[s] && !exitSet[s] {
+					exitSet[s] = true
+					l.Exits = append(l.Exits, s)
+				}
+			}
+		}
+		nest.Loops = append(nest.Loops, l)
+		nest.ByHeader[h] = l
+	}
+
+	// Nest: parent is the smallest strictly-containing loop.
+	for _, l := range nest.Loops {
+		var best *Loop
+		for _, m := range nest.Loops {
+			if m == l || !m.Contains(l.Header) {
+				continue
+			}
+			if m.Contains(l.Header) && len(m.Blocks) > len(l.Blocks) {
+				if best == nil || len(m.Blocks) < len(best.Blocks) {
+					best = m
+				}
+			}
+		}
+		l.Parent = best
+		if best != nil {
+			best.Children = append(best.Children, l)
+		} else {
+			nest.Top = append(nest.Top, l)
+		}
+	}
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, c := range l.Children {
+			setDepth(c, d+1)
+		}
+	}
+	for _, l := range nest.Top {
+		setDepth(l, 1)
+	}
+
+	// Order outer loops before inner.
+	sort.SliceStable(nest.Loops, func(i, j int) bool {
+		if nest.Loops[i].Depth != nest.Loops[j].Depth {
+			return nest.Loops[i].Depth < nest.Loops[j].Depth
+		}
+		return nest.Loops[i].Header.ID < nest.Loops[j].Header.ID
+	})
+	for i, l := range nest.Loops {
+		l.ID = i
+	}
+
+	for _, l := range nest.Loops {
+		classify(l)
+	}
+	return nest
+}
+
+// InductionInfo describes a counted loop's induction variable, when the
+// loop is a DO loop: the header tests `iv <cmp> bound` and exactly one
+// statement in the loop computes iv += step.
+type InductionInfo struct {
+	IV      *ir.Var // version-0 base variable
+	Step    int64
+	Cmp     ir.BinOp
+	BoundOp *ir.Op   // the bound expression (loop-invariant by construction test)
+	IVLeft  bool     // the induction variable is the left operand of the test
+	Update  *ir.Stmt // the unique iv update statement
+}
+
+// classify determines whether l is a DO (counted) loop. The test runs on
+// pre-SSA IR (version-0 variables): the header terminator must compare a
+// scalar local against a loop-invariant bound, and that scalar must be
+// updated exactly once in the loop by adding/subtracting a constant.
+func classify(l *Loop) {
+	l.Kind = LoopWhile
+	if Induction(l) != nil {
+		l.Kind = LoopDo
+	}
+}
+
+// Induction returns induction info if l is a counted loop, else nil.
+func Induction(l *Loop) *InductionInfo {
+	term := l.Header.Terminator()
+	if term == nil || term.Kind != ir.StmtIf {
+		return nil
+	}
+	cond := term.RHS
+	if cond.Kind != ir.OpBin {
+		return nil
+	}
+	switch cond.Bin {
+	case ir.BinLt, ir.BinLeq, ir.BinGt, ir.BinGeq, ir.BinNeq:
+	default:
+		return nil
+	}
+	// One side must be a scalar use, the other loop-invariant.
+	var ivOp, bound *ir.Op
+	ivLeft := false
+	if cond.Args[0].Kind == ir.OpUseVar && loopInvariantOp(l, cond.Args[1]) {
+		ivOp, bound = cond.Args[0], cond.Args[1]
+		ivLeft = true
+	} else if cond.Args[1].Kind == ir.OpUseVar && loopInvariantOp(l, cond.Args[0]) {
+		ivOp, bound = cond.Args[1], cond.Args[0]
+	} else {
+		return nil
+	}
+	iv := ivOp.Var.Base
+
+	// Find updates of iv inside the loop.
+	var update *ir.Stmt
+	updates := 0
+	for _, b := range l.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind == ir.StmtAssign && s.Dst.Base == iv {
+				updates++
+				update = s
+			}
+		}
+	}
+	if updates != 1 || update == nil {
+		return nil
+	}
+	// Update must be iv = iv +/- const.
+	rhs := update.RHS
+	if rhs.Kind != ir.OpBin || (rhs.Bin != ir.BinAdd && rhs.Bin != ir.BinSub) {
+		return nil
+	}
+	var stepOp *ir.Op
+	if rhs.Args[0].Kind == ir.OpUseVar && rhs.Args[0].Var.Base == iv && rhs.Args[1].Kind == ir.OpConstInt {
+		stepOp = rhs.Args[1]
+	} else if rhs.Bin == ir.BinAdd && rhs.Args[1].Kind == ir.OpUseVar && rhs.Args[1].Var.Base == iv && rhs.Args[0].Kind == ir.OpConstInt {
+		stepOp = rhs.Args[0]
+	} else {
+		return nil
+	}
+	step := stepOp.ConstI
+	if rhs.Bin == ir.BinSub {
+		step = -step
+	}
+	if step == 0 {
+		return nil
+	}
+	return &InductionInfo{IV: iv, Step: step, Cmp: cond.Bin, BoundOp: bound, IVLeft: ivLeft, Update: update}
+}
+
+// loopInvariantOp reports whether o reads nothing defined inside l: only
+// constants and scalar locals not assigned in the loop. Loads and calls
+// are treated as variant.
+func loopInvariantOp(l *Loop, o *ir.Op) bool {
+	invariant := true
+	o.Walk(func(x *ir.Op) {
+		switch x.Kind {
+		case ir.OpConstInt, ir.OpConstFloat, ir.OpCast, ir.OpBin, ir.OpUn:
+		case ir.OpUseVar:
+			if varAssignedIn(l, x.Var.Base) {
+				invariant = false
+			}
+		default:
+			invariant = false
+		}
+	})
+	return invariant
+}
+
+func varAssignedIn(l *Loop, base *ir.Var) bool {
+	for _, b := range l.Blocks {
+		for _, s := range b.Stmts {
+			if d := s.Defs(); d != nil && d.Base == base {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Preheader returns the unique out-of-loop predecessor of the header,
+// creating one if necessary (splitting the entry edges).
+func Preheader(l *Loop) *ir.Block {
+	var outside []*ir.Block
+	for _, p := range l.Header.Preds {
+		if !l.Contains(p) {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) == 1 && len(outside[0].Succs) == 1 {
+		return outside[0]
+	}
+	f := l.Func
+	ph := f.NewBlock()
+	g := f.NewStmt(ir.StmtGoto)
+	ph.Stmts = append(ph.Stmts, g)
+	for _, p := range outside {
+		ir.RedirectEdge(p, l.Header, ph)
+	}
+	ir.AddEdge(ph, l.Header)
+	return ph
+}

@@ -1,0 +1,363 @@
+package ssa
+
+import "sptc/internal/ir"
+
+// CopyProp propagates SSA copies: after `v = w` (or `v = const`), uses of
+// v are replaced by w (or the constant). Phi nodes whose arguments are all
+// the same value collapse to copies first. The function must be in SSA
+// form. Returns the number of uses rewritten.
+func CopyProp(f *ir.Func) int {
+	// def map: var -> defining statement.
+	def := make(map[*ir.Var]*ir.Stmt)
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			if d := s.Defs(); d != nil {
+				def[d] = s
+			}
+		}
+	}
+
+	// Collapse trivial phis: phi(v, v, ...) => copy of v;
+	// phi(x, self, self...) => copy of x.
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind != ir.StmtPhi {
+				continue
+			}
+			var uniq *ir.Var
+			trivial := true
+			for _, a := range s.PhiArgs {
+				if a == s.Dst {
+					continue
+				}
+				if uniq == nil {
+					uniq = a
+				} else if uniq != a {
+					trivial = false
+					break
+				}
+			}
+			if trivial && uniq != nil {
+				s.Kind = ir.StmtAssign
+				use := f.NewOp(ir.OpUseVar, uniq.Kind)
+				use.Var = uniq
+				s.RHS = use
+				s.PhiArgs = nil
+			}
+		}
+	}
+
+	// resolve follows copy chains to the final source.
+	var resolve func(v *ir.Var, depth int) (*ir.Var, *ir.Op)
+	resolve = func(v *ir.Var, depth int) (*ir.Var, *ir.Op) {
+		if depth > 64 {
+			return v, nil
+		}
+		s := def[v]
+		if s == nil || s.Kind != ir.StmtAssign || s.RHS == nil {
+			return v, nil
+		}
+		switch s.RHS.Kind {
+		case ir.OpUseVar:
+			return resolve(s.RHS.Var, depth+1)
+		case ir.OpConstInt, ir.OpConstFloat:
+			return nil, s.RHS
+		}
+		return v, nil
+	}
+
+	n := 0
+	rewriteOp := func(o *ir.Op) {
+		o.Walk(func(x *ir.Op) {
+			if x.Kind != ir.OpUseVar {
+				return
+			}
+			v, c := resolve(x.Var, 0)
+			if c != nil {
+				// Replace with the constant, preserving the use's type.
+				want := x.Type
+				x.Kind = c.Kind
+				x.ConstI, x.ConstF = c.ConstI, c.ConstF
+				x.Var = nil
+				if want == ir.ValFloat && x.Kind == ir.OpConstInt {
+					x.Kind = ir.OpConstFloat
+					x.ConstF = float64(x.ConstI)
+				}
+				n++
+				return
+			}
+			if v != x.Var {
+				x.Var = v
+				n++
+			}
+		})
+	}
+
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind == ir.StmtPhi {
+				for i, a := range s.PhiArgs {
+					v, _ := resolve(a, 0)
+					if v != nil && v != a {
+						s.PhiArgs[i] = v
+						n++
+					}
+				}
+				continue
+			}
+			for _, ix := range s.Index {
+				rewriteOp(ix)
+			}
+			if s.RHS != nil {
+				rewriteOp(s.RHS)
+			}
+		}
+	}
+	return n
+}
+
+// DeadCode removes SSA assignments and phis whose results are never used
+// and whose right-hand sides have no side effects (no calls). It iterates
+// to a fixed point and returns the number of statements removed.
+func DeadCode(f *ir.Func) int {
+	removed := 0
+	for {
+		used := make(map[*ir.Var]bool)
+		for _, b := range f.Blocks {
+			for _, s := range b.Stmts {
+				s.UsedVars(func(v *ir.Var) { used[v] = true })
+				if s.Kind == ir.StmtPhi {
+					for _, a := range s.PhiArgs {
+						used[a] = true
+					}
+				}
+			}
+		}
+		changed := false
+		for _, b := range f.Blocks {
+			var kept []*ir.Stmt
+			for _, s := range b.Stmts {
+				dead := false
+				switch s.Kind {
+				case ir.StmtAssign:
+					dead = !used[s.Dst] && !s.RHS.HasCall()
+				case ir.StmtPhi:
+					dead = !used[s.Dst]
+				}
+				if dead {
+					removed++
+					changed = true
+					continue
+				}
+				kept = append(kept, s)
+			}
+			b.Stmts = kept
+		}
+		if !changed {
+			return removed
+		}
+	}
+}
+
+// ConstFold folds constant subexpressions in place and returns the number
+// of operations folded. Division by a constant zero is left unfolded (it
+// traps at run time, matching the interpreter).
+func ConstFold(f *ir.Func) int {
+	n := 0
+	var fold func(o *ir.Op)
+	fold = func(o *ir.Op) {
+		for _, a := range o.Args {
+			fold(a)
+		}
+		switch o.Kind {
+		case ir.OpBin:
+			x, y := o.Args[0], o.Args[1]
+			if !isConst(x) || !isConst(y) {
+				return
+			}
+			if (o.Bin == ir.BinDiv || o.Bin == ir.BinRem) && isZero(y) {
+				return
+			}
+			floatOperands := x.Kind == ir.OpConstFloat || y.Kind == ir.OpConstFloat
+			if o.Type == ir.ValFloat || floatOperands {
+				fv := foldFloat(o.Bin, constF(x), constF(y))
+				if o.Type == ir.ValFloat {
+					o.ConstF = fv
+					o.Kind = ir.OpConstFloat
+				} else {
+					o.ConstI = int64(fv)
+					o.Kind = ir.OpConstInt
+				}
+			} else {
+				v, ok := foldInt(o.Bin, constI(x), constI(y), x, y)
+				if !ok {
+					return
+				}
+				o.ConstI = v
+				o.Kind = ir.OpConstInt
+			}
+			o.Args = nil
+			n++
+		case ir.OpUn:
+			x := o.Args[0]
+			if !isConst(x) {
+				return
+			}
+			switch o.Un {
+			case ir.UnNeg:
+				if o.Type == ir.ValFloat {
+					o.ConstF = -constF(x)
+					o.Kind = ir.OpConstFloat
+				} else {
+					o.ConstI = -constI(x)
+					o.Kind = ir.OpConstInt
+				}
+			case ir.UnNot:
+				if truthy(x) {
+					o.ConstI = 0
+				} else {
+					o.ConstI = 1
+				}
+				o.Kind = ir.OpConstInt
+			case ir.UnBitNot:
+				o.ConstI = ^constI(x)
+				o.Kind = ir.OpConstInt
+			}
+			o.Args = nil
+			n++
+		case ir.OpCast:
+			x := o.Args[0]
+			if !isConst(x) {
+				return
+			}
+			if o.Type == ir.ValFloat {
+				o.ConstF = constF(x)
+				o.Kind = ir.OpConstFloat
+			} else {
+				o.ConstI = constI(x)
+				o.Kind = ir.OpConstInt
+			}
+			o.Args = nil
+			n++
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			for _, ix := range s.Index {
+				fold(ix)
+			}
+			if s.RHS != nil {
+				fold(s.RHS)
+			}
+		}
+	}
+	return n
+}
+
+func isConst(o *ir.Op) bool { return o.Kind == ir.OpConstInt || o.Kind == ir.OpConstFloat }
+
+func isZero(o *ir.Op) bool {
+	return (o.Kind == ir.OpConstInt && o.ConstI == 0) || (o.Kind == ir.OpConstFloat && o.ConstF == 0)
+}
+
+func truthy(o *ir.Op) bool { return !isZero(o) }
+
+func constI(o *ir.Op) int64 {
+	if o.Kind == ir.OpConstFloat {
+		return int64(o.ConstF)
+	}
+	return o.ConstI
+}
+
+func constF(o *ir.Op) float64 {
+	if o.Kind == ir.OpConstInt {
+		return float64(o.ConstI)
+	}
+	return o.ConstF
+}
+
+func foldInt(op ir.BinOp, x, y int64, xo, yo *ir.Op) (int64, bool) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case ir.BinAdd:
+		return x + y, true
+	case ir.BinSub:
+		return x - y, true
+	case ir.BinMul:
+		return x * y, true
+	case ir.BinDiv:
+		if y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	case ir.BinRem:
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case ir.BinAnd:
+		return x & y, true
+	case ir.BinOr:
+		return x | y, true
+	case ir.BinXor:
+		return x ^ y, true
+	case ir.BinShl:
+		return x << uint(y&63), true
+	case ir.BinShr:
+		return x >> uint(y&63), true
+	case ir.BinEq:
+		return b2i(x == y), true
+	case ir.BinNeq:
+		return b2i(x != y), true
+	case ir.BinLt:
+		return b2i(x < y), true
+	case ir.BinLeq:
+		return b2i(x <= y), true
+	case ir.BinGt:
+		return b2i(x > y), true
+	case ir.BinGeq:
+		return b2i(x >= y), true
+	case ir.BinLAnd:
+		return b2i(truthy(xo) && truthy(yo)), true
+	case ir.BinLOr:
+		return b2i(truthy(xo) || truthy(yo)), true
+	}
+	return 0, false
+}
+
+func foldFloat(op ir.BinOp, x, y float64) float64 {
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case ir.BinAdd:
+		return x + y
+	case ir.BinSub:
+		return x - y
+	case ir.BinMul:
+		return x * y
+	case ir.BinDiv:
+		return x / y
+	case ir.BinEq:
+		return b2f(x == y)
+	case ir.BinNeq:
+		return b2f(x != y)
+	case ir.BinLt:
+		return b2f(x < y)
+	case ir.BinLeq:
+		return b2f(x <= y)
+	case ir.BinGt:
+		return b2f(x > y)
+	case ir.BinGeq:
+		return b2f(x >= y)
+	}
+	return 0
+}

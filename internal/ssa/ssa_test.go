@@ -1,0 +1,353 @@
+package ssa_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sptc/internal/interp"
+	"sptc/internal/ir"
+	"sptc/internal/parser"
+	"sptc/internal/sem"
+	"sptc/internal/ssa"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := parser.Parse("t.spl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(p)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := ir.Build(info)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return prog
+}
+
+const diamondSrc = `
+func main() {
+	var x int = 0;
+	var i int;
+	for (i = 0; i < 10; i++) {
+		if (i % 2 == 0) {
+			x = x + i;
+		} else {
+			x = x - 1;
+		}
+	}
+	print(x);
+}
+`
+
+func TestDominators(t *testing.T) {
+	prog := build(t, diamondSrc)
+	f := prog.Main
+	dom := ssa.BuildDomTree(f)
+	// Entry dominates everything.
+	for _, b := range f.Blocks {
+		if !dom.Dominates(f.Entry, b) {
+			t.Errorf("entry should dominate b%d", b.ID)
+		}
+		if !dom.Dominates(b, b) {
+			t.Errorf("dominance should be reflexive (b%d)", b.ID)
+		}
+	}
+	// The idom of every non-entry block dominates it strictly.
+	for _, b := range f.Blocks {
+		if b == f.Entry {
+			continue
+		}
+		id := dom.Idom[b]
+		if id == nil {
+			t.Errorf("b%d has no idom", b.ID)
+			continue
+		}
+		if !dom.Dominates(id, b) || id == b {
+			t.Errorf("idom(b%d)=b%d not a strict dominator", b.ID, id.ID)
+		}
+	}
+}
+
+// TestDominanceFrontierProperty: for every CFG edge u->v, either u's
+// frontier contains v (if u does not strictly dominate v) — the defining
+// property used by phi placement.
+func TestDominanceFrontierProperty(t *testing.T) {
+	prog := build(t, diamondSrc)
+	f := prog.Main
+	dom := ssa.BuildDomTree(f)
+	inFrontier := func(u, v *ir.Block) bool {
+		for _, x := range dom.Frontier[u] {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, u := range f.Blocks {
+		for _, v := range u.Succs {
+			strict := dom.Dominates(u, v) && u != v
+			if !strict && len(v.Preds) >= 2 && !inFrontier(u, v) {
+				t.Errorf("edge b%d->b%d: join not in frontier", u.ID, v.ID)
+			}
+		}
+	}
+}
+
+// checkSSASingleAssignment verifies the defining SSA property.
+func checkSSASingleAssignment(t *testing.T, f *ir.Func) {
+	t.Helper()
+	defs := map[*ir.Var]int{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			if d := s.Defs(); d != nil {
+				defs[d]++
+			}
+		}
+	}
+	for v, n := range defs {
+		if n > 1 {
+			t.Errorf("%s defined %d times", v, n)
+		}
+	}
+}
+
+func TestSSAConstruction(t *testing.T) {
+	prog := build(t, diamondSrc)
+	f := prog.Main
+	dom := ssa.BuildDomTree(f)
+	ssa.Build(f, dom)
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	checkSSASingleAssignment(t, f)
+
+	// The loop header must merge x and i with phis.
+	text := ir.FormatFunc(f)
+	if !strings.Contains(text, "phi(") {
+		t.Errorf("expected phis:\n%s", text)
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	prog := build(t, `
+func main() {
+	var i int;
+	var j int;
+	var s int;
+	for (i = 0; i < 4; i++) {
+		for (j = 0; j < 4; j++) {
+			s += i * j;
+		}
+	}
+	var w int = 100;
+	while (w > 0) { w = w - (s & 7) - 1; }
+	print(s, w);
+}
+`)
+	f := prog.Main
+	dom := ssa.BuildDomTree(f)
+	nest := ssa.FindLoops(f, dom)
+	if len(nest.Loops) != 3 {
+		t.Fatalf("found %d loops, want 3", len(nest.Loops))
+	}
+	var do, while int
+	var inner *ssa.Loop
+	for _, l := range nest.Loops {
+		switch l.Kind {
+		case ssa.LoopDo:
+			do++
+		case ssa.LoopWhile:
+			while++
+		}
+		if l.Depth == 2 {
+			inner = l
+		}
+	}
+	// The two for loops are counted; the while loop's step is variable.
+	if do != 2 || while != 1 {
+		t.Errorf("do=%d while=%d", do, while)
+	}
+	if inner == nil {
+		t.Fatal("no depth-2 loop found")
+	}
+	if inner.Parent == nil || inner.Parent.Depth != 1 {
+		t.Error("nest parent links broken")
+	}
+	if ind := ssa.Induction(inner); ind == nil || ind.Step != 1 {
+		t.Errorf("inner loop induction: %+v", ind)
+	}
+}
+
+func TestCollapseRoundTrip(t *testing.T) {
+	src := `
+var acc int;
+func main() {
+	var i int;
+	for (i = 0; i < 50; i++) {
+		var t int = i * 3;
+		if (t % 4 == 1) { acc += t; } else { acc -= 1; }
+	}
+	print(acc);
+}
+`
+	prog := build(t, src)
+	f := prog.Main
+	run := func() string {
+		var out strings.Builder
+		m := interp.New(prog, &out)
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	want := run()
+	for round := 0; round < 3; round++ {
+		dom := ssa.BuildDomTree(f)
+		ssa.Build(f, dom)
+		checkSSASingleAssignment(t, f)
+		if got := run(); got != want {
+			t.Fatalf("round %d SSA: %q != %q", round, got, want)
+		}
+		ssa.Collapse(f)
+		if got := run(); got != want {
+			t.Fatalf("round %d collapse: %q != %q", round, got, want)
+		}
+	}
+}
+
+func TestCopyPropAndDCE(t *testing.T) {
+	prog := build(t, `
+func main() {
+	var a int = 5;
+	var b int = a;
+	var c int = b;
+	var unused int = 42;
+	print(c);
+}
+`)
+	f := prog.Main
+	dom := ssa.BuildDomTree(f)
+	ssa.Build(f, dom)
+	rewrites := ssa.CopyProp(f)
+	if rewrites == 0 {
+		t.Error("copy propagation found nothing")
+	}
+	removed := ssa.DeadCode(f)
+	if removed == 0 {
+		t.Error("DCE removed nothing")
+	}
+	// After cleanup, printing should still yield 5.
+	var out strings.Builder
+	if _, err := interp.New(prog, &out).Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.String() != "5\n" {
+		t.Errorf("got %q", out.String())
+	}
+}
+
+func TestConstFold(t *testing.T) {
+	prog := build(t, `func main() { print(2 + 3 * 4, (10 / 2) % 3, 1 < 2, 2.0 * 4.0); }`)
+	f := prog.Main
+	n := ssa.ConstFold(f)
+	if n == 0 {
+		t.Error("nothing folded")
+	}
+	var out strings.Builder
+	if _, err := interp.New(prog, &out).Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.String() != "14 2 1 8\n" {
+		t.Errorf("got %q", out.String())
+	}
+}
+
+func TestConstFoldDoesNotFoldDivByZero(t *testing.T) {
+	prog := build(t, `func main() { var z int = 0; if (0) { print(1 / z, 5 / 0); } print(2); }`)
+	f := prog.Main
+	ssa.ConstFold(f) // must not panic or fold 5/0
+	var out strings.Builder
+	if _, err := interp.New(prog, &out).Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.String() != "2\n" {
+		t.Errorf("got %q", out.String())
+	}
+}
+
+// TestQuickCounterLoops: for random bounds and steps, a counted loop sums
+// correctly after SSA + cleanup passes — exercising phi insertion,
+// renaming, copy propagation and folding on many loop shapes.
+func TestQuickCounterLoops(t *testing.T) {
+	f := func(bound uint8, step uint8) bool {
+		n := int64(bound % 37)
+		st := int64(step%5) + 1
+		src := `
+func main() {
+	var s int = 0;
+	var i int;
+	for (i = 0; i < ` + itoa(n) + `; i += ` + itoa(st) + `) {
+		s += i;
+	}
+	print(s);
+}
+`
+		p, err := parser.Parse("q.spl", src)
+		if err != nil {
+			return false
+		}
+		info, err := sem.Check(p)
+		if err != nil {
+			return false
+		}
+		prog, err := ir.Build(info)
+		if err != nil {
+			return false
+		}
+		fn := prog.Main
+		dom := ssa.BuildDomTree(fn)
+		ssa.Build(fn, dom)
+		ssa.CopyProp(fn)
+		ssa.ConstFold(fn)
+		ssa.DeadCode(fn)
+		var out strings.Builder
+		if _, err := interp.New(prog, &out).Run(); err != nil {
+			return false
+		}
+		want := int64(0)
+		for i := int64(0); i < n; i += st {
+			want += i
+		}
+		return out.String() == itoa(want)+"\n"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

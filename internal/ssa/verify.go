@@ -1,0 +1,106 @@
+package ssa
+
+import (
+	"fmt"
+
+	"sptc/internal/ir"
+)
+
+// VerifySSA checks the SSA invariants of f:
+//
+//  1. every variable version has at most one definition;
+//  2. every non-phi use is dominated by its definition;
+//  3. every phi argument's definition dominates the corresponding
+//     predecessor block (or is the argument's own phi, for self-loops).
+//
+// Parameters and never-defined version-0 variables (uses before any def,
+// which the builder avoids) count as defined at entry. Returns the first
+// violation, or nil.
+func VerifySSA(f *ir.Func, dom *DomTree) error {
+	defAt := make(map[*ir.Var]*ir.Block)
+	defStmt := make(map[*ir.Var]*ir.Stmt)
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			d := s.Defs()
+			if d == nil {
+				continue
+			}
+			if prev, dup := defStmt[d]; dup {
+				return fmt.Errorf("ssa: %s: %s defined by both s%d and s%d", f.Name, d, prev.ID, s.ID)
+			}
+			defStmt[d] = s
+			defAt[d] = b
+		}
+	}
+	for _, p := range f.Params {
+		defAt[p] = f.Entry
+	}
+
+	// Statement order within blocks, for same-block dominance.
+	idx := make(map[*ir.Stmt]int)
+	for _, b := range f.Blocks {
+		for i, s := range b.Stmts {
+			idx[s] = i
+		}
+	}
+
+	dominatesUse := func(v *ir.Var, useBlock *ir.Block, useStmt *ir.Stmt) error {
+		db, ok := defAt[v]
+		if !ok {
+			// Version-0 variable never defined: treated as defined at
+			// entry (zero value), which dominates everything.
+			if v.Ver == 0 {
+				return nil
+			}
+			return fmt.Errorf("ssa: %s: use of undefined %s in s%d", f.Name, v, useStmt.ID)
+		}
+		if db == useBlock {
+			ds := defStmt[v]
+			if ds != nil && idx[ds] >= idx[useStmt] {
+				return fmt.Errorf("ssa: %s: %s used at s%d before its definition s%d",
+					f.Name, v, useStmt.ID, ds.ID)
+			}
+			return nil
+		}
+		if !dom.Dominates(db, useBlock) {
+			return fmt.Errorf("ssa: %s: definition of %s (b%d) does not dominate use in b%d",
+				f.Name, v, db.ID, useBlock.ID)
+		}
+		return nil
+	}
+
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind == ir.StmtPhi {
+				for i, arg := range s.PhiArgs {
+					if i >= len(b.Preds) {
+						return fmt.Errorf("ssa: %s: phi s%d has more args than preds", f.Name, s.ID)
+					}
+					pred := b.Preds[i]
+					db, ok := defAt[arg]
+					if !ok {
+						if arg.Ver == 0 {
+							continue
+						}
+						return fmt.Errorf("ssa: %s: phi s%d uses undefined %s", f.Name, s.ID, arg)
+					}
+					if !dom.Dominates(db, pred) {
+						return fmt.Errorf("ssa: %s: phi s%d arg %s (def b%d) does not dominate pred b%d",
+							f.Name, s.ID, arg, db.ID, pred.ID)
+					}
+				}
+				continue
+			}
+			var err error
+			s.UsedVars(func(v *ir.Var) {
+				if err == nil {
+					err = dominatesUse(v, b, s)
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

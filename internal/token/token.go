@@ -1,0 +1,193 @@
+// Package token defines the lexical tokens of SPL, the small C-like
+// language compiled by the SPT framework.
+package token
+
+import "strconv"
+
+// Kind is the set of lexical token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT    // foo
+	INTLIT   // 123
+	FLOATLIT // 1.5
+	STRLIT   // "abc" (print only)
+
+	// Operators and delimiters.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	AMP   // &
+	PIPE  // |
+	CARET // ^
+	SHL   // <<
+	SHR   // >>
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	ASSIGN     // =
+	PLUSEQ     // +=
+	MINUSEQ    // -=
+	STAREQ     // *=
+	SLASHEQ    // /=
+	PERCENTEQ  // %=
+	INC        // ++
+	DEC        // --
+	EQ         // ==
+	NEQ        // !=
+	LT         // <
+	GT         // >
+	LEQ        // <=
+	GEQ        // >=
+	LPAREN     // (
+	RPAREN     // )
+	LBRACE     // {
+	RBRACE     // }
+	LBRACKET   // [
+	RBRACKET   // ]
+	COMMA      // ,
+	SEMICOLON  // ;
+	TILDE      // ~
+	QUESTION   // ? (reserved; not yet in grammar)
+	COLON      // : (reserved)
+	keywordBeg // marker
+
+	// Keywords.
+	FUNC
+	VAR
+	IF
+	ELSE
+	WHILE
+	FOR
+	DO
+	BREAK
+	CONTINUE
+	RETURN
+	INT
+	FLOAT
+	keywordEnd // marker
+)
+
+var names = map[Kind]string{
+	ILLEGAL:   "ILLEGAL",
+	EOF:       "EOF",
+	IDENT:     "IDENT",
+	INTLIT:    "INTLIT",
+	FLOATLIT:  "FLOATLIT",
+	STRLIT:    "STRLIT",
+	PLUS:      "+",
+	MINUS:     "-",
+	STAR:      "*",
+	SLASH:     "/",
+	PERCENT:   "%",
+	AMP:       "&",
+	PIPE:      "|",
+	CARET:     "^",
+	SHL:       "<<",
+	SHR:       ">>",
+	LAND:      "&&",
+	LOR:       "||",
+	NOT:       "!",
+	ASSIGN:    "=",
+	PLUSEQ:    "+=",
+	MINUSEQ:   "-=",
+	STAREQ:    "*=",
+	SLASHEQ:   "/=",
+	PERCENTEQ: "%=",
+	INC:       "++",
+	DEC:       "--",
+	EQ:        "==",
+	NEQ:       "!=",
+	LT:        "<",
+	GT:        ">",
+	LEQ:       "<=",
+	GEQ:       ">=",
+	LPAREN:    "(",
+	RPAREN:    ")",
+	LBRACE:    "{",
+	RBRACE:    "}",
+	LBRACKET:  "[",
+	RBRACKET:  "]",
+	COMMA:     ",",
+	SEMICOLON: ";",
+	TILDE:     "~",
+	QUESTION:  "?",
+	COLON:     ":",
+	FUNC:      "func",
+	VAR:       "var",
+	IF:        "if",
+	ELSE:      "else",
+	WHILE:     "while",
+	FOR:       "for",
+	DO:        "do",
+	BREAK:     "break",
+	CONTINUE:  "continue",
+	RETURN:    "return",
+	INT:       "int",
+	FLOAT:     "float",
+}
+
+// String returns a printable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return "Kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[names[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Precedence returns the binary-operator precedence of k (higher binds
+// tighter), or 0 if k is not a binary operator.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case PIPE:
+		return 3
+	case CARET:
+		return 4
+	case AMP:
+		return 5
+	case EQ, NEQ:
+		return 6
+	case LT, GT, LEQ, GEQ:
+		return 7
+	case SHL, SHR:
+		return 8
+	case PLUS, MINUS:
+		return 9
+	case STAR, SLASH, PERCENT:
+		return 10
+	}
+	return 0
+}

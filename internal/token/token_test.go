@@ -1,0 +1,65 @@
+package token_test
+
+import (
+	"testing"
+
+	"sptc/internal/token"
+)
+
+func TestLookup(t *testing.T) {
+	cases := map[string]token.Kind{
+		"func": token.FUNC, "var": token.VAR, "if": token.IF, "else": token.ELSE,
+		"while": token.WHILE, "for": token.FOR, "do": token.DO,
+		"break": token.BREAK, "continue": token.CONTINUE, "return": token.RETURN,
+		"int": token.INT, "float": token.FLOAT,
+		"foo": token.IDENT, "Func": token.IDENT, "whilex": token.IDENT,
+	}
+	for s, want := range cases {
+		if got := token.Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !token.FUNC.IsKeyword() || !token.FLOAT.IsKeyword() {
+		t.Error("keywords misclassified")
+	}
+	if token.IDENT.IsKeyword() || token.PLUS.IsKeyword() || token.EOF.IsKeyword() {
+		t.Error("non-keywords misclassified")
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// Tighter binders have strictly higher precedence.
+	chains := [][]token.Kind{
+		{token.LOR, token.LAND, token.PIPE, token.CARET, token.AMP, token.EQ, token.LT, token.SHL, token.PLUS, token.STAR},
+	}
+	for _, chain := range chains {
+		for i := 1; i < len(chain); i++ {
+			lo, hi := chain[i-1], chain[i]
+			if lo.Precedence() >= hi.Precedence() {
+				t.Errorf("%s (%d) should bind looser than %s (%d)",
+					lo, lo.Precedence(), hi, hi.Precedence())
+			}
+		}
+	}
+	if token.ASSIGN.Precedence() != 0 || token.IDENT.Precedence() != 0 {
+		t.Error("non-binary tokens must have precedence 0")
+	}
+	if token.EQ.Precedence() != token.NEQ.Precedence() {
+		t.Error("== and != must share precedence")
+	}
+	if token.PLUS.Precedence() != token.MINUS.Precedence() {
+		t.Error("+ and - must share precedence")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if token.PLUSEQ.String() != "+=" || token.SHR.String() != ">>" || token.FUNC.String() != "func" {
+		t.Error("token spellings wrong")
+	}
+	if token.Kind(9999).String() == "" {
+		t.Error("unknown kinds need a printable form")
+	}
+}

@@ -1,0 +1,188 @@
+package transform
+
+import (
+	"sort"
+
+	"sptc/internal/depgraph"
+	"sptc/internal/ir"
+	"sptc/internal/ssa"
+)
+
+// Privatize rewrites accesses to global scalars that are provably
+// redefined before use in every iteration of l into accesses to a
+// function-local variable, keeping a store at the end of the iteration so
+// the global holds its final value after the loop. This removes the
+// spurious cross-iteration dependences the static analysis would
+// otherwise report for per-iteration scratch globals, and is one of the
+// paper's "anticipated" enabling techniques.
+//
+// A global scalar g is privatizable in l when some store to g occurs in a
+// block that dominates every in-loop load of g and every latch (so each
+// iteration overwrites g before any use), no load of g precedes the store
+// within that block, and no call inside the loop may touch g.
+//
+// The function must be in base-variable form. Returns the globals
+// privatized.
+func Privatize(f *ir.Func, l *ssa.Loop, dom *ssa.DomTree, effects map[*ir.Func]*depgraph.Effects) []*ir.Global {
+	type access struct {
+		stmt  *ir.Stmt
+		block *ir.Block
+		load  bool
+		store bool
+		call  bool
+		index int // statement index within the block
+	}
+	acc := make(map[*ir.Global][]access)
+
+	for _, b := range l.Blocks {
+		for i, s := range b.Stmts {
+			if s.Kind == ir.StmtStoreG {
+				acc[s.G] = append(acc[s.G], access{stmt: s, block: b, store: true, index: i})
+			}
+			s.Ops(func(o *ir.Op) {
+				switch o.Kind {
+				case ir.OpLoadG:
+					acc[o.G] = append(acc[o.G], access{stmt: s, block: b, load: true, index: i})
+				case ir.OpCall:
+					if o.Builtin {
+						return
+					}
+					ev := effects[o.Func]
+					if ev == nil {
+						return
+					}
+					for g := range ev.Reads {
+						acc[g] = append(acc[g], access{stmt: s, block: b, call: true, load: true, index: i})
+					}
+					for g := range ev.Writes {
+						acc[g] = append(acc[g], access{stmt: s, block: b, call: true, store: true, index: i})
+					}
+				}
+			})
+		}
+	}
+
+	// The write-back happens at the latches, so mid-body exits would leave
+	// the global stale; require all exits to leave from the header.
+	for _, b := range l.Blocks {
+		if b == l.Header {
+			continue
+		}
+		for _, s := range b.Succs {
+			if !l.Contains(s) {
+				return nil
+			}
+		}
+	}
+
+	var order []*ir.Global
+	for g := range acc {
+		order = append(order, g)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Addr < order[j].Addr })
+
+	var privatized []*ir.Global
+	for _, g := range order {
+		list := acc[g]
+		if g.IsArray() {
+			continue
+		}
+		// Find a dominating unconditional store.
+		var domStore *access
+		callTouches := false
+		for i := range list {
+			a := &list[i]
+			if a.call {
+				callTouches = true
+				break
+			}
+		}
+		if callTouches {
+			continue
+		}
+		for i := range list {
+			a := &list[i]
+			if !a.store {
+				continue
+			}
+			ok := true
+			for j := range list {
+				b := &list[j]
+				if !b.load {
+					continue
+				}
+				if b.block == a.block {
+					// A load at the same index is in the same statement
+					// as the store (read-modify-write): it reads the
+					// incoming value, so the global is not dead on entry.
+					if b.index <= a.index {
+						ok = false
+						break
+					}
+					continue
+				}
+				if !dom.Dominates(a.block, b.block) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, latch := range l.Latches {
+				if !dom.Dominates(a.block, latch) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				domStore = a
+				break
+			}
+		}
+		if domStore == nil {
+			continue
+		}
+
+		// Rewrite: loads -> local uses; stores -> local assigns; store the
+		// local back to g in every latch so the global stays current.
+		local := f.NewTemp(g.Name+"_priv", g.Elem)
+		for _, b := range l.Blocks {
+			var out []*ir.Stmt
+			for _, s := range b.Stmts {
+				// Rewrite loads first so a store's own right-hand side
+				// (read-modify-write through another global path) is
+				// covered too.
+				s.Ops(func(o *ir.Op) {
+					if o.Kind == ir.OpLoadG && o.G == g {
+						o.Kind = ir.OpUseVar
+						o.Var = local
+						o.G = nil
+					}
+				})
+				if s.Kind == ir.StmtStoreG && s.G == g {
+					ns := f.NewStmt(ir.StmtAssign)
+					ns.Pos = s.Pos
+					ns.Dst = local
+					ns.RHS = s.RHS
+					out = append(out, ns)
+					continue
+				}
+				out = append(out, s)
+			}
+			b.Stmts = out
+		}
+		for _, latch := range l.Latches {
+			st := f.NewStmt(ir.StmtStoreG)
+			st.G = g
+			use := f.NewOp(ir.OpUseVar, g.Elem)
+			use.Var = local
+			st.RHS = use
+			// Insert before the latch terminator.
+			n := len(latch.Stmts)
+			latch.Stmts = append(latch.Stmts[:n-1], st, latch.Stmts[n-1])
+		}
+		privatized = append(privatized, g)
+	}
+	return privatized
+}

@@ -1,0 +1,437 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"sptc/internal/ir"
+	"sptc/internal/ssa"
+)
+
+// SPTResult reports what the SPT loop transformation produced.
+type SPTResult struct {
+	LoopID    int
+	Header    *ir.Block
+	ForkBlock *ir.Block
+	PreBlocks []*ir.Block // materialized pre-fork region blocks
+	Moved     int         // statements moved
+	Copied    int         // branch conditions copied
+	Snapshots int         // old-value temporaries inserted
+}
+
+// TransformSPT rewrites loop l into an SPT loop (§6.2):
+//
+//	header: if (cond) -> pre-fork region' -> SPT_FORK -> original body
+//
+// The pre-fork region is a clone of the loop body CFG containing exactly
+// the moved statements (which are removed from the body, becoming the
+// post-fork region) and the copied branch conditions (Figure 12).
+// Old-value temporaries (v_old = v) are inserted at the head of the
+// pre-fork region to break the live-range overlaps created by code
+// reordering (the paper's Figures 10/11); readers that originally
+// executed before a moved definition are redirected to the temporary.
+// SPT_KILL statements are placed on every loop exit edge.
+//
+// The legality preconditions are established by the depgraph package: a
+// moved statement's intra-iteration producers are always moved with it,
+// moved definitions of a variable form a prefix of that variable's
+// definitions in iteration order, and no unmoved reader sits between two
+// moved definitions.
+//
+// The function must be in base-variable (collapsed) form; order gives the
+// iteration-order index of every loop statement (from the dependence
+// graph). Callers rebuild SSA and re-run cleanup afterwards.
+func TransformSPT(f *ir.Func, l *ssa.Loop, move, conds map[*ir.Stmt]bool, order map[*ir.Stmt]int, loopID int) (*SPTResult, error) {
+	header := l.Header
+	term := header.Terminator()
+	if term == nil || term.Kind != ir.StmtIf {
+		return nil, fmt.Errorf("spt: loop%d header b%d is not test-terminated", loopID, header.ID)
+	}
+	var bodyEntry *ir.Block
+	for _, s := range header.Succs {
+		if l.Contains(s) && s != header {
+			if bodyEntry != nil {
+				return nil, fmt.Errorf("spt: loop%d header has multiple in-loop successors", loopID)
+			}
+			bodyEntry = s
+		}
+	}
+	if bodyEntry == nil {
+		return nil, fmt.Errorf("spt: loop%d has no body entry", loopID)
+	}
+
+	res := &SPTResult{LoopID: loopID, Header: header}
+
+	// Record the loop's exit edges now: the transformation adds blocks
+	// (pre-fork region, fork block) that are not part of l.Blocks, so
+	// collecting exits after rewiring would misclassify body edges.
+	type exitEdge struct{ from, to *ir.Block }
+	var exits []exitEdge
+	for _, b := range l.Blocks {
+		for _, sc := range b.Succs {
+			if !l.Contains(sc) {
+				exits = append(exits, exitEdge{b, sc})
+			}
+		}
+	}
+
+	// Fork block: SPT_FORK(loopID) targeting the header (the speculative
+	// thread executes the next iteration from its test onward).
+	forkBlock := f.NewBlock()
+	forkBlock.Freq = header.Freq
+	fork := f.NewStmt(ir.StmtFork)
+	fork.LoopID = loopID
+	fork.Target = header
+	forkBlock.Stmts = append(forkBlock.Stmts, fork, f.NewStmt(ir.StmtGoto))
+	res.ForkBlock = forkBlock
+
+	var preEntry *ir.Block
+	if len(move) == 0 && len(conds) == 0 {
+		preEntry = forkBlock
+	} else {
+		var err error
+		preEntry, err = buildPreRegion(f, l, move, conds, forkBlock, res)
+		if err != nil {
+			return nil, err
+		}
+		insertSnapshots(f, l, move, order, preEntry, res)
+	}
+
+	// Rewire: header -> preEntry ... -> forkBlock -> bodyEntry.
+	ir.RedirectEdge(header, bodyEntry, preEntry)
+	ir.AddEdge(forkBlock, bodyEntry)
+
+	// SPT_KILL on every recorded loop exit edge.
+	for _, e := range exits {
+		kb := f.NewBlock()
+		kill := f.NewStmt(ir.StmtKill)
+		kill.LoopID = loopID
+		kb.Stmts = append(kb.Stmts, kill, f.NewStmt(ir.StmtGoto))
+		ir.RedirectEdge(e.from, e.to, kb)
+		ir.AddEdge(kb, e.to)
+	}
+	return res, nil
+}
+
+// buildPreRegion clones the loop body CFG, keeping only moved statements
+// and copied branch conditions. Edges that would leave the body (loop
+// exits, back edges to the header, returns) are redirected to forkBlock.
+func buildPreRegion(f *ir.Func, l *ssa.Loop, move, conds map[*ir.Stmt]bool, forkBlock *ir.Block, res *SPTResult) (*ir.Block, error) {
+	var bodyBlocks []*ir.Block
+	for _, b := range l.Blocks {
+		if b != l.Header {
+			bodyBlocks = append(bodyBlocks, b)
+		}
+	}
+	cloneOf := make(map[*ir.Block]*ir.Block, len(bodyBlocks))
+	for _, b := range bodyBlocks {
+		nb := f.NewBlock()
+		nb.Freq = b.Freq
+		cloneOf[b] = nb
+		res.PreBlocks = append(res.PreBlocks, nb)
+	}
+
+	// innerBackedge reports whether the edge b -> s re-enters a descendant
+	// loop's header (a retreating edge inside the clone).
+	var descendants []*ssa.Loop
+	var collect func(*ssa.Loop)
+	collect = func(x *ssa.Loop) {
+		for _, c := range x.Children {
+			descendants = append(descendants, c)
+			collect(c)
+		}
+	}
+	collect(l)
+	innerBackedge := func(b, s *ir.Block) bool {
+		for _, d := range descendants {
+			if s == d.Header && d.Contains(b) {
+				return true
+			}
+		}
+		return false
+	}
+	headerOfUncopied := func(b *ir.Block) *ssa.Loop {
+		for _, d := range descendants {
+			if b == d.Header {
+				t := b.Terminator()
+				if t != nil && t.Kind == ir.StmtIf && !conds[t] {
+					return d
+				}
+			}
+		}
+		return nil
+	}
+
+	remap := func(s *ir.Block) *ir.Block {
+		if s == l.Header || !l.Contains(s) {
+			return forkBlock
+		}
+		return cloneOf[s]
+	}
+
+	for _, b := range bodyBlocks {
+		nb := cloneOf[b]
+
+		// Split statements: moved ones go to the clone (the originals are
+		// removed from the body), the rest stay.
+		var stay []*ir.Stmt
+		for _, s := range b.Stmts {
+			if s.IsTerminator() {
+				stay = append(stay, s)
+				continue
+			}
+			if move[s] {
+				nb.Stmts = append(nb.Stmts, s)
+				res.Moved++
+			} else {
+				stay = append(stay, s)
+			}
+		}
+		b.Stmts = stay
+
+		term := b.Terminator()
+		if term == nil {
+			return nil, fmt.Errorf("spt: body block b%d lost its terminator", b.ID)
+		}
+		switch term.Kind {
+		case ir.StmtIf:
+			if conds[term] {
+				// Figure 12: evaluate the condition once into a temporary
+				// in the pre-fork region; both the pre-fork branch and the
+				// post-fork original test the temporary, so moved
+				// statements cannot perturb the post-fork decision.
+				tempc := f.NewTemp("cond", term.RHS.Type)
+				asg := f.NewStmt(ir.StmtAssign)
+				asg.Dst = tempc
+				asg.RHS = term.RHS
+
+				preUse := f.NewOp(ir.OpUseVar, tempc.Kind)
+				preUse.Var = tempc
+				ct := f.NewStmt(ir.StmtIf)
+				ct.RHS = preUse
+
+				postUse := f.NewOp(ir.OpUseVar, tempc.Kind)
+				postUse.Var = tempc
+				term.RHS = postUse
+
+				nb.Stmts = append(nb.Stmts, asg, ct)
+				ir.AddEdge(nb, remap(b.Succs[0]))
+				ir.AddEdge(nb, remap(b.Succs[1]))
+				res.Copied++
+				continue
+			}
+			// Uncopied branch: pick a deterministic safe successor. A
+			// descendant-loop header whose test was not copied is exited
+			// (bypassing the inner loop); otherwise avoid retreating
+			// edges so the pre-fork region cannot spin.
+			var pick *ir.Block
+			if d := headerOfUncopied(b); d != nil {
+				for _, s := range b.Succs {
+					if !d.Contains(s) {
+						pick = s
+						break
+					}
+				}
+			}
+			if pick == nil {
+				for _, s := range b.Succs {
+					if !innerBackedge(b, s) {
+						pick = s
+						break
+					}
+				}
+			}
+			if pick == nil {
+				pick = b.Succs[0]
+			}
+			nb.Stmts = append(nb.Stmts, f.NewStmt(ir.StmtGoto))
+			ir.AddEdge(nb, remap(pick))
+		case ir.StmtGoto:
+			nb.Stmts = append(nb.Stmts, f.NewStmt(ir.StmtGoto))
+			ir.AddEdge(nb, remap(b.Succs[0]))
+		case ir.StmtRet:
+			// Returns cannot happen in the pre-fork region; fall through
+			// to the fork so the post-fork region performs the return.
+			nb.Stmts = append(nb.Stmts, f.NewStmt(ir.StmtGoto))
+			ir.AddEdge(nb, forkBlock)
+		default:
+			return nil, fmt.Errorf("spt: unexpected terminator %s in b%d", term.Kind, b.ID)
+		}
+	}
+
+	// Body entry clone is the pre-fork region entry.
+	for _, s := range l.Header.Succs {
+		if l.Contains(s) && s != l.Header {
+			return cloneOf[s], nil
+		}
+	}
+	return nil, fmt.Errorf("spt: no body entry for pre-region")
+}
+
+// insertSnapshots implements the temporary-variable insertion of Figures
+// 10/11. For every base variable with moved definitions:
+//
+//   - unmoved readers that originally executed before the first moved
+//     definition are redirected to an entry snapshot `v_old = v` placed
+//     at the head of the pre-fork region (Figure 2's temp_i pattern);
+//   - unmoved readers that originally executed after a moved definition
+//     D (with no unmoved definition in between) are redirected to a
+//     per-definition snapshot `v_D = v` placed immediately after D in
+//     the pre-fork region (Figure 11's temp_i_2/temp_i_3 pattern).
+//
+// The dependence graph's legality rules guarantee that whenever a reader
+// needs a per-definition snapshot, that definition dominates the reader,
+// so the snapshot holds the right value on every path.
+func insertSnapshots(f *ir.Func, l *ssa.Loop, move map[*ir.Stmt]bool, order map[*ir.Stmt]int, preEntry *ir.Block, res *SPTResult) {
+	// Moved and unmoved definitions per base variable. Moved statements
+	// already live in the pre-fork clone, so they come from the move set;
+	// unmoved ones are scanned in place.
+	movedDefs := make(map[*ir.Var][]*ir.Stmt)
+	unmovedDefs := make(map[*ir.Var][]*ir.Stmt)
+	for s := range move {
+		if d := s.Defs(); d != nil && s.Kind != ir.StmtPhi {
+			movedDefs[d.Base] = append(movedDefs[d.Base], s)
+		}
+	}
+	for _, b := range l.Blocks {
+		for _, s := range b.Stmts {
+			d := s.Defs()
+			if d == nil || s.Kind == ir.StmtPhi || move[s] {
+				continue
+			}
+			unmovedDefs[d.Base] = append(unmovedDefs[d.Base], s)
+		}
+	}
+	if len(movedDefs) == 0 {
+		return
+	}
+	var bases []*ir.Var
+	for v := range movedDefs {
+		bases = append(bases, v)
+		sort.Slice(movedDefs[v], func(i, j int) bool { return order[movedDefs[v][i]] < order[movedDefs[v][j]] })
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i].ID < bases[j].ID })
+
+	// Location of each moved statement within the pre-fork region, for
+	// placing per-definition snapshots right after their definition.
+	type loc struct {
+		block *ir.Block
+		index int
+	}
+	locOf := make(map[*ir.Stmt]loc)
+	for _, b := range res.PreBlocks {
+		for i, s := range b.Stmts {
+			locOf[s] = loc{b, i}
+		}
+	}
+	// insertAfter places stmt ns right after the moved statement d.
+	insertAfter := func(d, ns *ir.Stmt) {
+		lc, ok := locOf[d]
+		if !ok {
+			// Should not happen; fall back to the entry block head.
+			preEntry.Stmts = append([]*ir.Stmt{ns}, preEntry.Stmts...)
+			return
+		}
+		b := lc.block
+		b.Stmts = append(b.Stmts, nil)
+		copy(b.Stmts[lc.index+2:], b.Stmts[lc.index+1:])
+		b.Stmts[lc.index+1] = ns
+		// Update locations of shifted statements.
+		for i := lc.index + 1; i < len(b.Stmts); i++ {
+			locOf[b.Stmts[i]] = loc{b, i}
+		}
+	}
+
+	var entrySnaps []*ir.Stmt
+	for _, base := range bases {
+		defs := movedDefs[base]
+		first := order[defs[0]]
+		var oldVar *ir.Var
+		defSnap := make(map[*ir.Stmt]*ir.Var)
+
+		newSnapshot := func(suffix string) *ir.Var {
+			return f.NewTemp(base.Name+suffix, base.Kind)
+		}
+		useBase := func() *ir.Op {
+			o := f.NewOp(ir.OpUseVar, base.Kind)
+			o.Var = base
+			return o
+		}
+
+		for _, b := range l.Blocks {
+			if b == l.Header {
+				continue // the header test reads the end-of-iteration value
+			}
+			for _, s := range b.Stmts {
+				if move[s] || s.Kind == ir.StmtFork || s.Kind == ir.StmtKill || s.Kind == ir.StmtPhi {
+					continue
+				}
+				ro, ok := order[s]
+				if !ok {
+					continue
+				}
+				reads := false
+				s.Ops(func(op *ir.Op) {
+					if op.Kind == ir.OpUseVar && op.Var.Base == base {
+						reads = true
+					}
+				})
+				if !reads {
+					continue
+				}
+				// Last moved definition before the reader.
+				var dlast *ir.Stmt
+				for _, d := range defs {
+					if order[d] < ro {
+						dlast = d
+					}
+				}
+				var target *ir.Var
+				if dlast == nil {
+					// Reads the iteration-entry value.
+					if oldVar == nil {
+						oldVar = newSnapshot("_old")
+						snap := f.NewStmt(ir.StmtAssign)
+						snap.Dst = oldVar
+						snap.RHS = useBase()
+						entrySnaps = append(entrySnaps, snap)
+						res.Snapshots++
+					}
+					target = oldVar
+				} else {
+					// An unmoved definition between dlast and the reader
+					// supplies the value in the post-fork region directly.
+					intervening := false
+					for _, w := range unmovedDefs[base] {
+						if wo, ok := order[w]; ok && wo > order[dlast] && wo < ro {
+							intervening = true
+							break
+						}
+					}
+					if intervening {
+						continue
+					}
+					target = defSnap[dlast]
+					if target == nil {
+						target = newSnapshot(fmt.Sprintf("_s%d", dlast.ID))
+						snap := f.NewStmt(ir.StmtAssign)
+						snap.Dst = target
+						snap.RHS = useBase()
+						insertAfter(dlast, snap)
+						defSnap[dlast] = target
+						res.Snapshots++
+					}
+				}
+				s.Ops(func(op *ir.Op) {
+					if op.Kind == ir.OpUseVar && op.Var.Base == base {
+						op.Var = target
+					}
+				})
+			}
+		}
+		_ = first
+	}
+	if len(entrySnaps) > 0 {
+		preEntry.Stmts = append(entrySnaps, preEntry.Stmts...)
+	}
+}

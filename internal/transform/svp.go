@@ -1,0 +1,164 @@
+package transform
+
+import (
+	"sptc/internal/depgraph"
+	"sptc/internal/ir"
+	"sptc/internal/partition"
+	"sptc/internal/profile"
+	"sptc/internal/ssa"
+)
+
+// SVPOptions controls software value prediction.
+type SVPOptions struct {
+	// MinConfidence is the minimum fraction of profiled iterations whose
+	// value followed the best stride (the paper requires the value to be
+	// "predictable" with "acceptably low" misprediction cost).
+	MinConfidence float64
+	// MinObservations avoids predicting from tiny samples.
+	MinObservations int64
+}
+
+// DefaultSVPOptions returns the defaults used by the SPT pipeline.
+func DefaultSVPOptions() SVPOptions {
+	return SVPOptions{MinConfidence: 0.9, MinObservations: 16}
+}
+
+// SVPCandidate describes one profitable value-prediction site.
+type SVPCandidate struct {
+	Loop   *ssa.Loop
+	Stmt   *ir.Stmt // the critical violation-candidate assignment
+	Var    *ir.Var  // base variable being predicted
+	Stride int64
+	Conf   float64
+}
+
+// FindSVPCandidate inspects a loop's violation candidates (given as SSA
+// statements) against the value profile and returns the best predictable
+// one, or nil. Only integer scalar assignments qualify; the statement
+// must execute once per iteration (violation probability ~1) so the
+// stride pattern is meaningful.
+func FindSVPCandidate(l *ssa.Loop, vcs []*ir.Stmt, violProb map[*ir.Stmt]float64, vp *profile.ValueProfile, opt SVPOptions) *SVPCandidate {
+	var best *SVPCandidate
+	for _, vc := range vcs {
+		if vc.Kind != ir.StmtAssign || vc.Dst == nil || vc.Dst.Kind != ir.ValInt {
+			continue
+		}
+		if violProb[vc] < 0.99 {
+			continue
+		}
+		pat := vp.Pattern(vc)
+		if pat == nil || pat.Total < opt.MinObservations {
+			continue
+		}
+		conf := pat.Confidence()
+		if conf < opt.MinConfidence {
+			continue
+		}
+		c := &SVPCandidate{Loop: l, Stmt: vc, Var: vc.Dst.Base, Stride: pat.BestStride, Conf: conf}
+		if best == nil || c.Conf > best.Conf {
+			best = c
+		}
+	}
+	return best
+}
+
+// ApplySVP rewrites the loop per Figure 13 of the paper. For a critical
+// assignment `v = <expr>` with predicted stride k it produces:
+//
+//	pred_v = v;                     // preheader
+//	loop:
+//	    v = pred_v;                 // body entry (becomes pre-fork code)
+//	    pred_v = v + k;
+//	    ... original body, incl. v = <expr> ...
+//	    if (v != pred_v) { pred_v = v; }   // check & recover, at latch
+//
+// The loop-carried dependence chain for v is replaced by the trivially
+// movable pred_v chain; the original assignment remains and feeds the
+// check. The function must be in base-variable form.
+//
+// The rewrite requires the canonical while shape (test-terminated header,
+// goto-terminated latches) so the check-and-recover code has a place on
+// every back edge; it reports whether it was applied.
+func ApplySVP(f *ir.Func, c *SVPCandidate) bool {
+	l := c.Loop
+	if t := l.Header.Terminator(); t == nil || t.Kind != ir.StmtIf {
+		return false
+	}
+	for _, latch := range l.Latches {
+		if t := latch.Terminator(); t == nil || t.Kind != ir.StmtGoto {
+			return false
+		}
+	}
+	v := c.Var
+	pred := f.NewTemp("pred_"+v.Name, ir.ValInt)
+
+	useOf := func(x *ir.Var) *ir.Op {
+		o := f.NewOp(ir.OpUseVar, ir.ValInt)
+		o.Var = x
+		return o
+	}
+	constOf := func(k int64) *ir.Op {
+		o := f.NewOp(ir.OpConstInt, ir.ValInt)
+		o.ConstI = k
+		return o
+	}
+	assign := func(dst *ir.Var, rhs *ir.Op) *ir.Stmt {
+		s := f.NewStmt(ir.StmtAssign)
+		s.Dst = dst
+		s.RHS = rhs
+		return s
+	}
+
+	// Preheader: pred_v = v.
+	pre := ssa.Preheader(l)
+	n := len(pre.Stmts)
+	pre.Stmts = append(pre.Stmts[:n-1], assign(pred, useOf(v)), pre.Stmts[n-1])
+
+	// Body entry: v = pred_v; pred_v = v + k. The body entry is the
+	// header's in-loop successor; guard against the degenerate case where
+	// the header is its own latch.
+	var entry *ir.Block
+	for _, s := range l.Header.Succs {
+		if l.Contains(s) && s != l.Header {
+			entry = s
+			break
+		}
+	}
+	if entry == nil {
+		return false
+	}
+	add := f.NewOp(ir.OpBin, ir.ValInt)
+	add.Bin = ir.BinAdd
+	add.Args = []*ir.Op{useOf(v), constOf(c.Stride)}
+	entry.Stmts = append([]*ir.Stmt{assign(v, useOf(pred)), assign(pred, add)}, entry.Stmts...)
+
+	// Check & recover on every latch: if (v != pred_v) pred_v = v.
+	for _, latch := range append([]*ir.Block(nil), l.Latches...) {
+		fix := f.NewBlock()
+		fix.Stmts = append(fix.Stmts, assign(pred, useOf(v)), f.NewStmt(ir.StmtGoto))
+
+		neq := f.NewOp(ir.OpBin, ir.ValInt)
+		neq.Bin = ir.BinNeq
+		neq.Args = []*ir.Op{useOf(v), useOf(pred)}
+		check := f.NewStmt(ir.StmtIf)
+		check.RHS = neq
+
+		// latch: [..., if(v!=pred)] -> fix | header ; fix -> header.
+		latch.Stmts[len(latch.Stmts)-1] = check
+		ir.RedirectEdge(latch, l.Header, fix)
+		ir.AddEdge(latch, l.Header) // else edge straight to header
+		ir.AddEdge(fix, l.Header)
+		// Keep If successor order: then=fix, else=header.
+		latch.Succs[0], latch.Succs[1] = fix, l.Header
+	}
+	ir.ReorderRPO(f)
+	return true
+}
+
+// ClosureFits reports whether moving stmt into the pre-fork region (with
+// its full legality closure) fits within the size limit — in which case
+// plain code reordering suffices and value prediction is unnecessary.
+func ClosureFits(g *depgraph.Graph, stmt *ir.Stmt, sizeLimit int) bool {
+	cl := partition.ComputeClosure(g, stmt)
+	return cl.Size() <= sizeLimit
+}

@@ -1,0 +1,172 @@
+// Package transform implements the SPT code transformations: loop
+// unrolling (§7.1), privatization, software value prediction (§7.2,
+// Figure 13), and the SPT loop transformation itself (§6.2): pre-fork
+// region materialization with code reordering, temporary-variable
+// insertion to break overlapped live ranges (Figures 10/11), partial
+// conditional statement motion (Figure 12), and SPT_FORK/SPT_KILL
+// insertion.
+//
+// All transformations operate on base-variable (collapsed, non-SSA) IR;
+// callers rebuild SSA afterwards, mirroring the paper's "SSA renaming,
+// copy propagation and dead code elimination" cleanup.
+package transform
+
+import (
+	"sptc/internal/ir"
+	"sptc/internal/ssa"
+)
+
+// UnrollOptions controls loop unrolling.
+type UnrollOptions struct {
+	// MinBodySize is the target body size: loops smaller than this are
+	// unrolled until they reach it (the paper's minimum SPT loop body
+	// size requirement).
+	MinBodySize int
+	// MaxBodySize caps the unrolled size (hardware buffering limit).
+	MaxBodySize int
+	// MaxFactor caps the unroll factor.
+	MaxFactor int
+	// UnrollWhile also unrolls non-counted (while) loops. ORC's LNO could
+	// only unroll DO loops; while-loop unrolling is one of the paper's
+	// "anticipated" enabling techniques.
+	UnrollWhile bool
+}
+
+// DefaultUnrollOptions returns the defaults used by the SPT pipeline.
+func DefaultUnrollOptions() UnrollOptions {
+	return UnrollOptions{MinBodySize: 60, MaxBodySize: 1000, MaxFactor: 8}
+}
+
+// UnrollFactor decides the unroll factor for a loop (0 or 1 = leave as
+// is), following §7.1: unroll small-bodied loops so the speculative
+// thread has enough work to amortize fork overhead.
+func UnrollFactor(l *ssa.Loop, opt UnrollOptions) int {
+	if l.Kind != ssa.LoopDo && !opt.UnrollWhile {
+		return 1
+	}
+	if len(l.Children) > 0 {
+		return 1 // only innermost loops are unrolled by the body-size rule
+	}
+	size := l.BodySize()
+	if size >= opt.MinBodySize || size == 0 {
+		return 1
+	}
+	factor := (opt.MinBodySize + size - 1) / size
+	if factor > opt.MaxFactor {
+		factor = opt.MaxFactor
+	}
+	for factor > 1 && factor*size > opt.MaxBodySize {
+		factor--
+	}
+	return factor
+}
+
+// Unroll unrolls loop l by the given factor. Counted (DO) loops with a
+// simple shape get classic guarded unrolling — the main unrolled loop
+// tests once per factor iterations and a remainder loop handles the tail
+// — which keeps the pre-fork region of the unrolled loop small (one
+// induction chain, no intermediate tests), as ORC's LNO would produce.
+// Loops that do not fit that shape (while loops, loops with breaks) fall
+// back to iteration replication with per-copy exit tests, which is
+// semantics-preserving for arbitrary shapes.
+//
+// The function must be in base-variable (non-SSA) form. Returns the
+// blocks added.
+func Unroll(f *ir.Func, l *ssa.Loop, factor int) []*ir.Block {
+	if factor <= 1 {
+		return nil
+	}
+	if added, ok := unrollCounted(f, l, factor); ok {
+		return added
+	}
+
+	var added []*ir.Block
+	// copies[k] maps original loop blocks to their k-th clone.
+	copies := make([]map[*ir.Block]*ir.Block, factor-1)
+
+	for k := 0; k < factor-1; k++ {
+		m := make(map[*ir.Block]*ir.Block, len(l.Blocks))
+		for _, b := range l.Blocks {
+			nb := f.NewBlock()
+			for _, s := range b.Stmts {
+				nb.Stmts = append(nb.Stmts, f.CloneStmt(s))
+			}
+			nb.Freq = b.Freq
+			nb.SuccProb = append([]float64(nil), b.SuccProb...)
+			m[b] = nb
+			added = append(added, nb)
+		}
+		copies[k] = m
+	}
+
+	// target returns where copy k's edge to block s should go.
+	target := func(k int, s *ir.Block) *ir.Block {
+		if s == l.Header {
+			// Back edge: next copy's header, or the original header from
+			// the last copy.
+			if k+1 < factor-1 {
+				return copies[k+1][l.Header]
+			}
+			if k == factor-2 {
+				return l.Header
+			}
+			return copies[k+1][l.Header]
+		}
+		if l.Contains(s) {
+			return copies[k][s]
+		}
+		return s // exit edge: original target
+	}
+
+	// Wire clone CFGs.
+	for k := 0; k < factor-1; k++ {
+		for _, b := range l.Blocks {
+			nb := copies[k][b]
+			for _, s := range b.Succs {
+				ir.AddEdge(nb, target(k, s))
+			}
+		}
+	}
+
+	// Redirect original back edges to the first copy's header.
+	first := copies[0][l.Header]
+	for _, latch := range append([]*ir.Block(nil), l.Latches...) {
+		ir.RedirectEdge(latch, l.Header, first)
+	}
+	return added
+}
+
+// UnrollAll unrolls every eligible loop of f (innermost loops, smallest
+// first) and returns the number of loops unrolled. The function must be
+// in base-variable form; loop analysis is recomputed internally.
+func UnrollAll(f *ir.Func, opt UnrollOptions) int {
+	n := 0
+	// Unrolling invalidates the loop nest; process one loop per round.
+	// Remainder loops produced by counted unrolling keep their original
+	// header and must not be unrolled again.
+	done := make(map[*ir.Block]bool)
+	for rounds := 0; rounds < 64; rounds++ {
+		dom := ssa.BuildDomTree(f)
+		nest := ssa.FindLoops(f, dom)
+		var todo *ssa.Loop
+		factor := 1
+		for _, l := range nest.Loops {
+			if done[l.Header] {
+				continue
+			}
+			fct := UnrollFactor(l, opt)
+			if fct > 1 {
+				todo, factor = l, fct
+				break
+			}
+		}
+		if todo == nil {
+			return n
+		}
+		done[todo.Header] = true
+		Unroll(f, todo, factor)
+		ir.ReorderRPO(f)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+package transform
+
+import (
+	"sptc/internal/ir"
+	"sptc/internal/ssa"
+)
+
+// unrollCounted performs classic guarded unrolling for a counted loop:
+//
+//	main:  if (iv cmp bound - (U-1)*step) -> copy1 ... copyU -> main
+//	       else -> remainder (the original loop, untouched)
+//
+// The main loop executes U iterations per test, so the unrolled body
+// contains a single induction chain and no intermediate exit tests —
+// exactly what ORC's LNO produces for DO loops, and what keeps the SPT
+// pre-fork region small. Reports whether the shape was applicable.
+func unrollCounted(f *ir.Func, l *ssa.Loop, factor int) ([]*ir.Block, bool) {
+	ind := ssa.Induction(l)
+	if ind == nil || !ind.IVLeft {
+		return nil, false
+	}
+	// The guard arithmetic needs the comparison direction to match the
+	// step sign.
+	switch ind.Cmp {
+	case ir.BinLt, ir.BinLeq:
+		if ind.Step <= 0 {
+			return nil, false
+		}
+	case ir.BinGt, ir.BinGeq:
+		if ind.Step >= 0 {
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+	// Exits only from the header; a single in-loop header successor.
+	for _, b := range l.Blocks {
+		if b == l.Header {
+			continue
+		}
+		for _, s := range b.Succs {
+			if !l.Contains(s) {
+				return nil, false
+			}
+		}
+	}
+	var bodyEntry *ir.Block
+	for _, s := range l.Header.Succs {
+		if l.Contains(s) && s != l.Header {
+			if bodyEntry != nil {
+				return nil, false
+			}
+			bodyEntry = s
+		}
+	}
+	if bodyEntry == nil || len(l.Header.Stmts) != 1 {
+		return nil, false
+	}
+	// The update must run exactly once per iteration: its block must
+	// dominate every latch and not sit inside an inner loop.
+	dom := ssa.BuildDomTree(f)
+	var updBlock *ir.Block
+	for _, b := range l.Blocks {
+		for _, s := range b.Stmts {
+			if s == ind.Update {
+				updBlock = b
+			}
+		}
+	}
+	if updBlock == nil {
+		return nil, false
+	}
+	for _, c := range l.Children {
+		if c.Contains(updBlock) {
+			return nil, false
+		}
+	}
+	for _, latch := range l.Latches {
+		if !dom.Dominates(updBlock, latch) {
+			return nil, false
+		}
+	}
+
+	// Guarded main header: if (iv cmp bound - (U-1)*step) -> copy1 | header.
+	mainHeader := f.NewBlock()
+	adj := f.NewOp(ir.OpBin, ir.ValInt)
+	adj.Bin = ir.BinSub
+	adjC := f.NewOp(ir.OpConstInt, ir.ValInt)
+	adjC.ConstI = int64(factor-1) * ind.Step
+	adj.Args = []*ir.Op{f.CloneOp(ind.BoundOp), adjC}
+	cond := f.NewOp(ir.OpBin, ir.ValInt)
+	cond.Bin = ind.Cmp
+	ivUse := f.NewOp(ir.OpUseVar, ir.ValInt)
+	ivUse.Var = ind.IV
+	cond.Args = []*ir.Op{ivUse, adj}
+	test := f.NewStmt(ir.StmtIf)
+	test.RHS = cond
+	mainHeader.Stmts = append(mainHeader.Stmts, test)
+	added := []*ir.Block{mainHeader}
+
+	// Clone the body (header excluded) factor times.
+	var bodyBlocks []*ir.Block
+	for _, b := range l.Blocks {
+		if b != l.Header {
+			bodyBlocks = append(bodyBlocks, b)
+		}
+	}
+	copies := make([]map[*ir.Block]*ir.Block, factor)
+	for k := 0; k < factor; k++ {
+		m := make(map[*ir.Block]*ir.Block, len(bodyBlocks))
+		for _, b := range bodyBlocks {
+			nb := f.NewBlock()
+			for _, s := range b.Stmts {
+				nb.Stmts = append(nb.Stmts, f.CloneStmt(s))
+			}
+			nb.Freq = b.Freq
+			m[b] = nb
+			added = append(added, nb)
+		}
+		copies[k] = m
+	}
+
+	// Wire each copy: in-copy edges stay within the copy; edges to the
+	// original header chain to the next copy (or back to mainHeader).
+	for k := 0; k < factor; k++ {
+		next := mainHeader
+		if k+1 < factor {
+			next = copies[k+1][bodyEntry]
+		}
+		for _, b := range bodyBlocks {
+			nb := copies[k][b]
+			for _, s := range b.Succs {
+				if s == l.Header {
+					ir.AddEdge(nb, next)
+				} else {
+					ir.AddEdge(nb, copies[k][s])
+				}
+			}
+		}
+	}
+
+	// Entry edges from outside now reach the guard; the original loop
+	// remains as the remainder.
+	for _, p := range append([]*ir.Block(nil), l.Header.Preds...) {
+		if !l.Contains(p) {
+			ir.RedirectEdge(p, l.Header, mainHeader)
+		}
+	}
+	ir.AddEdge(mainHeader, copies[0][bodyEntry])
+	ir.AddEdge(mainHeader, l.Header)
+	return added, true
+}

@@ -1,0 +1,156 @@
+// Package sptc is a cost-driven compilation framework for speculative
+// parallelization of sequential programs, reproducing Du, Yang, Lim,
+// Zhao, Li and Ngai (PLDI 2004).
+//
+// The package compiles SPL (a small C-like language) through a two-pass
+// SPT pipeline: a misspeculation cost model drives the search for an
+// optimal pre-fork/post-fork partition of every loop, good SPT loops are
+// selected and transformed with SPT_FORK/SPT_KILL instructions, and the
+// result runs on a simulator of a dual-core speculative-multithreading
+// machine.
+//
+// Quick start:
+//
+//	res, err := sptc.Compile("prog.spl", src, sptc.LevelBest)
+//	sim, err := sptc.Simulate(res, os.Stdout)
+//	fmt.Println(sim.IPC(), sim.Cycles)
+package sptc
+
+import (
+	"io"
+
+	"sptc/internal/core"
+	"sptc/internal/ir"
+	"sptc/internal/machine"
+	"sptc/internal/ssa"
+)
+
+// Level selects the compilation level.
+type Level = core.Level
+
+// Compilation levels, mirroring the paper's evaluation (§8).
+const (
+	// LevelBase is the non-SPT reference compilation.
+	LevelBase = core.LevelBase
+	// LevelBasic uses unrolling, code reordering, control-flow profiling
+	// and static dependence analysis.
+	LevelBasic = core.LevelBasic
+	// LevelBest adds data-dependence profiling and software value
+	// prediction (the paper's "current best").
+	LevelBest = core.LevelBest
+	// LevelAnticipated adds while-loop unrolling and privatization (the
+	// paper's "anticipated best").
+	LevelAnticipated = core.LevelAnticipated
+)
+
+// Re-exported compilation types.
+type (
+	// Options configures compilation; see DefaultOptions.
+	Options = core.Options
+	// Result is a completed compilation with per-loop reports.
+	Result = core.Result
+	// LoopReport describes one analyzed loop candidate.
+	LoopReport = core.LoopReport
+	// Decision is a loop's pass-2 disposition.
+	Decision = core.Decision
+	// MachineConfig parameterizes the SPT machine simulator.
+	MachineConfig = machine.Config
+	// SimResult is a completed simulation.
+	SimResult = machine.Result
+	// SimLoopStats is the per-SPT-loop simulation metrics.
+	SimLoopStats = machine.LoopStats
+)
+
+// DefaultOptions returns the paper-faithful configuration for a level.
+func DefaultOptions(level Level) Options { return core.DefaultOptions(level) }
+
+// DefaultMachineConfig returns the paper's machine parameters (fork 6
+// cycles, commit 5 cycles, branch misprediction 5 cycles, Itanium2-like
+// memory hierarchy).
+func DefaultMachineConfig() MachineConfig { return machine.DefaultConfig() }
+
+// Compile compiles SPL source text at the given level with defaults.
+func Compile(name, src string, level Level) (*Result, error) {
+	return core.CompileSource(name, src, DefaultOptions(level))
+}
+
+// CompileWith compiles SPL source with explicit options.
+func CompileWith(name, src string, opt Options) (*Result, error) {
+	return core.CompileSource(name, src, opt)
+}
+
+// SimulationOptions assembles machine.RunOptions for a compiled program:
+// SPT headers with their loop IDs and the block membership of every SPT
+// loop (recomputed on the final IR).
+func SimulationOptions(res *Result) machine.RunOptions {
+	opt := machine.RunOptions{
+		SPTHeaders: make(map[*ir.Block]int),
+		LoopBlocks: make(map[*ir.Block]map[*ir.Block]bool),
+	}
+	byFunc := make(map[*ir.Func][]*core.SPTLoop)
+	for _, l := range res.SPT {
+		byFunc[l.Func] = append(byFunc[l.Func], l)
+	}
+	for f, loops := range byFunc {
+		dom := ssa.BuildDomTree(f)
+		nest := ssa.FindLoops(f, dom)
+		for _, sl := range loops {
+			nl := nest.ByHeader[sl.Header]
+			if nl == nil {
+				continue // transformed away (e.g. fully dead)
+			}
+			opt.SPTHeaders[sl.Header] = sl.ID
+			set := make(map[*ir.Block]bool, len(nl.Blocks))
+			for _, b := range nl.Blocks {
+				set[b] = true
+			}
+			opt.LoopBlocks[sl.Header] = set
+		}
+	}
+	return opt
+}
+
+// Simulate runs a compiled program on the SPT machine with the default
+// configuration, writing program output to out.
+func Simulate(res *Result, out io.Writer) (*SimResult, error) {
+	return SimulateWith(res, DefaultMachineConfig(), out)
+}
+
+// SimulateWith runs a compiled program with an explicit machine
+// configuration.
+func SimulateWith(res *Result, cfg MachineConfig, out io.Writer) (*SimResult, error) {
+	opt := SimulationOptions(res)
+	opt.Out = out
+	return machine.Run(res.Prog, cfg, opt)
+}
+
+// CoverageOptions returns RunOptions that attribute cycles to every
+// natural loop of the program whose body size is at most maxBody ops
+// (used to measure the paper's Figure 16 "maximum coverage"). Keys are
+// sequential loop indexes; the returned slice maps key -> body size.
+func CoverageOptions(prog *ir.Program, maxBody int) (machine.RunOptions, []int) {
+	opt := machine.RunOptions{
+		AttributeLoops: make(map[*ir.Block]int),
+		LoopBlocks:     make(map[*ir.Block]map[*ir.Block]bool),
+	}
+	var sizes []int
+	for _, f := range prog.Funcs {
+		dom := ssa.BuildDomTree(f)
+		nest := ssa.FindLoops(f, dom)
+		for _, l := range nest.Loops {
+			size := l.BodySize()
+			if maxBody > 0 && size > maxBody {
+				continue
+			}
+			key := len(sizes)
+			sizes = append(sizes, size)
+			opt.AttributeLoops[l.Header] = key
+			set := make(map[*ir.Block]bool, len(l.Blocks))
+			for _, b := range l.Blocks {
+				set[b] = true
+			}
+			opt.LoopBlocks[l.Header] = set
+		}
+	}
+	return opt, sizes
+}

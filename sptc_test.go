@@ -1,0 +1,124 @@
+package sptc_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"sptc"
+)
+
+const quickProgram = `
+var data int[1024];
+var total int;
+
+func main() {
+	var i int;
+	for (i = 0; i < 1024; i++) {
+		data[i] = (i * 2654435761) & 4095;
+	}
+	for (i = 0; i < 1024; i++) {
+		var v int = data[i] * 3 + (data[i] >> 2) + data[i] % 7;
+		v = v + v % 13 + (v >> 1) % 11 + (v & 31);
+		total = (total + v) & 268435455;
+	}
+	print(total);
+}
+`
+
+func TestCompileAndSimulate(t *testing.T) {
+	base, err := sptc.Compile("q.spl", quickProgram, sptc.LevelBase)
+	if err != nil {
+		t.Fatalf("compile base: %v", err)
+	}
+	var baseOut strings.Builder
+	baseSim, err := sptc.Simulate(base, &baseOut)
+	if err != nil {
+		t.Fatalf("simulate base: %v", err)
+	}
+
+	best, err := sptc.Compile("q.spl", quickProgram, sptc.LevelBest)
+	if err != nil {
+		t.Fatalf("compile best: %v", err)
+	}
+	var bestOut strings.Builder
+	bestSim, err := sptc.Simulate(best, &bestOut)
+	if err != nil {
+		t.Fatalf("simulate best: %v", err)
+	}
+
+	if baseOut.String() != bestOut.String() {
+		t.Fatalf("outputs differ: %q vs %q", baseOut.String(), bestOut.String())
+	}
+	if len(best.Reports) == 0 {
+		t.Error("no loop reports")
+	}
+	if bestSim.Cycles <= 0 || baseSim.Cycles <= 0 {
+		t.Error("cycle counts missing")
+	}
+}
+
+func TestDefaultMachineConfigMatchesPaper(t *testing.T) {
+	cfg := sptc.DefaultMachineConfig()
+	if cfg.ForkOverhead != 6 {
+		t.Errorf("fork overhead %v, paper says 6 cycles", cfg.ForkOverhead)
+	}
+	if cfg.CommitOverhead != 5 {
+		t.Errorf("commit overhead %v, paper says 5 cycles", cfg.CommitOverhead)
+	}
+	if cfg.MispredictPenalty != 5 {
+		t.Errorf("branch misprediction %v, paper says 5 cycles", cfg.MispredictPenalty)
+	}
+}
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	opt := sptc.DefaultOptions(sptc.LevelBest)
+	if opt.Partition.MaxVCs != 30 {
+		t.Errorf("VC limit %d, paper skips loops with more than 30", opt.Partition.MaxVCs)
+	}
+	if opt.Select.MaxBodySize != 1000 {
+		t.Errorf("max body size %d, paper's limit is 1000", opt.Select.MaxBodySize)
+	}
+	if opt.Select.MinIterCount != 2 {
+		t.Errorf("min iteration count %v, paper rejects counts below 2", opt.Select.MinIterCount)
+	}
+}
+
+func TestCoverageOptions(t *testing.T) {
+	res, err := sptc.Compile("q.spl", quickProgram, sptc.LevelBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, sizes := sptc.CoverageOptions(res.Prog, 1000)
+	if len(sizes) == 0 || len(opt.AttributeLoops) != len(sizes) {
+		t.Fatalf("coverage options incomplete: %d sizes, %d loops", len(sizes), len(opt.AttributeLoops))
+	}
+	// A tiny limit excludes everything.
+	_, none := sptc.CoverageOptions(res.Prog, 1)
+	if len(none) != 0 {
+		t.Errorf("limit 1 should exclude all loops, got %d", len(none))
+	}
+}
+
+func TestSimulateWithCustomConfig(t *testing.T) {
+	res, err := sptc.Compile("q.spl", quickProgram, sptc.LevelBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := sptc.DefaultMachineConfig()
+	fast.MemLat = 10 // dramatically faster memory
+	slow := sptc.DefaultMachineConfig()
+	slow.MemLat = 800
+
+	fastSim, err := sptc.SimulateWith(res, fast, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowSim, err := sptc.SimulateWith(res, slow, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastSim.Cycles >= slowSim.Cycles {
+		t.Errorf("faster memory should reduce cycles: %.0f vs %.0f", fastSim.Cycles, slowSim.Cycles)
+	}
+}
