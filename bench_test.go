@@ -12,7 +12,6 @@ package sptc_test
 import (
 	"io"
 	"math"
-	"sync"
 	"testing"
 
 	"sptc"
@@ -20,6 +19,7 @@ import (
 	"sptc/internal/core"
 	"sptc/internal/cost"
 	"sptc/internal/depgraph"
+	"sptc/internal/evalharness"
 	"sptc/internal/interp"
 	"sptc/internal/ir"
 	"sptc/internal/machine"
@@ -32,33 +32,18 @@ import (
 
 // ---- shared compile cache (compilation is deterministic) ----
 
-type compileKey struct {
-	name  string
-	level core.Level
-}
-
-var (
-	compileMu    sync.Mutex
-	compileCache = map[compileKey]*core.Result{}
-)
+var compileCache = evalharness.NewCompileCache()
 
 func compiled(b *testing.B, name string, level core.Level) *core.Result {
 	b.Helper()
-	compileMu.Lock()
-	defer compileMu.Unlock()
-	key := compileKey{name, level}
-	if r, ok := compileCache[key]; ok {
-		return r
-	}
 	bench := benchprog.ByName(name)
 	if bench == nil {
 		b.Fatalf("unknown benchmark %s", name)
 	}
-	r, err := core.CompileSource(name, bench.Source, core.DefaultOptions(level))
+	r, _, err := compileCache.Get(name, bench.Source, core.DefaultOptions(level))
 	if err != nil {
 		b.Fatalf("compile %s@%s: %v", name, level, err)
 	}
-	compileCache[key] = r
 	return r
 }
 

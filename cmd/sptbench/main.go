@@ -10,6 +10,8 @@
 //	sptbench -fig14 ... -fig19
 //	sptbench -bench mcf,vpr   # restrict the suite
 //	sptbench -level best      # figure-detail level (default best)
+//	sptbench -j 8             # concurrent compile+simulate jobs (default NumCPU)
+//	sptbench -v               # progress lines + per-job metrics on stderr
 package main
 
 import (
@@ -33,8 +35,9 @@ func main() {
 		fig19   = flag.Bool("fig19", false, "print Figure 19 (cost correlation)")
 		benches = flag.String("bench", "", "comma-separated benchmark subset")
 		level   = flag.String("level", "best", "detail level for figures 15-19 (basic|best|anticipated)")
-		verbose = flag.Bool("v", false, "log progress")
+		verbose = flag.Bool("v", false, "log progress and per-job metrics")
 		csvOut  = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+		jobs    = flag.Int("j", 0, "concurrent compile+simulate jobs (0 = NumCPU)")
 	)
 	flag.Parse()
 
@@ -53,16 +56,32 @@ func main() {
 
 	opt := evalharness.DefaultEvalOptions()
 	if *benches != "" {
-		opt.Benchmarks = strings.Split(*benches, ",")
+		// Benchmark names arrive user-typed ("mcf, VPR"): trim and
+		// lowercase each, and skip empty segments.
+		for _, n := range strings.Split(*benches, ",") {
+			n = strings.ToLower(strings.TrimSpace(n))
+			if n != "" {
+				opt.Benchmarks = append(opt.Benchmarks, n)
+			}
+		}
+		if len(opt.Benchmarks) == 0 {
+			fmt.Fprintf(os.Stderr, "sptbench: -bench %q names no benchmarks\n", *benches)
+			os.Exit(2)
+		}
 	}
 	if *verbose {
 		opt.Log = os.Stderr
 	}
+	opt.Workers = *jobs
 
 	suite, err := evalharness.RunSuite(opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sptbench: %v\n", err)
 		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintln(os.Stderr)
+		suite.WriteMetrics(os.Stderr)
 	}
 
 	if *csvOut {

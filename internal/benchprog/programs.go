@@ -52,6 +52,16 @@ func Suite() []Benchmark {
 	}
 }
 
+// Names returns the suite's benchmark names in the paper's order.
+func Names() []string {
+	suite := Suite()
+	names := make([]string, len(suite))
+	for i, b := range suite {
+		names[i] = b.Name
+	}
+	return names
+}
+
 // ByName returns the named benchmark, or nil.
 func ByName(name string) *Benchmark {
 	for _, b := range Suite() {

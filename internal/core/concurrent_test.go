@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"sptc/internal/core"
+)
+
+// TestConcurrentCompileSource compiles the same source from several
+// goroutines at once. Under -race this is the standing proof that the
+// pipeline keeps no shared mutable state between compilations, which is
+// what lets the evaluation harness fan compile+simulate jobs out over a
+// worker pool.
+func TestConcurrentCompileSource(t *testing.T) {
+	src := `
+var a int[512];
+var chain int[512];
+var s1 int;
+var s2 int;
+func main() {
+	var i int = 0;
+	while (i < 512) {
+		a[i] = (i * 2654435761) & 511;
+		chain[i] = (i * 31 + 7) & 511;
+		i = i + 1;
+	}
+	var r int = 0;
+	i = 0;
+	while (i < 512) {
+		var x int = a[chain[i] & 511] * 3 + (a[i] >> 2);
+		s1 = s1 + (x & 15);
+		r = (r + x) & 1023;
+		i = i + 1;
+	}
+	var p int = 0;
+	i = 0;
+	while (i < 400) {
+		p = chain[p];
+		s2 = s2 + (p & 7);
+		i = i + 1;
+	}
+	print(s1, s2, r);
+}
+`
+	const n = 4
+	results := make([]*core.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = core.CompileSource("conc.spl", src, core.DefaultOptions(core.LevelBest))
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	// Compilation is deterministic: every goroutine must reach identical
+	// decisions.
+	want := results[0]
+	for i, got := range results[1:] {
+		if len(got.SPT) != len(want.SPT) {
+			t.Errorf("goroutine %d: %d SPT loops, goroutine 0 had %d", i+1, len(got.SPT), len(want.SPT))
+		}
+		if len(got.Reports) != len(want.Reports) {
+			t.Fatalf("goroutine %d: %d reports, goroutine 0 had %d", i+1, len(got.Reports), len(want.Reports))
+		}
+		for j, rep := range got.Reports {
+			if rep.Decision != want.Reports[j].Decision {
+				t.Errorf("goroutine %d report %d: decision %s, goroutine 0 had %s",
+					i+1, j, rep.Decision, want.Reports[j].Decision)
+			}
+		}
+	}
+}

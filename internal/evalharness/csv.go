@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"time"
 
 	"sptc/internal/core"
 )
@@ -94,6 +95,33 @@ func (s *SuiteResult) WriteCSV(w io.Writer, level core.Level) error {
 			fmt.Sprint(p.SpecIters), fmt.Sprint(p.HasCalls),
 		}); err != nil {
 			return err
+		}
+	}
+
+	// Per-job metrics: the wall-clock columns vary run to run; everything
+	// else is deterministic.
+	if err := section("metrics", []string{"program", "level", "compile_ms", "simulate_ms", "search_nodes", "sim_ops"}); err != nil {
+		return err
+	}
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond)) }
+	metricsRow := func(program string, level core.Level, m Metrics) error {
+		return cw.Write([]string{
+			program, level.String(), ms(m.Compile), ms(m.Simulate),
+			fmt.Sprint(m.SearchNodes), fmt.Sprint(m.SimOps),
+		})
+	}
+	for _, r := range s.Runs {
+		if err := metricsRow(r.Name, core.LevelBase, r.BaseMetrics); err != nil {
+			return err
+		}
+		for _, lvl := range s.Levels {
+			lr := r.Levels[lvl]
+			if lr == nil {
+				continue
+			}
+			if err := metricsRow(r.Name, lvl, lr.Metrics); err != nil {
+				return err
+			}
 		}
 	}
 	cw.Flush()

@@ -144,6 +144,26 @@ func (s *SuiteResult) WriteFig19(w io.Writer, level core.Level) {
 	}
 }
 
+// WriteMetrics prints the per-job observability table: wall-clock
+// compile and simulate time, partition-search node counts, and dynamic
+// instructions simulated.
+func (s *SuiteResult) WriteMetrics(w io.Writer) {
+	fmt.Fprintln(w, "Per-job metrics (wall clock)")
+	fmt.Fprintln(w, "Program    level          compile   simulate  search-nodes       sim-ops")
+	row := func(name string, level core.Level, m Metrics) {
+		fmt.Fprintf(w, "%-10s %-11s %9s  %9s  %12d  %12d\n",
+			name, level, fmtDur(m.Compile), fmtDur(m.Simulate), m.SearchNodes, m.SimOps)
+	}
+	for _, r := range s.Runs {
+		row(r.Name, core.LevelBase, r.BaseMetrics)
+		for _, lvl := range s.Levels {
+			if lr := r.Levels[lvl]; lr != nil {
+				row(r.Name, lvl, lr.Metrics)
+			}
+		}
+	}
+}
+
 // WriteAll prints every table and figure for the given primary level.
 func (s *SuiteResult) WriteAll(w io.Writer, level core.Level) {
 	s.WriteTable1(w)

@@ -11,7 +11,12 @@ package evalharness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"sptc/internal/benchprog"
 	"sptc/internal/core"
@@ -28,15 +33,17 @@ type LevelRun struct {
 	Output   string
 	Speedup  float64 // base cycles / this level's cycles
 	Coverage float64 // fraction of cycles inside SPT loops
+	Metrics  Metrics // per-job cost of this compile+simulate
 }
 
 // BenchmarkRun holds everything measured for one benchmark.
 type BenchmarkRun struct {
 	Name string
 
-	Base       *machine.Result
-	BaseOutput string
-	BaseIPC    float64
+	Base        *machine.Result
+	BaseOutput  string
+	BaseIPC     float64
+	BaseMetrics Metrics // per-job cost of the base compile+simulate
 
 	// MaxCoverage is the fraction of base cycles spent in any loop with
 	// body size at most the SPT hardware limit (Figure 16's upper bar).
@@ -61,8 +68,13 @@ type Options struct {
 	// MaxLoopBody is the SPT hardware size limit used for the maximum
 	// coverage measurement (paper: 1000).
 	MaxLoopBody int
-	// Log receives progress lines (nil = silent).
+	// Log receives progress lines (nil = silent). Lines are prefixed with
+	// the benchmark name, so interleaving under concurrency stays legible.
 	Log io.Writer
+	// Workers bounds the number of concurrent compile+simulate jobs
+	// (<= 0 means runtime.NumCPU()). The results are independent of the
+	// worker count: jobs are collected in suite order.
+	Workers int
 }
 
 // DefaultEvalOptions returns the paper's evaluation setup.
@@ -74,15 +86,20 @@ func DefaultEvalOptions() Options {
 	}
 }
 
-// RunSuite evaluates the benchmark suite.
+// RunSuite evaluates the benchmark suite. The independent
+// (benchmark x level) compile+simulate jobs fan out over a bounded
+// worker pool (Options.Workers); results are collected in suite order,
+// so the outcome is identical to a serial run.
 func RunSuite(opt Options) (*SuiteResult, error) {
 	if len(opt.Levels) == 0 {
 		opt.Levels = []core.Level{core.LevelBasic, core.LevelBest, core.LevelAnticipated}
 	}
-	logf := func(format string, args ...any) {
-		if opt.Log != nil {
-			fmt.Fprintf(opt.Log, format, args...)
-		}
+	if err := validateLevels(opt.Levels); err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
 
 	var benches []benchprog.Benchmark
@@ -92,83 +109,243 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 		for _, n := range opt.Benchmarks {
 			b := benchprog.ByName(n)
 			if b == nil {
-				return nil, fmt.Errorf("evalharness: unknown benchmark %q", n)
+				return nil, fmt.Errorf("evalharness: unknown benchmark %q (valid: %s)",
+					n, strings.Join(benchprog.Names(), ", "))
 			}
 			benches = append(benches, *b)
 		}
 	}
 
 	suite := &SuiteResult{Config: opt.Machine, Levels: opt.Levels}
-	for _, b := range benches {
-		logf("== %s\n", b.Name)
-		run, err := runBenchmark(b, opt, logf)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+	suite.Runs = make([]*BenchmarkRun, len(benches))
+	for i, b := range benches {
+		suite.Runs[i] = &BenchmarkRun{Name: b.Name, Levels: make(map[core.Level]*LevelRun, len(opt.Levels))}
+	}
+
+	// One job per (benchmark, level) plus a base+coverage job per
+	// benchmark. Level jobs share the base compile+simulate through the
+	// per-benchmark baseRun memo, so nothing recompiles the base program.
+	type job struct {
+		benchIdx int
+		levelIdx int // -1: the base + coverage job
+	}
+	var jobs []job
+	for i := range benches {
+		jobs = append(jobs, job{i, -1})
+		for li := range opt.Levels {
+			jobs = append(jobs, job{i, li})
 		}
-		suite.Runs = append(suite.Runs, run)
+	}
+
+	logger := &safeLogger{w: opt.Log}
+	cache := NewCompileCache()
+	bases := make([]*baseRun, len(benches))
+	for i := range bases {
+		bases[i] = &baseRun{}
+	}
+	levelRuns := make([][]*LevelRun, len(benches))
+	for i := range levelRuns {
+		levelRuns[i] = make([]*LevelRun, len(opt.Levels))
+	}
+	errs := make([]error, len(jobs))
+
+	var failed atomic.Bool
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range ch {
+				if failed.Load() {
+					continue
+				}
+				j := jobs[ji]
+				b := benches[j.benchIdx]
+				var err error
+				if j.levelIdx < 0 {
+					err = runBase(b, opt, cache, bases[j.benchIdx], suite.Runs[j.benchIdx], logger)
+				} else {
+					lvl := opt.Levels[j.levelIdx]
+					levelRuns[j.benchIdx][j.levelIdx], err = runLevel(b, lvl, opt, cache, bases[j.benchIdx], logger)
+				}
+				if err != nil {
+					errs[ji] = fmt.Errorf("%s: %w", b.Name, err)
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for ji := range jobs {
+		ch <- ji
+	}
+	close(ch)
+	wg.Wait()
+
+	// Jobs are enqueued in suite order, so the first recorded error is
+	// the earliest one in that order among the jobs that ran.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for i := range benches {
+		for li, lvl := range opt.Levels {
+			suite.Runs[i].Levels[lvl] = levelRuns[i][li]
+		}
 	}
 	return suite, nil
 }
 
-func runBenchmark(b benchprog.Benchmark, opt Options, logf func(string, ...any)) (*BenchmarkRun, error) {
-	run := &BenchmarkRun{Name: b.Name, Levels: make(map[core.Level]*LevelRun)}
+// validateLevels rejects level lists that would collide in the per-run
+// Levels map: duplicates, and LevelBase (the base run is implicit).
+func validateLevels(levels []core.Level) error {
+	seen := make(map[core.Level]bool, len(levels))
+	for _, l := range levels {
+		if l == core.LevelBase {
+			return fmt.Errorf("evalharness: Options.Levels must not include %s: the base run is implicit and would collide in the Levels map", core.LevelBase)
+		}
+		if seen[l] {
+			return fmt.Errorf("evalharness: duplicate level %s in Options.Levels", l)
+		}
+		seen[l] = true
+	}
+	return nil
+}
 
-	// Base (non-SPT) reference.
-	baseRes, err := core.CompileSource(b.Name, b.Source, core.DefaultOptions(core.LevelBase))
-	if err != nil {
-		return nil, fmt.Errorf("base compile: %w", err)
+// baseRun memoizes one benchmark's base compile+simulate so the base job
+// and every level job of that benchmark share a single computation.
+type baseRun struct {
+	once    sync.Once
+	res     *core.Result
+	sim     *machine.Result
+	out     string
+	metrics Metrics
+	err     error
+}
+
+func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, logger *safeLogger) error {
+	br.once.Do(func() {
+		res, cdur, err := cache.Get(b.Name, b.Source, core.DefaultOptions(core.LevelBase))
+		if err != nil {
+			br.err = fmt.Errorf("base compile: %w", err)
+			return
+		}
+		var out captureWriter
+		start := time.Now()
+		sim, err := machine.Run(res.Prog, opt.Machine, machine.RunOptions{Out: &out})
+		if err != nil {
+			br.err = fmt.Errorf("base simulate: %w", err)
+			return
+		}
+		br.res, br.sim, br.out = res, sim, out.String()
+		br.metrics = Metrics{
+			Timing: Timing{Compile: cdur, Simulate: time.Since(start)},
+			SimOps: sim.Ops,
+		}
+		logger.logf("[%s] base: %.0f cycles, IPC %.2f (compile %s, simulate %s)",
+			b.Name, sim.Cycles, sim.IPC(), fmtDur(cdur), fmtDur(br.metrics.Simulate))
+	})
+	return br.err
+}
+
+// runBase fills a benchmark's base reference fields and the Figure 16
+// maximum-coverage measurement. Only this job touches the base program's
+// IR, so the coverage simulation never races with the level jobs.
+func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, br *baseRun, run *BenchmarkRun, logger *safeLogger) error {
+	if err := br.get(b, opt, cache, logger); err != nil {
+		return err
 	}
-	var baseOut captureWriter
-	baseSim, err := machine.Run(baseRes.Prog, opt.Machine, machine.RunOptions{Out: &baseOut})
-	if err != nil {
-		return nil, fmt.Errorf("base simulate: %w", err)
-	}
-	run.Base = baseSim
-	run.BaseOutput = baseOut.String()
-	run.BaseIPC = baseSim.IPC()
-	logf("   base: %.0f cycles, IPC %.2f\n", baseSim.Cycles, run.BaseIPC)
+	run.Base = br.sim
+	run.BaseOutput = br.out
+	run.BaseIPC = br.sim.IPC()
+	run.BaseMetrics = br.metrics
 
 	// Maximum loop coverage at the SPT size limit (Figure 16).
-	covOpt, sizes := coverageOptions(baseRes.Prog, opt.MaxLoopBody)
+	covOpt, sizes := coverageOptions(br.res.Prog, opt.MaxLoopBody)
 	if len(sizes) > 0 {
-		covSim, err := machine.Run(baseRes.Prog, opt.Machine, covOpt)
+		covSim, err := machine.Run(br.res.Prog, opt.Machine, covOpt)
 		if err != nil {
-			return nil, fmt.Errorf("coverage simulate: %w", err)
+			return fmt.Errorf("coverage simulate: %w", err)
 		}
 		var covered float64
 		for _, c := range covSim.CyclesByLoop {
 			covered += c
 		}
-		run.MaxCoverage = covered / covSim.Cycles
+		run.MaxCoverage = ratio(covered, covSim.Cycles)
 	}
+	return nil
+}
 
-	for _, level := range opt.Levels {
-		res, err := core.CompileSource(b.Name, b.Source, core.DefaultOptions(level))
-		if err != nil {
-			return nil, fmt.Errorf("%s compile: %w", level, err)
-		}
-		simOpt := simulationOptions(res)
-		var out captureWriter
-		simOpt.Out = &out
-		sim, err := machine.Run(res.Prog, opt.Machine, simOpt)
-		if err != nil {
-			return nil, fmt.Errorf("%s simulate: %w", level, err)
-		}
-		if out.String() != run.BaseOutput {
-			return nil, fmt.Errorf("%s output diverged from base", level)
-		}
-		lr := &LevelRun{Level: level, Compile: res, Sim: sim, Output: out.String()}
-		lr.Speedup = baseSim.Cycles / sim.Cycles
-		var inLoops float64
-		for _, ls := range sim.Loops {
-			inLoops += ls.Elapsed
-		}
-		lr.Coverage = inLoops / sim.Cycles
-		run.Levels[level] = lr
-		logf("   %-11s %.0f cycles, speedup %.3f, %d SPT loops, coverage %.2f\n",
-			level.String()+":", sim.Cycles, lr.Speedup, len(res.SPT), lr.Coverage)
+// runLevel compiles and simulates one benchmark at one level.
+func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *CompileCache, br *baseRun, logger *safeLogger) (*LevelRun, error) {
+	if err := br.get(b, opt, cache, logger); err != nil {
+		return nil, err
 	}
-	return run, nil
+	res, cdur, err := cache.Get(b.Name, b.Source, core.DefaultOptions(level))
+	if err != nil {
+		return nil, fmt.Errorf("%s compile: %w", level, err)
+	}
+	simOpt := simulationOptions(res)
+	var out captureWriter
+	simOpt.Out = &out
+	start := time.Now()
+	sim, err := machine.Run(res.Prog, opt.Machine, simOpt)
+	if err != nil {
+		return nil, fmt.Errorf("%s simulate: %w", level, err)
+	}
+	sdur := time.Since(start)
+	if out.String() != br.out {
+		return nil, fmt.Errorf("%s output diverged from base", level)
+	}
+	lr := &LevelRun{Level: level, Compile: res, Sim: sim, Output: out.String()}
+	lr.Speedup = ratio(br.sim.Cycles, sim.Cycles)
+	var inLoops float64
+	for _, ls := range sim.Loops {
+		inLoops += ls.Elapsed
+	}
+	lr.Coverage = ratio(inLoops, sim.Cycles)
+	lr.Metrics = Metrics{
+		Timing:      Timing{Compile: cdur, Simulate: sdur},
+		SearchNodes: searchNodes(res),
+		SimOps:      sim.Ops,
+	}
+	logger.logf("[%s] %s: %.0f cycles, speedup %.3f, %d SPT loops, coverage %.2f (compile %s, simulate %s, %d search nodes)",
+		b.Name, level, sim.Cycles, lr.Speedup, len(res.SPT), lr.Coverage, fmtDur(cdur), fmtDur(sdur), lr.Metrics.SearchNodes)
+	return lr, nil
+}
+
+// ratio guards the evaluation's many cycle and op ratios against
+// degenerate zero denominators (a loop that never speculates, an empty
+// simulation): the figures treat those as 0, never NaN or Inf.
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// safeLogger serializes progress lines from concurrent jobs.
+type safeLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *safeLogger) logf(format string, args ...any) {
+	if l.w == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, format+"\n", args...)
+}
+
+func fmtDur(d time.Duration) string {
+	if d < time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	return d.Round(time.Millisecond).String()
 }
 
 // simulationOptions mirrors the root package helper (duplicated to keep

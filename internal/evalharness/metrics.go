@@ -1,0 +1,91 @@
+package evalharness
+
+import (
+	"sync"
+	"time"
+
+	"sptc/internal/core"
+)
+
+// Timing records the wall-clock cost of one compile+simulate job.
+type Timing struct {
+	// Compile is the core.CompileSource wall time. When the compilation
+	// was shared through a CompileCache, every consumer reports the one
+	// real compile duration.
+	Compile time.Duration
+	// Simulate is the machine.Run wall time.
+	Simulate time.Duration
+}
+
+// Metrics is the per-job observability layer: what one compile+simulate
+// job cost, in wall-clock time and in work done. Future performance PRs
+// regress against these numbers.
+type Metrics struct {
+	Timing
+	// SearchNodes totals the branch-and-bound partition-search nodes
+	// explored across the compilation's loop candidates (0 at LevelBase,
+	// which performs no partition search).
+	SearchNodes int64
+	// SimOps is the number of dynamic instructions simulated.
+	SimOps int64
+}
+
+// searchNodes totals the partition search effort recorded in a
+// compilation's loop reports.
+func searchNodes(res *core.Result) int64 {
+	var n int64
+	for _, rep := range res.Reports {
+		if rep.Partition != nil {
+			n += int64(rep.Partition.SearchNodes)
+		}
+	}
+	return n
+}
+
+// CompileKey identifies one deterministic compilation.
+type CompileKey struct {
+	Name  string
+	Level core.Level
+}
+
+// CompileCache memoizes core.CompileSource results keyed by benchmark
+// name and compilation level. Compilation is deterministic, so concurrent
+// consumers can share one result: Get is safe for concurrent use and
+// compiles each key at most once, with later callers blocking until the
+// first finishes. Callers must pass the same source and options for a
+// given key.
+type CompileCache struct {
+	mu sync.Mutex
+	m  map[CompileKey]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  *core.Result
+	dur  time.Duration
+	err  error
+}
+
+// NewCompileCache returns an empty cache.
+func NewCompileCache() *CompileCache {
+	return &CompileCache{m: make(map[CompileKey]*cacheEntry)}
+}
+
+// Get returns the compilation of src at opt.Level, compiling at most once
+// per (name, level) key. The returned duration is the wall time of the
+// one real compilation, whether or not this caller performed it.
+func (c *CompileCache) Get(name, src string, opt core.Options) (*core.Result, time.Duration, error) {
+	c.mu.Lock()
+	e := c.m[CompileKey{Name: name, Level: opt.Level}]
+	if e == nil {
+		e = &cacheEntry{}
+		c.m[CompileKey{Name: name, Level: opt.Level}] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		start := time.Now()
+		e.res, e.err = core.CompileSource(name, src, opt)
+		e.dur = time.Since(start)
+	})
+	return e.res, e.dur, e.err
+}

@@ -1,0 +1,110 @@
+package evalharness
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sptc/internal/core"
+)
+
+const cacheTestSrc = `
+var total int;
+func main() {
+	var i int = 0;
+	while (i < 64) {
+		total = total + (i & 3);
+		i = i + 1;
+	}
+	print(total);
+}
+`
+
+// TestCompileCacheSharing checks that concurrent Gets of the same key
+// share one compilation (identical result pointer, one real duration)
+// and that distinct levels are distinct keys.
+func TestCompileCacheSharing(t *testing.T) {
+	cache := NewCompileCache()
+	const n = 8
+	results := make([]*core.Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, dur, err := cache.Get("cache.spl", cacheTestSrc, core.DefaultOptions(core.LevelBase))
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			if dur <= 0 {
+				t.Errorf("goroutine %d: non-positive compile duration %v", i, dur)
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Errorf("goroutine %d got a different result pointer: cache recompiled", i)
+		}
+	}
+
+	other, _, err := cache.Get("cache.spl", cacheTestSrc, core.DefaultOptions(core.LevelBasic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == results[0] {
+		t.Error("different levels must be different cache keys")
+	}
+}
+
+// TestCompileCacheError checks that a failing compilation is memoized
+// too, and keeps returning its error.
+func TestCompileCacheError(t *testing.T) {
+	cache := NewCompileCache()
+	for i := 0; i < 2; i++ {
+		res, _, err := cache.Get("bad.spl", "func main( {", core.DefaultOptions(core.LevelBase))
+		if err == nil || res != nil {
+			t.Fatalf("call %d: expected parse error, got res=%v err=%v", i, res, err)
+		}
+	}
+}
+
+// TestSearchNodes checks the partition-search totaling over a real
+// compilation: only candidates that reached the search contribute.
+func TestSearchNodes(t *testing.T) {
+	res, _, err := NewCompileCache().Get("cache.spl", cacheTestSrc, core.DefaultOptions(core.LevelBest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := searchNodes(res)
+	if n < 0 {
+		t.Errorf("negative search node total %d", n)
+	}
+	var manual int64
+	for _, rep := range res.Reports {
+		if rep.Partition != nil {
+			manual += int64(rep.Partition.SearchNodes)
+		}
+	}
+	if n != manual {
+		t.Errorf("searchNodes = %d, manual total = %d", n, manual)
+	}
+	if base, _, err := NewCompileCache().Get("cache.spl", cacheTestSrc, core.DefaultOptions(core.LevelBase)); err != nil {
+		t.Fatal(err)
+	} else if got := searchNodes(base); got != 0 {
+		t.Errorf("base compilation reported %d search nodes, want 0", got)
+	}
+}
+
+// TestWriteMetricsEmpty ensures the metrics table renders for an empty
+// suite without panicking.
+func TestWriteMetricsEmpty(t *testing.T) {
+	s := &SuiteResult{Levels: []core.Level{core.LevelBest}}
+	var buf strings.Builder
+	s.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), "Per-job metrics") {
+		t.Errorf("missing header:\n%s", buf.String())
+	}
+}

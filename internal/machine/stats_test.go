@@ -1,0 +1,46 @@
+package machine_test
+
+import (
+	"math"
+	"testing"
+
+	"sptc/internal/machine"
+)
+
+// TestDegenerateLoopStats pins the zero-denominator behavior of the
+// per-loop ratio accessors: a loop that never speculates (SpecOps == 0)
+// must report a 0 re-execution ratio, not NaN, and a loop with no
+// attributed cycles must report a neutral speedup.
+func TestDegenerateLoopStats(t *testing.T) {
+	ls := &machine.LoopStats{}
+	if got := ls.ReexecRatio(); got != 0 {
+		t.Errorf("ReexecRatio with SpecOps=0: got %v, want 0", got)
+	}
+	if got := ls.LoopSpeedup(); got != 1 {
+		t.Errorf("LoopSpeedup with Elapsed=0: got %v, want 1", got)
+	}
+
+	// Even inconsistent stats (re-executed ops without speculative ops)
+	// must not produce Inf.
+	ls = &machine.LoopStats{ReexecOps: 7}
+	if got := ls.ReexecRatio(); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("ReexecRatio with ReexecOps>0, SpecOps=0: got %v", got)
+	}
+
+	ls = &machine.LoopStats{SeqCycles: 100}
+	if got := ls.LoopSpeedup(); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("LoopSpeedup with SeqCycles>0, Elapsed=0: got %v", got)
+	}
+}
+
+// TestDegenerateResultIPC covers the empty-simulation case.
+func TestDegenerateResultIPC(t *testing.T) {
+	r := &machine.Result{}
+	if got := r.IPC(); got != 0 {
+		t.Errorf("IPC with Cycles=0: got %v, want 0", got)
+	}
+	r = &machine.Result{Ops: 42}
+	if got := r.IPC(); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("IPC with Ops>0, Cycles=0: got %v", got)
+	}
+}
