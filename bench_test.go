@@ -421,11 +421,56 @@ func BenchmarkInterpreterThroughput(b *testing.B) {
 }
 
 func BenchmarkPartitionSearch(b *testing.B) {
-	g, m := ablationLoopGraph(b)
+	g, m := searchLoopGraph(b)
 	opt := partition.DefaultOptions()
+	var nodes int
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		partition.Search(g, m, opt)
+		r := partition.Search(g, m, opt)
+		nodes = r.SearchNodes
 	}
+	b.ReportMetric(float64(nodes), "search_nodes")
+}
+
+// BenchmarkCostPropagation measures the §4.2.3 probability-propagation
+// kernel in the access pattern the partition search produces: repeated
+// from-scratch evaluations of partitions that grow by one violation
+// candidate's closure at a time.
+func BenchmarkCostPropagation(b *testing.B) {
+	g, m := searchLoopGraph(b)
+	cur := map[*ir.Stmt]bool{}
+	partitions := []map[*ir.Stmt]bool{{}}
+	for _, vc := range g.VCs {
+		cl := partition.ComputeClosure(g, vc)
+		for s := range cl.Move {
+			cur[s] = true
+		}
+		next := make(map[*ir.Stmt]bool, len(cur))
+		for s := range cur {
+			next[s] = true
+		}
+		partitions = append(partitions, next)
+	}
+	b.ResetTimer()
+	var c float64
+	for i := 0; i < b.N; i++ {
+		c = m.Evaluate(partitions[i%len(partitions)])
+	}
+	_ = c
+}
+
+// BenchmarkSimulate measures the SPT machine simulator end to end on a
+// speculation-heavy compilation (forks, speculative legs, violation
+// checks, re-execution accounting all active).
+func BenchmarkSimulate(b *testing.B) {
+	res := compiled(b, "gap", core.LevelBest)
+	var ops int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := simulateResult(b, res)
+		ops = sim.Ops
+	}
+	b.ReportMetric(float64(ops), "sim_instructions")
 }
 
 func BenchmarkCostModelEvaluate(b *testing.B) {
@@ -456,7 +501,7 @@ func simulateResult(b *testing.B, res *core.Result) *machine.Result {
 // with several violation candidates, for search benchmarks.
 func ablationLoopGraph(b *testing.B) (*depgraph.Graph, *cost.Model) {
 	b.Helper()
-	src := `
+	return loopGraphFromSource(b, `
 var a int[512];
 var s1 int;
 var s2 int;
@@ -476,7 +521,55 @@ func main() {
 	}
 	print(s1, s2, s3, r);
 }
-`
+`)
+}
+
+// searchLoopGraph builds a much larger workload for the partition-search
+// and cost-propagation benchmarks: many violation candidates with small
+// independent closures plus a few chained ones, and enough filler
+// computation that the 30% pre-fork size threshold admits deep subsets.
+// The branch-and-bound search visits thousands of nodes here.
+func searchLoopGraph(b *testing.B) (*depgraph.Graph, *cost.Model) {
+	b.Helper()
+	return loopGraphFromSource(b, `
+var a int[512];
+var s1 int; var s2 int; var s3 int; var s4 int;
+var s5 int; var s6 int; var s7 int; var s8 int;
+var s9 int; var s10 int; var s11 int; var s12 int;
+func main() {
+	var i int = 0;
+	while (i < 512) {
+		var x int = a[i & 511] * 3 + (a[i & 511] >> 2);
+		var f1 int = (x * 17 + i * 29) & 4095;
+		var f2 int = (f1 * 13 + x * 7) & 4095;
+		var f3 int = (f2 * 11 + f1 * 5) & 4095;
+		var f4 int = (f3 * 23 + f2 * 3) & 4095;
+		var f5 int = (f4 * 31 + f3 * 19) & 4095;
+		var f6 int = (f5 * 37 + f4 * 41) & 4095;
+		var f7 int = (f6 * 43 + f5 * 47) & 4095;
+		var f8 int = (f7 * 53 + f6 * 59) & 4095;
+		a[(i * 7 + 3) & 511] = f8 & 255;
+		s1 = s1 + (i & 15);
+		s2 = s2 + (i & 7);
+		s3 = s3 + (i & 3);
+		s4 = s4 + (i & 31);
+		s5 = s5 + (i & 63);
+		s6 = s6 + (i & 1);
+		s7 = s7 + (s1 & 7);
+		s8 = s8 + (s2 & 3);
+		s9 = s9 + (i & 127);
+		s10 = s10 + (i & 255);
+		s11 = s11 + (s4 & 15);
+		s12 = s12 + (x & 7);
+		i = i + 1;
+	}
+	print(s1 + s2 + s3 + s4 + s5 + s6, s7 + s8 + s9 + s10 + s11 + s12, a[3]);
+}
+`)
+}
+
+func loopGraphFromSource(b *testing.B, src string) (*depgraph.Graph, *cost.Model) {
+	b.Helper()
 	p, err := parser.Parse("abl.spl", src)
 	if err != nil {
 		b.Fatal(err)

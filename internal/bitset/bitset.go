@@ -1,0 +1,145 @@
+// Package bitset provides fixed-capacity dense bitsets and an interning
+// table. The partition search and the cost model use them to represent
+// statement sets and downward-closed violation-candidate sets as []uint64
+// words instead of pointer-keyed maps: set algebra becomes word-parallel,
+// copies become memcpy, and identical sets share one canonical identity
+// through the Interner, so work keyed on a set (cost evaluation, size
+// computation) is done once per distinct set rather than once per visit.
+package bitset
+
+import (
+	"math/bits"
+	"unsafe"
+)
+
+// Set is a fixed-capacity bitset. The zero value of a word-slice is a
+// valid empty set of capacity 64*len(words).
+type Set []uint64
+
+// New returns an empty set with capacity for n elements.
+func New(n int) Set {
+	return make(Set, (n+63)>>6)
+}
+
+// Add inserts i.
+func (s Set) Add(i int) { s[i>>6] |= 1 << uint(i&63) }
+
+// Remove deletes i.
+func (s Set) Remove(i int) { s[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether i is in the set.
+func (s Set) Has(i int) bool { return s[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of elements.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Or sets s to s ∪ t. The sets must have equal capacity.
+func (s Set) Or(t Set) {
+	for i, w := range t {
+		s[i] |= w
+	}
+}
+
+// CopyFrom overwrites s with t. The sets must have equal capacity.
+func (s Set) CopyFrom(t Set) { copy(s, t) }
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Clear empties the set.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Equal reports whether s and t hold the same elements. The sets must
+// have equal capacity.
+func (s Set) Equal(t Set) bool {
+	for i, w := range s {
+		if w != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every element in ascending order.
+func (s Set) ForEach(fn func(i int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 | b)
+			w &= w - 1
+		}
+	}
+}
+
+// Key returns the set's content as a string usable as a map key. The
+// returned string aliases no live memory of s (strings are immutable
+// copies).
+func (s Set) Key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+	return string(b)
+}
+
+// KeyView returns the set's content as a string header aliasing s's
+// memory — no copy, no allocation. Only valid for transient use (a map
+// lookup) while s is unmodified; use Key for keys that are stored.
+func (s Set) KeyView() string {
+	if len(s) == 0 {
+		return ""
+	}
+	return unsafe.String((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}
+
+// Interner deduplicates sets: Intern returns a stable small integer ID
+// per distinct set content, assigning IDs densely from 0 in first-seen
+// order. The interned copy is owned by the table.
+type Interner struct {
+	ids  map[string]int
+	sets []Set
+}
+
+// NewInterner returns an empty table.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int)}
+}
+
+// Intern returns the canonical ID for the set's content and whether this
+// content was seen before. The argument is copied on first sight and may
+// be reused by the caller.
+func (t *Interner) Intern(s Set) (id int, seen bool) {
+	if id, ok := t.ids[s.KeyView()]; ok {
+		return id, true
+	}
+	id = len(t.sets)
+	t.ids[s.Key()] = id
+	t.sets = append(t.sets, s.Clone())
+	return id, false
+}
+
+// Lookup returns the ID of a previously interned set without allocating.
+func (t *Interner) Lookup(s Set) (id int, ok bool) {
+	id, ok = t.ids[s.KeyView()]
+	return id, ok
+}
+
+// Len returns the number of distinct sets interned.
+func (t *Interner) Len() int { return len(t.sets) }
+
+// Get returns the canonical set for an ID.
+func (t *Interner) Get(id int) Set { return t.sets[id] }

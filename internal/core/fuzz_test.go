@@ -2,7 +2,6 @@ package core_test
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -10,145 +9,89 @@ import (
 	"sptc/internal/interp"
 	"sptc/internal/ir"
 	"sptc/internal/machine"
+	"sptc/internal/splgen"
 	"sptc/internal/ssa"
 )
 
-// progGen generates random but well-formed SPL programs whose loops
-// exercise the transformation space: affine and indirect array accesses,
-// scalar accumulators, conditional updates, nested and while loops. All
-// indices are masked, all divisors are nonzero constants, so generated
-// programs never trap.
-type progGen struct {
-	r   *rand.Rand
-	buf strings.Builder
-	// loop variables currently in scope, innermost last
-	ivs []string
-	tmp int
-}
-
-func (g *progGen) pick(xs []string) string { return xs[g.r.Intn(len(xs))] }
-
-func (g *progGen) expr(depth int) string {
-	atoms := []string{"7", "13", "g1", "g2"}
-	for _, iv := range g.ivs {
-		atoms = append(atoms, iv, iv)
+// runSimulator compiles nothing; it executes an already-compiled program
+// on the machine simulator with speculation enabled for every loop the
+// compiler transformed, and returns the printed output plus stats.
+func runSimulator(tb testing.TB, res *core.Result, src string, level core.Level) (string, *machine.Result) {
+	tb.Helper()
+	ro := machine.RunOptions{
+		SPTHeaders: map[*ir.Block]int{},
+		LoopBlocks: map[*ir.Block]map[*ir.Block]bool{},
 	}
-	if depth > 0 {
-		atoms = append(atoms,
-			"a["+g.index()+"]",
-			"b["+g.index()+"]",
-		)
-	}
-	if depth <= 0 {
-		return g.pick(atoms)
-	}
-	switch g.r.Intn(7) {
-	case 0:
-		return "(" + g.expr(depth-1) + " + " + g.expr(depth-1) + ")"
-	case 1:
-		return "(" + g.expr(depth-1) + " - " + g.expr(depth-1) + ")"
-	case 2:
-		return "(" + g.expr(depth-1) + " * " + fmt.Sprint(g.r.Intn(5)+1) + ")"
-	case 3:
-		return "(" + g.expr(depth-1) + " % " + fmt.Sprint(g.r.Intn(29)+2) + ")"
-	case 4:
-		return "(" + g.expr(depth-1) + " & " + fmt.Sprint(g.r.Intn(63)+1) + ")"
-	case 5:
-		return "(" + g.expr(depth-1) + " >> " + fmt.Sprint(g.r.Intn(4)+1) + ")"
-	default:
-		return g.pick(atoms)
-	}
-}
-
-// index produces a masked, always-in-bounds array index built only from
-// scalars and constants (never array loads, to bound expression depth).
-func (g *progGen) index() string {
-	return "(" + g.expr(0) + " + " + fmt.Sprint(g.r.Intn(64)) + ") & 63"
-}
-
-func (g *progGen) stmt(depth, indent int) {
-	pad := strings.Repeat("\t", indent)
-	switch g.r.Intn(8) {
-	case 0:
-		fmt.Fprintf(&g.buf, "%sa[%s] = %s;\n", pad, g.index(), g.expr(2))
-	case 1:
-		fmt.Fprintf(&g.buf, "%sb[%s] = b[%s] + %s;\n", pad, g.index(), g.index(), g.expr(1))
-	case 2:
-		fmt.Fprintf(&g.buf, "%sg1 = (g1 + %s) & 1048575;\n", pad, g.expr(2))
-	case 3:
-		fmt.Fprintf(&g.buf, "%sg2 = (g2 ^ %s) & 1048575;\n", pad, g.expr(1))
-	case 4:
-		g.tmp++
-		name := fmt.Sprintf("t%d", g.tmp)
-		fmt.Fprintf(&g.buf, "%svar %s int = %s;\n", pad, name, g.expr(2))
-		fmt.Fprintf(&g.buf, "%sa[(%s) & 63] = %s + 1;\n", pad, name, name)
-	case 5:
-		fmt.Fprintf(&g.buf, "%sif (%s %% %d == 0) {\n", pad, g.expr(1), g.r.Intn(5)+2)
-		g.stmt(depth-1, indent+1)
-		if g.r.Intn(2) == 0 {
-			fmt.Fprintf(&g.buf, "%s} else {\n", pad)
-			g.stmt(depth-1, indent+1)
+	for _, sl := range res.SPT {
+		dom := ssa.BuildDomTree(sl.Func)
+		nest := ssa.FindLoops(sl.Func, dom)
+		nl := nest.ByHeader[sl.Header]
+		if nl == nil {
+			continue
 		}
-		fmt.Fprintf(&g.buf, "%s}\n", pad)
-	case 6:
-		if depth > 0 && len(g.ivs) < 3 {
-			g.loop(depth-1, indent)
-		} else {
-			fmt.Fprintf(&g.buf, "%sg1 = (g1 + %s) & 1048575;\n", pad, g.expr(1))
+		ro.SPTHeaders[sl.Header] = sl.ID
+		set := map[*ir.Block]bool{}
+		for _, blk := range nl.Blocks {
+			set[blk] = true
 		}
-	default:
-		fmt.Fprintf(&g.buf, "%sg2 = (g2 + a[%s] %% 97) & 1048575;\n", pad, g.index())
+		ro.LoopBlocks[sl.Header] = set
 	}
+	var simOut strings.Builder
+	ro.Out = &simOut
+	stats, err := machine.Run(res.Prog, machine.DefaultConfig(), ro)
+	if err != nil {
+		tb.Fatalf("%s simulate: %v\n%s", level, err, src)
+	}
+	return simOut.String(), stats
 }
 
-func (g *progGen) loop(depth, indent int) {
-	pad := strings.Repeat("\t", indent)
-	g.tmp++
-	iv := fmt.Sprintf("i%d", g.tmp)
-	trips := g.r.Intn(30) + 4
-	step := g.r.Intn(2) + 1
-	if g.r.Intn(3) == 0 {
-		// while-style loop with explicit update
-		fmt.Fprintf(&g.buf, "%svar %s int = 0;\n", pad, iv)
-		fmt.Fprintf(&g.buf, "%swhile (%s < %d) {\n", pad, iv, trips)
-		g.ivs = append(g.ivs, iv)
-		n := g.r.Intn(3) + 1
-		for k := 0; k < n; k++ {
-			g.stmt(depth, indent+1)
-		}
-		fmt.Fprintf(&g.buf, "%s\t%s = %s + %d;\n", pad, iv, iv, step)
-		g.ivs = g.ivs[:len(g.ivs)-1]
-		fmt.Fprintf(&g.buf, "%s}\n", pad)
-		return
-	}
-	fmt.Fprintf(&g.buf, "%svar %s int;\n", pad, iv)
-	fmt.Fprintf(&g.buf, "%sfor (%s = 0; %s < %d; %s += %d) {\n", pad, iv, iv, trips, iv, step)
-	g.ivs = append(g.ivs, iv)
-	n := g.r.Intn(4) + 1
-	for k := 0; k < n; k++ {
-		g.stmt(depth, indent+1)
-	}
-	g.ivs = g.ivs[:len(g.ivs)-1]
-	fmt.Fprintf(&g.buf, "%s}\n", pad)
-}
-
-func generate(seed int64) string {
-	g := &progGen{r: rand.New(rand.NewSource(seed))}
-	g.buf.WriteString("var a int[64];\nvar b int[64];\nvar g1 int;\nvar g2 int;\n\nfunc main() {\n")
-	nLoops := g.r.Intn(3) + 2
-	for i := 0; i < nLoops; i++ {
-		g.loop(2, 1)
-	}
-	g.buf.WriteString("\tvar k int;\n\tvar h int = 0;\n")
-	g.buf.WriteString("\tfor (k = 0; k < 64; k++) { h = (h * 31 + a[k] + b[k]) & 268435455; }\n")
-	g.buf.WriteString("\tprint(g1, g2, h);\n}\n")
-	return g.buf.String()
-}
-
-// TestFuzzPipelineSemantics is the differential fuzzer: random programs
-// must print identical output under (a) the base interpreter, (b) every
+// checkDifferential is the shared differential oracle: the program must
+// print identical output under (a) the base interpreter, (b) every
 // compilation level with selection forced on, interpreted, and (c) the
-// SPT machine simulator with speculation active.
+// SPT machine simulator with speculation active. Callable from both the
+// fixed-seed test and the native fuzz target.
+func checkDifferential(tb testing.TB, src string) {
+	tb.Helper()
+
+	baseRes, err := core.CompileSource("fuzz.spl", src, core.DefaultOptions(core.LevelBase))
+	if err != nil {
+		tb.Fatalf("base compile: %v\n%s", err, src)
+	}
+	var want strings.Builder
+	if _, err := interp.New(baseRes.Prog, &want).Run(); err != nil {
+		tb.Fatalf("base run: %v\n%s", err, src)
+	}
+
+	for _, level := range []core.Level{core.LevelBasic, core.LevelBest, core.LevelAnticipated} {
+		opt := core.DefaultOptions(level)
+		opt.DisableSelection = true
+		res, err := core.CompileSource("fuzz.spl", src, opt)
+		if err != nil {
+			tb.Fatalf("%s compile: %v\n%s", level, err, src)
+		}
+		for _, fn := range res.Prog.Funcs {
+			if err := ssa.VerifySSA(fn, ssa.BuildDomTree(fn)); err != nil {
+				tb.Fatalf("%s SSA invariants: %v\n%s", level, err, src)
+			}
+		}
+		var got strings.Builder
+		if _, err := interp.New(res.Prog, &got).Run(); err != nil {
+			tb.Fatalf("%s interp: %v\n%s", level, err, src)
+		}
+		if got.String() != want.String() {
+			tb.Fatalf("%s interp diverged:\nwant %q\ngot  %q\n%s", level, want.String(), got.String(), src)
+		}
+
+		simOut, _ := runSimulator(tb, res, src, level)
+		if simOut != want.String() {
+			tb.Fatalf("%s simulator diverged:\nwant %q\ngot  %q\n%s", level, want.String(), simOut, src)
+		}
+	}
+}
+
+// TestFuzzPipelineSemantics runs the differential oracle over a fixed
+// block of generator seeds, so a plain `go test` still gets meaningful
+// randomized coverage without the fuzz engine.
 func TestFuzzPipelineSemantics(t *testing.T) {
 	seeds := 30
 	if testing.Short() {
@@ -158,65 +101,20 @@ func TestFuzzPipelineSemantics(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			t.Parallel()
-			src := generate(seed)
-
-			baseRes, err := core.CompileSource("fuzz.spl", src, core.DefaultOptions(core.LevelBase))
-			if err != nil {
-				t.Fatalf("base compile: %v\n%s", err, src)
-			}
-			var want strings.Builder
-			if _, err := interp.New(baseRes.Prog, &want).Run(); err != nil {
-				t.Fatalf("base run: %v\n%s", err, src)
-			}
-
-			for _, level := range []core.Level{core.LevelBasic, core.LevelBest, core.LevelAnticipated} {
-				opt := core.DefaultOptions(level)
-				opt.DisableSelection = true
-				res, err := core.CompileSource("fuzz.spl", src, opt)
-				if err != nil {
-					t.Fatalf("%s compile: %v\n%s", level, err, src)
-				}
-				for _, fn := range res.Prog.Funcs {
-					if err := ssa.VerifySSA(fn, ssa.BuildDomTree(fn)); err != nil {
-						t.Fatalf("%s SSA invariants: %v\n%s", level, err, src)
-					}
-				}
-				var got strings.Builder
-				if _, err := interp.New(res.Prog, &got).Run(); err != nil {
-					t.Fatalf("%s interp: %v\n%s", level, err, src)
-				}
-				if got.String() != want.String() {
-					t.Fatalf("%s interp diverged:\nwant %q\ngot  %q\n%s", level, want.String(), got.String(), src)
-				}
-
-				// Simulate with speculation enabled.
-				ro := machine.RunOptions{
-					SPTHeaders: map[*ir.Block]int{},
-					LoopBlocks: map[*ir.Block]map[*ir.Block]bool{},
-				}
-				for _, sl := range res.SPT {
-					dom := ssa.BuildDomTree(sl.Func)
-					nest := ssa.FindLoops(sl.Func, dom)
-					nl := nest.ByHeader[sl.Header]
-					if nl == nil {
-						continue
-					}
-					ro.SPTHeaders[sl.Header] = sl.ID
-					set := map[*ir.Block]bool{}
-					for _, blk := range nl.Blocks {
-						set[blk] = true
-					}
-					ro.LoopBlocks[sl.Header] = set
-				}
-				var simOut strings.Builder
-				ro.Out = &simOut
-				if _, err := machine.Run(res.Prog, machine.DefaultConfig(), ro); err != nil {
-					t.Fatalf("%s simulate: %v\n%s", level, err, src)
-				}
-				if simOut.String() != want.String() {
-					t.Fatalf("%s simulator diverged:\nwant %q\ngot  %q\n%s", level, want.String(), simOut.String(), src)
-				}
-			}
+			checkDifferential(t, splgen.Generate(seed))
 		})
 	}
+}
+
+// FuzzDifferentialLevels is the native fuzz entry point: the engine
+// mutates the generator seed, splgen expands it into a well-formed SPL
+// program, and the differential oracle cross-checks every compilation
+// level against the base interpreter.
+func FuzzDifferentialLevels(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkDifferential(t, splgen.Generate(seed))
+	})
 }

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"sptc/internal/core"
+	"sptc/internal/interp"
+)
+
+// misspecSrc is built to defeat speculation part of the time: each
+// iteration stores to exactly the address the next iteration loads
+// (a cross-iteration flow dependence through memory), the stored value
+// changes every iteration, and the computing chain is long enough that
+// the pre-fork size limit keeps it out of the pre-fork region.
+const misspecSrc = `
+var a int[64];
+var s int;
+func main() {
+	var i int = 0;
+	while (i < 96) {
+		var x int = a[(i * 13 + 3) & 63];
+		x = x * 3 + (x >> 2) + (x & 15) + i;
+		x = x + x % 7 + (x >> 1) % 5 + x % 11 + (x >> 3) % 13;
+		x = x + x % 17 + (x >> 2) % 19 + x % 23;
+		a[((i + 1) * 13 + 3) & 63] = x & 255;
+		s = s + (x & 63);
+		i = i + 1;
+	}
+	print(s, a[7], a[21]);
+}
+`
+
+// TestDifferentialMisspeculation checks the machine's recovery path: the
+// program must produce architecturally identical output at every level
+// even though the simulator demonstrably misspeculates and re-executes.
+func TestDifferentialMisspeculation(t *testing.T) {
+	// Output equality across all four levels, interpreter and simulator.
+	checkDifferential(t, misspecSrc)
+
+	// The run must actually have exercised misspeculation recovery —
+	// otherwise this test silently stops covering the re-execution path.
+	opt := core.DefaultOptions(core.LevelBest)
+	opt.DisableSelection = true
+	res, err := core.CompileSource("misspec.spl", misspecSrc, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var want strings.Builder
+	baseRes, err := core.CompileSource("misspec.spl", misspecSrc, core.DefaultOptions(core.LevelBase))
+	if err != nil {
+		t.Fatalf("base compile: %v", err)
+	}
+	if _, err := interp.New(baseRes.Prog, &want).Run(); err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+
+	out, stats := runSimulator(t, res, misspecSrc, core.LevelBest)
+	if out != want.String() {
+		t.Fatalf("simulator diverged:\nwant %q\ngot  %q", want.String(), out)
+	}
+	var spec, misspec int64
+	for _, ls := range stats.Loops {
+		spec += ls.SpecIters
+		misspec += ls.MisspecIters
+	}
+	if spec == 0 {
+		t.Fatal("no speculative iterations ran; the loop was not executed under SPT")
+	}
+	if misspec == 0 {
+		t.Fatal("no misspeculated iterations; the recovery path went untested")
+	}
+	t.Logf("spec iters %d, misspeculated %d", spec, misspec)
+}

@@ -311,6 +311,7 @@ func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *Compi
 		SearchNodes: searchNodes(res),
 		SimOps:      sim.Ops,
 	}
+	lr.Metrics.CostEvals, lr.Metrics.DedupHits = costEvals(res)
 	logger.logf("[%s] %s: %.0f cycles, speedup %.3f, %d SPT loops, coverage %.2f (compile %s, simulate %s, %d search nodes)",
 		b.Name, level, sim.Cycles, lr.Speedup, len(res.SPT), lr.Coverage, fmtDur(cdur), fmtDur(sdur), lr.Metrics.SearchNodes)
 	return lr, nil

@@ -26,6 +26,12 @@ type Metrics struct {
 	// explored across the compilation's loop candidates (0 at LevelBase,
 	// which performs no partition search).
 	SearchNodes int64
+	// CostEvals totals the §4.2.3 cost propagations the partition
+	// searches actually performed; DedupHits counts the cost queries
+	// answered from the interned zero-set table without propagating.
+	// Their sum is the number of cost queries the searches issued.
+	CostEvals int64
+	DedupHits int64
 	// SimOps is the number of dynamic instructions simulated.
 	SimOps int64
 }
@@ -40,6 +46,18 @@ func searchNodes(res *core.Result) int64 {
 		}
 	}
 	return n
+}
+
+// costEvals totals the performed and deduplicated cost evaluations
+// recorded in a compilation's loop reports.
+func costEvals(res *core.Result) (evals, hits int64) {
+	for _, rep := range res.Reports {
+		if rep.Partition != nil {
+			evals += int64(rep.Partition.CostEvals)
+			hits += int64(rep.Partition.DedupHits)
+		}
+	}
+	return evals, hits
 }
 
 // CompileKey identifies one deterministic compilation.

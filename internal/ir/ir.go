@@ -339,14 +339,12 @@ func (b *Block) Terminator() *Stmt {
 
 // Phis returns the phi statements at the top of the block.
 func (b *Block) Phis() []*Stmt {
-	var out []*Stmt
-	for _, s := range b.Stmts {
+	for i, s := range b.Stmts {
 		if s.Kind != StmtPhi {
-			break
+			return b.Stmts[:i:i]
 		}
-		out = append(out, s)
 	}
-	return out
+	return b.Stmts
 }
 
 // predIndex returns the index of p in b.Preds, or -1.
@@ -377,6 +375,19 @@ type Func struct {
 	nextVarID  int
 	nextBlkID  int
 }
+
+// NumVars returns the exclusive upper bound of Var.ID within f: every
+// variable created for f (parameters, locals, temps, SSA versions) has
+// 0 <= ID < NumVars(). Dense per-variable tables (the machine simulator's
+// register files) are sized with it.
+func (f *Func) NumVars() int { return f.nextVarID }
+
+// NumStmts returns the exclusive upper bound of Stmt.ID within f. IDs are
+// stable once assigned, so they index dense per-statement tables.
+func (f *Func) NumStmts() int { return f.nextStmtID }
+
+// NumOps returns the exclusive upper bound of Op.ID within f.
+func (f *Func) NumOps() int { return f.nextOpID }
 
 // Program is a whole compiled program.
 type Program struct {

@@ -89,28 +89,63 @@ type RunOptions struct {
 // ErrStepLimit mirrors the interpreter's limit error.
 var ErrStepLimit = errors.New("machine: step limit exceeded")
 
+// frame is one function activation. Registers, base-variable values and
+// taint are dense arrays indexed by the function's per-program variable
+// numbering (ir.Var.ID / Var.Base.ID), stamped with the frame's
+// generation: a slot whose stamp differs from gen is absent and reads as
+// the zero Value, exactly like a missing map key. Frames are pooled per
+// function; reuse bumps gen instead of clearing the arrays.
 type frame struct {
 	fn   *ir.Func
-	regs map[*ir.Var]Value
+	pool *framePoolEntry
+	regs []Value
 	// baseVals tracks the latest value per base variable — the physical
 	// register file the fork instruction copies into the speculative
 	// thread's context (SSA versions are a compiler artifact).
-	baseVals map[*ir.Var]Value
-	taint    map[*ir.Var]bool // allocated during speculative legs
+	baseVals []Value
+	regGen   []uint32
+	baseGen  []uint32
+	taint    []uint32 // taint[id] == gen: tainted during the speculative leg
+	gen      uint32
 	depth    int
 }
 
+func (fr *frame) reg(v *ir.Var) Value {
+	if fr.regGen[v.ID] == fr.gen {
+		return fr.regs[v.ID]
+	}
+	return Value{}
+}
+
+func (fr *frame) baseVal(v *ir.Var) Value {
+	if fr.baseGen[v.ID] == fr.gen {
+		return fr.baseVals[v.ID]
+	}
+	return Value{}
+}
+
+func (fr *frame) setReg(v *ir.Var, val Value) {
+	fr.regs[v.ID] = val
+	fr.regGen[v.ID] = fr.gen
+	fr.baseVals[v.Base.ID] = val
+	fr.baseGen[v.Base.ID] = fr.gen
+}
+
+func (fr *frame) setTaint(v *ir.Var, tnt bool) {
+	if tnt {
+		fr.taint[v.ID] = fr.gen
+	} else {
+		fr.taint[v.ID] = 0
+	}
+}
+
 // specCtx tracks the merged functional/speculative evaluation of one
-// speculatively executed iteration.
+// speculatively executed iteration. The per-fork buffers (context
+// snapshot, undo log, write-set) live on the sim and are pooled across
+// forks: SPT regions never nest, so exactly one speculative leg is live
+// at a time and a generation stamp per fork replaces reallocation.
 type specCtx struct {
 	loopFrame *frame
-	// snapshot holds the loop frame's base-variable values at fork time
-	// (the context copy the speculative thread starts from).
-	snapshot map[*ir.Var]Value
-	defined  map[*ir.Var]bool
-	undo     map[int]Value // fork-time values of post-fork-written addrs
-	written  map[int]bool
-	taintMem map[int]bool
 
 	ops          int64
 	reexecOps    int64
@@ -136,15 +171,83 @@ type sim struct {
 	loops      map[int]*LoopStats
 	sptActive  bool
 
-	undo     *map[int]Value         // active post-fork undo log
-	spec     *specCtx               // active speculative leg
-	forkHook func(*frame, *ir.Stmt) // set during main SPT legs
+	undoActive bool     // post-fork undo log open (main leg)
+	spec       *specCtx // active speculative leg
+	specBuf    specCtx  // storage for spec (reused per leg)
+
+	// Fork-hook state, armed during main SPT legs (see onFork).
+	forkIter       *iterRun
+	forkFrame      *frame
+	forkC0, forkM0 float64
+
+	framePool map[*ir.Func]*framePoolEntry
+
+	// Pooled per-fork speculative buffers (see specCtx). The memory-side
+	// buffers are indexed by address and allocated lazily at the first
+	// fork; the register-side buffers are indexed by the loop frame's
+	// variable numbering and grown to the widest function seen.
+	undoVal   []Value  // fork-time values of post-fork-written addrs
+	undoGen   []uint32 // == undoStamp: address present in the undo log
+	writtenGen  []uint32 // == specStamp: written by the speculative leg
+	taintMemGen []uint32 // == specStamp: that write was tainted
+	undoStamp   uint32
+	specStamp   uint32
+
+	snapVals []Value  // loop frame base values at fork time
+	snapGen  []uint32 // copy of the frame's baseGen at fork time
+	defGen   []uint32 // == defStamp: defined in the speculative iteration
+	defStamp uint32
+
+	phiVals   []Value // scratch for parallel phi evaluation
+	phiTaints []bool
+	argBuf    []Value // stack-discipline scratch for call arguments
 
 	// loop attribution
 	attr      map[*ir.Block]int
 	attrStack []attrEntry
 	attrCyc   map[int]float64
 	lastAttr  float64 // cycle checkpoint for attribution
+}
+
+type framePoolEntry struct{ frames []*frame }
+
+// acquireFrame takes a frame for f from the pool, or allocates one sized
+// to the function's variable numbering.
+func (s *sim) acquireFrame(f *ir.Func, depth int) *frame {
+	e := s.framePool[f]
+	if e == nil {
+		e = &framePoolEntry{}
+		s.framePool[f] = e
+	}
+	if n := len(e.frames); n > 0 {
+		fr := e.frames[n-1]
+		e.frames = e.frames[:n-1]
+		fr.gen++
+		if fr.gen == 0 { // stamp wrap: reset to a pristine frame
+			clear(fr.regGen)
+			clear(fr.baseGen)
+			clear(fr.taint)
+			fr.gen = 1
+		}
+		fr.depth = depth
+		return fr
+	}
+	n := f.NumVars()
+	return &frame{
+		fn:       f,
+		pool:     e,
+		regs:     make([]Value, n),
+		baseVals: make([]Value, n),
+		regGen:   make([]uint32, n),
+		baseGen:  make([]uint32, n),
+		taint:    make([]uint32, n),
+		gen:      1,
+		depth:    depth,
+	}
+}
+
+func (s *sim) releaseFrame(fr *frame) {
+	fr.pool.frames = append(fr.pool.frames, fr)
 }
 
 type attrEntry struct {
@@ -177,6 +280,7 @@ func Run(prog *ir.Program, cfg Config, opt RunOptions) (*Result, error) {
 		spt:        opt.SPTHeaders,
 		loopBlocks: opt.LoopBlocks,
 		loops:      make(map[int]*LoopStats),
+		framePool:  make(map[*ir.Func]*framePoolEntry),
 		attr:       opt.AttributeLoops,
 		attrCyc:    make(map[int]float64),
 	}
@@ -209,29 +313,7 @@ func Run(prog *ir.Program, cfg Config, opt RunOptions) (*Result, error) {
 }
 
 func (s *sim) call(f *ir.Func, args []Value, depth int) (Value, error) {
-	if depth > 10000 {
-		return Value{}, fmt.Errorf("machine: call stack overflow in %s", f.Name)
-	}
-	fr := &frame{fn: f, regs: make(map[*ir.Var]Value), baseVals: make(map[*ir.Var]Value), depth: depth}
-	if s.spec != nil {
-		fr.taint = make(map[*ir.Var]bool)
-	}
-	for i, p := range f.Params {
-		if i < len(args) {
-			fr.regs[p] = args[i]
-			fr.baseVals[p.Base] = args[i]
-		}
-	}
-	s.cycles += s.cfg.CallOverhead
-	out, err := s.exec(fr, f.Entry, nil, nil)
-	if err != nil {
-		return Value{}, err
-	}
-	s.popAttrFrame(fr)
-	if !out.ret {
-		return Value{}, fmt.Errorf("machine: %s finished without return", f.Name)
-	}
-	return out.retVal, nil
+	return s.callTainted(f, args, depth, false)
 }
 
 // popAttrFrame drops attribution entries belonging to a returning frame.
@@ -281,8 +363,14 @@ func (s *sim) exec(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool) (e
 			if pi < 0 {
 				return execOutcome{}, fmt.Errorf("machine: %s: b%d entered from non-pred b%d", fr.fn.Name, blk.ID, prev.ID)
 			}
-			vals := make([]Value, len(phis))
-			taints := make([]bool, len(phis))
+			// Scratch reuse is safe: nothing between the read and define
+			// loops re-enters exec.
+			if cap(s.phiVals) < len(phis) {
+				s.phiVals = make([]Value, len(phis))
+				s.phiTaints = make([]bool, len(phis))
+			}
+			vals := s.phiVals[:len(phis)]
+			taints := s.phiTaints[:len(phis)]
 			for i, phi := range phis {
 				v, tnt := s.readVar(fr, phi.PhiArgs[pi])
 				vals[i], taints[i] = v, tnt
@@ -376,8 +464,8 @@ func (s *sim) exec(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool) (e
 				goto nextBlock
 
 			case ir.StmtFork:
-				if s.forkHook != nil {
-					s.forkHook(fr, st)
+				if s.forkIter != nil {
+					s.onFork(fr)
 				}
 				// Outside an active main SPT leg (including speculative
 				// legs) the fork is a no-op.
@@ -421,30 +509,30 @@ func (s *sim) chargeSpec(st *ir.Stmt, tainted bool, c0 float64, o0 int64) {
 // register); if the main thread has since produced a different value for
 // that register, the read is violated.
 func (s *sim) readVar(fr *frame, v *ir.Var) (Value, bool) {
-	val := fr.regs[v]
+	val := fr.reg(v)
 	if s.spec == nil {
 		return val, false
 	}
-	if fr == s.spec.loopFrame && !s.spec.defined[v] {
-		if s.spec.snapshot[v.Base] != val {
+	if fr == s.spec.loopFrame && s.defGen[v.ID] != s.defStamp {
+		var snap Value
+		if s.snapGen[v.Base.ID] == fr.gen {
+			snap = s.snapVals[v.Base.ID]
+		}
+		if snap != val {
 			return val, true // violated: stale context value
 		}
 		return val, false
 	}
-	return val, fr.taint[v]
+	return val, fr.taint[v.ID] == fr.gen
 }
 
 func (s *sim) defineVar(fr *frame, st *ir.Stmt, v *ir.Var, val Value, tnt bool) {
-	fr.regs[v] = val
-	fr.baseVals[v.Base] = val
+	fr.setReg(v, val)
 	if s.spec != nil {
 		if fr == s.spec.loopFrame {
-			s.spec.defined[v] = true
+			s.defGen[v.ID] = s.defStamp
 		}
-		if fr.taint == nil {
-			fr.taint = make(map[*ir.Var]bool)
-		}
-		fr.taint[v] = tnt
+		fr.setTaint(v, tnt)
 	}
 	_ = st
 }
@@ -452,14 +540,17 @@ func (s *sim) defineVar(fr *frame, st *ir.Stmt, v *ir.Var, val Value, tnt bool) 
 // writeMem stores to memory, maintaining the undo log and speculative
 // write-set.
 func (s *sim) writeMem(addr int, v Value, tnt bool) {
-	if s.undo != nil {
-		if _, seen := (*s.undo)[addr]; !seen {
-			(*s.undo)[addr] = s.mem[addr]
-		}
+	if s.undoActive && s.undoGen[addr] != s.undoStamp {
+		s.undoGen[addr] = s.undoStamp
+		s.undoVal[addr] = s.mem[addr]
 	}
 	if s.spec != nil {
-		s.spec.written[addr] = true
-		s.spec.taintMem[addr] = tnt
+		s.writtenGen[addr] = s.specStamp
+		if tnt {
+			s.taintMemGen[addr] = s.specStamp
+		} else {
+			s.taintMemGen[addr] = 0
+		}
 	}
 	s.mem[addr] = v
 	s.hier.store(addr)
@@ -474,10 +565,10 @@ func (s *sim) readMem(addr int) (Value, bool) {
 	if s.spec == nil {
 		return v, false
 	}
-	if s.spec.written[addr] {
-		return v, s.spec.taintMem[addr]
+	if s.writtenGen[addr] == s.specStamp {
+		return v, s.taintMemGen[addr] == s.specStamp
 	}
-	if old, ok := s.spec.undo[addr]; ok && old != v {
+	if s.undoGen[addr] == s.undoStamp && s.undoVal[addr] != v {
 		return v, true
 	}
 	return v, false
@@ -630,34 +721,38 @@ func (s *sim) evalCall(fr *frame, st *ir.Stmt, o *ir.Op) (Value, bool, error) {
 	if o.Func == nil {
 		return Value{}, false, fmt.Errorf("machine: unresolved call %s", o.Callee)
 	}
-	args := make([]Value, len(o.Args))
+	// Argument values live in a stack-disciplined scratch buffer: nested
+	// calls during operand evaluation push above our base and truncate
+	// back before we append the next operand.
+	base := len(s.argBuf)
 	argTaint := false
-	for i, a := range o.Args {
+	for _, a := range o.Args {
 		v, t, err := s.eval(fr, st, a)
 		if err != nil {
+			s.argBuf = s.argBuf[:base]
 			return Value{}, false, err
 		}
-		args[i] = v
+		s.argBuf = append(s.argBuf, v)
 		argTaint = argTaint || t
 	}
 	s.ops++
-	v, err := s.callTainted(o.Func, args, fr.depth+1, argTaint)
+	v, err := s.callTainted(o.Func, s.argBuf[base:], fr.depth+1, argTaint)
+	s.argBuf = s.argBuf[:base]
 	return v, argTaint, err
 }
 
 // callTainted invokes a function during either normal or speculative
 // execution. Argument taint seeds the callee's parameter taint.
 func (s *sim) callTainted(f *ir.Func, args []Value, depth int, argTaint bool) (Value, error) {
-	fr := &frame{fn: f, regs: make(map[*ir.Var]Value), baseVals: make(map[*ir.Var]Value), depth: depth}
-	if s.spec != nil {
-		fr.taint = make(map[*ir.Var]bool)
+	if depth > 10000 {
+		return Value{}, fmt.Errorf("machine: call stack overflow in %s", f.Name)
 	}
+	fr := s.acquireFrame(f, depth)
 	for i, p := range f.Params {
 		if i < len(args) {
-			fr.regs[p] = args[i]
-			fr.baseVals[p.Base] = args[i]
+			fr.setReg(p, args[i])
 			if s.spec != nil && argTaint {
-				fr.taint[p] = true
+				fr.setTaint(p, true)
 			}
 		}
 	}
@@ -667,6 +762,7 @@ func (s *sim) callTainted(f *ir.Func, args []Value, depth int, argTaint bool) (V
 		return Value{}, err
 	}
 	s.popAttrFrame(fr)
+	s.releaseFrame(fr)
 	if !out.ret {
 		return Value{}, fmt.Errorf("machine: %s finished without return", f.Name)
 	}
@@ -701,16 +797,18 @@ func (s *sim) evalBuiltin(fr *frame, st *ir.Stmt, o *ir.Op) (Value, bool, error)
 		return Value{}, tnt, nil
 	}
 
-	args := make([]Value, len(o.Args))
+	base := len(s.argBuf)
+	defer func() { s.argBuf = s.argBuf[:base] }()
 	tnt := false
-	for i, a := range o.Args {
+	for _, a := range o.Args {
 		v, t, err := s.eval(fr, st, a)
 		if err != nil {
 			return Value{}, false, err
 		}
-		args[i] = v
+		s.argBuf = append(s.argBuf, v)
 		tnt = tnt || t
 	}
+	args := s.argBuf[base:]
 	s.ops++
 	switch o.Callee {
 	case "fabs":

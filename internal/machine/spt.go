@@ -6,7 +6,9 @@ import (
 	"sptc/internal/ir"
 )
 
-// iterRun describes one executed loop iteration.
+// iterRun describes one executed loop iteration. The fork's context
+// snapshot and undo log live in the sim's pooled buffers (one fork is
+// live at a time), not here.
 type iterRun struct {
 	cycles    float64 // work cycles for the iteration (excl. fork overhead)
 	preCycles float64 // cycles from iteration start to the fork point
@@ -14,54 +16,88 @@ type iterRun struct {
 	preMem    float64 // shared-memory cycles before the fork point
 	ops       int64
 	forked    bool
-	snapshot  map[*ir.Var]Value
-	undo      map[int]Value
 	next      *ir.Block // header (another iteration) or an exit block
 	prev      *ir.Block // predecessor block on arrival at next
 }
 
+// ensureSpecMem lazily allocates the address-indexed speculative buffers
+// (undo log, write-set, write taint) at the first fork.
+func (s *sim) ensureSpecMem() {
+	if s.undoVal == nil {
+		n := len(s.mem)
+		s.undoVal = make([]Value, n)
+		s.undoGen = make([]uint32, n)
+		s.writtenGen = make([]uint32, n)
+		s.taintMemGen = make([]uint32, n)
+	}
+}
+
+// bumpStamp advances a generation stamp, clearing the stamped buffers on
+// the (practically unreachable) uint32 wrap so stale stamps can never
+// read as current.
+func bumpStamp(stamp *uint32, bufs ...[]uint32) {
+	*stamp++
+	if *stamp == 0 {
+		for _, b := range bufs {
+			clear(b)
+		}
+		*stamp = 1
+	}
+}
+
+// snapshotFrame copies the loop frame's base-variable file (values and
+// generation stamps) into the pooled fork-time snapshot.
+func (s *sim) snapshotFrame(fr *frame) {
+	n := len(fr.baseVals)
+	if cap(s.snapVals) < n {
+		s.snapVals = make([]Value, n)
+		s.snapGen = make([]uint32, n)
+	}
+	s.snapVals = s.snapVals[:n]
+	s.snapGen = s.snapGen[:n]
+	copy(s.snapVals, fr.baseVals)
+	copy(s.snapGen, fr.baseGen)
+}
+
+// beginSpecLeg prepares the pooled per-leg buffers: the defined-set for
+// the loop frame's variables and a fresh write-set generation.
+func (s *sim) beginSpecLeg(fr *frame) {
+	n := len(fr.regs)
+	if cap(s.defGen) < n {
+		s.defGen = make([]uint32, n)
+	}
+	s.defGen = s.defGen[:n]
+	bumpStamp(&s.defStamp, s.defGen)
+	bumpStamp(&s.specStamp, s.writtenGen, s.taintMemGen)
+}
+
 // runIteration executes one iteration of the loop starting at header
-// (entered from prev), stopping when control returns to the header or
-// leaves the loop. When mainLeg is set, the fork instruction snapshots
-// the context and opens the undo log.
-func (s *sim) runIteration(fr *frame, header, from, prev *ir.Block, inLoop map[*ir.Block]bool, mainLeg bool) (*iterRun, error) {
-	it := &iterRun{}
+// (entered from prev), stopping when stop fires (control back at the
+// header or out of the loop). When mainLeg is set, the fork instruction
+// snapshots the context and opens the undo log. The result is written
+// into the caller-provided it, so the per-iteration bookkeeping does not
+// allocate.
+func (s *sim) runIteration(it *iterRun, fr *frame, from, prev *ir.Block, stop func(*ir.Block) bool, mainLeg bool) error {
+	*it = iterRun{}
 	c0, o0, m0 := s.cycles, s.ops, s.memCycles
 
 	if mainLeg {
-		s.forkHook = func(f *frame, st *ir.Stmt) {
-			if it.forked || f != fr {
-				return // only the loop's own fork, once
-			}
-			it.forked = true
-			it.preCycles = s.cycles - c0
-			it.preMem = s.memCycles - m0
-			s.cycles += s.cfg.ForkOverhead
-			it.snapshot = make(map[*ir.Var]Value, len(fr.baseVals))
-			for v, val := range fr.baseVals {
-				it.snapshot[v] = val
-			}
-			it.undo = make(map[int]Value)
-			s.undo = &it.undo
-		}
-	}
-
-	stop := func(b *ir.Block) bool {
-		return b == header || !inLoop[b]
+		s.forkIter, s.forkFrame = it, fr
+		s.forkC0, s.forkM0 = c0, m0
 	}
 
 	out, err := s.exec(fr, from, prev, stop)
 	if mainLeg {
-		s.forkHook = nil
-		s.undo = nil
+		s.forkIter, s.forkFrame = nil, nil
+		s.undoActive = false
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if out.ret {
 		// A return from inside the loop leaves the function entirely; the
 		// SPT runner treats it as an exit with the value propagated.
-		return nil, errReturnThroughLoop{out.retVal}
+		return errReturnThroughLoop{out.retVal}
 	}
 	it.cycles = s.cycles - c0
 	it.memCycles = s.memCycles - m0
@@ -71,7 +107,25 @@ func (s *sim) runIteration(fr *frame, header, from, prev *ir.Block, inLoop map[*
 	it.ops = s.ops - o0
 	it.next = out.stopped
 	it.prev = out.prev
-	return it, nil
+	return nil
+}
+
+// onFork handles the loop's own fork instruction during a main leg: it
+// marks the fork point, snapshots the register context and opens a fresh
+// undo-log generation.
+func (s *sim) onFork(fr *frame) {
+	it := s.forkIter
+	if it.forked || fr != s.forkFrame {
+		return // only the loop's own fork, once
+	}
+	it.forked = true
+	it.preCycles = s.cycles - s.forkC0
+	it.preMem = s.memCycles - s.forkM0
+	s.cycles += s.cfg.ForkOverhead
+	s.ensureSpecMem()
+	s.snapshotFrame(fr)
+	bumpStamp(&s.undoStamp, s.undoGen)
+	s.undoActive = true
 }
 
 // errReturnThroughLoop unwinds a function return that happened inside an
@@ -98,12 +152,16 @@ func (s *sim) runSPTLoop(fr *frame, header, prev *ir.Block, loopID int) (*ir.Blo
 	s.sptActive = true
 	defer func() { s.sptActive = false }()
 
+	stop := func(b *ir.Block) bool {
+		return b == header || !inLoop[b]
+	}
+
 	elapsed0 := s.cycles
 	cur, curPrev := header, prev
+	var j, sp iterRun
 	for {
 		// Main leg: iteration j.
-		j, err := s.runIteration(fr, header, cur, curPrev, inLoop, true)
-		if err != nil {
+		if err := s.runIteration(&j, fr, cur, curPrev, stop, true); err != nil {
 			return nil, nil, err
 		}
 		st.Iterations++
@@ -129,16 +187,13 @@ func (s *sim) runSPTLoop(fr *frame, header, prev *ir.Block, loopID int) (*ir.Blo
 		st.Forks++
 
 		// Speculative leg: iteration j+1, executed functionally while
-		// checking what the speculative thread would have observed.
-		s.spec = &specCtx{
-			loopFrame: fr,
-			snapshot:  j.snapshot,
-			defined:   make(map[*ir.Var]bool),
-			undo:      j.undo,
-			written:   make(map[int]bool),
-			taintMem:  make(map[int]bool),
-		}
-		sp, err := s.runIteration(fr, header, header, j.prev, inLoop, false)
+		// checking what the speculative thread would have observed. The
+		// fork-time snapshot and undo log from leg j are still current in
+		// the pooled buffers.
+		s.beginSpecLeg(fr)
+		s.specBuf = specCtx{loopFrame: fr}
+		s.spec = &s.specBuf
+		err := s.runIteration(&sp, fr, header, j.prev, stop, false)
 		spec := s.spec
 		s.spec = nil
 		if err != nil {

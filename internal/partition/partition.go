@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"sptc/internal/bitset"
 	"sptc/internal/cost"
 	"sptc/internal/depgraph"
 	"sptc/internal/ir"
@@ -82,6 +83,11 @@ type Result struct {
 	EmptyCost float64
 
 	SearchNodes int
+	// CostEvals counts cost-model propagations actually performed;
+	// DedupHits counts evaluations answered from the interned zero-set
+	// table without propagating.
+	CostEvals int
+	DedupHits int
 }
 
 // String summarizes the result.
@@ -101,14 +107,21 @@ func (r *Result) String() string {
 // place s (and everything it depends on within the iteration) into the
 // pre-fork region.
 func ComputeClosure(g *depgraph.Graph, s *ir.Stmt) Closure {
-	c := Closure{Move: make(map[*ir.Stmt]bool), CopyConds: make(map[*ir.Stmt]bool)}
+	return computeClosure(g, legalProducers(g), s)
+}
 
-	// Index legality producers once per graph would be better; graphs are
-	// small enough that a local index is fine.
+// legalProducers indexes the legality edges by consumer, so closures of
+// many statements of one graph share the index.
+func legalProducers(g *depgraph.Graph) map[*ir.Stmt][]*ir.Stmt {
 	producers := make(map[*ir.Stmt][]*ir.Stmt)
 	for _, e := range g.Legal {
 		producers[e.Later] = append(producers[e.Later], e.Earlier)
 	}
+	return producers
+}
+
+func computeClosure(g *depgraph.Graph, producers map[*ir.Stmt][]*ir.Stmt, s *ir.Stmt) Closure {
+	c := Closure{Move: make(map[*ir.Stmt]bool), CopyConds: make(map[*ir.Stmt]bool)}
 
 	var addMove func(*ir.Stmt)
 	var addCond func(*ir.Stmt)
@@ -218,6 +231,14 @@ func vcDepGraph(g *depgraph.Graph) map[*ir.Stmt][]*ir.Stmt {
 }
 
 // Search finds the optimal partition for the loop described by g.
+//
+// The search works entirely on dense indices: statements are numbered by
+// g.Order, closures and the current move/copy-cond sets are bitsets over
+// those indices, violation-candidate sets are bitsets over the cost
+// model's pseudo ordinals, and every cost query goes through an interned
+// zero-set table backed by the incremental cost.Evaluator, so the §4.2.3
+// propagation runs once per distinct downward-closed set instead of once
+// per search node.
 func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 	r := &Result{
 		Graph:     g,
@@ -231,7 +252,25 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 		r.BodySize = opt.BodySize
 	}
 	r.SizeLimit = int(float64(r.BodySize) * opt.PreForkFraction)
-	r.EmptyCost = m.Evaluate(nil)
+
+	// Interned dedup table: every zero-set the search asks about (record
+	// costs and optimistic bounds share one key space) is propagated at
+	// most once; repeat visits are answered from the table. Lookups are
+	// allocation-free (KeyView); only first sights copy the key.
+	eval := m.NewEvaluator()
+	nVC := eval.NumVCs()
+	memo := make(map[string]float64)
+	evalZero := func(zero bitset.Set) float64 {
+		if c, ok := memo[zero.KeyView()]; ok {
+			r.DedupHits++
+			return c
+		}
+		r.CostEvals++
+		c := eval.EvalSet(zero)
+		memo[zero.Key()] = c
+		return c
+	}
+	r.EmptyCost = evalZero(bitset.New(nVC))
 
 	if opt.MaxVCs > 0 && len(g.VCs) > opt.MaxVCs {
 		r.Skipped = true
@@ -241,88 +280,151 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 	// VCs are already in iteration order, which topologically orders the
 	// VC-dep graph (intra edges are forward).
 	vcs := g.VCs
-	vcPreds := vcDepGraph(g)
-	closures := make([]Closure, len(vcs))
-	for i, vc := range vcs {
-		closures[i] = ComputeClosure(g, vc)
-	}
-	idxOf := make(map[*ir.Stmt]int, len(vcs))
-	for i, vc := range vcs {
-		idxOf[vc] = i
+	n := len(vcs)
+	nStmt := len(g.Stmts)
+
+	// Per-statement call-expanded op counts, by dense index.
+	sizes := ir.NewSizeCache()
+	ops := make([]int, nStmt)
+	for i, s := range g.Stmts {
+		ops[i] = sizes.StmtOps(s)
 	}
 
-	// suffixMayMove[i] = union of closures of vcs[i..] (move sets), used
-	// for the optimistic lower bound of heuristic 2.
-	suffixMayMove := make([]map[*ir.Stmt]bool, len(vcs)+1)
-	suffixMayMove[len(vcs)] = map[*ir.Stmt]bool{}
-	for i := len(vcs) - 1; i >= 0; i-- {
-		u := make(map[*ir.Stmt]bool, len(suffixMayMove[i+1])+len(closures[i].Move))
-		for s := range suffixMayMove[i+1] {
-			u[s] = true
+	// Statement index -> cost-model pseudo ordinal (-1 for non-VCs).
+	vcOrd := make([]int32, nStmt)
+	for i := range vcOrd {
+		vcOrd[i] = -1
+	}
+	for _, vc := range vcs {
+		if o := eval.Ordinal(vc); o >= 0 {
+			vcOrd[g.Order[vc]] = int32(o)
 		}
-		for s := range closures[i].Move {
-			u[s] = true
+	}
+
+	// Closures as statement bitsets, plus each closure's zeroed-VC set.
+	producers := legalProducers(g)
+	moveBits := make([]bitset.Set, n)
+	condBits := make([]bitset.Set, n)
+	moveVCBits := make([]bitset.Set, n)
+	for i, vc := range vcs {
+		c := computeClosure(g, producers, vc)
+		moveBits[i] = bitset.New(nStmt)
+		condBits[i] = bitset.New(nStmt)
+		moveVCBits[i] = bitset.New(nVC)
+		for s := range c.Move {
+			si := g.Order[s]
+			moveBits[i].Add(si)
+			if o := vcOrd[si]; o >= 0 {
+				moveVCBits[i].Add(int(o))
+			}
 		}
-		suffixMayMove[i] = u
+		for s := range c.CopyConds {
+			condBits[i].Add(g.Order[s])
+		}
+	}
+
+	// VC-dep predecessors as bitsets over VC indices.
+	vcIdx := make(map[*ir.Stmt]int, n)
+	for i, vc := range vcs {
+		vcIdx[vc] = i
+	}
+	predBits := make([]bitset.Set, n)
+	for i := range predBits {
+		predBits[i] = bitset.New(n)
+	}
+	for vc, preds := range vcDepGraph(g) {
+		for _, p := range preds {
+			predBits[vcIdx[vc]].Add(vcIdx[p])
+		}
+	}
+
+	// suffixZero[i] = zeroed-VC set of the union of closures of vcs[i..],
+	// used for the optimistic lower bound of heuristic 2.
+	suffixZero := make([]bitset.Set, n+1)
+	suffixZero[n] = bitset.New(nVC)
+	for i := n - 1; i >= 0; i-- {
+		u := suffixZero[i+1].Clone()
+		u.Or(moveVCBits[i])
+		suffixZero[i] = u
 	}
 
 	// Best so far: the empty partition (always legal, size 0).
 	r.Cost = r.EmptyCost
 	r.PreForkSize = 0
+	bestVCs := bitset.New(n)
+	bestMove := bitset.New(nStmt)
+	bestConds := bitset.New(nStmt)
 
-	inSet := make([]bool, len(vcs))
-	curMove := make(map[*ir.Stmt]bool)
-	curConds := make(map[*ir.Stmt]bool)
-	moveRef := make(map[*ir.Stmt]int)
-	condRef := make(map[*ir.Stmt]int)
+	inSet := bitset.New(n)
+	curMove := bitset.New(nStmt)
+	curConds := bitset.New(nStmt)
+	curZero := bitset.New(nVC)
+	boundZero := bitset.New(nVC)
+	moveRef := make([]int32, nStmt)
+	condRef := make([]int32, nStmt)
+	curSize := 0
 
-	sizes := ir.NewSizeCache()
 	record := func() {
-		sz := closureSize(sizes, curMove, curConds)
-		c := m.Evaluate(curMove)
-		if c < r.Cost-1e-12 || (c < r.Cost+1e-12 && sz < r.PreForkSize) {
+		c := evalZero(curZero)
+		if c < r.Cost-1e-12 || (c < r.Cost+1e-12 && curSize < r.PreForkSize) {
 			r.Cost = c
-			r.PreForkSize = sz
-			r.PreForkVCs = nil
-			for i, vc := range vcs {
-				if inSet[i] {
-					r.PreForkVCs = append(r.PreForkVCs, vc)
+			r.PreForkSize = curSize
+			bestVCs.CopyFrom(inSet)
+			bestMove.CopyFrom(curMove)
+			bestConds.CopyFrom(curConds)
+		}
+	}
+
+	// A statement contributes to the pre-fork size while it is referenced
+	// by any pushed closure, through either set (Move and CopyConds are
+	// disjoint: branches are only ever condition-copied, never moved).
+	push := func(i int) {
+		inSet.Add(i)
+		moveBits[i].ForEach(func(s int) {
+			if moveRef[s] == 0 {
+				curMove.Add(s)
+				if condRef[s] == 0 {
+					curSize += ops[s]
+				}
+				if o := vcOrd[s]; o >= 0 {
+					curZero.Add(int(o))
 				}
 			}
-			r.Move = copySet(curMove)
-			r.CopyConds = copySet(curConds)
-		}
-	}
-
-	push := func(i int) {
-		inSet[i] = true
-		for s := range closures[i].Move {
-			if moveRef[s] == 0 {
-				curMove[s] = true
-			}
 			moveRef[s]++
-		}
-		for s := range closures[i].CopyConds {
+		})
+		condBits[i].ForEach(func(s int) {
 			if condRef[s] == 0 {
-				curConds[s] = true
+				curConds.Add(s)
+				if moveRef[s] == 0 {
+					curSize += ops[s]
+				}
 			}
 			condRef[s]++
-		}
+		})
 	}
 	pop := func(i int) {
-		inSet[i] = false
-		for s := range closures[i].Move {
+		inSet.Remove(i)
+		moveBits[i].ForEach(func(s int) {
 			moveRef[s]--
 			if moveRef[s] == 0 {
-				delete(curMove, s)
+				curMove.Remove(s)
+				if condRef[s] == 0 {
+					curSize -= ops[s]
+				}
+				if o := vcOrd[s]; o >= 0 {
+					curZero.Remove(int(o))
+				}
 			}
-		}
-		for s := range closures[i].CopyConds {
+		})
+		condBits[i].ForEach(func(s int) {
 			condRef[s]--
 			if condRef[s] == 0 {
-				delete(curConds, s)
+				curConds.Remove(s)
+				if moveRef[s] == 0 {
+					curSize -= ops[s]
+				}
 			}
-		}
+		})
 	}
 
 	var search func(lastIdx int)
@@ -333,18 +435,19 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 		r.SearchNodes++
 
 		if opt.PruneBound {
-			lb := m.EvaluateOptimistic(curMove, suffixMayMove[lastIdx+1])
-			if lb >= r.Cost-1e-12 {
+			boundZero.CopyFrom(curZero)
+			boundZero.Or(suffixZero[lastIdx+1])
+			if lb := evalZero(boundZero); lb >= r.Cost-1e-12 {
 				return
 			}
 		}
 
-		for i := lastIdx + 1; i < len(vcs); i++ {
+		for i := lastIdx + 1; i < n; i++ {
 			// §5.2: a node may be added only when all its VC-dep
 			// predecessors are already in the pre-fork region.
 			ok := true
-			for _, p := range vcPreds[vcs[i]] {
-				if !inSet[idxOf[p]] {
+			for w, pw := range predBits[i] {
+				if pw&^inSet[w] != 0 {
 					ok = false
 					break
 				}
@@ -353,12 +456,11 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 				continue
 			}
 			push(i)
-			sz := closureSize(sizes, curMove, curConds)
-			if opt.PruneSize && sz > r.SizeLimit {
+			if opt.PruneSize && curSize > r.SizeLimit {
 				pop(i)
 				continue // heuristic 1: descendants only grow
 			}
-			if sz <= r.SizeLimit {
+			if curSize <= r.SizeLimit {
 				record()
 			}
 			search(i)
@@ -368,15 +470,10 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 
 	record() // empty partition
 	search(-1)
-	return r
-}
 
-func copySet(m map[*ir.Stmt]bool) map[*ir.Stmt]bool {
-	out := make(map[*ir.Stmt]bool, len(m))
-	for k, v := range m {
-		if v {
-			out[k] = true
-		}
-	}
-	return out
+	// Convert the winning bitsets back to the exported map/slice form.
+	bestVCs.ForEach(func(i int) { r.PreForkVCs = append(r.PreForkVCs, vcs[i]) })
+	bestMove.ForEach(func(si int) { r.Move[g.Stmts[si]] = true })
+	bestConds.ForEach(func(si int) { r.CopyConds[g.Stmts[si]] = true })
+	return r
 }

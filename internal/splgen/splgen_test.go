@@ -1,0 +1,21 @@
+package splgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a != b {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+		if !strings.Contains(a, "func main()") || !strings.Contains(a, "print(") {
+			t.Fatalf("seed %d: malformed program:\n%s", seed, a)
+		}
+	}
+	if Generate(1) == Generate(2) {
+		t.Fatal("different seeds produced identical programs")
+	}
+}

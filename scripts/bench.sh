@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path micro-benchmarks and emit BENCH_pr2.json.
+#
+# The JSON has two sections:
+#   "baseline" — the pre-optimization numbers committed in
+#                scripts/bench_baseline_pr2.json (pointer-keyed maps,
+#                per-iteration allocation), kept for the perf trajectory;
+#   "current"  — this run of BenchmarkPartitionSearch,
+#                BenchmarkCostPropagation and BenchmarkSimulate
+#                (ns/op, B/op, allocs/op, plus reported metrics such as
+#                search_nodes and sim_instructions).
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=2s COUNT=1 scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_pr2.json}
+benchtime=${BENCHTIME:-2s}
+count=${COUNT:-1}
+baseline=scripts/bench_baseline_pr2.json
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+    -bench '^(BenchmarkPartitionSearch|BenchmarkCostPropagation|BenchmarkSimulate)$' \
+    -benchmem -benchtime "$benchtime" -count "$count" . | tee "$tmp"
+
+# Parse `BenchmarkName-8  N  v1 unit1  v2 unit2 ...` lines into a JSON
+# object; repeated names (COUNT>1) keep the last measurement.
+parse() {
+    awk '
+    /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        body = "    \"iterations\": " $2
+        for (i = 3; i + 1 <= NF; i += 2) {
+            unit = $(i + 1); gsub(/\//, "_", unit)
+            body = body ",\n    \"" unit "\": " $i
+        }
+        entries[name] = body
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+    END {
+        printf "{\n"
+        for (i = 1; i <= n; i++) {
+            printf "  \"%s\": {\n%s\n  }%s\n", order[i], entries[order[i]], (i < n ? "," : "")
+        }
+        printf "}\n"
+    }' "$1"
+}
+
+current=$(parse "$tmp")
+if [ -f "$baseline" ]; then
+    base=$(cat "$baseline")
+else
+    echo "warning: $baseline missing; using this run as its own baseline" >&2
+    base=$current
+fi
+
+{
+    echo '{'
+    echo '  "benchmarks": ["BenchmarkPartitionSearch", "BenchmarkCostPropagation", "BenchmarkSimulate"],'
+    echo "  \"baseline\": $(echo "$base" | sed 's/^/  /' | sed '1s/^  //'),"
+    echo "  \"current\": $(echo "$current" | sed 's/^/  /' | sed '1s/^  //')"
+    echo '}'
+} >"$out"
+echo "wrote $out" >&2
