@@ -12,46 +12,60 @@
 //	sptbench -level best      # figure-detail level (default best)
 //	sptbench -j 8             # concurrent compile+simulate jobs (default NumCPU)
 //	sptbench -v               # progress lines + per-job metrics on stderr
+//	sptbench -trace out.json  # Chrome trace: one track per compile+simulate job
+//	sptbench -cpuprofile p.out -memprofile m.out
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
-	"sptc/internal/core"
+	"sptc/internal/cliutil"
 	"sptc/internal/evalharness"
+	"sptc/internal/trace"
 )
 
 func main() {
-	var (
-		table1  = flag.Bool("table1", false, "print Table 1 (base IPC)")
-		fig14   = flag.Bool("fig14", false, "print Figure 14 (speedups)")
-		fig15   = flag.Bool("fig15", false, "print Figure 15 (loop breakdown)")
-		fig16   = flag.Bool("fig16", false, "print Figure 16 (coverage)")
-		fig17   = flag.Bool("fig17", false, "print Figure 17 (partition shape)")
-		fig18   = flag.Bool("fig18", false, "print Figure 18 (loop performance)")
-		fig19   = flag.Bool("fig19", false, "print Figure 19 (cost correlation)")
-		benches = flag.String("bench", "", "comma-separated benchmark subset")
-		level   = flag.String("level", "best", "detail level for figures 15-19 (basic|best|anticipated)")
-		verbose = flag.Bool("v", false, "log progress and per-job metrics")
-		csvOut  = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
-		jobs    = flag.Int("j", 0, "concurrent compile+simulate jobs (0 = NumCPU)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var lvl core.Level
-	switch *level {
-	case "basic":
-		lvl = core.LevelBasic
-	case "best":
-		lvl = core.LevelBest
-	case "anticipated":
-		lvl = core.LevelAnticipated
-	default:
-		fmt.Fprintf(os.Stderr, "sptbench: unknown level %q\n", *level)
-		os.Exit(2)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sptbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		table1   = fs.Bool("table1", false, "print Table 1 (base IPC)")
+		fig14    = fs.Bool("fig14", false, "print Figure 14 (speedups)")
+		fig15    = fs.Bool("fig15", false, "print Figure 15 (loop breakdown)")
+		fig16    = fs.Bool("fig16", false, "print Figure 16 (coverage)")
+		fig17    = fs.Bool("fig17", false, "print Figure 17 (partition shape)")
+		fig18    = fs.Bool("fig18", false, "print Figure 18 (loop performance)")
+		fig19    = fs.Bool("fig19", false, "print Figure 19 (cost correlation)")
+		benches  = fs.String("bench", "", "comma-separated benchmark subset")
+		level    = fs.String("level", "best", "detail level for figures 15-19 (basic|best|anticipated)")
+		verbose  = fs.Bool("v", false, "log progress and per-job metrics")
+		csvOut   = fs.Bool("csv", false, "emit machine-readable CSV instead of tables")
+		jobs     = fs.Int("j", 0, "concurrent compile+simulate jobs (0 = NumCPU)")
+		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON trace (one track per job) to `file`")
+		traceCSV = fs.String("tracecsv", "", "write a flat per-span CSV trace to `file`")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to `file`")
+		memProf  = fs.String("memprofile", "", "write a heap profile to `file`")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "sptbench: unexpected argument %q\n", fs.Arg(0))
+		fs.PrintDefaults()
+		return 2
+	}
+
+	lvl, ok := cliutil.ParseLevel(*level, false)
+	if !ok {
+		fmt.Fprintf(stderr, "sptbench: unknown level %q\n", *level)
+		return 2
 	}
 
 	opt := evalharness.DefaultEvalOptions()
@@ -65,65 +79,92 @@ func main() {
 			}
 		}
 		if len(opt.Benchmarks) == 0 {
-			fmt.Fprintf(os.Stderr, "sptbench: -bench %q names no benchmarks\n", *benches)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "sptbench: -bench %q names no benchmarks\n", *benches)
+			return 2
 		}
 	}
 	if *verbose {
-		opt.Log = os.Stderr
+		opt.Log = stderr
 	}
 	opt.Workers = *jobs
 
+	prof, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(stderr, "sptbench: %v\n", err)
+		return 1
+	}
+	defer prof.Stop()
+
+	var tr *trace.Tracer
+	if *traceOut != "" || *traceCSV != "" {
+		tr = trace.New()
+		opt.Trace = tr
+	}
+
 	suite, err := evalharness.RunSuite(opt)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sptbench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sptbench: %v\n", err)
+		return 1
 	}
 	if *verbose {
-		fmt.Fprintln(os.Stderr)
-		suite.WriteMetrics(os.Stderr)
+		fmt.Fprintln(stderr)
+		suite.WriteMetrics(stderr)
+	}
+	if err := cliutil.ExportTrace(tr, *traceOut, *traceCSV); err != nil {
+		fmt.Fprintf(stderr, "sptbench: %v\n", err)
+		return 1
 	}
 
 	if *csvOut {
-		if err := suite.WriteCSV(os.Stdout, lvl); err != nil {
-			fmt.Fprintf(os.Stderr, "sptbench: %v\n", err)
-			os.Exit(1)
+		if err := suite.WriteCSV(stdout, lvl); err != nil {
+			fmt.Fprintf(stderr, "sptbench: %v\n", err)
+			return 1
 		}
-		return
+		return exit(prof, stderr)
 	}
 
 	any := *table1 || *fig14 || *fig15 || *fig16 || *fig17 || *fig18 || *fig19
 	if !any {
-		suite.WriteAll(os.Stdout, lvl)
-		return
+		suite.WriteAll(stdout, lvl)
+		return exit(prof, stderr)
 	}
 	first := true
 	section := func(f func()) {
 		if !first {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 		first = false
 		f()
 	}
 	if *table1 {
-		section(func() { suite.WriteTable1(os.Stdout) })
+		section(func() { suite.WriteTable1(stdout) })
 	}
 	if *fig14 {
-		section(func() { suite.WriteFig14(os.Stdout) })
+		section(func() { suite.WriteFig14(stdout) })
 	}
 	if *fig15 {
-		section(func() { suite.WriteFig15(os.Stdout, lvl) })
+		section(func() { suite.WriteFig15(stdout, lvl) })
 	}
 	if *fig16 {
-		section(func() { suite.WriteFig16(os.Stdout, lvl) })
+		section(func() { suite.WriteFig16(stdout, lvl) })
 	}
 	if *fig17 {
-		section(func() { suite.WriteFig17(os.Stdout, lvl) })
+		section(func() { suite.WriteFig17(stdout, lvl) })
 	}
 	if *fig18 {
-		section(func() { suite.WriteFig18(os.Stdout, lvl) })
+		section(func() { suite.WriteFig18(stdout, lvl) })
 	}
 	if *fig19 {
-		section(func() { suite.WriteFig19(os.Stdout, lvl) })
+		section(func() { suite.WriteFig19(stdout, lvl) })
 	}
+	return exit(prof, stderr)
+}
+
+// exit flushes the profiles, reporting any write error as a failure.
+func exit(prof *cliutil.Profiles, stderr io.Writer) int {
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(stderr, "sptbench: %v\n", err)
+		return 1
+	}
+	return 0
 }

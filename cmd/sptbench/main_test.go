@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFlagErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"positional-arg", []string{"bzip2"}, 2, "unexpected argument"},
+		{"unknown-flag", []string{"-frobnicate"}, 2, "flag provided but not defined"},
+		{"bad-level", []string{"-level", "turbo"}, 2, `unknown level "turbo"`},
+		{"base-level", []string{"-level", "base"}, 2, `unknown level "base"`},
+		{"empty-bench", []string{"-bench", " , "}, 2, "names no benchmarks"},
+		{"unknown-bench", []string{"-bench", "quake"}, 1, `unknown benchmark "quake"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCmd(t, tc.args...)
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr)
+			}
+			if !strings.Contains(stderr, tc.wantErr) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.wantErr)
+			}
+		})
+	}
+}
+
+// normalizeCSV blanks the wall-clock columns of the metrics section
+// (compile_ms, simulate_ms vary run to run); every other value in the
+// evaluation CSV is deterministic.
+func normalizeCSV(s string) string {
+	lines := strings.Split(s, "\n")
+	inMetrics := false
+	for i, line := range lines {
+		if strings.HasPrefix(line, "# ") {
+			inMetrics = line == "# metrics"
+			continue
+		}
+		if !inMetrics || line == "" || strings.HasPrefix(line, "program,") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) > 3 {
+			f[2], f[3] = "-", "-"
+			lines[i] = strings.Join(f, ",")
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestGoldenCSV pins the full machine-readable evaluation output for one
+// benchmark, timings normalized. Regenerate with
+// `go test ./cmd/sptbench -update`.
+func TestGoldenCSV(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-csv", "-bench", "bzip2", "-level", "best")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	got := normalizeCSV(stdout)
+	golden := filepath.Join("testdata", "csv.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("CSV output changed:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// TestGoldenTable1 pins the human-readable Table 1 rendering.
+func TestGoldenTable1(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-table1", "-bench", "bzip2")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	golden := filepath.Join("testdata", "table1.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("Table 1 output changed:\n--- want ---\n%s--- got ---\n%s", want, stdout)
+	}
+}
+
+// TestAllSections drives every figure flag plus verbose metrics and the
+// pprof flags in one suite run.
+func TestAllSections(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCmd(t,
+		"-table1", "-fig14", "-fig15", "-fig16", "-fig17", "-fig18", "-fig19",
+		"-v", "-bench", "bzip2", "-j", "2",
+		"-cpuprofile", filepath.Join(dir, "cpu.prof"),
+		"-memprofile", filepath.Join(dir, "mem.prof"))
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"Table 1", "Figure 14", "Figure 15",
+		"Figure 16", "Figure 17", "Figure 18", "Figure 19"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing section %q", want)
+		}
+	}
+	if !strings.Contains(stderr, "search-nodes") {
+		t.Errorf("-v did not print per-job metrics on stderr: %s", stderr)
+	}
+	for _, f := range []string{"cpu.prof", "mem.prof"} {
+		if st, err := os.Stat(filepath.Join(dir, f)); err != nil || st.Size() == 0 {
+			t.Errorf("%s missing or empty (err=%v)", f, err)
+		}
+	}
+}
+
+// TestDefaultRun covers the no-flag path (WriteAll).
+func TestDefaultRun(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-bench", "bzip2")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Table 1") || !strings.Contains(stdout, "Figure 19") {
+		t.Errorf("default run did not render all sections")
+	}
+}
+
+// TestTraceJobIsolation runs the harness under -j 4 with tracing and
+// checks the merged trace: one track per (program, level) job plus one
+// base track per program, each with exactly one compile span.
+func TestTraceJobIsolation(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "t.json")
+	code, _, stderr := runCmd(t, "-table1", "-bench", "bzip2", "-j", "4", "-trace", jsonPath)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("trace is not well-formed JSON: %v", err)
+	}
+	labels := map[int]string{}
+	compiles := map[int]int{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "M" {
+			labels[ev.TID] = ev.Args["name"].(string)
+		}
+		if ev.Name == "compile" {
+			compiles[ev.TID]++
+		}
+	}
+	// bzip2 at base + 3 levels = 4 jobs = 4 tracks.
+	if len(labels) != 4 {
+		t.Fatalf("got %d tracks %v, want 4", len(labels), labels)
+	}
+	for tid, label := range labels {
+		if !strings.HasPrefix(label, "bzip2/") {
+			t.Errorf("track %d has label %q, want bzip2/<level>", tid, label)
+		}
+		if compiles[tid] != 1 {
+			t.Errorf("track %q has %d compile spans, want exactly 1", label, compiles[tid])
+		}
+	}
+}

@@ -9,79 +9,111 @@
 // With -dump the final IR (including SPT_FORK/SPT_KILL and the pre-fork
 // regions) is printed; -report lists every loop candidate with its
 // disposition; -partitions additionally prints each candidate's optimal
-// partition search result.
+// partition search result. -trace/-tracecsv export the pipeline's span
+// trace (Chrome trace_event JSON / flat CSV); -cpuprofile/-memprofile
+// write pprof profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"sptc/internal/cliutil"
 	"sptc/internal/core"
 	"sptc/internal/ir"
+	"sptc/internal/trace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sptc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		level      = flag.String("level", "best", "compilation level: base|basic|best|anticipated")
-		report     = flag.Bool("report", true, "print the per-loop report")
-		dump       = flag.Bool("dump", false, "dump the final IR")
-		partitions = flag.Bool("partitions", false, "print optimal partition details")
+		level      = fs.String("level", "best", "compilation level: base|basic|best|anticipated")
+		report     = fs.Bool("report", true, "print the per-loop report")
+		dump       = fs.Bool("dump", false, "dump the final IR")
+		partitions = fs.Bool("partitions", false, "print optimal partition details")
+		traceOut   = fs.String("trace", "", "write a Chrome trace_event JSON trace of the pipeline to `file`")
+		traceCSV   = fs.String("tracecsv", "", "write a flat per-span CSV trace to `file`")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to `file`")
+		memProf    = fs.String("memprofile", "", "write a heap profile to `file`")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sptc [flags] file.spl")
-		flag.PrintDefaults()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: sptc [flags] file.spl")
+		fs.PrintDefaults()
+		return 2
 	}
 
-	var lvl core.Level
-	switch *level {
-	case "base":
-		lvl = core.LevelBase
-	case "basic":
-		lvl = core.LevelBasic
-	case "best":
-		lvl = core.LevelBest
-	case "anticipated":
-		lvl = core.LevelAnticipated
-	default:
-		fmt.Fprintf(os.Stderr, "sptc: unknown level %q\n", *level)
-		os.Exit(2)
+	lvl, ok := cliutil.ParseLevel(*level, true)
+	if !ok {
+		fmt.Fprintf(stderr, "sptc: unknown level %q\n", *level)
+		return 2
 	}
 
-	src, err := os.ReadFile(flag.Arg(0))
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sptc: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sptc: %v\n", err)
+		return 1
 	}
 
-	res, err := core.CompileSource(flag.Arg(0), string(src), core.DefaultOptions(lvl))
+	prof, err := cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sptc: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sptc: %v\n", err)
+		return 1
+	}
+	defer prof.Stop()
+
+	var tr *trace.Tracer
+	opt := core.DefaultOptions(lvl)
+	if *traceOut != "" || *traceCSV != "" {
+		tr = trace.New()
+		opt.Trace = tr.StartTrack(fs.Arg(0))
+	}
+
+	res, err := core.CompileSource(fs.Arg(0), string(src), opt)
+	if err != nil {
+		fmt.Fprintf(stderr, "sptc: %v\n", err)
+		return 1
 	}
 
 	if *report {
-		fmt.Printf("%d loop candidate(s), %d SPT loop(s) generated at level %s\n",
+		fmt.Fprintf(stdout, "%d loop candidate(s), %d SPT loop(s) generated at level %s\n",
 			len(res.Reports), len(res.SPT), lvl)
 		for _, r := range res.Reports {
-			fmt.Printf("  %-12s loop%-3d %-5s depth=%d body=%-4d trips=%-8.1f vcs=%-3d cost=%-8.2f pre=%-4d %s",
+			fmt.Fprintf(stdout, "  %-12s loop%-3d %-5s depth=%d body=%-4d trips=%-8.1f vcs=%-3d cost=%-8.2f pre=%-4d %s",
 				r.Func, r.LoopID, r.Kind, r.Depth, r.BodySize, r.AvgTrip, r.VCCount, r.EstCost, r.PreForkSize, r.Decision)
 			if r.SVP {
-				fmt.Print("  [svp]")
+				fmt.Fprint(stdout, "  [svp]")
 			}
 			if r.Transformed {
-				fmt.Printf("  -> SPT loop %d", r.SPTLoopID)
+				fmt.Fprintf(stdout, "  -> SPT loop %d", r.SPTLoopID)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 			if *partitions && r.Partition != nil {
-				fmt.Printf("      partition: %s\n", r.Partition)
+				fmt.Fprintf(stdout, "      partition: %s\n", r.Partition)
 			}
 		}
 	}
 
 	if *dump {
-		fmt.Print(ir.FormatProgram(res.Prog))
+		fmt.Fprint(stdout, ir.FormatProgram(res.Prog))
 	}
+
+	if err := cliutil.ExportTrace(tr, *traceOut, *traceCSV); err != nil {
+		fmt.Fprintf(stderr, "sptc: %v\n", err)
+		return 1
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(stderr, "sptc: %v\n", err)
+		return 1
+	}
+	return 0
 }

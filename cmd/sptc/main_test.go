@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFlagErrors(t *testing.T) {
+	demo := filepath.Join("testdata", "demo.spl")
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"no-args", nil, 2, "usage: sptc"},
+		{"extra-args", []string{demo, demo}, 2, "usage: sptc"},
+		{"unknown-flag", []string{"-frobnicate", demo}, 2, "flag provided but not defined"},
+		{"bad-level", []string{"-level", "turbo", demo}, 2, `unknown level "turbo"`},
+		{"missing-file", []string{"no-such-file.spl"}, 1, "no-such-file.spl"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCmd(t, tc.args...)
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr)
+			}
+			if !strings.Contains(stderr, tc.wantErr) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestGoldenReport pins the -report -partitions output on the fixture
+// program. The report carries no wall-clock values, so it is compared
+// byte for byte; regenerate with `go test ./cmd/sptc -update`.
+func TestGoldenReport(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-level", "best", "-partitions", filepath.Join("testdata", "demo.spl"))
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("report output changed:\n--- want ---\n%s--- got ---\n%s", want, stdout)
+	}
+}
+
+// TestTraceExport checks that -trace writes well-formed Chrome
+// trace_event JSON containing the pipeline spans and -tracecsv a CSV
+// with the expected header.
+func TestTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "t.json")
+	csvPath := filepath.Join(dir, "t.csv")
+	code, _, stderr := runCmd(t, "-report=false", "-trace", jsonPath, "-tracecsv", csvPath,
+		filepath.Join("testdata", "demo.spl"))
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("trace is not well-formed JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range out.TraceEvents {
+		seen[ev.Name] = true
+	}
+	for _, name := range []string{"compile", "parse", "sem", "build", "pass1", "loop", "pass2"} {
+		if !seen[name] {
+			t.Errorf("trace is missing a %q span", name)
+		}
+	}
+
+	csvRaw, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvRaw), "track,label,depth,span,start_us,dur_us,args\n") {
+		t.Errorf("unexpected CSV header: %q", strings.SplitN(string(csvRaw), "\n", 2)[0])
+	}
+}
+
+// TestProfileFlags checks that -cpuprofile/-memprofile produce non-empty
+// pprof output files.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	code, _, stderr := runCmd(t, "-report=false", "-cpuprofile", cpu, "-memprofile", mem,
+		filepath.Join("testdata", "demo.spl"))
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+		} else if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // Command sptsim compiles an SPL program and runs it on the SPT machine
 // simulator, reporting cycles, IPC, and per-SPT-loop statistics. With
 // -compare it also runs the non-SPT base compilation and reports the
-// speedup.
+// speedup. -trace/-tracecsv export the compile+simulate span trace;
+// -cpuprofile/-memprofile write pprof profiles.
 //
 // Usage:
 //
@@ -16,59 +17,84 @@ import (
 	"sort"
 
 	"sptc"
+	"sptc/internal/cliutil"
 	"sptc/internal/core"
+	"sptc/internal/machine"
+	"sptc/internal/trace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sptsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		level   = flag.String("level", "best", "compilation level: base|basic|best|anticipated")
-		compare = flag.Bool("compare", false, "also simulate the base compilation and report speedup")
-		quiet   = flag.Bool("quiet", false, "suppress program output")
+		level    = fs.String("level", "best", "compilation level: base|basic|best|anticipated")
+		compare  = fs.Bool("compare", false, "also simulate the base compilation and report speedup")
+		quiet    = fs.Bool("quiet", false, "suppress program output")
+		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON trace to `file`")
+		traceCSV = fs.String("tracecsv", "", "write a flat per-span CSV trace to `file`")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to `file`")
+		memProf  = fs.String("memprofile", "", "write a heap profile to `file`")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sptsim [flags] file.spl")
-		flag.PrintDefaults()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: sptsim [flags] file.spl")
+		fs.PrintDefaults()
+		return 2
 	}
 
-	var lvl sptc.Level
-	switch *level {
-	case "base":
-		lvl = sptc.LevelBase
-	case "basic":
-		lvl = sptc.LevelBasic
-	case "best":
-		lvl = sptc.LevelBest
-	case "anticipated":
-		lvl = sptc.LevelAnticipated
-	default:
-		fmt.Fprintf(os.Stderr, "sptsim: unknown level %q\n", *level)
-		os.Exit(2)
+	lvl, ok := cliutil.ParseLevel(*level, true)
+	if !ok {
+		fmt.Fprintf(stderr, "sptsim: unknown level %q\n", *level)
+		return 2
 	}
 
-	src, err := os.ReadFile(flag.Arg(0))
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sptsim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sptsim: %v\n", err)
+		return 1
 	}
 
-	res, err := sptc.Compile(flag.Arg(0), string(src), lvl)
+	prof, err := cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sptsim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sptsim: %v\n", err)
+		return 1
 	}
-	var out io.Writer = os.Stdout
+	defer prof.Stop()
+
+	var tr *trace.Tracer
+	var tk *trace.Track
+	if *traceOut != "" || *traceCSV != "" {
+		tr = trace.New()
+		tk = tr.StartTrack(fs.Arg(0) + "/" + lvl.String())
+	}
+
+	copt := core.DefaultOptions(lvl)
+	copt.Trace = tk
+	res, err := core.CompileSource(fs.Arg(0), string(src), copt)
+	if err != nil {
+		fmt.Fprintf(stderr, "sptsim: %v\n", err)
+		return 1
+	}
+	var out io.Writer = stdout
 	if *quiet {
 		out = io.Discard
 	}
-	sim, err := sptc.Simulate(res, out)
+	simOpt := sptc.SimulationOptions(res)
+	simOpt.Out = out
+	simOpt.Trace = tk
+	sim, err := machine.Run(res.Prog, sptc.DefaultMachineConfig(), simOpt)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sptsim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sptsim: %v\n", err)
+		return 1
 	}
 
-	fmt.Printf("level=%s cycles=%.0f instructions=%d ipc=%.2f branches=%d mispredicts=%d mem-accesses=%d\n",
+	fmt.Fprintf(stdout, "level=%s cycles=%.0f instructions=%d ipc=%.2f branches=%d mispredicts=%d mem-accesses=%d\n",
 		lvl, sim.Cycles, sim.Ops, sim.IPC(), sim.BranchLookups, sim.BranchMisses, sim.MemAccesses)
 
 	var ids []int
@@ -78,22 +104,41 @@ func main() {
 	sort.Ints(ids)
 	for _, id := range ids {
 		ls := sim.Loops[id]
-		fmt.Printf("  SPT loop %d: invocations=%d iterations=%d speculative=%d misspeculated=%d reexec-ratio=%.3f loop-speedup=%.2fx\n",
+		fmt.Fprintf(stdout, "  SPT loop %d: invocations=%d iterations=%d speculative=%d misspeculated=%d reexec-ratio=%.3f loop-speedup=%.2fx\n",
 			id, ls.Invocations, ls.Iterations, ls.SpecIters, ls.MisspecIters, ls.ReexecRatio(), ls.LoopSpeedup())
 	}
 
 	if *compare && lvl != sptc.LevelBase {
-		baseRes, err := core.CompileSource(flag.Arg(0), string(src), core.DefaultOptions(core.LevelBase))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sptsim: base compile: %v\n", err)
-			os.Exit(1)
+		bopt := core.DefaultOptions(core.LevelBase)
+		var btk *trace.Track
+		if tr != nil {
+			btk = tr.StartTrack(fs.Arg(0) + "/base")
 		}
-		baseSim, err := sptc.Simulate(baseRes, io.Discard)
+		bopt.Trace = btk
+		baseRes, err := core.CompileSource(fs.Arg(0), string(src), bopt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sptsim: base simulate: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "sptsim: base compile: %v\n", err)
+			return 1
 		}
-		fmt.Printf("base cycles=%.0f speedup=%.3fx (%.1f%%)\n",
+		baseOpt := sptc.SimulationOptions(baseRes)
+		baseOpt.Out = io.Discard
+		baseOpt.Trace = btk
+		baseSim, err := machine.Run(baseRes.Prog, sptc.DefaultMachineConfig(), baseOpt)
+		if err != nil {
+			fmt.Fprintf(stderr, "sptsim: base simulate: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "base cycles=%.0f speedup=%.3fx (%.1f%%)\n",
 			baseSim.Cycles, baseSim.Cycles/sim.Cycles, (baseSim.Cycles/sim.Cycles-1)*100)
 	}
+
+	if err := cliutil.ExportTrace(tr, *traceOut, *traceCSV); err != nil {
+		fmt.Fprintf(stderr, "sptsim: %v\n", err)
+		return 1
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(stderr, "sptsim: %v\n", err)
+		return 1
+	}
+	return 0
 }

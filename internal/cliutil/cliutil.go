@@ -1,0 +1,116 @@
+// Package cliutil holds the observability plumbing shared by the sptc,
+// sptsim and sptbench commands: starting and stopping pprof profiles and
+// exporting a tracer to the Chrome trace_event and CSV formats.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"sptc/internal/core"
+	"sptc/internal/trace"
+)
+
+// Profiles manages the optional -cpuprofile/-memprofile outputs of a
+// command. The zero value (from StartProfiles("", "")) is inert.
+type Profiles struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// StartProfiles begins CPU profiling into cpuPath (when non-empty) and
+// remembers memPath for a heap profile at Stop. Either path may be empty.
+func StartProfiles(cpuPath, memPath string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, if either
+// was requested. Safe to call on a nil receiver and idempotent for the
+// CPU side.
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			first = err
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return first
+		}
+		runtime.GC() // flush recently freed objects out of the profile
+		if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+			first = fmt.Errorf("write heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.memPath = ""
+	}
+	return first
+}
+
+// ExportTrace writes the tracer to jsonPath (Chrome trace_event format,
+// loadable in chrome://tracing or ui.perfetto.dev) and/or csvPath (flat
+// per-span CSV). Empty paths are skipped.
+func ExportTrace(tr *trace.Tracer, jsonPath, csvPath string) error {
+	write := func(path string, emit func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(jsonPath, func(f *os.File) error { return tr.WriteChrome(f) }); err != nil {
+		return err
+	}
+	return write(csvPath, func(f *os.File) error { return tr.WriteCSV(f) })
+}
+
+// ParseLevel maps the CLI level names to core levels; ok is false for an
+// unknown name. allowBase admits the non-SPT reference level.
+func ParseLevel(name string, allowBase bool) (core.Level, bool) {
+	switch name {
+	case "base":
+		if allowBase {
+			return core.LevelBase, true
+		}
+	case "basic":
+		return core.LevelBasic, true
+	case "best":
+		return core.LevelBest, true
+	case "anticipated":
+		return core.LevelAnticipated, true
+	}
+	return 0, false
+}

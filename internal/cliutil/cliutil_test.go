@@ -1,0 +1,109 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sptc/internal/core"
+	"sptc/internal/trace"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		name      string
+		allowBase bool
+		want      core.Level
+		ok        bool
+	}{
+		{"base", true, core.LevelBase, true},
+		{"base", false, 0, false},
+		{"basic", false, core.LevelBasic, true},
+		{"best", false, core.LevelBest, true},
+		{"anticipated", true, core.LevelAnticipated, true},
+		{"turbo", true, 0, false},
+		{"", true, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := ParseLevel(tc.name, tc.allowBase)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("ParseLevel(%q, %v) = (%v, %v), want (%v, %v)",
+				tc.name, tc.allowBase, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestExportTrace(t *testing.T) {
+	tr := trace.New()
+	tk := tr.StartTrack("job")
+	tk.Start("compile").Int("n", 7).End()
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "t.json")
+	csvPath := filepath.Join(dir, "t.csv")
+	if err := ExportTrace(tr, jsonPath, csvPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("exported trace is not JSON: %v", err)
+	}
+	if _, err := os.Stat(csvPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty paths are skipped without touching the filesystem.
+	if err := ExportTrace(tr, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// An unwritable path reports an error.
+	if err := ExportTrace(tr, filepath.Join(dir, "no", "dir.json"), ""); err == nil {
+		t.Error("expected error for unwritable trace path")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	p, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	// Stop is idempotent and nil-safe.
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (*Profiles)(nil).Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// The inert form does nothing.
+	p2, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Unwritable CPU profile path fails up front.
+	if _, err := StartProfiles(filepath.Join(dir, "no", "cpu.prof"), ""); err == nil {
+		t.Error("expected error for unwritable cpuprofile path")
+	}
+}

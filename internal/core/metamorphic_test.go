@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sptc/internal/interp"
+	"sptc/internal/ir"
+	"sptc/internal/parser"
+	"sptc/internal/sem"
+	"sptc/internal/splgen"
+	"sptc/internal/ssa"
+	"sptc/internal/transform"
+)
+
+// The metamorphic suite checks semantic-preservation relations over the
+// splgen corpus: applying a transformation the pipeline relies on — the
+// §6 cleanup passes (copy propagation, constant folding, dead-code
+// elimination) or loop unrolling by a fixed factor — must not change the
+// program's interpreted output. Unlike the differential fuzz oracle,
+// which runs the whole pipeline, each relation here isolates one
+// transformation, so a violation points directly at the guilty pass.
+
+// metamorphicTransform is one output-preserving program transformation.
+type metamorphicTransform struct {
+	name  string
+	apply func(p *ir.Program)
+}
+
+func metamorphicTransforms() []metamorphicTransform {
+	return []metamorphicTransform{
+		{"cleanup", func(p *ir.Program) {
+			for _, f := range p.Funcs {
+				dom := ssa.BuildDomTree(f)
+				ssa.Build(f, dom)
+				ssa.CopyProp(f)
+				ssa.ConstFold(f)
+				ssa.DeadCode(f)
+			}
+		}},
+		{"unroll2", func(p *ir.Program) { unrollEveryLoop(p, 2) }},
+		{"unroll4", func(p *ir.Program) { unrollEveryLoop(p, 4) }},
+	}
+}
+
+// unrollEveryLoop unrolls every innermost loop by the given factor,
+// mirroring UnrollAll's one-loop-per-round discipline (unrolling
+// invalidates the loop nest; remainder loops keep the original header
+// and must not be unrolled again). The program must be in base-variable
+// form.
+func unrollEveryLoop(p *ir.Program, factor int) {
+	for _, f := range p.Funcs {
+		done := make(map[*ir.Block]bool)
+		for rounds := 0; rounds < 64; rounds++ {
+			dom := ssa.BuildDomTree(f)
+			nest := ssa.FindLoops(f, dom)
+			var todo *ssa.Loop
+			for _, l := range nest.Loops {
+				if len(l.Children) == 0 && !done[l.Header] {
+					todo = l
+					break
+				}
+			}
+			if todo == nil {
+				break
+			}
+			done[todo.Header] = true
+			transform.Unroll(f, todo, factor)
+		}
+		ir.PruneUnreachable(f)
+		ir.ReorderRPO(f)
+	}
+}
+
+// buildIR runs the front end (parse, typecheck, IR construction) and
+// returns the program in base-variable form.
+func buildIR(tb testing.TB, src string) *ir.Program {
+	tb.Helper()
+	prog, err := parser.Parse("meta.spl", src)
+	if err != nil {
+		tb.Fatalf("parse: %v\n%s", err, src)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		tb.Fatalf("sem: %v\n%s", err, src)
+	}
+	p, err := ir.Build(info)
+	if err != nil {
+		tb.Fatalf("build: %v\n%s", err, src)
+	}
+	return p
+}
+
+func interpret(tb testing.TB, p *ir.Program, src string) string {
+	tb.Helper()
+	var out strings.Builder
+	if _, err := interp.New(p, &out).Run(); err != nil {
+		tb.Fatalf("interpret: %v\n%s", err, src)
+	}
+	return out.String()
+}
+
+// TestMetamorphicTransforms runs every relation over the splgen corpus:
+// for each generated program, the transformed program must verify and
+// print exactly the untransformed program's output.
+func TestMetamorphicTransforms(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 6
+	}
+	transforms := metamorphicTransforms()
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			src := splgen.Generate(seed)
+			want := interpret(t, buildIR(t, src), src)
+			for _, tr := range transforms {
+				tr := tr
+				t.Run(tr.name, func(t *testing.T) {
+					p := buildIR(t, src)
+					tr.apply(p)
+					if err := ir.VerifyProgram(p); err != nil {
+						t.Fatalf("%s broke IR invariants: %v\n%s", tr.name, err, src)
+					}
+					got := interpret(t, p, src)
+					if got != want {
+						t.Fatalf("%s changed program output:\nwant %q\ngot  %q\n%s", tr.name, want, got, src)
+					}
+				})
+			}
+		})
+	}
+}

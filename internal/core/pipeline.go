@@ -26,6 +26,7 @@ import (
 	"sptc/internal/profile"
 	"sptc/internal/sem"
 	"sptc/internal/ssa"
+	"sptc/internal/trace"
 	"sptc/internal/transform"
 )
 
@@ -95,6 +96,11 @@ type Options struct {
 	// DisableSelection transforms every loop with a legal partition
 	// regardless of the §6.1 criteria (ablation: "speculate everything").
 	DisableSelection bool
+	// Trace receives one span per pipeline pass (parse, sem, build,
+	// unroll, privatize, ssa, profile, svp, pass1, pass2, transform,
+	// cleanup) plus one "loop" span per analyzed candidate carrying the
+	// partition-search counters. Nil disables tracing at no cost.
+	Trace *trace.Track
 }
 
 // DefaultOptions returns the paper-faithful configuration for a level.
@@ -208,17 +214,28 @@ type Result struct {
 	Dep  *profile.DepProfile
 }
 
-// CompileSource parses and compiles SPL source text.
+// CompileSource parses and compiles SPL source text. The whole
+// compilation is recorded as one "compile" span on opt.Trace, with the
+// front-end and pipeline passes as children.
 func CompileSource(name, src string, opt Options) (*Result, error) {
+	root := opt.Trace.Start("compile").Str("source", name).Str("level", opt.Level.String())
+	defer root.End()
+
+	sp := opt.Trace.Start("parse")
 	prog, err := parser.Parse(name, src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = opt.Trace.Start("sem")
 	info, err := sem.Check(prog)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = opt.Trace.Start("build")
 	p, err := ir.Build(info)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -233,18 +250,21 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 	}
 
 	if opt.Level == LevelBase {
-		finishSSA(p)
+		finishSSA(p, opt.Trace)
 		return res, ir.VerifyProgram(p)
 	}
 
 	// Preprocessing (pre-SSA): loop unrolling (§7.1); while-loop
 	// unrolling and privatization at the anticipated level.
+	sp := opt.Trace.Start("unroll")
 	uopt := opt.Unroll
 	uopt.UnrollWhile = opt.Level >= LevelAnticipated
 	for _, f := range p.Funcs {
 		transform.UnrollAll(f, uopt)
 	}
+	sp.End()
 	if opt.Level >= LevelAnticipated {
+		sp = opt.Trace.Start("privatize")
 		effects := depgraph.ComputeEffects(p)
 		for _, f := range p.Funcs {
 			dom := ssa.BuildDomTree(f)
@@ -253,15 +273,20 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 				transform.Privatize(f, l, dom, effects)
 			}
 		}
+		sp.End()
 	}
 
+	sp = opt.Trace.Start("ssa")
 	buildSSAAll(p)
+	sp.End()
 	if err := ir.VerifyProgram(p); err != nil {
 		return nil, fmt.Errorf("after preprocessing: %w", err)
 	}
 
 	// Profiling run.
+	sp = opt.Trace.Start("profile")
 	prof, err := runProfile(p, opt)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("profiling: %w", err)
 	}
@@ -270,11 +295,16 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 	// critical recurrences, then re-profile so pass 1 sees the new code.
 	svpApplied := make(map[*ir.Block]bool) // headers of SVP'd loops
 	if opt.Level >= LevelBest && !opt.DisableSVP {
-		if applySVP(p, prof, opt, svpApplied) {
+		sp = opt.Trace.Start("svp")
+		changed := applySVP(p, prof, opt, svpApplied)
+		sp.Int("rewrites", int64(len(svpApplied))).End()
+		if changed {
 			if err := ir.VerifyProgram(p); err != nil {
 				return nil, fmt.Errorf("after SVP: %w", err)
 			}
+			sp = opt.Trace.Start("profile")
 			prof, err = runProfile(p, opt)
+			sp.End()
 			if err != nil {
 				return nil, fmt.Errorf("re-profiling after SVP: %w", err)
 			}
@@ -285,6 +315,7 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 	res.Dep = prof.Dep
 
 	// Pass 1: analyze every loop candidate.
+	pass1 := opt.Trace.Start("pass1")
 	effects := depgraph.ComputeEffects(p)
 	var cands []*candidateShim
 	loopID := 0
@@ -309,8 +340,11 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 			rep.AvgTrip = st.AvgTrip
 			res.Reports = append(res.Reports, rep)
 
+			lsp := opt.Trace.Start("loop").
+				Str("func", f.Name).Int("loop", int64(rep.LoopID)).Int("body", int64(rep.BodySize))
 			if st.Iterations == 0 {
 				rep.Decision = DecisionNotRun
+				lsp.End()
 				continue
 			}
 			cfg := depgraph.Config{
@@ -323,6 +357,7 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 			g := depgraph.Build(l, cfg)
 			if g == nil {
 				rep.Decision = DecisionNotRun
+				lsp.End()
 				continue
 			}
 			rep.VCCount = len(g.VCs)
@@ -334,11 +369,19 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 			rep.Partition = pr
 			rep.EstCost = pr.Cost
 			rep.PreForkSize = pr.PreForkSize
+			lsp.Int("vcs", int64(rep.VCCount)).
+				Int("search_nodes", int64(pr.SearchNodes)).
+				Int("cost_evals", int64(pr.CostEvals)).
+				Int("dedup_hits", int64(pr.DedupHits)).
+				Int("recomputes", int64(pr.Recomputes)).
+				End()
 			cands = append(cands, &candidateShim{rep: rep, loop: l, graph: g})
 		}
 	}
+	pass1.End()
 
 	// Pass 2: final SPT loop selection (§6.1).
+	pass2 := opt.Trace.Start("pass2")
 	for _, c := range cands {
 		c.rep.Decision = decide(c.rep, opt.Select, opt.DisableSelection)
 		if c.rep.Decision == DecisionSelected {
@@ -354,6 +397,7 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 	// Resolve overlapping candidates (nesting levels of a loop nest):
 	// keep the higher-benefit loop.
 	selected := resolveOverlaps(cands)
+	pass2.Int("selected", int64(len(selected))).End()
 
 	// Transformation: per function, collapse out of SSA, transform each
 	// selected loop, then rebuild SSA and clean up.
@@ -367,6 +411,7 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 		byFunc[f] = append(byFunc[f], c)
 	}
 	sptID := 0
+	tsp := opt.Trace.Start("transform")
 	for _, f := range funcOrder {
 		ssa.Collapse(f)
 		for _, c := range byFunc[f] {
@@ -381,6 +426,10 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 			res.SPT = append(res.SPT, &SPTLoop{ID: sptID, Func: f, Header: sr.Header, Report: c.rep})
 			sptID++
 		}
+	}
+	tsp.Int("spt_loops", int64(sptID)).End()
+	csp := opt.Trace.Start("cleanup")
+	for _, f := range funcOrder {
 		ir.PruneUnreachable(f)
 		ir.ReorderRPO(f)
 		dom := ssa.BuildDomTree(f)
@@ -389,9 +438,11 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 		ssa.ConstFold(f)
 		ssa.DeadCode(f)
 		if err := ir.Verify(f); err != nil {
+			csp.End()
 			return nil, fmt.Errorf("after SPT transformation of %s: %w", f.Name, err)
 		}
 	}
+	csp.End()
 	return res, nil
 }
 
@@ -574,13 +625,17 @@ func runProfile(p *ir.Program, opt Options) (*profile.Profiler, error) {
 	return prof, nil
 }
 
-func finishSSA(p *ir.Program) {
+func finishSSA(p *ir.Program, tk *trace.Track) {
+	sp := tk.Start("ssa")
 	buildSSAAll(p)
+	sp.End()
+	sp = tk.Start("cleanup")
 	for _, f := range p.Funcs {
 		ssa.CopyProp(f)
 		ssa.ConstFold(f)
 		ssa.DeadCode(f)
 	}
+	sp.End()
 }
 
 func buildSSAAll(p *ir.Program) {

@@ -51,7 +51,8 @@ type Evaluator struct {
 	constTotal float64    // Σ v·cost over static op nodes
 	dynTotal   float64    // Σ v·cost over dynamic op nodes
 
-	evals int // propagations that recomputed at least one node
+	evals      int // propagations that recomputed at least one node
+	recomputes int // dirty nodes actually recomputed across all evals
 }
 
 // NewEvaluator builds an incremental evaluator for the model. The
@@ -199,6 +200,12 @@ func (e *Evaluator) Ordinal(vc *ir.Stmt) int {
 // current state cost nothing).
 func (e *Evaluator) Evals() int { return e.evals }
 
+// Recomputes returns the total number of dirty dynamic nodes the §4.2.3
+// propagation recomputed across all evaluations — the incremental
+// evaluator's unit of work, attached to each loop's trace span so the
+// dirty-propagation win over from-scratch evaluation is observable.
+func (e *Evaluator) Recomputes() int { return e.recomputes }
+
 func (e *Evaluator) sumDynamic() float64 {
 	total := 0.0
 	for _, ni := range e.dynIdx {
@@ -250,6 +257,7 @@ func (e *Evaluator) EvalSet(zero bitset.Set) float64 {
 			continue
 		}
 		e.dirty[ni] = false
+		e.recomputes++
 		prod := e.invariant[pos]
 		from := e.inFrom[pos]
 		probs := e.inProb[pos]

@@ -100,14 +100,15 @@ func (s *SuiteResult) WriteCSV(w io.Writer, level core.Level) error {
 
 	// Per-job metrics: the wall-clock columns vary run to run; everything
 	// else is deterministic.
-	if err := section("metrics", []string{"program", "level", "compile_ms", "simulate_ms", "search_nodes", "cost_evals", "dedup_hits", "sim_ops"}); err != nil {
+	if err := section("metrics", []string{"program", "level", "compile_ms", "simulate_ms", "search_nodes", "cost_evals", "dedup_hits", "recomputes", "sim_ops"}); err != nil {
 		return err
 	}
 	ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond)) }
 	metricsRow := func(program string, level core.Level, m Metrics) error {
 		return cw.Write([]string{
 			program, level.String(), ms(m.Compile), ms(m.Simulate),
-			fmt.Sprint(m.SearchNodes), fmt.Sprint(m.CostEvals), fmt.Sprint(m.DedupHits), fmt.Sprint(m.SimOps),
+			fmt.Sprint(m.SearchNodes), fmt.Sprint(m.CostEvals), fmt.Sprint(m.DedupHits),
+			fmt.Sprint(m.Recomputes), fmt.Sprint(m.SimOps),
 		})
 	}
 	for _, r := range s.Runs {

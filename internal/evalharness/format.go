@@ -149,10 +149,10 @@ func (s *SuiteResult) WriteFig19(w io.Writer, level core.Level) {
 // instructions simulated.
 func (s *SuiteResult) WriteMetrics(w io.Writer) {
 	fmt.Fprintln(w, "Per-job metrics (wall clock)")
-	fmt.Fprintln(w, "Program    level          compile   simulate  search-nodes  cost-evals  dedup-hits       sim-ops")
+	fmt.Fprintln(w, "Program    level          compile   simulate  search-nodes  cost-evals  dedup-hits  recomputes       sim-ops")
 	row := func(name string, level core.Level, m Metrics) {
-		fmt.Fprintf(w, "%-10s %-11s %9s  %9s  %12d  %10d  %10d  %12d\n",
-			name, level, fmtDur(m.Compile), fmtDur(m.Simulate), m.SearchNodes, m.CostEvals, m.DedupHits, m.SimOps)
+		fmt.Fprintf(w, "%-10s %-11s %9s  %9s  %12d  %10d  %10d  %10d  %12d\n",
+			name, level, fmtDur(m.Compile), fmtDur(m.Simulate), m.SearchNodes, m.CostEvals, m.DedupHits, m.Recomputes, m.SimOps)
 	}
 	for _, r := range s.Runs {
 		row(r.Name, core.LevelBase, r.BaseMetrics)

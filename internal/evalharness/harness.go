@@ -23,6 +23,7 @@ import (
 	"sptc/internal/ir"
 	"sptc/internal/machine"
 	"sptc/internal/ssa"
+	"sptc/internal/trace"
 )
 
 // LevelRun is one benchmark compiled and simulated at one level.
@@ -75,6 +76,13 @@ type Options struct {
 	// (<= 0 means runtime.NumCPU()). The results are independent of the
 	// worker count: jobs are collected in suite order.
 	Workers int
+	// Trace, when non-nil and enabled, receives one track per
+	// compile+simulate job ("name/base", "name/<level>"), created in
+	// suite order before the workers start so track IDs are deterministic
+	// and no two jobs ever share a span buffer. When nil, the harness
+	// records on a private tracer: the per-job Metrics are always
+	// span-derived.
+	Trace *trace.Tracer
 }
 
 // DefaultEvalOptions returns the paper's evaluation setup.
@@ -139,9 +147,22 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 
 	logger := &safeLogger{w: opt.Log}
 	cache := NewCompileCache()
+
+	// Every job gets its own trace track, allocated here in suite order —
+	// before the worker pool starts — so track IDs are independent of the
+	// worker count and concurrent jobs never interleave span buffers.
+	tr := opt.Trace
+	if tr == nil {
+		tr = trace.New()
+	}
 	bases := make([]*baseRun, len(benches))
-	for i := range bases {
-		bases[i] = &baseRun{}
+	levelTracks := make([][]*trace.Track, len(benches))
+	for i, b := range benches {
+		bases[i] = &baseRun{track: tr.StartTrack(b.Name + "/base")}
+		levelTracks[i] = make([]*trace.Track, len(opt.Levels))
+		for li, lvl := range opt.Levels {
+			levelTracks[i][li] = tr.StartTrack(b.Name + "/" + lvl.String())
+		}
 	}
 	levelRuns := make([][]*LevelRun, len(benches))
 	for i := range levelRuns {
@@ -167,7 +188,8 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 					err = runBase(b, opt, cache, bases[j.benchIdx], suite.Runs[j.benchIdx], logger)
 				} else {
 					lvl := opt.Levels[j.levelIdx]
-					levelRuns[j.benchIdx][j.levelIdx], err = runLevel(b, lvl, opt, cache, bases[j.benchIdx], logger)
+					tk := levelTracks[j.benchIdx][j.levelIdx]
+					levelRuns[j.benchIdx][j.levelIdx], err = runLevel(b, lvl, opt, cache, bases[j.benchIdx], tk, logger)
 				}
 				if err != nil {
 					errs[ji] = fmt.Errorf("%s: %w", b.Name, err)
@@ -215,9 +237,13 @@ func validateLevels(levels []core.Level) error {
 }
 
 // baseRun memoizes one benchmark's base compile+simulate so the base job
-// and every level job of that benchmark share a single computation.
+// and every level job of that benchmark share a single computation. The
+// work always records on the dedicated base track — whichever job wins
+// the once — so the base span tree never lands on a level job's track
+// (sync.Once gives the single writer the necessary happens-before).
 type baseRun struct {
 	once    sync.Once
+	track   *trace.Track
 	res     *core.Result
 	sim     *machine.Result
 	out     string
@@ -227,23 +253,22 @@ type baseRun struct {
 
 func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, logger *safeLogger) error {
 	br.once.Do(func() {
-		res, cdur, err := cache.Get(b.Name, b.Source, core.DefaultOptions(core.LevelBase))
+		copt := core.DefaultOptions(core.LevelBase)
+		copt.Trace = br.track
+		res, cdur, err := cache.Get(b.Name, b.Source, copt)
 		if err != nil {
 			br.err = fmt.Errorf("base compile: %w", err)
 			return
 		}
 		var out captureWriter
 		start := time.Now()
-		sim, err := machine.Run(res.Prog, opt.Machine, machine.RunOptions{Out: &out})
+		sim, err := machine.Run(res.Prog, opt.Machine, machine.RunOptions{Out: &out, Trace: br.track})
 		if err != nil {
 			br.err = fmt.Errorf("base simulate: %w", err)
 			return
 		}
 		br.res, br.sim, br.out = res, sim, out.String()
-		br.metrics = Metrics{
-			Timing: Timing{Compile: cdur, Simulate: time.Since(start)},
-			SimOps: sim.Ops,
-		}
+		br.metrics = metricsFromTrack(br.track, cdur, time.Since(start))
 		logger.logf("[%s] base: %.0f cycles, IPC %.2f (compile %s, simulate %s)",
 			b.Name, sim.Cycles, sim.IPC(), fmtDur(cdur), fmtDur(br.metrics.Simulate))
 	})
@@ -262,8 +287,12 @@ func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, br *baseRu
 	run.BaseIPC = br.sim.IPC()
 	run.BaseMetrics = br.metrics
 
-	// Maximum loop coverage at the SPT size limit (Figure 16).
+	// Maximum loop coverage at the SPT size limit (Figure 16). The
+	// auxiliary simulation records as a "coverage" span so it never
+	// contributes to the base job's "simulate" metrics.
 	covOpt, sizes := coverageOptions(br.res.Prog, opt.MaxLoopBody)
+	covOpt.Trace = br.track
+	covOpt.TraceName = "coverage"
 	if len(sizes) > 0 {
 		covSim, err := machine.Run(br.res.Prog, opt.Machine, covOpt)
 		if err != nil {
@@ -278,16 +307,20 @@ func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, br *baseRu
 	return nil
 }
 
-// runLevel compiles and simulates one benchmark at one level.
-func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *CompileCache, br *baseRun, logger *safeLogger) (*LevelRun, error) {
+// runLevel compiles and simulates one benchmark at one level, recording
+// the job's span tree on its dedicated track.
+func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *CompileCache, br *baseRun, tk *trace.Track, logger *safeLogger) (*LevelRun, error) {
 	if err := br.get(b, opt, cache, logger); err != nil {
 		return nil, err
 	}
-	res, cdur, err := cache.Get(b.Name, b.Source, core.DefaultOptions(level))
+	copt := core.DefaultOptions(level)
+	copt.Trace = tk
+	res, cdur, err := cache.Get(b.Name, b.Source, copt)
 	if err != nil {
 		return nil, fmt.Errorf("%s compile: %w", level, err)
 	}
 	simOpt := simulationOptions(res)
+	simOpt.Trace = tk
 	var out captureWriter
 	simOpt.Out = &out
 	start := time.Now()
@@ -306,12 +339,7 @@ func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *Compi
 		inLoops += ls.Elapsed
 	}
 	lr.Coverage = ratio(inLoops, sim.Cycles)
-	lr.Metrics = Metrics{
-		Timing:      Timing{Compile: cdur, Simulate: sdur},
-		SearchNodes: searchNodes(res),
-		SimOps:      sim.Ops,
-	}
-	lr.Metrics.CostEvals, lr.Metrics.DedupHits = costEvals(res)
+	lr.Metrics = metricsFromTrack(tk, cdur, sdur)
 	logger.logf("[%s] %s: %.0f cycles, speedup %.3f, %d SPT loops, coverage %.2f (compile %s, simulate %s, %d search nodes)",
 		b.Name, level, sim.Cycles, lr.Speedup, len(res.SPT), lr.Coverage, fmtDur(cdur), fmtDur(sdur), lr.Metrics.SearchNodes)
 	return lr, nil

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sptc/internal/core"
+	"sptc/internal/trace"
 )
 
 // Timing records the wall-clock cost of one compile+simulate job.
@@ -19,7 +20,9 @@ type Timing struct {
 
 // Metrics is the per-job observability layer: what one compile+simulate
 // job cost, in wall-clock time and in work done. Future performance PRs
-// regress against these numbers.
+// regress against these numbers. The work counters are read back from
+// the job's trace spans (metricsFromTrack), so the metrics CSV and an
+// exported Chrome trace of the same run agree by construction.
 type Metrics struct {
 	Timing
 	// SearchNodes totals the branch-and-bound partition-search nodes
@@ -32,32 +35,30 @@ type Metrics struct {
 	// Their sum is the number of cost queries the searches issued.
 	CostEvals int64
 	DedupHits int64
+	// Recomputes totals the dirty dynamic nodes the incremental cost
+	// evaluator recomputed (the §4.2.3 propagation's unit of work).
+	Recomputes int64
 	// SimOps is the number of dynamic instructions simulated.
 	SimOps int64
 }
 
-// searchNodes totals the partition search effort recorded in a
-// compilation's loop reports.
-func searchNodes(res *core.Result) int64 {
-	var n int64
-	for _, rep := range res.Reports {
-		if rep.Partition != nil {
-			n += int64(rep.Partition.SearchNodes)
-		}
+// metricsFromTrack assembles a job's Metrics from its completed trace
+// spans: the per-loop partition-search counters summed over the "loop"
+// spans, and the dynamic instruction count of the job's "simulate" span
+// (auxiliary coverage simulations record under a different span name and
+// are excluded).
+func metricsFromTrack(tk *trace.Track, compile, simulate time.Duration) Metrics {
+	m := Metrics{
+		Timing:      Timing{Compile: compile, Simulate: simulate},
+		SearchNodes: tk.SumInt("loop", "search_nodes"),
+		CostEvals:   tk.SumInt("loop", "cost_evals"),
+		DedupHits:   tk.SumInt("loop", "dedup_hits"),
+		Recomputes:  tk.SumInt("loop", "recomputes"),
 	}
-	return n
-}
-
-// costEvals totals the performed and deduplicated cost evaluations
-// recorded in a compilation's loop reports.
-func costEvals(res *core.Result) (evals, hits int64) {
-	for _, rep := range res.Reports {
-		if rep.Partition != nil {
-			evals += int64(rep.Partition.CostEvals)
-			hits += int64(rep.Partition.DedupHits)
-		}
+	if v, ok := tk.Find("simulate").Int64("sim_instructions"); ok {
+		m.SimOps = v
 	}
-	return evals, hits
+	return m
 }
 
 // CompileKey identifies one deterministic compilation.

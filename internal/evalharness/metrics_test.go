@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sptc/internal/core"
+	"sptc/internal/trace"
 )
 
 const cacheTestSrc = `
@@ -71,30 +72,44 @@ func TestCompileCacheError(t *testing.T) {
 	}
 }
 
-// TestSearchNodes checks the partition-search totaling over a real
-// compilation: only candidates that reached the search contribute.
-func TestSearchNodes(t *testing.T) {
-	res, _, err := NewCompileCache().Get("cache.spl", cacheTestSrc, core.DefaultOptions(core.LevelBest))
+// TestMetricsFromTrack checks that the span-derived counter totals equal
+// the per-loop partition results they were recorded from: only
+// candidates that reached the search contribute.
+func TestMetricsFromTrack(t *testing.T) {
+	tk := trace.New().StartTrack("cache.spl/best")
+	opt := core.DefaultOptions(core.LevelBest)
+	opt.Trace = tk
+	res, _, err := NewCompileCache().Get("cache.spl", cacheTestSrc, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := searchNodes(res)
-	if n < 0 {
-		t.Errorf("negative search node total %d", n)
-	}
-	var manual int64
+	m := metricsFromTrack(tk, 0, 0)
+	var nodes, evals, hits int64
 	for _, rep := range res.Reports {
 		if rep.Partition != nil {
-			manual += int64(rep.Partition.SearchNodes)
+			nodes += int64(rep.Partition.SearchNodes)
+			evals += int64(rep.Partition.CostEvals)
+			hits += int64(rep.Partition.DedupHits)
 		}
 	}
-	if n != manual {
-		t.Errorf("searchNodes = %d, manual total = %d", n, manual)
+	if m.SearchNodes != nodes || m.CostEvals != evals || m.DedupHits != hits {
+		t.Errorf("span-derived metrics (%d nodes, %d evals, %d hits) != report totals (%d, %d, %d)",
+			m.SearchNodes, m.CostEvals, m.DedupHits, nodes, evals, hits)
 	}
-	if base, _, err := NewCompileCache().Get("cache.spl", cacheTestSrc, core.DefaultOptions(core.LevelBase)); err != nil {
+
+	base := trace.New().StartTrack("cache.spl/base")
+	bopt := core.DefaultOptions(core.LevelBase)
+	bopt.Trace = base
+	if _, _, err := NewCompileCache().Get("cache.spl", cacheTestSrc, bopt); err != nil {
 		t.Fatal(err)
-	} else if got := searchNodes(base); got != 0 {
-		t.Errorf("base compilation reported %d search nodes, want 0", got)
+	}
+	if got := metricsFromTrack(base, 0, 0); got.SearchNodes != 0 {
+		t.Errorf("base compilation recorded %d search nodes, want 0", got.SearchNodes)
+	}
+
+	// A nil track (tracing off) yields zero-valued work counters.
+	if got := metricsFromTrack(nil, 0, 0); got.SearchNodes != 0 || got.SimOps != 0 {
+		t.Errorf("nil track produced non-zero metrics: %+v", got)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"sptc/internal/interp"
 	"sptc/internal/ir"
+	"sptc/internal/trace"
 )
 
 // Value aliases the interpreter's runtime value.
@@ -84,6 +85,14 @@ type RunOptions struct {
 	// SPTHeaders and AttributeLoops.
 	LoopBlocks map[*ir.Block]map[*ir.Block]bool
 	Out        io.Writer
+	// Trace receives one span covering the whole run, carrying the
+	// simulation counters (sim_instructions, cycles, forks, misspec
+	// iterations, ...). Nil disables tracing at no cost.
+	Trace *trace.Track
+	// TraceName overrides the span name (default "simulate"); the
+	// evaluation harness uses it to keep auxiliary coverage runs out of
+	// the per-job simulate metrics.
+	TraceName string
 }
 
 // ErrStepLimit mirrors the interpreter's limit error.
@@ -269,6 +278,12 @@ func Run(prog *ir.Program, cfg Config, opt RunOptions) (*Result, error) {
 	if opt.Out == nil {
 		opt.Out = io.Discard
 	}
+	name := opt.TraceName
+	if name == "" {
+		name = "simulate"
+	}
+	sp := opt.Trace.Start(name)
+	defer sp.End()
 	s := &sim{
 		cfg:        cfg,
 		prog:       prog,
@@ -297,6 +312,7 @@ func Run(prog *ir.Program, cfg Config, opt RunOptions) (*Result, error) {
 		return nil, errors.New("machine: program has no main")
 	}
 	if _, err := s.call(prog.Main, nil, 0); err != nil {
+		sp.Str("error", err.Error())
 		return nil, err
 	}
 	s.flushAttr()
@@ -308,6 +324,23 @@ func Run(prog *ir.Program, cfg Config, opt RunOptions) (*Result, error) {
 		BranchLookups: s.bpM.lookups + s.bpS.lookups,
 		BranchMisses:  s.bpM.misses + s.bpS.misses,
 		MemAccesses:   s.hier.memAccess,
+	}
+	if sp != nil {
+		var forks, kills, specIters, misspecIters int64
+		for _, ls := range res.Loops {
+			forks += ls.Forks
+			kills += ls.Kills
+			specIters += ls.SpecIters
+			misspecIters += ls.MisspecIters
+		}
+		sp.Int("sim_instructions", res.Ops).
+			Float("cycles", res.Cycles).
+			Int("forks", forks).
+			Int("kills", kills).
+			Int("spec_iters", specIters).
+			Int("misspec_iters", misspecIters).
+			Int("branch_misses", res.BranchMisses).
+			Int("mem_accesses", res.MemAccesses)
 	}
 	return res, nil
 }

@@ -85,9 +85,11 @@ type Result struct {
 	SearchNodes int
 	// CostEvals counts cost-model propagations actually performed;
 	// DedupHits counts evaluations answered from the interned zero-set
-	// table without propagating.
-	CostEvals int
-	DedupHits int
+	// table without propagating. Recomputes counts the dirty nodes the
+	// incremental evaluator recomputed across those propagations.
+	CostEvals  int
+	DedupHits  int
+	Recomputes int
 }
 
 // String summarizes the result.
@@ -274,6 +276,7 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 
 	if opt.MaxVCs > 0 && len(g.VCs) > opt.MaxVCs {
 		r.Skipped = true
+		r.Recomputes = eval.Recomputes()
 		return r
 	}
 
@@ -475,5 +478,6 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 	bestVCs.ForEach(func(i int) { r.PreForkVCs = append(r.PreForkVCs, vcs[i]) })
 	bestMove.ForEach(func(si int) { r.Move[g.Stmts[si]] = true })
 	bestConds.ForEach(func(si int) { r.CopyConds[g.Stmts[si]] = true })
+	r.Recomputes = eval.Recomputes()
 	return r
 }

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace_event. Complete spans use ph "X" with
+// microsecond ts/dur; track labels are emitted as thread_name metadata
+// events (ph "M"), which chrome://tracing and Perfetto render as row
+// names.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports every track as Chrome trace_event JSON: one tid
+// per track, spans as complete ("X") events in start order (so per-track
+// timestamps are monotone), counters and labels in the event args. The
+// output loads directly in chrome://tracing and ui.perfetto.dev. Must
+// not be called while tracks are still recording.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	tr := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, tk := range t.Tracks() {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  1,
+			TID:  tk.ID,
+			Args: map[string]any{"name": tk.Label},
+		})
+		for _, s := range tk.spans {
+			dur := float64(s.Dur.Microseconds())
+			ev := chromeEvent{
+				Name: s.Name,
+				Cat:  "sptc",
+				Ph:   "X",
+				TS:   float64(s.Begin) / 1e3, // ns -> us
+				Dur:  &dur,
+				PID:  1,
+				TID:  tk.ID,
+			}
+			if len(s.Args) > 0 {
+				ev.Args = make(map[string]any, len(s.Args))
+				for _, a := range s.Args {
+					switch a.Kind {
+					case ArgInt:
+						ev.Args[a.Key] = a.I
+					case ArgFloat:
+						ev.Args[a.Key] = a.F
+					case ArgStr:
+						ev.Args[a.Key] = a.S
+					}
+				}
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}

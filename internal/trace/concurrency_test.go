@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentTracks exercises the tracer from 8 concurrent workers —
+// the evaluation harness's shape: one track per job, spans and counters
+// recorded while other jobs do the same. Run under -race (the CI race
+// stage does), this pins the tracer's concurrency contract. The merged
+// Chrome trace must be well-formed JSON with monotone per-track
+// timestamps and every span accounted for.
+func TestConcurrentTracks(t *testing.T) {
+	const workers = 8
+	const spansPerWorker = 200
+
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tk := tr.StartTrack(fmt.Sprintf("job%d", w))
+			root := tk.Start("compile")
+			for i := 0; i < spansPerWorker; i++ {
+				sp := tk.Start("loop")
+				sp.Int("search_nodes", int64(i)).Int("worker", int64(w))
+				sp.End()
+			}
+			root.End()
+			tk.Start("simulate").Int("sim_instructions", int64(w*1000)).End()
+		}(w)
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("merged trace is not well-formed JSON: %v", err)
+	}
+
+	wantEvents := workers * (1 + spansPerWorker + 1 + 1) // metadata + compile + loops + simulate
+	if len(out.TraceEvents) != wantEvents {
+		t.Fatalf("got %d events, want %d", len(out.TraceEvents), wantEvents)
+	}
+
+	// Per-track: timestamps monotone, no span from another worker's job.
+	lastTS := map[int]float64{}
+	spanCount := map[int]int{}
+	workerOfTID := map[int]int64{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if last, ok := lastTS[ev.TID]; ok && ev.TS < last {
+			t.Fatalf("track %d timestamps not monotone: %f after %f", ev.TID, ev.TS, last)
+		}
+		lastTS[ev.TID] = ev.TS
+		spanCount[ev.TID]++
+		if ev.Name == "loop" {
+			w := int64(ev.Args["worker"].(float64))
+			if seen, ok := workerOfTID[ev.TID]; ok && seen != w {
+				t.Fatalf("track %d mixes spans of workers %d and %d", ev.TID, seen, w)
+			}
+			workerOfTID[ev.TID] = w
+		}
+	}
+	if len(spanCount) != workers {
+		t.Fatalf("got %d tracks, want %d", len(spanCount), workers)
+	}
+	for tid, n := range spanCount {
+		if n != spansPerWorker+2 {
+			t.Fatalf("track %d has %d spans, want %d", tid, n, spansPerWorker+2)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV exports every span as one flat CSV row: track id and label,
+// nesting depth, span name, start and duration in microseconds, and the
+// attached args as semicolon-joined key=value pairs. Rows are grouped by
+// track in creation order and sorted by start time within a track. Must
+// not be called while tracks are still recording.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"track", "label", "depth", "span", "start_us", "dur_us", "args"}); err != nil {
+		return err
+	}
+	for _, tk := range t.Tracks() {
+		for _, s := range tk.spans {
+			var args []string
+			for _, a := range s.Args {
+				switch a.Kind {
+				case ArgInt:
+					args = append(args, fmt.Sprintf("%s=%d", a.Key, a.I))
+				case ArgFloat:
+					args = append(args, fmt.Sprintf("%s=%g", a.Key, a.F))
+				case ArgStr:
+					args = append(args, fmt.Sprintf("%s=%s", a.Key, a.S))
+				}
+			}
+			if err := cw.Write([]string{
+				fmt.Sprint(tk.ID),
+				tk.Label,
+				fmt.Sprint(s.Depth),
+				s.Name,
+				fmt.Sprintf("%.3f", float64(s.Begin)/1e3),
+				fmt.Sprintf("%.3f", float64(s.Dur)/1e3),
+				strings.Join(args, ";"),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,278 @@
+// Package trace is the compiler's structured tracing and profiling
+// layer: hierarchical timed spans (pipeline → pass → loop →
+// search/simulate) with typed counters attached, recorded on per-job
+// tracks and exported as Chrome trace_event JSON (loadable in
+// chrome://tracing or https://ui.perfetto.dev) or a flat per-span CSV.
+//
+// The layer is built to cost nothing when off. A nil *Tracer (and the
+// nil *Track and nil *Span it hands out) is the disabled tracer: every
+// method is nil-safe and returns immediately, so instrumentation sites
+// call unconditionally. When a tracer exists but is switched off with
+// SetEnabled(false), the only work per instrumentation call is a single
+// atomic load. BenchmarkDisabledOverhead pins the disabled path;
+// the end-to-end overhead on BenchmarkPartitionSearch and
+// BenchmarkSimulate is measured in EXPERIMENTS.md (<2%).
+//
+// Concurrency model: a Tracer is safe for concurrent use; each Track is
+// owned by one goroutine at a time (the evaluation harness gives every
+// compile+simulate job its own track, so concurrent jobs never share a
+// span stack and the merged trace keeps one well-nested span tree per
+// job). Handing a track from one goroutine to another requires external
+// synchronization (the harness's sync.Once provides it for the shared
+// base compile).
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ArgKind is the type of a span argument.
+type ArgKind uint8
+
+// Argument kinds.
+const (
+	ArgInt ArgKind = iota
+	ArgFloat
+	ArgStr
+)
+
+// Arg is one typed counter or label attached to a span. Int and Float
+// args are counters; Str args are labels (they export into the Chrome
+// args object alongside the counters).
+type Arg struct {
+	Key  string
+	Kind ArgKind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Span is one timed, named region on a track. Begin and Dur are offsets
+// from the owning tracer's epoch (a monotonic clock). Spans on one track
+// nest by construction: a span started while another is open is its
+// child (Depth records the nesting level).
+type Span struct {
+	Name  string
+	Depth int
+	Begin time.Duration
+	Dur   time.Duration
+	Args  []Arg
+
+	track *Track
+	done  bool
+}
+
+// Track is one timeline of spans — one per concurrent job. Spans on a
+// track are recorded in start order and form a well-nested tree.
+type Track struct {
+	ID    int
+	Label string
+
+	t     *Tracer
+	stack []*Span
+	spans []*Span
+}
+
+// Tracer collects tracks. The zero value is not usable; use New. A nil
+// *Tracer is the disabled tracer.
+type Tracer struct {
+	on    atomic.Bool
+	epoch time.Time
+
+	mu     sync.Mutex
+	tracks []*Track
+}
+
+// New returns an enabled tracer whose span timestamps are measured from
+// now.
+func New() *Tracer {
+	t := &Tracer{epoch: time.Now()}
+	t.on.Store(true)
+	return t
+}
+
+// SetEnabled switches span recording on or off. While off, every
+// instrumentation call returns after a single atomic load; already
+// recorded spans are kept.
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	t.on.Store(on)
+}
+
+// Enabled reports whether the tracer records spans.
+func (t *Tracer) Enabled() bool { return t != nil && t.on.Load() }
+
+// StartTrack allocates a new track. Safe for concurrent use; returns nil
+// (the disabled track) on a nil or disabled tracer.
+func (t *Tracer) StartTrack(label string) *Track {
+	if t == nil || !t.on.Load() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tk := &Track{ID: len(t.tracks) + 1, Label: label, t: t}
+	t.tracks = append(t.tracks, tk)
+	return tk
+}
+
+// Tracks returns the tracer's tracks in creation order. The result must
+// not be read while tracks are still recording.
+func (t *Tracer) Tracks() []*Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Track(nil), t.tracks...)
+}
+
+// Track returns the first track with the given label, or nil.
+func (t *Tracer) Track(label string) *Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tk := range t.tracks {
+		if tk.Label == label {
+			return tk
+		}
+	}
+	return nil
+}
+
+// Start begins a span on the track. The open span (if any) becomes its
+// parent. Nil-safe: on a nil track, or when the tracer has been
+// disabled, it returns the nil span at the cost of one atomic load.
+func (tk *Track) Start(name string) *Span {
+	if tk == nil || !tk.t.on.Load() {
+		return nil
+	}
+	s := &Span{
+		Name:  name,
+		Depth: len(tk.stack),
+		Begin: time.Since(tk.t.epoch),
+		track: tk,
+	}
+	tk.stack = append(tk.stack, s)
+	tk.spans = append(tk.spans, s)
+	return s
+}
+
+// Spans returns the track's spans in start order (parents before
+// children). Nil-safe.
+func (tk *Track) Spans() []*Span {
+	if tk == nil {
+		return nil
+	}
+	return tk.spans
+}
+
+// SumInt sums the named integer counter over every span with the given
+// name. Nil-safe; missing counters contribute zero.
+func (tk *Track) SumInt(span, key string) int64 {
+	var n int64
+	if tk == nil {
+		return 0
+	}
+	for _, s := range tk.spans {
+		if s.Name != span {
+			continue
+		}
+		if v, ok := s.Int64(key); ok {
+			n += v
+		}
+	}
+	return n
+}
+
+// Find returns the first span with the given name, or nil.
+func (tk *Track) Find(name string) *Span {
+	if tk == nil {
+		return nil
+	}
+	for _, s := range tk.spans {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// End closes the span, recording its duration. Nil-safe. Spans left open
+// by a skipped End (early error return) are closed implicitly when an
+// enclosing span ends, keeping the track's tree well-nested.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	now := time.Since(s.track.t.epoch)
+	tk := s.track
+	// Pop the stack through s, closing any children left open.
+	for i := len(tk.stack) - 1; i >= 0; i-- {
+		sp := tk.stack[i]
+		tk.stack = tk.stack[:i]
+		if !sp.done {
+			sp.Dur = now - sp.Begin
+			sp.done = true
+		}
+		if sp == s {
+			break
+		}
+	}
+}
+
+// Int attaches (or overwrites) an integer counter. Returns the span for
+// chaining. Nil-safe.
+func (s *Span) Int(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.set(Arg{Key: key, Kind: ArgInt, I: v})
+	return s
+}
+
+// Float attaches a float counter. Nil-safe.
+func (s *Span) Float(key string, v float64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.set(Arg{Key: key, Kind: ArgFloat, F: v})
+	return s
+}
+
+// Str attaches a string label. Nil-safe.
+func (s *Span) Str(key, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.set(Arg{Key: key, Kind: ArgStr, S: v})
+	return s
+}
+
+func (s *Span) set(a Arg) {
+	for i := range s.Args {
+		if s.Args[i].Key == a.Key {
+			s.Args[i] = a
+			return
+		}
+	}
+	s.Args = append(s.Args, a)
+}
+
+// Int64 reads an integer counter back from the span.
+func (s *Span) Int64(key string) (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, a := range s.Args {
+		if a.Key == key && a.Kind == ArgInt {
+			return a.I, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := New()
+	tk := tr.StartTrack("job")
+	root := tk.Start("compile")
+	child := tk.Start("parse")
+	if child.Depth != 1 || root.Depth != 0 {
+		t.Fatalf("depths: root=%d child=%d", root.Depth, child.Depth)
+	}
+	child.End()
+	sib := tk.Start("sem")
+	if sib.Depth != 1 {
+		t.Fatalf("sibling depth = %d, want 1", sib.Depth)
+	}
+	sib.End()
+	root.End()
+
+	spans := tk.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "compile" || spans[1].Name != "parse" || spans[2].Name != "sem" {
+		t.Fatalf("span order: %s %s %s", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	for _, s := range spans {
+		if !s.done {
+			t.Fatalf("span %s not closed", s.Name)
+		}
+		if s.Dur < 0 {
+			t.Fatalf("span %s negative duration", s.Name)
+		}
+	}
+	// Children are contained in the parent.
+	if spans[1].Begin < spans[0].Begin || spans[1].Begin+spans[1].Dur > spans[0].Begin+spans[0].Dur {
+		t.Fatalf("child not contained in parent")
+	}
+}
+
+func TestEndClosesOpenChildren(t *testing.T) {
+	tr := New()
+	tk := tr.StartTrack("job")
+	root := tk.Start("compile")
+	leaked := tk.Start("pass1") // never explicitly ended
+	root.End()
+	if !leaked.done {
+		t.Fatalf("open child not closed by parent End")
+	}
+	if n := len(tk.stack); n != 0 {
+		t.Fatalf("stack not drained: %d", n)
+	}
+	// Double End is a no-op.
+	d := leaked.Dur
+	leaked.End()
+	root.End()
+	if leaked.Dur != d {
+		t.Fatalf("double End changed duration")
+	}
+}
+
+func TestTypedArgs(t *testing.T) {
+	tr := New()
+	tk := tr.StartTrack("job")
+	s := tk.Start("loop").Int("search_nodes", 42).Float("cost", 0.58).Str("func", "main")
+	s.Int("search_nodes", 43) // overwrite
+	s.End()
+
+	if v, ok := s.Int64("search_nodes"); !ok || v != 43 {
+		t.Fatalf("Int64(search_nodes) = %d,%v", v, ok)
+	}
+	if _, ok := s.Int64("cost"); ok {
+		t.Fatalf("float arg visible as int counter")
+	}
+	if _, ok := s.Int64("absent"); ok {
+		t.Fatalf("absent counter found")
+	}
+	if len(s.Args) != 3 {
+		t.Fatalf("got %d args, want 3", len(s.Args))
+	}
+}
+
+func TestSumIntAndFind(t *testing.T) {
+	tr := New()
+	tk := tr.StartTrack("job")
+	for i := int64(1); i <= 3; i++ {
+		tk.Start("loop").Int("search_nodes", i).End()
+	}
+	tk.Start("simulate").Int("sim_instructions", 100).End()
+	if n := tk.SumInt("loop", "search_nodes"); n != 6 {
+		t.Fatalf("SumInt = %d, want 6", n)
+	}
+	if n := tk.SumInt("loop", "absent"); n != 0 {
+		t.Fatalf("SumInt(absent) = %d, want 0", n)
+	}
+	if sp := tk.Find("simulate"); sp == nil || sp.Name != "simulate" {
+		t.Fatalf("Find(simulate) = %v", sp)
+	}
+	if sp := tk.Find("nope"); sp != nil {
+		t.Fatalf("Find(nope) = %v, want nil", sp)
+	}
+}
+
+// TestNilSafety drives the whole API through the disabled (nil) tracer:
+// every call must be a no-op, never a panic.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.SetEnabled(true)
+	if tr.Enabled() {
+		t.Fatalf("nil tracer enabled")
+	}
+	tk := tr.StartTrack("job")
+	if tk != nil {
+		t.Fatalf("nil tracer returned a track")
+	}
+	s := tk.Start("compile")
+	if s != nil {
+		t.Fatalf("nil track returned a span")
+	}
+	s.Int("k", 1).Float("f", 1).Str("s", "x")
+	s.End()
+	if _, ok := s.Int64("k"); ok {
+		t.Fatalf("nil span has counters")
+	}
+	if tk.Spans() != nil || tk.SumInt("a", "b") != 0 || tk.Find("a") != nil {
+		t.Fatalf("nil track queries not empty")
+	}
+	if tr.Tracks() != nil || tr.Track("job") != nil {
+		t.Fatalf("nil tracer queries not empty")
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	tr := New()
+	tk := tr.StartTrack("job")
+	tk.Start("kept").End()
+	tr.SetEnabled(false)
+	if sp := tk.Start("dropped"); sp != nil {
+		t.Fatalf("disabled tracer recorded a span")
+	}
+	if tr.StartTrack("late") != nil {
+		t.Fatalf("disabled tracer allocated a track")
+	}
+	tr.SetEnabled(true)
+	tk.Start("resumed").End()
+	names := []string{}
+	for _, s := range tk.Spans() {
+		names = append(names, s.Name)
+	}
+	if strings.Join(names, ",") != "kept,resumed" {
+		t.Fatalf("spans = %v", names)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := New()
+	tk := tr.StartTrack("gap/best")
+	c := tk.Start("compile")
+	tk.Start("loop").Int("search_nodes", 844).Str("func", "main").End()
+	c.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	if len(out.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3 (metadata + 2 spans)", len(out.TraceEvents))
+	}
+	meta := out.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "thread_name" || meta.Args["name"] != "gap/best" {
+		t.Fatalf("bad metadata event: %+v", meta)
+	}
+	loop := out.TraceEvents[2]
+	if loop.Name != "loop" || loop.Ph != "X" {
+		t.Fatalf("bad span event: %+v", loop)
+	}
+	if loop.Args["search_nodes"].(float64) != 844 || loop.Args["func"] != "main" {
+		t.Fatalf("bad args: %+v", loop.Args)
+	}
+	if loop.TS < out.TraceEvents[1].TS {
+		t.Fatalf("timestamps not monotone within track")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := New()
+	tk := tr.StartTrack("gap/best")
+	c := tk.Start("compile")
+	tk.Start("loop").Int("search_nodes", 844).Float("cost", 0.5).End()
+	c.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2", len(rows))
+	}
+	if rows[0][0] != "track" || rows[0][6] != "args" {
+		t.Fatalf("bad header: %v", rows[0])
+	}
+	if rows[2][3] != "loop" || rows[2][2] != "1" {
+		t.Fatalf("bad span row: %v", rows[2])
+	}
+	if rows[2][6] != "search_nodes=844;cost=0.5" {
+		t.Fatalf("bad args cell: %q", rows[2][6])
+	}
+}
+
+// BenchmarkDisabledOverhead pins the cost of an instrumentation site
+// when tracing is off: the nil-track path and the switched-off path
+// (one atomic load) must both stay in the low-nanosecond range.
+func BenchmarkDisabledOverhead(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		var tk *Track
+		for i := 0; i < b.N; i++ {
+			sp := tk.Start("pass")
+			sp.Int("n", int64(i))
+			sp.End()
+		}
+	})
+	b.Run("switched-off", func(b *testing.B) {
+		tr := New()
+		tk := tr.StartTrack("job")
+		tr.SetEnabled(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := tk.Start("pass")
+			sp.Int("n", int64(i))
+			sp.End()
+		}
+	})
+}

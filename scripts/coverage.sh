@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Coverage gate: writes the full-repo statement-coverage profile to
+# coverage.out (uploaded as a CI artifact) and enforces a hard floor on
+# the observability layer and the CLIs, which the PR that introduced
+# them brought from zero coverage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go test -coverprofile=coverage.out ./... >/dev/null
+go tool cover -func=coverage.out | tail -1
+
+fail=0
+check() {
+  local pkg=$1 floor=$2 out pct
+  out=$(go test -cover "$pkg" | tail -1)
+  echo "$out"
+  pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+  if [ -z "$pct" ] || awk "BEGIN{exit !($pct < $floor)}"; then
+    echo "FAIL: $pkg statement coverage ${pct:-0}% is below the ${floor}% floor"
+    fail=1
+  fi
+}
+
+check ./internal/trace 70
+check ./internal/cliutil 70
+check ./cmd/sptc 70
+check ./cmd/sptsim 70
+check ./cmd/sptbench 70
+
+exit $fail
