@@ -14,6 +14,9 @@
 //	sptbench -v               # progress lines + per-job metrics on stderr
 //	sptbench -trace out.json  # Chrome trace: one track per compile+simulate job
 //	sptbench -cpuprofile p.out -memprofile m.out
+//	sptbench -timeout 30s       # per-job wall clock; timed-out jobs are marked, suite continues
+//	sptbench -search-budget 100 # anytime partition search, 100 nodes per loop
+//	sptbench -inject core.pass1.loop=panic  # fault injection (see internal/resilience)
 package main
 
 import (
@@ -53,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to `file`")
 		memProf  = fs.String("memprofile", "", "write a heap profile to `file`")
 	)
+	resil := cliutil.AddResilienceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -87,6 +91,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opt.Log = stderr
 	}
 	opt.Workers = *jobs
+	if err := resil.Arm(); err != nil {
+		fmt.Fprintf(stderr, "sptbench: %v\n", err)
+		return 2
+	}
+	// -timeout bounds each compile+simulate job (the suite itself keeps
+	// going: affected jobs are marked in the status column).
+	opt.Timeout = resil.Timeout
+	opt.SearchBudget = resil.SearchBudget
 
 	prof, err := cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {

@@ -61,8 +61,8 @@ func normalizeCSV(s string) string {
 			continue
 		}
 		f := strings.Split(line, ",")
-		if len(f) > 3 {
-			f[2], f[3] = "-", "-"
+		if len(f) > 4 {
+			f[3], f[4] = "-", "-"
 			lines[i] = strings.Join(f, ",")
 		}
 	}

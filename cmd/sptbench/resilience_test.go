@@ -1,0 +1,122 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sptc/internal/resilience"
+)
+
+// metricsStatuses extracts level -> status from the CSV metrics section.
+func metricsStatuses(t *testing.T, csv string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	inMetrics := false
+	for _, ln := range strings.Split(csv, "\n") {
+		if strings.HasPrefix(ln, "# ") {
+			inMetrics = ln == "# metrics"
+			continue
+		}
+		if !inMetrics || ln == "" || strings.HasPrefix(ln, "program,") {
+			continue
+		}
+		f := strings.Split(ln, ",")
+		if len(f) < 3 {
+			t.Fatalf("short metrics row: %q", ln)
+		}
+		out[f[1]] = f[2]
+	}
+	if len(out) == 0 {
+		t.Fatalf("no metrics rows in CSV:\n%s", csv)
+	}
+	return out
+}
+
+// TestFaultInjectionSweep arms every registered inject point in turn
+// (the CI robustness job) and asserts the suite still exits 0 with the
+// affected jobs — and only those — marked in the status column.
+func TestFaultInjectionSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run per inject point")
+	}
+	points := resilience.Points()
+	if len(points) < 4 {
+		t.Fatalf("expected at least 4 registered inject points, got %v", points)
+	}
+	// wantBase/wantLevel: the expected status of the base job and of the
+	// SPT-level job when the point fires with a panic. Points inside the
+	// SPT pipeline never touch the base compile; the simulator point
+	// fails every job.
+	expect := map[string][2]string{
+		"partition.search":     {"ok", "degraded"},
+		"core.pass1.loop":      {"ok", "degraded"},
+		"core.pass2.transform": {"ok", "degraded"},
+		"machine.run":          {"panic", "panic"},
+	}
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) {
+			want, known := expect[point]
+			if !known {
+				t.Fatalf("no expectation for inject point %q: update this sweep", point)
+			}
+			resilience.Arm(point, resilience.Fault{Kind: resilience.FaultPanic})
+			defer resilience.DisarmAll()
+			code, stdout, stderr := runCmd(t, "-csv", "-bench", "bzip2", "-level", "best")
+			if code != 0 {
+				t.Fatalf("suite must exit 0 with %s armed, got %d (stderr: %s)", point, code, stderr)
+			}
+			st := metricsStatuses(t, stdout)
+			if st["base"] != want[0] {
+				t.Errorf("base status = %q, want %q", st["base"], want[0])
+			}
+			if st["best"] != want[1] {
+				t.Errorf("best status = %q, want %q", st["best"], want[1])
+			}
+		})
+	}
+}
+
+// TestTimeoutFlagMarksJobs runs the suite with an already-expired
+// per-job deadline: every job is marked timeout, and the suite exits 0.
+func TestTimeoutFlagMarksJobs(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-csv", "-timeout", "1ns", "-bench", "bzip2", "-level", "best")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	for lvl, st := range metricsStatuses(t, stdout) {
+		if st != "timeout" {
+			t.Errorf("%s status = %q, want timeout", lvl, st)
+		}
+	}
+}
+
+// TestSearchBudgetFlagDegrades caps the search at one node: the suite
+// completes with the SPT jobs degraded and the base untouched.
+func TestSearchBudgetFlagDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	code, stdout, stderr := runCmd(t, "-csv", "-search-budget", "1", "-bench", "bzip2", "-level", "best")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	st := metricsStatuses(t, stdout)
+	if st["base"] != "ok" {
+		t.Errorf("base status = %q, want ok", st["base"])
+	}
+	if st["best"] != "degraded" {
+		t.Errorf("best status = %q, want degraded", st["best"])
+	}
+}
+
+// TestBadInjectSpec rejects malformed -inject specs with a usage error.
+func TestBadInjectSpec(t *testing.T) {
+	defer resilience.DisarmAll()
+	code, _, stderr := runCmd(t, "-inject", "nonsense")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "inject spec") {
+		t.Errorf("stderr should explain the bad spec: %s", stderr)
+	}
+}

@@ -11,7 +11,11 @@
 // disposition; -partitions additionally prints each candidate's optimal
 // partition search result. -trace/-tracecsv export the pipeline's span
 // trace (Chrome trace_event JSON / flat CSV); -cpuprofile/-memprofile
-// write pprof profiles.
+// write pprof profiles. -timeout bounds the compile wall clock,
+// -search-budget caps the anytime partition search per loop, and
+// -inject arms fault-injection points (see internal/resilience); loops
+// hit by an injected fault are demoted to serial and reported as
+// degradation events.
 package main
 
 import (
@@ -43,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to `file`")
 		memProf    = fs.String("memprofile", "", "write a heap profile to `file`")
 	)
+	resil := cliutil.AddResilienceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,8 +76,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer prof.Stop()
 
+	if err := resil.Arm(); err != nil {
+		fmt.Fprintf(stderr, "sptc: %v\n", err)
+		return 2
+	}
+	ctx, cancel := resil.Context()
+	defer cancel()
+
 	var tr *trace.Tracer
 	opt := core.DefaultOptions(lvl)
+	opt.Context = ctx
+	if resil.SearchBudget > 0 {
+		opt.Partition.MaxSearchNodes = resil.SearchBudget
+	}
 	if *traceOut != "" || *traceCSV != "" {
 		tr = trace.New()
 		opt.Trace = tr.StartTrack(fs.Arg(0))
@@ -99,6 +115,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout)
 			if *partitions && r.Partition != nil {
 				fmt.Fprintf(stdout, "      partition: %s\n", r.Partition)
+			}
+		}
+		if res.Degraded() {
+			fmt.Fprintf(stdout, "%d degradation event(s):\n", len(res.Degradations))
+			for _, ev := range res.Degradations {
+				fmt.Fprintf(stdout, "  %s\n", ev)
 			}
 		}
 	}

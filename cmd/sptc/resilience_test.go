@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sptc/internal/resilience"
+)
+
+// TestInjectPass1Panic compiles the fixture with the pass-1 inject point
+// armed via the CLI: the compile must survive, demote every candidate,
+// and report the degradation events.
+func TestInjectPass1Panic(t *testing.T) {
+	defer resilience.DisarmAll()
+	code, stdout, stderr := runCmd(t,
+		"-inject", "core.pass1.loop=panic", "-level", "best",
+		filepath.Join("testdata", "demo.spl"))
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "0 SPT loop(s)") {
+		t.Errorf("all candidates should be demoted:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "degradation event(s)") || !strings.Contains(stdout, "pass1.loop") {
+		t.Errorf("report should list the degradation events:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "degraded") {
+		t.Errorf("demoted candidates should show the degraded decision:\n%s", stdout)
+	}
+}
+
+// TestSearchBudgetFlag caps the partition search at one node: the
+// compile still succeeds and the anytime searches report their stop.
+func TestSearchBudgetFlag(t *testing.T) {
+	code, stdout, stderr := runCmd(t,
+		"-search-budget", "1", "-level", "best",
+		filepath.Join("testdata", "demo.spl"))
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "loop candidate(s)") {
+		t.Errorf("report missing:\n%s", stdout)
+	}
+}
+
+// TestInjectSpecErrors rejects malformed -inject specs before compiling.
+func TestInjectSpecErrors(t *testing.T) {
+	defer resilience.DisarmAll()
+	code, _, stderr := runCmd(t,
+		"-inject", "core.pass1.loop=frobnicate",
+		filepath.Join("testdata", "demo.spl"))
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "unknown fault") {
+		t.Errorf("stderr should explain the bad spec: %s", stderr)
+	}
+}

@@ -2,7 +2,10 @@
 // simulator, reporting cycles, IPC, and per-SPT-loop statistics. With
 // -compare it also runs the non-SPT base compilation and reports the
 // speedup. -trace/-tracecsv export the compile+simulate span trace;
-// -cpuprofile/-memprofile write pprof profiles.
+// -cpuprofile/-memprofile write pprof profiles. -timeout bounds the
+// whole compile+simulate wall clock, -search-budget caps the anytime
+// partition search per loop, and -inject arms fault-injection points
+// (see internal/resilience).
 //
 // Usage:
 //
@@ -39,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to `file`")
 		memProf  = fs.String("memprofile", "", "write a heap profile to `file`")
 	)
+	resil := cliutil.AddResilienceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -74,12 +78,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tk = tr.StartTrack(fs.Arg(0) + "/" + lvl.String())
 	}
 
+	if err := resil.Arm(); err != nil {
+		fmt.Fprintf(stderr, "sptsim: %v\n", err)
+		return 2
+	}
+	ctx, cancel := resil.Context()
+	defer cancel()
+
 	copt := core.DefaultOptions(lvl)
 	copt.Trace = tk
+	copt.Context = ctx
+	if resil.SearchBudget > 0 {
+		copt.Partition.MaxSearchNodes = resil.SearchBudget
+	}
 	res, err := core.CompileSource(fs.Arg(0), string(src), copt)
 	if err != nil {
 		fmt.Fprintf(stderr, "sptsim: %v\n", err)
 		return 1
+	}
+	if res.Degraded() {
+		fmt.Fprintf(stderr, "sptsim: compile degraded (%d event(s))\n", len(res.Degradations))
 	}
 	var out io.Writer = stdout
 	if *quiet {
@@ -88,6 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	simOpt := sptc.SimulationOptions(res)
 	simOpt.Out = out
 	simOpt.Trace = tk
+	simOpt.Context = ctx
 	sim, err := machine.Run(res.Prog, sptc.DefaultMachineConfig(), simOpt)
 	if err != nil {
 		fmt.Fprintf(stderr, "sptsim: %v\n", err)
@@ -115,6 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			btk = tr.StartTrack(fs.Arg(0) + "/base")
 		}
 		bopt.Trace = btk
+		bopt.Context = ctx
 		baseRes, err := core.CompileSource(fs.Arg(0), string(src), bopt)
 		if err != nil {
 			fmt.Fprintf(stderr, "sptsim: base compile: %v\n", err)
@@ -123,6 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baseOpt := sptc.SimulationOptions(baseRes)
 		baseOpt.Out = io.Discard
 		baseOpt.Trace = btk
+		baseOpt.Context = ctx
 		baseSim, err := machine.Run(baseRes.Prog, sptc.DefaultMachineConfig(), baseOpt)
 		if err != nil {
 			fmt.Fprintf(stderr, "sptsim: base simulate: %v\n", err)

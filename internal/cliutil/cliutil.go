@@ -4,12 +4,16 @@
 package cliutil
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"sptc/internal/core"
+	"sptc/internal/resilience"
 	"sptc/internal/trace"
 )
 
@@ -95,6 +99,49 @@ func ExportTrace(tr *trace.Tracer, jsonPath, csvPath string) error {
 		return err
 	}
 	return write(csvPath, func(f *os.File) error { return tr.WriteCSV(f) })
+}
+
+// Resilience bundles the fail-soft flags shared by the sptc, sptsim and
+// sptbench commands: a wall-clock budget, a partition-search node
+// budget, and a fault-injection spec.
+type Resilience struct {
+	// Timeout is the wall-clock budget (per job in sptbench, for the
+	// whole compile+simulate in sptc/sptsim). 0 disables it.
+	Timeout time.Duration
+	// SearchBudget caps the partition search at this many nodes per loop
+	// candidate; the anytime search keeps the best partition found.
+	// <= 0 leaves the search unbounded.
+	SearchBudget int
+	// Inject is a resilience.ArmSpec fault-injection spec
+	// ("point=panic|delay:DUR|error|exhaust", comma-separated).
+	Inject string
+}
+
+// AddResilienceFlags registers -timeout, -search-budget and -inject on
+// fs and returns the bundle their values land in.
+func AddResilienceFlags(fs *flag.FlagSet) *Resilience {
+	r := &Resilience{}
+	fs.DurationVar(&r.Timeout, "timeout", 0, "wall-clock budget per compile+simulate job (0 = unlimited)")
+	fs.IntVar(&r.SearchBudget, "search-budget", 0, "partition-search node budget per loop candidate (0 = unlimited)")
+	fs.StringVar(&r.Inject, "inject", "", "arm fault-injection points: `point=panic|delay:DUR|error|exhaust[,...]`")
+	return r
+}
+
+// Arm arms the -inject spec (a no-op when empty).
+func (r *Resilience) Arm() error {
+	if r.Inject == "" {
+		return nil
+	}
+	return resilience.ArmSpec(r.Inject)
+}
+
+// Context returns a context bounded by -timeout; the cancel func must
+// always be called. With no timeout it returns context.Background().
+func (r *Resilience) Context() (context.Context, context.CancelFunc) {
+	if r.Timeout > 0 {
+		return context.WithTimeout(context.Background(), r.Timeout)
+	}
+	return context.Background(), func() {}
 }
 
 // ParseLevel maps the CLI level names to core levels; ok is false for an

@@ -2,11 +2,14 @@ package cliutil
 
 import (
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"sptc/internal/core"
+	"sptc/internal/resilience"
 	"sptc/internal/trace"
 )
 
@@ -105,5 +108,47 @@ func TestProfiles(t *testing.T) {
 	// Unwritable CPU profile path fails up front.
 	if _, err := StartProfiles(filepath.Join(dir, "no", "cpu.prof"), ""); err == nil {
 		t.Error("expected error for unwritable cpuprofile path")
+	}
+}
+
+func TestResilienceFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	r := AddResilienceFlags(fs)
+	err := fs.Parse([]string{"-timeout", "250ms", "-search-budget", "7", "-inject", "cliutil.test.point=error"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Timeout != 250*time.Millisecond || r.SearchBudget != 7 {
+		t.Errorf("parsed bundle = %+v", r)
+	}
+	defer resilience.DisarmAll()
+	if err := r.Arm(); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	if got := resilience.Armed(); len(got) != 1 || got[0] != "cliutil.test.point" {
+		t.Errorf("armed points = %v", got)
+	}
+	ctx, cancel := r.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("context should carry the -timeout deadline")
+	}
+
+	var zero Resilience
+	if err := zero.Arm(); err != nil {
+		t.Errorf("empty spec must be a no-op, got %v", err)
+	}
+	ctx2, cancel2 := zero.Context()
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); ok {
+		t.Error("no -timeout must mean no deadline")
+	}
+}
+
+func TestResilienceArmBadSpec(t *testing.T) {
+	defer resilience.DisarmAll()
+	r := &Resilience{Inject: "point-without-fault"}
+	if err := r.Arm(); err == nil {
+		t.Error("malformed spec should fail")
 	}
 }

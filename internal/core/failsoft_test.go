@@ -1,0 +1,193 @@
+package core_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sptc/internal/core"
+	"sptc/internal/interp"
+	"sptc/internal/resilience"
+	"sptc/internal/ssa"
+)
+
+// failsoftSrc has one speculation-friendly loop that LevelBest selects
+// and transforms when nothing goes wrong (same shape as
+// TestSelectionProducesSPTLoops).
+const failsoftSrc = `
+var data float[600];
+var total float;
+
+func main() {
+	var i int;
+	for (i = 0; i < 600; i++) {
+		data[i] = float(i % 83) * 0.5 + 1.0;
+	}
+	for (i = 0; i < 600; i++) {
+		var x float = data[i];
+		var acc float = 0.0;
+		acc = acc + x * 1.5 + x * x * 0.25;
+		acc = acc + fabs(x - 20.0) * 0.125 + fsqrt(x) * 0.5;
+		acc = acc + x * 0.0625 + (x + 1.0) * 0.03125;
+		acc = acc + fabs(acc - x) + fsqrt(acc + 1.0);
+		total = total + acc;
+	}
+	print(total);
+}
+`
+
+// compileFailsoft compiles failsoftSrc at LevelBest, requiring success,
+// and returns the program's output and the result.
+func compileFailsoft(t *testing.T, mutate func(*core.Options)) (string, *core.Result) {
+	t.Helper()
+	opt := core.DefaultOptions(core.LevelBest)
+	if mutate != nil {
+		mutate(&opt)
+	}
+	res, err := core.CompileSource("failsoft.spl", failsoftSrc, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, f := range res.Prog.Funcs {
+		if err := ssa.VerifySSA(f, ssa.BuildDomTree(f)); err != nil {
+			t.Fatalf("SSA invariants: %v", err)
+		}
+	}
+	var out strings.Builder
+	m := interp.New(res.Prog, &out)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String(), res
+}
+
+func TestFailSoftPass1Panic(t *testing.T) {
+	defer resilience.DisarmAll()
+	base, clean := compileFailsoft(t, nil)
+	if len(clean.SPT) == 0 {
+		t.Fatal("clean compile selected no SPT loops; test is vacuous")
+	}
+
+	resilience.Arm("core.pass1.loop", resilience.Fault{Kind: resilience.FaultPanic})
+	got, res := compileFailsoft(t, nil)
+
+	if got != base {
+		t.Fatalf("degraded compile changed program output: %q vs %q", got, base)
+	}
+	if len(res.SPT) != 0 {
+		t.Fatalf("panicking pass 1 still produced %d SPT loops", len(res.SPT))
+	}
+	if !res.Degraded() {
+		t.Fatal("no degradation events recorded")
+	}
+	sawDemoted := false
+	for _, rep := range res.Reports {
+		if rep.Decision == core.DecisionDegraded {
+			sawDemoted = true
+		}
+	}
+	if !sawDemoted {
+		t.Fatal("no loop demoted to DecisionDegraded")
+	}
+	for _, ev := range res.Degradations {
+		if ev.Phase != "pass1.loop" || ev.Reason != resilience.ReasonPanic {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		if !strings.Contains(ev.Stack, "Fire") {
+			t.Fatalf("event lost the panic stack:\n%s", ev.Stack)
+		}
+	}
+}
+
+func TestFailSoftTransformPanic(t *testing.T) {
+	defer resilience.DisarmAll()
+	base, clean := compileFailsoft(t, nil)
+	if len(clean.SPT) == 0 {
+		t.Fatal("clean compile selected no SPT loops; test is vacuous")
+	}
+
+	resilience.Arm("core.pass2.transform", resilience.Fault{Kind: resilience.FaultPanic})
+	got, res := compileFailsoft(t, nil)
+
+	if got != base {
+		t.Fatalf("rolled-back compile changed program output: %q vs %q", got, base)
+	}
+	if len(res.SPT) != 0 {
+		t.Fatalf("panicking transform still registered %d SPT loops", len(res.SPT))
+	}
+	demoted := 0
+	for _, rep := range res.Reports {
+		if rep.Decision == core.DecisionDegraded {
+			demoted++
+			if rep.Transformed {
+				t.Fatal("degraded loop still marked transformed")
+			}
+		}
+	}
+	if demoted != len(clean.SPT) {
+		t.Fatalf("demoted %d loops, expected the %d selected ones", demoted, len(clean.SPT))
+	}
+	for _, ev := range res.Degradations {
+		if ev.Phase != "pass2.transform" || ev.Reason != resilience.ReasonPanic {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	}
+}
+
+func TestFailSoftSearchBudget(t *testing.T) {
+	base, clean := compileFailsoft(t, nil)
+	got, res := compileFailsoft(t, func(o *core.Options) {
+		o.Partition.MaxSearchNodes = 1
+	})
+	if got != base {
+		t.Fatalf("budgeted compile changed program output: %q vs %q", got, base)
+	}
+	sawBudget := false
+	for _, ev := range res.Degradations {
+		if ev.Phase == "pass1.search" && ev.Reason == resilience.ReasonBudget {
+			sawBudget = true
+		}
+	}
+	if !sawBudget {
+		t.Fatalf("no pass1.search budget event; events = %v, clean VCs = %d",
+			res.Degradations, len(clean.Reports))
+	}
+	// The anytime partition is valid, so every analyzed loop still has
+	// one, and its cost never exceeds the serial fallback.
+	for _, rep := range res.Reports {
+		if rep.Partition == nil || rep.Partition.Skipped {
+			continue
+		}
+		if rep.Partition.Cost > rep.Partition.EmptyCost+1e-9 {
+			t.Fatalf("loop %s/%d: anytime cost %.6f above serial %.6f",
+				rep.Func, rep.LoopID, rep.Partition.Cost, rep.Partition.EmptyCost)
+		}
+	}
+}
+
+func TestFailSoftInjectedDelayIsHarmless(t *testing.T) {
+	defer resilience.DisarmAll()
+	base, _ := compileFailsoft(t, nil)
+	resilience.Arm("core.pass1.loop", resilience.Fault{Kind: resilience.FaultDelay, Delay: 0})
+	got, res := compileFailsoft(t, nil)
+	if got != base {
+		t.Fatalf("delay changed output: %q vs %q", got, base)
+	}
+	if res.Degraded() {
+		t.Fatalf("zero delay degraded the compile: %v", res.Degradations)
+	}
+}
+
+func TestCompileContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := core.DefaultOptions(core.LevelBest)
+	opt.Context = ctx
+	_, err := core.CompileSource("failsoft.spl", failsoftSrc, opt)
+	if err == nil {
+		t.Fatal("canceled compile succeeded")
+	}
+	if !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("err = %v", err)
+	}
+}

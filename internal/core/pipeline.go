@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -24,10 +25,18 @@ import (
 	"sptc/internal/parser"
 	"sptc/internal/partition"
 	"sptc/internal/profile"
+	"sptc/internal/resilience"
 	"sptc/internal/sem"
 	"sptc/internal/ssa"
 	"sptc/internal/trace"
 	"sptc/internal/transform"
+)
+
+// Fault-injection points for the fail-soft tests and CLIs
+// (see internal/resilience).
+var (
+	injectPass1     = resilience.Register("core.pass1.loop")
+	injectTransform = resilience.Register("core.pass2.transform")
 )
 
 // Level is the compilation level.
@@ -101,6 +110,10 @@ type Options struct {
 	// cleanup) plus one "loop" span per analyzed candidate carrying the
 	// partition-search counters. Nil disables tracing at no cost.
 	Trace *trace.Track
+	// Context cancels the whole compilation: it is checked between
+	// passes, inside the profiling interpreter, and inside the
+	// partition search. Nil means context.Background().
+	Context context.Context
 }
 
 // DefaultOptions returns the paper-faithful configuration for a level.
@@ -135,8 +148,9 @@ const (
 	DecisionTooManyVCs
 	DecisionHighCost
 	DecisionBigPreFork
-	DecisionNested // a better overlapping candidate was selected
-	DecisionShape  // header shape unsupported for transformation
+	DecisionNested   // a better overlapping candidate was selected
+	DecisionShape    // header shape unsupported for transformation
+	DecisionDegraded // analysis or transform failed; loop demoted to serial
 )
 
 func (d Decision) String() string {
@@ -161,6 +175,8 @@ func (d Decision) String() string {
 		return "overlap"
 	case DecisionShape:
 		return "shape"
+	case DecisionDegraded:
+		return "degraded"
 	}
 	return "?"
 }
@@ -212,7 +228,15 @@ type Result struct {
 	// Profiles from the final profiling run (nil at LevelBase).
 	Edge *profile.EdgeProfile
 	Dep  *profile.DepProfile
+
+	// Degradations lists every fail-soft event survived during the
+	// compile: loops demoted to serial after a panic, and anytime
+	// partition searches stopped by a budget or deadline.
+	Degradations []resilience.DegradationEvent
 }
+
+// Degraded reports whether any fail-soft event occurred.
+func (r *Result) Degraded() bool { return len(r.Degradations) > 0 }
 
 // CompileSource parses and compiles SPL source text. The whole
 // compilation is recorded as one "compile" span on opt.Trace, with the
@@ -243,10 +267,23 @@ func CompileSource(name, src string, opt Options) (*Result, error) {
 }
 
 // Compile runs the SPT pipeline over an IR program (which it mutates).
+//
+// Compile is fail-soft: a candidate loop whose analysis or transform
+// panics (or hits an armed fault-injection point) is demoted to serial
+// with DecisionDegraded and the event recorded in Result.Degradations;
+// the compile itself keeps going. Only front-end errors, IR corruption,
+// and cancellation of opt.Context abort the whole compilation.
 func Compile(p *ir.Program, opt Options) (*Result, error) {
 	res := &Result{Level: opt.Level, Prog: p}
 	if opt.ProfileOut == nil {
 		opt.ProfileOut = io.Discard
+	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	if opt.Level == LevelBase {
@@ -282,10 +319,13 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 	if err := ir.VerifyProgram(p); err != nil {
 		return nil, fmt.Errorf("after preprocessing: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Profiling run.
 	sp = opt.Trace.Start("profile")
-	prof, err := runProfile(p, opt)
+	prof, err := runProfile(ctx, p, opt)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("profiling: %w", err)
@@ -303,7 +343,7 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 				return nil, fmt.Errorf("after SVP: %w", err)
 			}
 			sp = opt.Trace.Start("profile")
-			prof, err = runProfile(p, opt)
+			prof, err = runProfile(ctx, p, opt)
 			sp.End()
 			if err != nil {
 				return nil, fmt.Errorf("re-profiling after SVP: %w", err)
@@ -313,6 +353,9 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 	prof.Edge.Apply(p)
 	res.Edge = prof.Edge
 	res.Dep = prof.Dep
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Pass 1: analyze every loop candidate.
 	pass1 := opt.Trace.Start("pass1")
@@ -354,21 +397,56 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 				CtrlDeps:   cds,
 				Dom:        dom,
 			}
-			g := depgraph.Build(l, cfg)
+			// Isolate per-loop analysis: a panic or injected fault
+			// demotes this loop to serial without aborting the compile.
+			var g *depgraph.Graph
+			var pr *partition.Result
+			unit := fmt.Sprintf("%s/loop%d", f.Name, rep.LoopID)
+			gerr := resilience.Guard(func() error {
+				if err := injectPass1.Fire(ctx); err != nil {
+					return err
+				}
+				g = depgraph.Build(l, cfg)
+				if g == nil {
+					return nil
+				}
+				rep.VCCount = len(g.VCs)
+				popt := opt.Partition
+				popt.PreForkFraction = opt.Select.PreForkFraction
+				popt.BodySize = rep.BodySize
+				popt.Context = ctx
+				pr = partition.Search(g, cost.Build(g), popt)
+				return nil
+			})
+			if gerr != nil {
+				if ctx.Err() != nil {
+					lsp.End()
+					pass1.End()
+					return nil, ctx.Err()
+				}
+				rep.Decision = DecisionDegraded
+				ev := resilience.Event("pass1.loop", unit, gerr)
+				res.Degradations = append(res.Degradations, ev)
+				lsp.Str("degraded", ev.Reason.String()).End()
+				continue
+			}
 			if g == nil {
 				rep.Decision = DecisionNotRun
 				lsp.End()
 				continue
 			}
-			rep.VCCount = len(g.VCs)
-			popt := opt.Partition
-			popt.PreForkFraction = opt.Select.PreForkFraction
-			popt.BodySize = rep.BodySize
-			model := cost.Build(g)
-			pr := partition.Search(g, model, popt)
 			rep.Partition = pr
 			rep.EstCost = pr.Cost
 			rep.PreForkSize = pr.PreForkSize
+			if pr.Degraded {
+				// The anytime search stopped early but its best-so-far
+				// partition is still valid; record the event and keep
+				// the loop in play.
+				res.Degradations = append(res.Degradations, resilience.DegradationEvent{
+					Phase: "pass1.search", Unit: unit, Reason: pr.DegradeReason,
+				})
+				lsp.Str("degraded", pr.DegradeReason.String())
+			}
 			lsp.Int("vcs", int64(rep.VCCount)).
 				Int("search_nodes", int64(pr.SearchNodes)).
 				Int("cost_evals", int64(pr.CostEvals)).
@@ -378,7 +456,10 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 			cands = append(cands, &candidateShim{rep: rep, loop: l, graph: g})
 		}
 	}
-	pass1.End()
+	pass1.Int("degraded", int64(len(res.Degradations))).End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Pass 2: final SPT loop selection (§6.1).
 	pass2 := opt.Trace.Start("pass2")
@@ -411,14 +492,44 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 		byFunc[f] = append(byFunc[f], c)
 	}
 	sptID := 0
+	degradedIn := len(res.Degradations)
 	tsp := opt.Trace.Start("transform")
 	for _, f := range funcOrder {
+		if err := ctx.Err(); err != nil {
+			tsp.End()
+			return nil, err
+		}
 		ssa.Collapse(f)
 		for _, c := range byFunc[f] {
 			pr := c.rep.Partition
-			sr, err := transform.TransformSPT(f, c.loop, pr.Move, pr.CopyConds, c.graph.Order, sptID)
-			if err != nil {
-				c.rep.Decision = DecisionShape
+			// A panic mid-transform can leave f half-rewritten; snapshot
+			// first so the loop can be rolled back and demoted to serial
+			// while the rest of the function transforms normally.
+			sn := ir.Snapshot(f)
+			var sr *transform.SPTResult
+			gerr := resilience.Guard(func() error {
+				if err := injectTransform.Fire(ctx); err != nil {
+					return err
+				}
+				var err error
+				sr, err = transform.TransformSPT(f, c.loop, pr.Move, pr.CopyConds, c.graph.Order, sptID)
+				return err
+			})
+			if gerr != nil {
+				sn.Restore()
+				if ctx.Err() != nil {
+					tsp.End()
+					return nil, ctx.Err()
+				}
+				if resilience.ReasonFor(gerr) == resilience.ReasonError {
+					// TransformSPT declined the loop (unsupported header
+					// shape): the historical, non-exceptional outcome.
+					c.rep.Decision = DecisionShape
+					continue
+				}
+				c.rep.Decision = DecisionDegraded
+				unit := fmt.Sprintf("%s/loop%d", f.Name, c.rep.LoopID)
+				res.Degradations = append(res.Degradations, resilience.Event("pass2.transform", unit, gerr))
 				continue
 			}
 			c.rep.Transformed = true
@@ -427,7 +538,7 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 			sptID++
 		}
 	}
-	tsp.Int("spt_loops", int64(sptID)).End()
+	tsp.Int("spt_loops", int64(sptID)).Int("degraded", int64(len(res.Degradations)-degradedIn)).End()
 	csp := opt.Trace.Start("cleanup")
 	for _, f := range funcOrder {
 		ir.PruneUnreachable(f)
@@ -607,7 +718,7 @@ func applySVP(p *ir.Program, prof *profile.Profiler, opt Options, applied map[*i
 	return changed
 }
 
-func runProfile(p *ir.Program, opt Options) (*profile.Profiler, error) {
+func runProfile(ctx context.Context, p *ir.Program, opt Options) (*profile.Profiler, error) {
 	nests := make(map[*ir.Func]*ssa.LoopNest, len(p.Funcs))
 	for _, f := range p.Funcs {
 		dom := ssa.BuildDomTree(f)
@@ -615,6 +726,7 @@ func runProfile(p *ir.Program, opt Options) (*profile.Profiler, error) {
 	}
 	prof := profile.NewProfiler(p, nests)
 	m := interp.New(p, opt.ProfileOut)
+	m.Ctx = ctx
 	m.Hooks = prof.Hooks()
 	if opt.MaxProfileSteps > 0 {
 		m.MaxSteps = opt.MaxProfileSteps

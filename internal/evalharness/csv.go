@@ -51,7 +51,7 @@ func (s *SuiteResult) WriteCSV(w io.Writer, level core.Level) error {
 		return err
 	}
 	br := s.Fig15(level)
-	for d := core.DecisionSelected; d <= core.DecisionShape; d++ {
+	for d := core.DecisionSelected; d <= core.DecisionDegraded; d++ {
 		if n := br.Counts[d]; n > 0 {
 			if err := cw.Write([]string{d.String(), fmt.Sprint(n)}); err != nil {
 				return err
@@ -100,19 +100,19 @@ func (s *SuiteResult) WriteCSV(w io.Writer, level core.Level) error {
 
 	// Per-job metrics: the wall-clock columns vary run to run; everything
 	// else is deterministic.
-	if err := section("metrics", []string{"program", "level", "compile_ms", "simulate_ms", "search_nodes", "cost_evals", "dedup_hits", "recomputes", "sim_ops"}); err != nil {
+	if err := section("metrics", []string{"program", "level", "status", "compile_ms", "simulate_ms", "search_nodes", "cost_evals", "dedup_hits", "recomputes", "sim_ops", "degraded"}); err != nil {
 		return err
 	}
 	ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond)) }
-	metricsRow := func(program string, level core.Level, m Metrics) error {
+	metricsRow := func(program string, level core.Level, st Status, m Metrics) error {
 		return cw.Write([]string{
-			program, level.String(), ms(m.Compile), ms(m.Simulate),
+			program, level.String(), st.String(), ms(m.Compile), ms(m.Simulate),
 			fmt.Sprint(m.SearchNodes), fmt.Sprint(m.CostEvals), fmt.Sprint(m.DedupHits),
-			fmt.Sprint(m.Recomputes), fmt.Sprint(m.SimOps),
+			fmt.Sprint(m.Recomputes), fmt.Sprint(m.SimOps), fmt.Sprint(m.Degraded),
 		})
 	}
 	for _, r := range s.Runs {
-		if err := metricsRow(r.Name, core.LevelBase, r.BaseMetrics); err != nil {
+		if err := metricsRow(r.Name, core.LevelBase, r.BaseStatus, r.BaseMetrics); err != nil {
 			return err
 		}
 		for _, lvl := range s.Levels {
@@ -120,7 +120,7 @@ func (s *SuiteResult) WriteCSV(w io.Writer, level core.Level) error {
 			if lr == nil {
 				continue
 			}
-			if err := metricsRow(r.Name, lvl, lr.Metrics); err != nil {
+			if err := metricsRow(r.Name, lvl, lr.Status, lr.Metrics); err != nil {
 				return err
 			}
 		}

@@ -149,16 +149,16 @@ func (s *SuiteResult) WriteFig19(w io.Writer, level core.Level) {
 // instructions simulated.
 func (s *SuiteResult) WriteMetrics(w io.Writer) {
 	fmt.Fprintln(w, "Per-job metrics (wall clock)")
-	fmt.Fprintln(w, "Program    level          compile   simulate  search-nodes  cost-evals  dedup-hits  recomputes       sim-ops")
-	row := func(name string, level core.Level, m Metrics) {
-		fmt.Fprintf(w, "%-10s %-11s %9s  %9s  %12d  %10d  %10d  %10d  %12d\n",
-			name, level, fmtDur(m.Compile), fmtDur(m.Simulate), m.SearchNodes, m.CostEvals, m.DedupHits, m.Recomputes, m.SimOps)
+	fmt.Fprintln(w, "Program    level       status       compile   simulate  search-nodes  cost-evals  dedup-hits  recomputes       sim-ops  degraded")
+	row := func(name string, level core.Level, st Status, m Metrics) {
+		fmt.Fprintf(w, "%-10s %-11s %-8s  %9s  %9s  %12d  %10d  %10d  %10d  %12d  %8d\n",
+			name, level, st, fmtDur(m.Compile), fmtDur(m.Simulate), m.SearchNodes, m.CostEvals, m.DedupHits, m.Recomputes, m.SimOps, m.Degraded)
 	}
 	for _, r := range s.Runs {
-		row(r.Name, core.LevelBase, r.BaseMetrics)
+		row(r.Name, core.LevelBase, r.BaseStatus, r.BaseMetrics)
 		for _, lvl := range s.Levels {
 			if lr := r.Levels[lvl]; lr != nil {
-				row(r.Name, lvl, lr.Metrics)
+				row(r.Name, lvl, lr.Status, lr.Metrics)
 			}
 		}
 	}

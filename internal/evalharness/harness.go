@@ -9,6 +9,7 @@
 package evalharness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -35,6 +36,14 @@ type LevelRun struct {
 	Speedup  float64 // base cycles / this level's cycles
 	Coverage float64 // fraction of cycles inside SPT loops
 	Metrics  Metrics // per-job cost of this compile+simulate
+
+	// Status is the job's fail-soft disposition. On StatusTimeout or
+	// StatusPanic the job produced no results (Compile and Sim are nil)
+	// and Err holds the failure; on StatusDegraded the results are
+	// complete but Compile.Degradations is non-empty.
+	Status  Status
+	Err     error
+	Retried bool // the job timed out once and was retried
 }
 
 // BenchmarkRun holds everything measured for one benchmark.
@@ -49,6 +58,11 @@ type BenchmarkRun struct {
 	// MaxCoverage is the fraction of base cycles spent in any loop with
 	// body size at most the SPT hardware limit (Figure 16's upper bar).
 	MaxCoverage float64
+
+	// BaseStatus is the base job's fail-soft disposition; on timeout or
+	// panic Base is nil and BaseErr holds the failure.
+	BaseStatus Status
+	BaseErr    error
 
 	Levels map[core.Level]*LevelRun
 }
@@ -83,6 +97,18 @@ type Options struct {
 	// records on a private tracer: the per-job Metrics are always
 	// span-derived.
 	Trace *trace.Tracer
+	// Timeout bounds each compile+simulate job's wall clock. A job that
+	// exceeds it is retried once, then marked StatusTimeout; the rest of
+	// the suite still completes. 0 disables the per-job timeout.
+	Timeout time.Duration
+	// SearchBudget caps the partition search at this many nodes per loop
+	// candidate (the anytime search keeps the best partition found;
+	// affected jobs are marked StatusDegraded). <= 0 leaves the search
+	// unbounded.
+	SearchBudget int
+	// Context cancels the whole suite (a hard abort, unlike the per-job
+	// Timeout). Nil means context.Background().
+	Context context.Context
 }
 
 // DefaultEvalOptions returns the paper's evaluation setup.
@@ -248,29 +274,42 @@ type baseRun struct {
 	sim     *machine.Result
 	out     string
 	metrics Metrics
+	status  Status
+	retried bool
 	err     error
 }
 
 func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, logger *safeLogger) error {
 	br.once.Do(func() {
-		copt := core.DefaultOptions(core.LevelBase)
-		copt.Trace = br.track
-		res, cdur, err := cache.Get(b.Name, b.Source, copt)
+		err := runJob(opt, &br.retried, func(ctx context.Context) error {
+			copt := core.DefaultOptions(core.LevelBase)
+			copt.Trace = br.track
+			copt.Context = ctx
+			res, cdur, err := cache.Get(b.Name, b.Source, copt)
+			if err != nil {
+				return fmt.Errorf("base compile: %w", err)
+			}
+			var out captureWriter
+			start := time.Now()
+			sim, err := machine.Run(res.Prog, opt.Machine, machine.RunOptions{Out: &out, Trace: br.track, Context: ctx})
+			if err != nil {
+				return fmt.Errorf("base simulate: %w", err)
+			}
+			br.res, br.sim, br.out = res, sim, out.String()
+			br.metrics = metricsFromTrack(br.track, cdur, time.Since(start))
+			logger.logf("[%s] base: %.0f cycles, IPC %.2f (compile %s, simulate %s)",
+				b.Name, sim.Cycles, sim.IPC(), fmtDur(cdur), fmtDur(br.metrics.Simulate))
+			return nil
+		})
 		if err != nil {
-			br.err = fmt.Errorf("base compile: %w", err)
-			return
+			if st, soft := softStatus(err); soft {
+				br.status, br.err = st, err
+				br.res, br.sim, br.out = nil, nil, ""
+				logger.logf("[%s] base: %s (%v)", b.Name, st, err)
+				return
+			}
+			br.err = err
 		}
-		var out captureWriter
-		start := time.Now()
-		sim, err := machine.Run(res.Prog, opt.Machine, machine.RunOptions{Out: &out, Trace: br.track})
-		if err != nil {
-			br.err = fmt.Errorf("base simulate: %w", err)
-			return
-		}
-		br.res, br.sim, br.out = res, sim, out.String()
-		br.metrics = metricsFromTrack(br.track, cdur, time.Since(start))
-		logger.logf("[%s] base: %.0f cycles, IPC %.2f (compile %s, simulate %s)",
-			b.Name, sim.Cycles, sim.IPC(), fmtDur(cdur), fmtDur(br.metrics.Simulate))
 	})
 	return br.err
 }
@@ -279,7 +318,14 @@ func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, 
 // maximum-coverage measurement. Only this job touches the base program's
 // IR, so the coverage simulation never races with the level jobs.
 func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, br *baseRun, run *BenchmarkRun, logger *safeLogger) error {
-	if err := br.get(b, opt, cache, logger); err != nil {
+	err := br.get(b, opt, cache, logger)
+	run.BaseStatus = br.status
+	run.BaseErr = br.err
+	if br.status != StatusOK {
+		// Soft failure: the base job is marked; the suite continues.
+		return nil
+	}
+	if err != nil {
 		return err
 	}
 	run.Base = br.sim
@@ -293,6 +339,7 @@ func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, br *baseRu
 	covOpt, sizes := coverageOptions(br.res.Prog, opt.MaxLoopBody)
 	covOpt.Trace = br.track
 	covOpt.TraceName = "coverage"
+	covOpt.Context = opt.Context
 	if len(sizes) > 0 {
 		covSim, err := machine.Run(br.res.Prog, opt.Machine, covOpt)
 		if err != nil {
@@ -308,40 +355,69 @@ func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, br *baseRu
 }
 
 // runLevel compiles and simulates one benchmark at one level, recording
-// the job's span tree on its dedicated track.
+// the job's span tree on its dedicated track. Panics and per-job
+// timeouts mark the returned LevelRun instead of failing the suite.
 func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *CompileCache, br *baseRun, tk *trace.Track, logger *safeLogger) (*LevelRun, error) {
-	if err := br.get(b, opt, cache, logger); err != nil {
+	if err := br.get(b, opt, cache, logger); err != nil && br.status == StatusOK {
 		return nil, err
 	}
-	copt := core.DefaultOptions(level)
-	copt.Trace = tk
-	res, cdur, err := cache.Get(b.Name, b.Source, copt)
+	lr := &LevelRun{Level: level}
+	err := runJob(opt, &lr.Retried, func(ctx context.Context) error {
+		copt := core.DefaultOptions(level)
+		copt.Trace = tk
+		copt.Context = ctx
+		if opt.SearchBudget > 0 {
+			copt.Partition.MaxSearchNodes = opt.SearchBudget
+		}
+		res, cdur, err := cache.Get(b.Name, b.Source, copt)
+		if err != nil {
+			return fmt.Errorf("%s compile: %w", level, err)
+		}
+		simOpt := simulationOptions(res)
+		simOpt.Trace = tk
+		simOpt.Context = ctx
+		var out captureWriter
+		simOpt.Out = &out
+		start := time.Now()
+		sim, err := machine.Run(res.Prog, opt.Machine, simOpt)
+		if err != nil {
+			return fmt.Errorf("%s simulate: %w", level, err)
+		}
+		sdur := time.Since(start)
+		// The transformed program must print exactly what the base
+		// printed. Divergence is a correctness failure, never soft. The
+		// check is skipped only when the base job itself failed soft.
+		if br.status == StatusOK && out.String() != br.out {
+			return fmt.Errorf("%s output diverged from base", level)
+		}
+		lr.Compile, lr.Sim, lr.Output = res, sim, out.String()
+		if br.sim != nil {
+			lr.Speedup = ratio(br.sim.Cycles, sim.Cycles)
+		}
+		var inLoops float64
+		for _, ls := range sim.Loops {
+			inLoops += ls.Elapsed
+		}
+		lr.Coverage = ratio(inLoops, sim.Cycles)
+		lr.Metrics = metricsFromTrack(tk, cdur, sdur)
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("%s compile: %w", level, err)
+		st, soft := softStatus(err)
+		if !soft {
+			return nil, err
+		}
+		lr.Status, lr.Err = st, err
+		lr.Compile, lr.Sim = nil, nil
+		logger.logf("[%s] %s: %s (%v)", b.Name, level, st, err)
+		return lr, nil
 	}
-	simOpt := simulationOptions(res)
-	simOpt.Trace = tk
-	var out captureWriter
-	simOpt.Out = &out
-	start := time.Now()
-	sim, err := machine.Run(res.Prog, opt.Machine, simOpt)
-	if err != nil {
-		return nil, fmt.Errorf("%s simulate: %w", level, err)
+	if lr.Compile.Degraded() {
+		lr.Status = StatusDegraded
 	}
-	sdur := time.Since(start)
-	if out.String() != br.out {
-		return nil, fmt.Errorf("%s output diverged from base", level)
-	}
-	lr := &LevelRun{Level: level, Compile: res, Sim: sim, Output: out.String()}
-	lr.Speedup = ratio(br.sim.Cycles, sim.Cycles)
-	var inLoops float64
-	for _, ls := range sim.Loops {
-		inLoops += ls.Elapsed
-	}
-	lr.Coverage = ratio(inLoops, sim.Cycles)
-	lr.Metrics = metricsFromTrack(tk, cdur, sdur)
-	logger.logf("[%s] %s: %.0f cycles, speedup %.3f, %d SPT loops, coverage %.2f (compile %s, simulate %s, %d search nodes)",
-		b.Name, level, sim.Cycles, lr.Speedup, len(res.SPT), lr.Coverage, fmtDur(cdur), fmtDur(sdur), lr.Metrics.SearchNodes)
+	logger.logf("[%s] %s: %.0f cycles, speedup %.3f, %d SPT loops, coverage %.2f, status %s (compile %s, simulate %s, %d search nodes)",
+		b.Name, level, lr.Sim.Cycles, lr.Speedup, len(lr.Compile.SPT), lr.Coverage, lr.Status,
+		fmtDur(lr.Metrics.Compile), fmtDur(lr.Metrics.Simulate), lr.Metrics.SearchNodes)
 	return lr, nil
 }
 
@@ -497,7 +573,7 @@ func (s *SuiteResult) Fig15(level core.Level) Fig15Breakdown {
 	out := Fig15Breakdown{Counts: make(map[core.Decision]int)}
 	for _, r := range s.Runs {
 		lr := r.Levels[level]
-		if lr == nil {
+		if lr == nil || lr.Compile == nil {
 			continue
 		}
 		for _, rep := range lr.Compile.Reports {
@@ -522,7 +598,7 @@ func (s *SuiteResult) Fig16(level core.Level) []Fig16Row {
 	var rows []Fig16Row
 	for _, r := range s.Runs {
 		lr := r.Levels[level]
-		if lr == nil {
+		if lr == nil || lr.Compile == nil {
 			continue
 		}
 		rows = append(rows, Fig16Row{
@@ -549,7 +625,7 @@ func (s *SuiteResult) Fig17(level core.Level) []Fig17Row {
 	var rows []Fig17Row
 	for _, r := range s.Runs {
 		lr := r.Levels[level]
-		if lr == nil {
+		if lr == nil || lr.Compile == nil || lr.Sim == nil {
 			continue
 		}
 		row := Fig17Row{Program: r.Name}
@@ -592,7 +668,7 @@ func (s *SuiteResult) Fig18(level core.Level) []Fig18Row {
 	var rows []Fig18Row
 	for _, r := range s.Runs {
 		lr := r.Levels[level]
-		if lr == nil {
+		if lr == nil || lr.Sim == nil {
 			continue
 		}
 		var specOps, reexecOps int64
@@ -631,7 +707,7 @@ func (s *SuiteResult) Fig19(level core.Level) []Fig19Point {
 	var pts []Fig19Point
 	for _, r := range s.Runs {
 		lr := r.Levels[level]
-		if lr == nil {
+		if lr == nil || lr.Compile == nil || lr.Sim == nil {
 			continue
 		}
 		for _, sl := range lr.Compile.SPT {

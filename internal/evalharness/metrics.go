@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sptc/internal/core"
+	"sptc/internal/resilience"
 	"sptc/internal/trace"
 )
 
@@ -40,6 +41,10 @@ type Metrics struct {
 	Recomputes int64
 	// SimOps is the number of dynamic instructions simulated.
 	SimOps int64
+	// Degraded counts the compile's fail-soft events (loops demoted to
+	// serial, anytime searches stopped early), read back from the
+	// "degraded" counters on the pass1 and transform spans.
+	Degraded int64
 }
 
 // metricsFromTrack assembles a job's Metrics from its completed trace
@@ -54,6 +59,7 @@ func metricsFromTrack(tk *trace.Track, compile, simulate time.Duration) Metrics 
 		CostEvals:   tk.SumInt("loop", "cost_evals"),
 		DedupHits:   tk.SumInt("loop", "dedup_hits"),
 		Recomputes:  tk.SumInt("loop", "recomputes"),
+		Degraded:    tk.SumInt("pass1", "degraded") + tk.SumInt("transform", "degraded"),
 	}
 	if v, ok := tk.Find("simulate").Int64("sim_instructions"); ok {
 		m.SimOps = v
@@ -93,18 +99,38 @@ func NewCompileCache() *CompileCache {
 // Get returns the compilation of src at opt.Level, compiling at most once
 // per (name, level) key. The returned duration is the wall time of the
 // one real compilation, whether or not this caller performed it.
+//
+// A compile that panics or is stopped by a deadline is reported as an
+// error (never a propagated panic: every waiter on the entry must see a
+// well-formed result) and its entry is evicted, so a retried job
+// recompiles instead of replaying the failure from the cache.
 func (c *CompileCache) Get(name, src string, opt core.Options) (*core.Result, time.Duration, error) {
+	key := CompileKey{Name: name, Level: opt.Level}
 	c.mu.Lock()
-	e := c.m[CompileKey{Name: name, Level: opt.Level}]
+	e := c.m[key]
 	if e == nil {
 		e = &cacheEntry{}
-		c.m[CompileKey{Name: name, Level: opt.Level}] = e
+		c.m[key] = e
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
 		start := time.Now()
-		e.res, e.err = core.CompileSource(name, src, opt)
+		e.err = resilience.Guard(func() error {
+			var err error
+			e.res, err = core.CompileSource(name, src, opt)
+			return err
+		})
 		e.dur = time.Since(start)
 	})
+	if e.err != nil {
+		switch resilience.ReasonFor(e.err) {
+		case resilience.ReasonPanic, resilience.ReasonTimeout, resilience.ReasonCanceled:
+			c.mu.Lock()
+			if c.m[key] == e {
+				delete(c.m, key)
+			}
+			c.mu.Unlock()
+		}
+	}
 	return e.res, e.dur, e.err
 }

@@ -1,0 +1,78 @@
+package evalharness
+
+import (
+	"context"
+
+	"sptc/internal/resilience"
+)
+
+// Status is the fail-soft disposition of one compile+simulate job.
+type Status int
+
+// Job statuses.
+const (
+	// StatusOK: the job completed with no degradation events.
+	StatusOK Status = iota
+	// StatusDegraded: the job completed, but the compiler survived at
+	// least one fail-soft event (a loop demoted after a panic, or an
+	// anytime partition search stopped by its budget).
+	StatusDegraded
+	// StatusTimeout: the job exceeded Options.Timeout twice (every
+	// timed-out job is retried once before it is marked).
+	StatusTimeout
+	// StatusPanic: the job panicked; the stack is in LevelRun.Err.
+	StatusPanic
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusDegraded:
+		return "degraded"
+	case StatusTimeout:
+		return "timeout"
+	case StatusPanic:
+		return "panic"
+	}
+	return "?"
+}
+
+// softStatus classifies a job error the suite survives: panics and
+// per-job timeouts degrade only that job. Anything else (front-end
+// errors, output divergence, suite cancellation) stays fatal.
+func softStatus(err error) (Status, bool) {
+	switch resilience.ReasonFor(err) {
+	case resilience.ReasonPanic:
+		return StatusPanic, true
+	case resilience.ReasonTimeout:
+		return StatusTimeout, true
+	}
+	return StatusOK, false
+}
+
+// runJob runs one job attempt under the per-job timeout with panic
+// capture, retrying once if the attempt timed out. retried reports
+// whether the bounded retry ran.
+func runJob(opt Options, retried *bool, fn func(ctx context.Context) error) error {
+	attempt := func() error {
+		ctx := opt.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		if opt.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+			defer cancel()
+		}
+		return resilience.Guard(func() error { return fn(ctx) })
+	}
+	err := attempt()
+	if err != nil && resilience.ReasonFor(err) == resilience.ReasonTimeout {
+		if retried != nil {
+			*retried = true
+		}
+		err = attempt()
+	}
+	return err
+}

@@ -7,6 +7,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -64,9 +65,16 @@ type Machine struct {
 	Hooks    Hooks
 	Steps    int64 // statements executed
 	MaxSteps int64
+	// Ctx, when set, cancels execution cooperatively: it is polled
+	// every ctxPollSteps statements.
+	Ctx context.Context
 
 	nextFrameID int64
 }
+
+// ctxPollSteps is how often (in executed statements) the interpreter
+// polls Ctx for cancellation.
+const ctxPollSteps = 4096
 
 // ErrStepLimit is returned when execution exceeds MaxSteps.
 var ErrStepLimit = errors.New("interp: step limit exceeded")
@@ -144,6 +152,11 @@ func (m *Machine) Call(f *ir.Func, args []Value, caller *Frame) (Value, error) {
 			m.Steps++
 			if m.Steps > m.MaxSteps {
 				return Value{}, ErrStepLimit
+			}
+			if m.Ctx != nil && m.Steps%ctxPollSteps == 0 {
+				if err := m.Ctx.Err(); err != nil {
+					return Value{}, err
+				}
 			}
 			if m.Hooks.OnStmt != nil {
 				m.Hooks.OnStmt(fr, s)

@@ -143,6 +143,20 @@ type builder struct {
 	// loop context for break/continue
 	breakTo    []*Block
 	continueTo []*Block
+
+	// err holds the first lowering failure. Expression building keeps
+	// unwinding with placeholder ops instead of panicking; buildFunc
+	// reports the recorded error once the walk finishes.
+	err error
+}
+
+// fail records the first lowering failure and returns a zero placeholder
+// so the expression walk can continue without a valid result.
+func (b *builder) fail(format string, args ...any) *Op {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+	return b.zero(ValInt)
 }
 
 func (b *builder) buildFunc(f *Func, fd *ast.FuncDecl) error {
@@ -157,6 +171,9 @@ func (b *builder) buildFunc(f *Func, fd *ast.FuncDecl) error {
 	}
 
 	b.buildBlock(fd.Body)
+	if b.err != nil {
+		return fmt.Errorf("%s: %w", fd.Name, b.err)
+	}
 
 	// Implicit return at end of function.
 	if b.cur != nil && b.cur.Terminator() == nil {
@@ -556,7 +573,7 @@ func (b *builder) buildExpr(e ast.Expr) *Op {
 		}
 		return o
 	}
-	panic(fmt.Sprintf("ir: unhandled expression %T", e))
+	return b.fail("ir: unhandled expression %T", e)
 }
 
 // buildBinary lowers a binary expression, inserting conversions so both
@@ -610,7 +627,7 @@ func (b *builder) buildBinary(e *ast.BinaryExpr) *Op {
 	case token.LOR:
 		bo, operandType, resType = BinLOr, ValInt, ValInt
 	default:
-		panic("ir: unhandled binary op " + e.Op.String())
+		return b.fail("ir: unhandled binary op %s", e.Op)
 	}
 
 	o := b.f.NewOp(OpBin, resType)

@@ -1,0 +1,66 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"sptc/internal/ast"
+	"sptc/internal/sem"
+	"sptc/internal/token"
+)
+
+// badExpr satisfies ast.Expr via embedding but its dynamic type matches
+// no case in buildExpr, exercising the unhandled-expression path that the
+// semantic checker normally makes unreachable.
+type badExpr struct{ *ast.IntLit }
+
+func buildOneFunc(body ...ast.Stmt) error {
+	fd := &ast.FuncDecl{
+		Name:   "main",
+		Result: ast.Type{Kind: ast.TypeVoid},
+		Body:   &ast.BlockStmt{Stmts: body},
+	}
+	info := &sem.Info{Program: &ast.Program{Funcs: []*ast.FuncDecl{fd}}}
+	_, err := Build(info)
+	return err
+}
+
+func TestBuildUnhandledExpressionIsError(t *testing.T) {
+	err := buildOneFunc(&ast.ExprStmt{X: &badExpr{&ast.IntLit{Value: 1}}})
+	if err == nil {
+		t.Fatal("Build accepted an unhandled expression kind")
+	}
+	if !strings.Contains(err.Error(), "unhandled expression") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "main") {
+		t.Fatalf("err does not name the function: %v", err)
+	}
+}
+
+func TestBuildUnhandledBinaryOpIsError(t *testing.T) {
+	bad := &ast.BinaryExpr{
+		Op: token.COMMA, // no SPL binary operator lowers from COMMA
+		X:  &ast.IntLit{Value: 1},
+		Y:  &ast.IntLit{Value: 2},
+	}
+	err := buildOneFunc(&ast.ExprStmt{X: bad})
+	if err == nil {
+		t.Fatal("Build accepted an unhandled binary operator")
+	}
+	if !strings.Contains(err.Error(), "unhandled binary op") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestBuildErrorReportsFirst: later failures don't overwrite the first
+// recorded error, and the walk still terminates.
+func TestBuildErrorReportsFirst(t *testing.T) {
+	err := buildOneFunc(
+		&ast.ExprStmt{X: &badExpr{&ast.IntLit{Value: 1}}},
+		&ast.ExprStmt{X: &ast.BinaryExpr{Op: token.COMMA, X: &ast.IntLit{}, Y: &ast.IntLit{}}},
+	)
+	if err == nil || !strings.Contains(err.Error(), "unhandled expression") {
+		t.Fatalf("err = %v", err)
+	}
+}

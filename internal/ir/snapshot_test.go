@@ -1,0 +1,150 @@
+package ir_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sptc/internal/ir"
+)
+
+// fingerprint serializes every field of f that Snapshot/Restore covers,
+// so equality of fingerprints means a rollback was lossless.
+func fingerprint(f *ir.Func) string {
+	var b strings.Builder
+	var opStr func(o *ir.Op) string
+	opStr = func(o *ir.Op) string {
+		if o == nil {
+			return "_"
+		}
+		parts := make([]string, 0, len(o.Args))
+		for _, a := range o.Args {
+			parts = append(parts, opStr(a))
+		}
+		return fmt.Sprintf("o%d(k%d t%d %d %g %q v=%s g=%v b%d u%d fn=%v [%s])",
+			o.ID, o.Kind, o.Type, o.ConstI, o.ConstF, o.Str, o.Var, o.G != nil, o.Bin, o.Un, o.Func != nil,
+			strings.Join(parts, " "))
+	}
+	fmt.Fprintf(&b, "func %s result=%d entry=b%d nv=%d ns=%d no=%d\n",
+		f.Name, f.Result, f.Entry.ID, f.NumVars(), f.NumStmts(), f.NumOps())
+	for _, v := range f.Params {
+		fmt.Fprintf(&b, "param %s ver=%d\n", v.Name, v.Ver)
+	}
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d freq=%g prob=%v succs=[", blk.ID, blk.Freq, blk.SuccProb)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, "b%d ", s.ID)
+		}
+		b.WriteString("] preds=[")
+		for _, p := range blk.Preds {
+			fmt.Fprintf(&b, "b%d ", p.ID)
+		}
+		b.WriteString("]\n")
+		for _, s := range blk.Stmts {
+			fmt.Fprintf(&b, "  s%d k%d dst=%s rhs=%s g=%v loop=%d phi=%v idx=[", s.ID, s.Kind, s.Dst, opStr(s.RHS), s.G != nil, s.LoopID, s.PhiArgs)
+			for _, ix := range s.Index {
+				b.WriteString(opStr(ix) + " ")
+			}
+			if s.Target != nil {
+				fmt.Fprintf(&b, "] tgt=b%d\n", s.Target.ID)
+			} else {
+				b.WriteString("] tgt=_\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+func TestSnapshotRestoreIsLossless(t *testing.T) {
+	prog := build(t, `
+var g int = 7;
+var a float[16];
+func f(x int) int {
+	if (x > 0) { return x * 2; }
+	return -x;
+}
+func main() {
+	var i int;
+	for (i = 0; i < 16; i++) {
+		a[i] = float(f(i)) * 0.5;
+		g += i;
+	}
+	print(g, a[3]);
+}
+`)
+	f := prog.Main
+	want := fingerprint(f)
+	sn := ir.Snapshot(f)
+
+	// Mutate everything a failed transform could have touched, keeping
+	// pointers to the original objects so we can verify they are the
+	// ones restored (not clones).
+	origEntry := f.Entry
+	origBlocks := append([]*ir.Block(nil), f.Blocks...)
+
+	nb := f.NewBlock() // appends to f.Blocks, bumps the block counter
+	f.Entry = nb
+	st := f.NewStmt(ir.StmtGoto)
+	st.Target = origBlocks[0]
+	nb.Stmts = append(nb.Stmts, st)
+	nb.Succs = append(nb.Succs, origBlocks[0])
+	origBlocks[0].Preds = append(origBlocks[0].Preds, nb)
+
+	victim := origBlocks[len(origBlocks)-1]
+	victim.Freq *= 3
+	victim.SuccProb = append(victim.SuccProb, 0.25)
+	if len(victim.Stmts) > 0 {
+		s0 := victim.Stmts[0]
+		s0.Kind = ir.StmtKill
+		s0.LoopID = 42
+		s0.Dst = f.NewVar("clobber", ir.ValInt)
+		if s0.RHS != nil {
+			s0.RHS.Kind = ir.OpConstStr
+			s0.RHS.Str = "clobbered"
+			s0.RHS.Args = nil
+		}
+		s0.RHS = nil
+		victim.Stmts = victim.Stmts[:1]
+	}
+	f.Params = append(f.Params, f.NewVar("extra", ir.ValFloat))
+	f.Blocks = f.Blocks[:1]
+
+	if fingerprint(f) == want {
+		t.Fatal("mutations did not change the fingerprint; test is vacuous")
+	}
+
+	sn.Restore()
+
+	if got := fingerprint(f); got != want {
+		t.Fatalf("restore not lossless:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	if f.Entry != origEntry {
+		t.Fatal("entry restored to a different object")
+	}
+	for i, b := range f.Blocks {
+		if b != origBlocks[i] {
+			t.Fatalf("block %d restored to a different object", i)
+		}
+	}
+	if err := ir.VerifyProgram(prog); err != nil {
+		t.Fatalf("verify after restore: %v", err)
+	}
+}
+
+func TestSnapshotRestoreIdempotent(t *testing.T) {
+	prog := build(t, `
+var g int;
+func main() {
+	g = 1;
+	print(g);
+}
+`)
+	f := prog.Main
+	sn := ir.Snapshot(f)
+	want := fingerprint(f)
+	sn.Restore()
+	sn.Restore() // restoring an unmutated function must be a no-op
+	if got := fingerprint(f); got != want {
+		t.Fatalf("idempotent restore changed the function:\n%s\nvs\n%s", want, got)
+	}
+}

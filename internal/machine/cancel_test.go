@@ -1,0 +1,82 @@
+package machine_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"sptc/internal/core"
+	"sptc/internal/interp"
+	"sptc/internal/machine"
+	"sptc/internal/resilience"
+)
+
+const cancelSrc = `
+var out int[128];
+func main() {
+	var i int;
+	var j int;
+	for (j = 0; j < 200; j++) {
+		for (i = 0; i < 100; i++) {
+			var v int = i * 3 + (i >> 1) % 7 + i % 11 + (i & 15);
+			out[i & 127] = out[i & 127] + v % 13;
+		}
+	}
+	print(out[5]);
+}
+`
+
+func TestSimulatorContextCanceled(t *testing.T) {
+	res, ro := compileSPT(t, cancelSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ro.Context = ctx
+	_, err := machine.Run(res.Prog, machine.DefaultConfig(), ro)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestSimulatorInjectRun(t *testing.T) {
+	defer resilience.DisarmAll()
+	res, ro := compileSPT(t, cancelSrc)
+	resilience.Arm("machine.run", resilience.Fault{Kind: resilience.FaultError})
+	_, err := machine.Run(res.Prog, machine.DefaultConfig(), ro)
+	if !errors.Is(err, resilience.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	resilience.DisarmAll()
+	if _, err := machine.Run(res.Prog, machine.DefaultConfig(), ro); err != nil {
+		t.Fatalf("disarmed run: %v", err)
+	}
+}
+
+func TestInterpreterContextCanceled(t *testing.T) {
+	opt := core.DefaultOptions(core.LevelBase)
+	res, err := core.CompileSource("cancel.spl", cancelSrc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := interp.New(res.Prog, io.Discard)
+	m.Ctx = ctx
+	if _, err := m.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestSimulatorRunsWithoutContext(t *testing.T) {
+	// The zero RunOptions (no Context) must behave exactly as before.
+	res, ro := compileSPT(t, cancelSrc)
+	var out strings.Builder
+	ro.Out = &out
+	if _, err := machine.Run(res.Prog, machine.DefaultConfig(), ro); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "") || out.Len() == 0 {
+		t.Fatal("no output produced")
+	}
+}

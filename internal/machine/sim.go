@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -8,8 +9,13 @@ import (
 
 	"sptc/internal/interp"
 	"sptc/internal/ir"
+	"sptc/internal/resilience"
 	"sptc/internal/trace"
 )
+
+// injectRun lets tests and CLIs force a fault at simulator entry
+// (see internal/resilience).
+var injectRun = resilience.Register("machine.run")
 
 // Value aliases the interpreter's runtime value.
 type Value = interp.Value
@@ -93,7 +99,14 @@ type RunOptions struct {
 	// evaluation harness uses it to keep auxiliary coverage runs out of
 	// the per-job simulate metrics.
 	TraceName string
+	// Context, when set, cancels the simulation cooperatively: it is
+	// polled every ctxPollSteps simulated statements.
+	Context context.Context
 }
+
+// ctxPollSteps is how often (in simulated statements) the simulator
+// polls Context for cancellation.
+const ctxPollSteps = 4096
 
 // ErrStepLimit mirrors the interpreter's limit error.
 var ErrStepLimit = errors.New("machine: step limit exceeded")
@@ -165,6 +178,7 @@ type sim struct {
 	cfg  Config
 	prog *ir.Program
 	mem  []Value
+	ctx  context.Context
 	hier *hierarchy
 	bpM  *branchPredictor // main core
 	bpS  *branchPredictor // speculative core
@@ -284,9 +298,20 @@ func Run(prog *ir.Program, cfg Config, opt RunOptions) (*Result, error) {
 	}
 	sp := opt.Trace.Start(name)
 	defer sp.End()
+	if err := injectRun.Fire(opt.Context); err != nil {
+		sp.Str("error", err.Error())
+		return nil, err
+	}
+	if opt.Context != nil {
+		if err := opt.Context.Err(); err != nil {
+			sp.Str("error", err.Error())
+			return nil, err
+		}
+	}
 	s := &sim{
 		cfg:        cfg,
 		prog:       prog,
+		ctx:        opt.Context,
 		mem:        make([]Value, prog.Layout()),
 		hier:       newHierarchy(cfg),
 		bpM:        newPredictor(cfg.PredictorEntries),
@@ -417,6 +442,11 @@ func (s *sim) exec(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool) (e
 			s.steps++
 			if s.steps > s.cfg.MaxSteps {
 				return execOutcome{}, ErrStepLimit
+			}
+			if s.ctx != nil && s.steps%ctxPollSteps == 0 {
+				if err := s.ctx.Err(); err != nil {
+					return execOutcome{}, err
+				}
 			}
 			c0, o0 := s.cycles, s.ops
 

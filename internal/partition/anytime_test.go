@@ -1,0 +1,216 @@
+package partition_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"sptc/internal/cost"
+	"sptc/internal/ir"
+	"sptc/internal/partition"
+	"sptc/internal/resilience"
+)
+
+// wideVCSource builds a loop with n independent accumulator recurrences:
+// n violation candidates with no interdependence, so the unpruned search
+// space is all 2^n subsets.
+func wideVCSource(n int) string {
+	var b strings.Builder
+	b.WriteString("var a int[64];\n")
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&b, "var s%d int;\n", k)
+	}
+	b.WriteString("func main() {\n\tvar i int;\n\tfor (i = 0; i < 200; i++) {\n")
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&b, "\t\ts%d = (s%d + a[(i + %d) & 63] + %d) & 1048575;\n", k, k, k, k+1)
+	}
+	b.WriteString("\t\ta[(i * 7) & 63] = i;\n\t}\n\tprint(")
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "s%d", k)
+	}
+	b.WriteString(");\n}\n")
+	return b.String()
+}
+
+// validateAnytime checks the invariants every Search result — degraded
+// or not — must satisfy: the partition is self-consistent under the
+// plain cost model and never worse than the serial fallback (the empty
+// pre-fork partition, which is what a loop demoted to serial gets).
+func validateAnytime(t *testing.T, r *partition.Result, m *cost.Model) {
+	t.Helper()
+	if r.Cost > r.EmptyCost+1e-9 {
+		t.Fatalf("anytime cost %.9f exceeds serial fallback %.9f", r.Cost, r.EmptyCost)
+	}
+	if c := m.Evaluate(r.Move); math.Abs(c-r.Cost) > 1e-9 {
+		t.Fatalf("returned move set evaluates to %.9f, search claimed %.9f", c, r.Cost)
+	}
+	sc := ir.NewSizeCache()
+	sz := 0
+	for s := range r.Move {
+		sz += sc.StmtOps(s)
+	}
+	for s := range r.CopyConds {
+		if !r.Move[s] {
+			sz += sc.StmtOps(s)
+		}
+	}
+	if sz != r.PreForkSize {
+		t.Fatalf("returned sets size %d, search claimed %d", sz, r.PreForkSize)
+	}
+}
+
+func TestAnytimeBudgetOne(t *testing.T) {
+	for _, src := range []string{fig2ish, wideVCSource(8)} {
+		g, m := loopGraph(t, src, 0)
+		opt := partition.DefaultOptions()
+		opt.MaxSearchNodes = 1
+		r := partition.Search(g, m, opt)
+		if r.Skipped {
+			t.Fatal("skipped")
+		}
+		if len(g.VCs) > 0 && !r.Degraded {
+			t.Fatalf("budget 1 on %d VCs not degraded", len(g.VCs))
+		}
+		if r.Degraded && r.DegradeReason != resilience.ReasonBudget {
+			t.Fatalf("reason = %v", r.DegradeReason)
+		}
+		if r.SearchNodes > 1 {
+			t.Fatalf("explored %d nodes on a 1-node budget", r.SearchNodes)
+		}
+		validateAnytime(t, r, m)
+	}
+}
+
+// TestAnytimeMonotone: the search explores nodes in a deterministic
+// order, so a larger budget sees a superset of the smaller budget's
+// candidates and the best cost can only improve.
+func TestAnytimeMonotone(t *testing.T) {
+	g, m := loopGraph(t, wideVCSource(8), 0)
+	opt := partition.DefaultOptions()
+	opt.PruneBound = false // full enumeration: budgets bite at predictable points
+
+	prev := math.Inf(1)
+	var fullCost float64
+	for _, budget := range []int{1, 2, 4, 16, 64, 256, 1 << 20} {
+		o := opt
+		o.MaxSearchNodes = budget
+		r := partition.Search(g, m, o)
+		validateAnytime(t, r, m)
+		if r.Cost > prev+1e-12 {
+			t.Fatalf("budget %d cost %.9f worse than smaller budget's %.9f", budget, r.Cost, prev)
+		}
+		prev = r.Cost
+		if budget == 1<<20 {
+			if r.Degraded {
+				t.Fatalf("full budget degraded after %d nodes", r.SearchNodes)
+			}
+			fullCost = r.Cost
+		}
+	}
+	if prev != fullCost {
+		t.Fatalf("monotone chain did not end at the optimum")
+	}
+}
+
+func TestAnytimeDeterministic(t *testing.T) {
+	g, m := loopGraph(t, wideVCSource(8), 0)
+	for _, budget := range []int{1, 7, 33, 100} {
+		opt := partition.DefaultOptions()
+		opt.MaxSearchNodes = budget
+		a := partition.Search(g, m, opt)
+		b := partition.Search(g, m, opt)
+		if a.Cost != b.Cost || a.PreForkSize != b.PreForkSize ||
+			a.SearchNodes != b.SearchNodes || a.Degraded != b.Degraded ||
+			len(a.PreForkVCs) != len(b.PreForkVCs) {
+			t.Fatalf("budget %d nondeterministic: %+v vs %+v", budget, a, b)
+		}
+		for i := range a.PreForkVCs {
+			if a.PreForkVCs[i] != b.PreForkVCs[i] {
+				t.Fatalf("budget %d picked different VCs", budget)
+			}
+		}
+	}
+}
+
+// TestAnytimeSharedBudget: a budget shared across several searches is
+// charged cumulatively, and a search entered with an exhausted budget
+// degrades immediately to the serial fallback.
+func TestAnytimeSharedBudget(t *testing.T) {
+	g, m := loopGraph(t, wideVCSource(6), 0)
+	opt := partition.DefaultOptions()
+	opt.Budget = resilience.NewBudget(context.Background(), 10)
+
+	first := partition.Search(g, m, opt)
+	validateAnytime(t, first, m)
+	if !first.Degraded {
+		t.Fatalf("10-unit shared budget not exhausted by a 2^6 space (%d nodes)", first.SearchNodes)
+	}
+
+	second := partition.Search(g, m, opt)
+	if !second.Degraded || second.DegradeReason != resilience.ReasonBudget {
+		t.Fatalf("exhausted budget: degraded=%v reason=%v", second.Degraded, second.DegradeReason)
+	}
+	if second.SearchNodes != 0 {
+		t.Fatalf("exhausted budget explored %d nodes", second.SearchNodes)
+	}
+	if second.Cost != second.EmptyCost || len(second.PreForkVCs) != 0 {
+		t.Fatalf("exhausted budget returned a non-serial partition: %v", second)
+	}
+	validateAnytime(t, second, m)
+}
+
+func TestAnytimeContextCanceled(t *testing.T) {
+	g, m := loopGraph(t, wideVCSource(10), 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := partition.DefaultOptions()
+	opt.PruneBound = false // guarantee enough nodes to hit a deadline poll
+	opt.MaxSearchNodes = 0 // unbounded: only the context stops it
+	opt.Context = ctx
+	r := partition.Search(g, m, opt)
+	if !r.Degraded || r.DegradeReason != resilience.ReasonCanceled {
+		t.Fatalf("degraded=%v reason=%v after %d nodes", r.Degraded, r.DegradeReason, r.SearchNodes)
+	}
+	validateAnytime(t, r, m)
+}
+
+func TestAnytimeInjectPoints(t *testing.T) {
+	g, m := loopGraph(t, fig2ish, 0)
+	opt := partition.DefaultOptions()
+
+	t.Run("error", func(t *testing.T) {
+		defer resilience.DisarmAll()
+		resilience.Arm("partition.search", resilience.Fault{Kind: resilience.FaultError})
+		r := partition.Search(g, m, opt)
+		if !r.Degraded || r.DegradeReason != resilience.ReasonError {
+			t.Fatalf("degraded=%v reason=%v", r.Degraded, r.DegradeReason)
+		}
+		if r.Cost != r.EmptyCost {
+			t.Fatalf("injected error did not fall back to serial: %v", r)
+		}
+		validateAnytime(t, r, m)
+	})
+
+	t.Run("exhaust", func(t *testing.T) {
+		defer resilience.DisarmAll()
+		resilience.Arm("partition.search", resilience.Fault{Kind: resilience.FaultExhaust})
+		r := partition.Search(g, m, opt)
+		if !r.Degraded || r.DegradeReason != resilience.ReasonBudget {
+			t.Fatalf("degraded=%v reason=%v", r.Degraded, r.DegradeReason)
+		}
+		validateAnytime(t, r, m)
+	})
+
+	t.Run("disarmed", func(t *testing.T) {
+		r := partition.Search(g, m, opt)
+		if r.Degraded {
+			t.Fatalf("disarmed search degraded: %v", r)
+		}
+		validateAnytime(t, r, m)
+	})
+}

@@ -229,6 +229,38 @@ func checkSearchAgainstReference(tb testing.TB, g *depgraph.Graph, m *cost.Model
 	}
 }
 
+// checkAnytimeOracle checks the anytime contract on one loop: under any
+// node budget the search must return a valid, self-consistent partition
+// that never costs more than the serial fallback, and an un-degraded
+// result must equal the unbudgeted optimum.
+func checkAnytimeOracle(tb testing.TB, g *depgraph.Graph, m *cost.Model) {
+	tb.Helper()
+	full := partition.Search(g, m, partition.DefaultOptions())
+	if full.Skipped {
+		return
+	}
+	for _, budget := range []int{1, 4, 64} {
+		opt := partition.DefaultOptions()
+		opt.MaxSearchNodes = budget
+		r := partition.Search(g, m, opt)
+		if r.Cost > r.EmptyCost+1e-9 {
+			tb.Fatalf("budget %d: anytime cost %.9f exceeds serial fallback %.9f", budget, r.Cost, r.EmptyCost)
+		}
+		if r.Cost < full.Cost-1e-9 {
+			tb.Fatalf("budget %d: anytime cost %.9f beats the unbudgeted optimum %.9f", budget, r.Cost, full.Cost)
+		}
+		if c := m.Evaluate(r.Move); math.Abs(c-r.Cost) > 1e-9 {
+			tb.Fatalf("budget %d: move set evaluates to %.9f, search claimed %.9f", budget, c, r.Cost)
+		}
+		if r.SearchNodes > budget {
+			tb.Fatalf("budget %d: search explored %d nodes", budget, r.SearchNodes)
+		}
+		if !r.Degraded && math.Abs(r.Cost-full.Cost) > 1e-9 {
+			tb.Fatalf("budget %d: un-degraded result cost %.9f differs from optimum %.9f", budget, r.Cost, full.Cost)
+		}
+	}
+}
+
 // mainLoopGraphs compiles src, profiles it, and returns the dependence
 // graph and cost model of every loop in main.
 func mainLoopGraphs(tb testing.TB, src string) ([]*depgraph.Graph, []*cost.Model) {
@@ -299,17 +331,54 @@ func TestSearchMatchesReference(t *testing.T) {
 	}
 }
 
-// FuzzPartitionSearch feeds generated programs to the oracle: for every
+// fuzzSource maps a fuzzed seed to a program: non-negative seeds sample
+// the transformation space (splgen.Generate), negative seeds produce
+// search-adversarial programs (splgen.Adversarial) — deep VC chains and
+// wide dependence fans that stress the branch-and-bound and the anytime
+// budget paths.
+func fuzzSource(seed int64) string {
+	if seed < 0 {
+		return splgen.Adversarial(-(seed + 1))
+	}
+	return splgen.Generate(seed)
+}
+
+// FuzzPartitionSearch feeds generated programs to the oracles: for every
 // loop of every generated program, the bitset branch-and-bound must
-// agree with the exhaustive map-based reference.
+// agree with the exhaustive map-based reference, and the budgeted search
+// must honor the anytime contract.
 func FuzzPartitionSearch(f *testing.F) {
 	for seed := int64(1); seed <= 8; seed++ {
 		f.Add(seed)
 	}
+	for seed := int64(-1); seed >= -4; seed-- {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, seed int64) {
-		gs, ms := mainLoopGraphs(t, splgen.Generate(seed))
+		gs, ms := mainLoopGraphs(t, fuzzSource(seed))
 		for i := range gs {
 			checkSearchAgainstReference(t, gs[i], ms[i])
+			checkAnytimeOracle(t, gs[i], ms[i])
 		}
 	})
+}
+
+// TestAdversarialPrograms pins the adversarial generator into the
+// regular test suite: both oracles over a block of pathological
+// programs, independent of whether the fuzzer ever runs.
+func TestAdversarialPrograms(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		gs, ms := mainLoopGraphs(t, splgen.Adversarial(seed))
+		if len(gs) == 0 {
+			t.Fatalf("seed %d: adversarial program produced no loop graphs", seed)
+		}
+		for i := range gs {
+			checkSearchAgainstReference(t, gs[i], ms[i])
+			checkAnytimeOracle(t, gs[i], ms[i])
+		}
+	}
 }

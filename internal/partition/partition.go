@@ -6,6 +6,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,7 +15,13 @@ import (
 	"sptc/internal/cost"
 	"sptc/internal/depgraph"
 	"sptc/internal/ir"
+	"sptc/internal/resilience"
 )
+
+// injectSearch fires once per Search call, before any node is explored;
+// tests and CLIs arm it to force panics or budget exhaustion inside the
+// branch-and-bound.
+var injectSearch = resilience.Register("partition.search")
 
 // Options configures the search.
 type Options struct {
@@ -29,12 +36,24 @@ type Options struct {
 	// PruneBound enables heuristic 2: stop descending when the optimistic
 	// lower bound already exceeds the best cost found.
 	PruneBound bool
-	// MaxSearchNodes caps the search as a safety valve.
+	// MaxSearchNodes is the search-node budget. The search is anytime:
+	// when the budget runs out it stops and returns the best partition
+	// found so far with Degraded set, instead of running unbounded
+	// (paper §5's pruning becomes a soft bound). <= 0 means unbounded.
 	MaxSearchNodes int
 	// BodySize overrides the loop body size used for thresholds (0 =
 	// static op count). The pipeline passes the effective, call-expanded
 	// size here.
 	BodySize int
+	// Context carries the wall-clock deadline and cancellation for the
+	// search (nil = context.Background()). Deadline exhaustion, like
+	// node-budget exhaustion, yields the best partition so far.
+	Context context.Context
+	// Budget, when non-nil, replaces the internally built budget: every
+	// search node charges one work unit, so one budget can be shared
+	// across the searches of a whole compilation phase. MaxSearchNodes
+	// and Context are ignored when Budget is set.
+	Budget *resilience.Budget
 }
 
 // DefaultOptions mirror the paper's configuration.
@@ -82,6 +101,17 @@ type Result struct {
 	// (no reordering), for comparison.
 	EmptyCost float64
 
+	// Degraded reports that the search stopped early — node budget or
+	// wall-clock deadline exhausted — and the partition is the best found
+	// so far rather than the proven optimum. A degraded result is still
+	// valid and legal, and its cost never exceeds the serial fallback
+	// (the empty pre-fork partition): the search starts from that
+	// partition and only ever improves on it.
+	Degraded bool
+	// DegradeReason classifies why the search degraded (ReasonNone when
+	// it ran to completion).
+	DegradeReason resilience.Reason
+
 	SearchNodes int
 	// CostEvals counts cost-model propagations actually performed;
 	// DedupHits counts evaluations answered from the interned zero-set
@@ -101,8 +131,12 @@ func (r *Result) String() string {
 	for _, vc := range r.PreForkVCs {
 		vcs = append(vcs, fmt.Sprintf("s%d", vc.ID))
 	}
-	return fmt.Sprintf("cost=%.3f (empty=%.3f) prefork=%d/%d ops, vcs=[%s], %d search nodes",
-		r.Cost, r.EmptyCost, r.PreForkSize, r.BodySize, strings.Join(vcs, " "), r.SearchNodes)
+	degraded := ""
+	if r.Degraded {
+		degraded = fmt.Sprintf(", degraded (%s)", r.DegradeReason)
+	}
+	return fmt.Sprintf("cost=%.3f (empty=%.3f) prefork=%d/%d ops, vcs=[%s], %d search nodes%s",
+		r.Cost, r.EmptyCost, r.PreForkSize, r.BodySize, strings.Join(vcs, " "), r.SearchNodes, degraded)
 }
 
 // ComputeClosure determines the move set and condition copies required to
@@ -241,6 +275,17 @@ func vcDepGraph(g *depgraph.Graph) map[*ir.Stmt][]*ir.Stmt {
 // zero-set table backed by the incremental cost.Evaluator, so the §4.2.3
 // propagation runs once per distinct downward-closed set instead of once
 // per search node.
+//
+// Search is an anytime algorithm: every node charges one work unit
+// against the phase budget (Options.MaxSearchNodes and the
+// Options.Context deadline, or a caller-shared Options.Budget). On
+// exhaustion it stops and returns the best partition found so far with
+// Degraded set. The result is always valid: the search seeds the best
+// with the serial fallback (empty pre-fork region), so under any budget
+// — even zero — the returned partition is legal and its modeled cost is
+// at most the serial partition's cost. Node-budget exhaustion is
+// deterministic (the same loop and budget always stop at the same node);
+// deadline exhaustion is not.
 func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 	r := &Result{
 		Graph:     g,
@@ -254,6 +299,24 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 		r.BodySize = opt.BodySize
 	}
 	r.SizeLimit = int(float64(r.BodySize) * opt.PreForkFraction)
+
+	// Phase budget: one work unit per search node plus the context's
+	// deadline. A caller-provided budget is charged directly, so one
+	// budget can span every loop of a compilation phase.
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	budget := opt.Budget
+	if budget == nil {
+		budget = resilience.NewBudget(ctx, int64(opt.MaxSearchNodes))
+	}
+	// stop is the sticky exhaustion error; once set, the search unwinds
+	// without exploring or recording anything further.
+	var stop error
+	if err := injectSearch.Fire(resilience.WithBudget(ctx, budget)); err != nil {
+		stop = err
+	}
 
 	// Interned dedup table: every zero-set the search asks about (record
 	// costs and optimistic bounds share one key space) is propagated at
@@ -276,6 +339,15 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 
 	if opt.MaxVCs > 0 && len(g.VCs) > opt.MaxVCs {
 		r.Skipped = true
+		r.Recomputes = eval.Recomputes()
+		return r
+	}
+	if stop != nil {
+		// Injected or pre-exhausted before any node: degrade to the
+		// serial fallback immediately.
+		r.Cost = r.EmptyCost
+		r.Degraded = true
+		r.DegradeReason = resilience.ReasonFor(stop)
 		r.Recomputes = eval.Recomputes()
 		return r
 	}
@@ -432,7 +504,11 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 
 	var search func(lastIdx int)
 	search = func(lastIdx int) {
-		if r.SearchNodes >= opt.MaxSearchNodes {
+		if stop != nil {
+			return
+		}
+		if err := budget.Spend(1); err != nil {
+			stop = err
 			return
 		}
 		r.SearchNodes++
@@ -445,7 +521,7 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 			}
 		}
 
-		for i := lastIdx + 1; i < n; i++ {
+		for i := lastIdx + 1; i < n && stop == nil; i++ {
 			// §5.2: a node may be added only when all its VC-dep
 			// predecessors are already in the pre-fork region.
 			ok := true
@@ -471,8 +547,12 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 		}
 	}
 
-	record() // empty partition
+	record() // empty partition: the always-legal serial fallback
 	search(-1)
+	if stop != nil {
+		r.Degraded = true
+		r.DegradeReason = resilience.ReasonFor(stop)
+	}
 
 	// Convert the winning bitsets back to the exported map/slice form.
 	bestVCs.ForEach(func(i int) { r.PreForkVCs = append(r.PreForkVCs, vcs[i]) })

@@ -133,6 +133,79 @@ func (g *gen) loop(depth, indent int) {
 	fmt.Fprintf(&g.buf, "%s}\n", pad)
 }
 
+// Adversarial returns the SPL source of a program engineered to stress
+// the partition search rather than sample the transformation space:
+//
+//   - a deep chain of accumulators where each value-communicating
+//     statement depends on the previous one, so every VC's closure drags
+//     the whole prefix into the pre-fork and legality forces the DFS
+//     through one long spine;
+//   - a wide fan of independent recurrences, a 2^n subset space with no
+//     dependence structure for pruning to grab onto;
+//   - a mixed loop interleaving both with cross-iteration array
+//     recurrences feeding the scalars.
+//
+// Like Generate, the output is deterministic in the seed, trap-free by
+// construction, and ends by printing a hash of all observable state.
+func Adversarial(seed int64) string {
+	g := &gen{r: rand.New(rand.NewSource(seed))}
+	// Enough chain/fan scalars for a painful search, few enough that the
+	// exhaustive fuzz oracle still covers some of the generated loops.
+	n := g.r.Intn(9) + 4 // 4..12 scalar recurrences per loop
+	g.buf.WriteString("var a int[64];\nvar b int[64];\nvar g1 int;\nvar g2 int;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g.buf, "var s%d int;\n", i)
+	}
+	g.buf.WriteString("\nfunc main() {\n")
+
+	trips := g.r.Intn(25) + 8
+	chain := func() {
+		fmt.Fprintf(&g.buf, "\tvar i%d int;\n\tfor (i%d = 0; i%d < %d; i%d++) {\n", g.tmp, g.tmp, g.tmp, trips, g.tmp)
+		iv := fmt.Sprintf("i%d", g.tmp)
+		fmt.Fprintf(&g.buf, "\t\ts0 = (s0 + a[(%s + %d) & 63] + %d) & 1048575;\n", iv, g.r.Intn(64), g.r.Intn(97)+1)
+		for i := 1; i < n; i++ {
+			fmt.Fprintf(&g.buf, "\t\ts%d = (s%d + s%d + %d) & 1048575;\n", i, i, i-1, g.r.Intn(97)+1)
+		}
+		fmt.Fprintf(&g.buf, "\t\tb[(%s + %d) & 63] = s%d;\n\t}\n", iv, g.r.Intn(64), n-1)
+	}
+	fan := func() {
+		fmt.Fprintf(&g.buf, "\tvar i%d int;\n\tfor (i%d = 0; i%d < %d; i%d++) {\n", g.tmp, g.tmp, g.tmp, trips, g.tmp)
+		iv := fmt.Sprintf("i%d", g.tmp)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&g.buf, "\t\ts%d = (s%d + a[(%s + %d) & 63] + %d) & 1048575;\n", i, i, iv, g.r.Intn(64), g.r.Intn(97)+1)
+		}
+		fmt.Fprintf(&g.buf, "\t\tg1 = (g1 + %s) & 1048575;\n\t}\n", iv)
+	}
+	mixed := func() {
+		fmt.Fprintf(&g.buf, "\tvar i%d int;\n\tfor (i%d = 0; i%d < %d; i%d++) {\n", g.tmp, g.tmp, g.tmp, trips, g.tmp)
+		iv := fmt.Sprintf("i%d", g.tmp)
+		for i := 0; i < n; i++ {
+			switch i % 3 {
+			case 0:
+				fmt.Fprintf(&g.buf, "\t\ts%d = (s%d + a[(%s + %d) & 63]) & 1048575;\n", i, i, iv, g.r.Intn(64))
+			case 1:
+				fmt.Fprintf(&g.buf, "\t\ts%d = (s%d + s%d + %d) & 1048575;\n", i, i, i-1, g.r.Intn(97)+1)
+			default:
+				fmt.Fprintf(&g.buf, "\t\ta[(%s + %d) & 63] = (a[(%s + %d) & 63] + s%d) & 1048575;\n",
+					iv, g.r.Intn(64), iv, g.r.Intn(64), i-1)
+			}
+		}
+		fmt.Fprintf(&g.buf, "\t\tg2 = (g2 ^ s%d) & 1048575;\n\t}\n", n-1)
+	}
+	shapes := []func(){chain, fan, mixed}
+	nLoops := g.r.Intn(2) + 1
+	for i := 0; i < nLoops; i++ {
+		shapes[g.r.Intn(len(shapes))]()
+		g.tmp++
+	}
+
+	g.buf.WriteString("\tvar k int;\n\tvar h int = 0;\n")
+	g.buf.WriteString("\tfor (k = 0; k < 64; k++) { h = (h * 31 + a[k] + b[k]) & 268435455; }\n")
+	fmt.Fprintf(&g.buf, "\tfor (k = 0; k < %d; k++) { h = (h * 37 + s%d) & 268435455; }\n", n, n-1)
+	g.buf.WriteString("\tprint(g1, g2, h);\n}\n")
+	return g.buf.String()
+}
+
 // Generate returns the SPL source of a random program. The same seed
 // always yields the same program. Every program declares arrays a and b,
 // accumulators g1 and g2, runs a few generated loop nests, and prints a

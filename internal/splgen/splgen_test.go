@@ -19,3 +19,26 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatal("different seeds produced identical programs")
 	}
 }
+
+func TestAdversarialDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := Adversarial(seed), Adversarial(seed)
+		if a != b {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+		if !strings.Contains(a, "func main()") || !strings.Contains(a, "print(") {
+			t.Fatalf("seed %d: malformed program:\n%s", seed, a)
+		}
+		// Every adversarial program must carry at least one scalar
+		// recurrence chain or fan for the search to chew on.
+		if !strings.Contains(a, "s0 = ") {
+			t.Fatalf("seed %d: no scalar recurrences:\n%s", seed, a)
+		}
+	}
+	if Adversarial(1) == Adversarial(2) {
+		t.Fatal("different seeds produced identical programs")
+	}
+	if Adversarial(3) == Generate(3) {
+		t.Fatal("adversarial mode should differ from the sampling generator")
+	}
+}
