@@ -10,8 +10,10 @@
 package sptc_test
 
 import (
+	"fmt"
 	"io"
 	"math"
+	"strings"
 	"testing"
 
 	"sptc"
@@ -430,6 +432,88 @@ func BenchmarkPartitionSearch(b *testing.B) {
 		nodes = r.SearchNodes
 	}
 	b.ReportMetric(float64(nodes), "search_nodes")
+}
+
+// wideFanSource builds a loop with n independent accumulator
+// recurrences: every subset of the n violation candidates is legal and
+// downward-closed, so the search tree has 2^n nodes and the lower bound
+// never prunes — the adversarial worst case for the branch-and-bound and
+// the workload where parallel subtree exploration pays off most.
+func wideFanSource(n int) string {
+	var b strings.Builder
+	b.WriteString("var a int[64];\n")
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&b, "var s%d int;\n", k)
+	}
+	b.WriteString("func main() {\n\tvar i int;\n\tfor (i = 0; i < 200; i++) {\n")
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&b, "\t\ts%d = (s%d + a[(i + %d) & 63] + %d) & 1048575;\n", k, k, k, k+1)
+	}
+	b.WriteString("\t\ta[(i * 7) & 63] = i;\n\t}\n\tprint(")
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "s%d", k)
+	}
+	b.WriteString(");\n}\n")
+	return b.String()
+}
+
+// BenchmarkPartitionSearchParallel measures the parallel branch-and-bound
+// on a wide 22-candidate fan (see wideFanSource) at increasing worker
+// counts, against the classic serial search. The partition returned is
+// byte-identical in every sub-benchmark; search_nodes is reported so node
+// accounting across worker counts can be compared (under the default node
+// budget the frozen-incumbent mode keeps it worker-count-invariant).
+// Wall-clock scaling requires GOMAXPROCS > 1; on a single-core runner all
+// sub-benchmarks measure the same work plus coordination overhead.
+func BenchmarkPartitionSearchParallel(b *testing.B) {
+	g, m := loopGraphFromSource(b, wideFanSource(22))
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 0}, {"w1", 1}, {"w2", 2}, {"w4", 4}, {"w8", 8},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			opt := partition.DefaultOptions()
+			opt.Workers = c.workers
+			var nodes int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := partition.Search(g, m, opt)
+				nodes = r.SearchNodes
+			}
+			b.ReportMetric(float64(nodes), "search_nodes")
+		})
+	}
+}
+
+// BenchmarkCompile measures end-to-end compilation (parse → sem → IR →
+// profile → pass 1 → selection → transform → cleanup) of the full
+// benchmark suite at the best level, with the classic serial pass 1 and
+// with the parallel pass 1 at 8 workers.
+func BenchmarkCompile(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 0}, {"w8", 8},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, bench := range benchprog.Suite() {
+					opt := core.DefaultOptions(core.LevelBest)
+					opt.SearchWorkers = c.workers
+					if _, err := core.CompileSource(bench.Name, bench.Source, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCostPropagation measures the §4.2.3 probability-propagation

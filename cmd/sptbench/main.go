@@ -99,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// going: affected jobs are marked in the status column).
 	opt.Timeout = resil.Timeout
 	opt.SearchBudget = resil.SearchBudget
+	opt.SearchWorkers = resil.SearchWorkers
 
 	prof, err := cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {

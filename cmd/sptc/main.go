@@ -89,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if resil.SearchBudget > 0 {
 		opt.Partition.MaxSearchNodes = resil.SearchBudget
 	}
+	opt.SearchWorkers = resil.SearchWorkers
 	if *traceOut != "" || *traceCSV != "" {
 		tr = trace.New()
 		opt.Trace = tr.StartTrack(fs.Arg(0))

@@ -91,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if resil.SearchBudget > 0 {
 		copt.Partition.MaxSearchNodes = resil.SearchBudget
 	}
+	copt.SearchWorkers = resil.SearchWorkers
 	res, err := core.CompileSource(fs.Arg(0), string(src), copt)
 	if err != nil {
 		fmt.Fprintf(stderr, "sptsim: %v\n", err)

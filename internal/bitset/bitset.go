@@ -85,6 +85,59 @@ func (s Set) ForEach(fn func(i int)) {
 	}
 }
 
+// Hash returns a 64-bit FNV-1a content hash of the set. Equal sets hash
+// equally; the hash doubles as the shard selector and bucket key of
+// concurrent tables keyed on set content, so one pass over the words
+// serves both (no separate string key is built).
+func (s Set) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range s {
+		h ^= w
+		h *= prime64
+	}
+	return h
+}
+
+// SeqLess reports whether s precedes t in the depth-first visit order of
+// the subset search: subsets ordered as their ascending index sequences,
+// compared lexicographically with a prefix sorting before its
+// extensions ({0} < {0,1} < {0,2} < {1}). This is the discovery-rank
+// order of the branch-and-bound, so parallel workers can break exact
+// (cost, size) ties identically to the serial search without tracking
+// explicit ranks. The sets must have equal capacity.
+func (s Set) SeqLess(t Set) bool {
+	for wi, sw := range s {
+		d := sw ^ t[wi]
+		if d == 0 {
+			continue
+		}
+		b := uint(bits.TrailingZeros64(d))
+		// d's lowest bit is the first index where membership differs.
+		// The set holding it precedes iff the other set goes on past it
+		// (otherwise the other set is a strict prefix, which sorts first).
+		rest := func(x Set) bool {
+			if x[wi]>>(b+1) != 0 {
+				return true
+			}
+			for wj := wi + 1; wj < len(x); wj++ {
+				if x[wj] != 0 {
+					return true
+				}
+			}
+			return false
+		}
+		if sw&(1<<b) != 0 {
+			return rest(t)
+		}
+		return !rest(s)
+	}
+	return false
+}
+
 // Key returns the set's content as a string usable as a map key. The
 // returned string aliases no live memory of s (strings are immutable
 // copies).

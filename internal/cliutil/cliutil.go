@@ -112,17 +112,24 @@ type Resilience struct {
 	// candidate; the anytime search keeps the best partition found.
 	// <= 0 leaves the search unbounded.
 	SearchBudget int
+	// SearchWorkers parallelizes pass 1: candidate loops are analyzed
+	// concurrently and each loop's partition search runs its parallel
+	// branch-and-bound with this many workers. The compilation result is
+	// identical for every value (see core.Options.SearchWorkers). 0
+	// keeps the classic serial pass 1.
+	SearchWorkers int
 	// Inject is a resilience.ArmSpec fault-injection spec
 	// ("point=panic|delay:DUR|error|exhaust", comma-separated).
 	Inject string
 }
 
-// AddResilienceFlags registers -timeout, -search-budget and -inject on
-// fs and returns the bundle their values land in.
+// AddResilienceFlags registers -timeout, -search-budget, -search-workers
+// and -inject on fs and returns the bundle their values land in.
 func AddResilienceFlags(fs *flag.FlagSet) *Resilience {
 	r := &Resilience{}
 	fs.DurationVar(&r.Timeout, "timeout", 0, "wall-clock budget per compile+simulate job (0 = unlimited)")
 	fs.IntVar(&r.SearchBudget, "search-budget", 0, "partition-search node budget per loop candidate (0 = unlimited)")
+	fs.IntVar(&r.SearchWorkers, "search-workers", 0, "parallel pass-1/partition-search workers; result is identical for every value (0 = serial)")
 	fs.StringVar(&r.Inject, "inject", "", "arm fault-injection points: `point=panic|delay:DUR|error|exhaust[,...]`")
 	return r
 }

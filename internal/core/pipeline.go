@@ -17,6 +17,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"sptc/internal/cost"
 	"sptc/internal/depgraph"
@@ -102,6 +105,20 @@ type Options struct {
 	MaxProfileSteps int64
 	// DisableSVP turns software value prediction off (ablation).
 	DisableSVP bool
+	// SearchWorkers parallelizes pass 1 at two levels: candidate loops
+	// are analyzed by a pool of SearchWorkers goroutines (dependence
+	// graphs and cost models are per-loop and read-only), and each
+	// loop's partition search runs its own parallel branch-and-bound
+	// with partition.Options.Workers = SearchWorkers. The compilation
+	// result is identical for every SearchWorkers value: loop analyses
+	// are independent, reports and degradation events are reduced in
+	// loop order after the join, a shared partition.Options.Budget is
+	// pre-split deterministically across candidate loops, and the
+	// search itself is worker-count-invariant. 0 (the default) keeps
+	// the classic single-threaded pass 1 and serial search. Pass 2
+	// (selection + transformation) always stays serial: it mutates the
+	// IR.
+	SearchWorkers int
 	// DisableSelection transforms every loop with a legal partition
 	// regardless of the §6.1 criteria (ablation: "speculate everything").
 	DisableSelection bool
@@ -357,10 +374,16 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 		return nil, err
 	}
 
-	// Pass 1: analyze every loop candidate.
+	// Pass 1: analyze every loop candidate. Phase A walks the program in
+	// order, building the per-function analyses (dominators, loop nests,
+	// control dependences) and one job per executed loop; phase B runs
+	// the jobs — inline when SearchWorkers <= 1, on a worker pool
+	// otherwise; phase C reduces results into reports, trace spans, and
+	// degradation events in loop order, so the compilation outcome never
+	// depends on scheduling.
 	pass1 := opt.Trace.Start("pass1")
 	effects := depgraph.ComputeEffects(p)
-	var cands []*candidateShim
+	var jobs []*pass1Job
 	loopID := 0
 	for _, f := range p.Funcs {
 		dom := ssa.BuildDomTree(f)
@@ -382,79 +405,97 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 			rep.Entries = float64(st.Entries)
 			rep.AvgTrip = st.AvgTrip
 			res.Reports = append(res.Reports, rep)
-
-			lsp := opt.Trace.Start("loop").
-				Str("func", f.Name).Int("loop", int64(rep.LoopID)).Int("body", int64(rep.BodySize))
-			if st.Iterations == 0 {
-				rep.Decision = DecisionNotRun
-				lsp.End()
-				continue
-			}
-			cfg := depgraph.Config{
-				UseProfile: opt.Level >= LevelBest,
-				Dep:        prof.Dep,
-				Effects:    effects,
-				CtrlDeps:   cds,
-				Dom:        dom,
-			}
-			// Isolate per-loop analysis: a panic or injected fault
-			// demotes this loop to serial without aborting the compile.
-			var g *depgraph.Graph
-			var pr *partition.Result
-			unit := fmt.Sprintf("%s/loop%d", f.Name, rep.LoopID)
-			gerr := resilience.Guard(func() error {
-				if err := injectPass1.Fire(ctx); err != nil {
-					return err
-				}
-				g = depgraph.Build(l, cfg)
-				if g == nil {
-					return nil
-				}
-				rep.VCCount = len(g.VCs)
-				popt := opt.Partition
-				popt.PreForkFraction = opt.Select.PreForkFraction
-				popt.BodySize = rep.BodySize
-				popt.Context = ctx
-				pr = partition.Search(g, cost.Build(g), popt)
-				return nil
+			jobs = append(jobs, &pass1Job{
+				rep:    rep,
+				loop:   l,
+				notRun: st.Iterations == 0,
+				cfg: depgraph.Config{
+					UseProfile: opt.Level >= LevelBest,
+					Dep:        prof.Dep,
+					Effects:    effects,
+					CtrlDeps:   cds,
+					Dom:        dom,
+				},
+				unit: fmt.Sprintf("%s/loop%d", f.Name, rep.LoopID),
 			})
-			if gerr != nil {
-				if ctx.Err() != nil {
-					lsp.End()
-					pass1.End()
-					return nil, ctx.Err()
-				}
-				rep.Decision = DecisionDegraded
-				ev := resilience.Event("pass1.loop", unit, gerr)
-				res.Degradations = append(res.Degradations, ev)
-				lsp.Str("degraded", ev.Reason.String()).End()
-				continue
-			}
-			if g == nil {
-				rep.Decision = DecisionNotRun
-				lsp.End()
-				continue
-			}
-			rep.Partition = pr
-			rep.EstCost = pr.Cost
-			rep.PreForkSize = pr.PreForkSize
-			if pr.Degraded {
-				// The anytime search stopped early but its best-so-far
-				// partition is still valid; record the event and keep
-				// the loop in play.
-				res.Degradations = append(res.Degradations, resilience.DegradationEvent{
-					Phase: "pass1.search", Unit: unit, Reason: pr.DegradeReason,
-				})
-				lsp.Str("degraded", pr.DegradeReason.String())
-			}
-			lsp.Int("vcs", int64(rep.VCCount)).
-				Int("search_nodes", int64(pr.SearchNodes)).
-				Int("cost_evals", int64(pr.CostEvals)).
-				Int("dedup_hits", int64(pr.DedupHits)).
-				Int("recomputes", int64(pr.Recomputes)).
-				End()
-			cands = append(cands, &candidateShim{rep: rep, loop: l, graph: g})
 		}
+	}
+
+	popt := opt.Partition
+	popt.PreForkFraction = opt.Select.PreForkFraction
+	popt.Workers = opt.SearchWorkers
+	if opt.SearchWorkers >= 2 {
+		// A shared node budget cannot be raced over by concurrent
+		// searches without making exhaustion order — and so degradation
+		// decisions — scheduling-dependent. Pre-split it into per-loop
+		// shares (deterministic: job order and share sizes depend only
+		// on the program).
+		if popt.Budget != nil {
+			shares := popt.Budget.Split(len(jobs))
+			for i, j := range jobs {
+				j.budget = shares[i]
+			}
+		}
+		runJobs(jobs, opt.SearchWorkers, func(j *pass1Job) {
+			j.begin = opt.Trace.Now()
+			j.run(ctx, popt)
+			j.dur = opt.Trace.Now() - j.begin
+		})
+	} else {
+		for _, j := range jobs {
+			j.begin = opt.Trace.Now()
+			j.run(ctx, popt)
+			j.dur = opt.Trace.Now() - j.begin
+		}
+	}
+
+	// Phase C: serial reduction in loop order.
+	var cands []*candidateShim
+	for _, j := range jobs {
+		rep := j.rep
+		lsp := opt.Trace.Record("loop", j.begin, j.dur).
+			Str("func", rep.Func).Int("loop", int64(rep.LoopID)).Int("body", int64(rep.BodySize))
+		if j.notRun {
+			rep.Decision = DecisionNotRun
+			continue
+		}
+		if j.gerr != nil {
+			if ctx.Err() != nil {
+				pass1.End()
+				return nil, ctx.Err()
+			}
+			rep.Decision = DecisionDegraded
+			ev := resilience.Event("pass1.loop", j.unit, j.gerr)
+			res.Degradations = append(res.Degradations, ev)
+			lsp.Str("degraded", ev.Reason.String())
+			continue
+		}
+		if j.g == nil {
+			rep.Decision = DecisionNotRun
+			continue
+		}
+		pr := j.pr
+		rep.Partition = pr
+		rep.EstCost = pr.Cost
+		rep.PreForkSize = pr.PreForkSize
+		if pr.Degraded {
+			// The anytime search stopped early but its best-so-far
+			// partition is still valid; record the event and keep
+			// the loop in play.
+			res.Degradations = append(res.Degradations, resilience.DegradationEvent{
+				Phase: "pass1.search", Unit: j.unit, Reason: pr.DegradeReason,
+			})
+			lsp.Str("degraded", pr.DegradeReason.String())
+		}
+		lsp.Int("vcs", int64(rep.VCCount)).
+			Int("search_nodes", int64(pr.SearchNodes)).
+			Int("cost_evals", int64(pr.CostEvals)).
+			Int("dedup_hits", int64(pr.DedupHits)).
+			Int("recomputes", int64(pr.Recomputes)).
+			Int("search_workers", int64(pr.Workers)).
+			Int("bound_updates", int64(pr.BoundUpdates)).
+			Int("memo_shard_hits", int64(pr.MemoShardHits))
+		cands = append(cands, &candidateShim{rep: rep, loop: j.loop, graph: j.g})
 	}
 	pass1.Int("degraded", int64(len(res.Degradations))).End()
 	if err := ctx.Err(); err != nil {
@@ -562,6 +603,77 @@ type candidateShim struct {
 	rep   *LoopReport
 	loop  *ssa.Loop
 	graph *depgraph.Graph
+}
+
+// pass1Job is one loop candidate's analysis unit: the inputs are built
+// serially in program order (phase A), run writes the outputs — each job
+// touches only its own fields, so a pool of workers can run jobs without
+// locks — and the serial reduction (phase C) folds them into the
+// compile result in loop order.
+type pass1Job struct {
+	rep    *LoopReport
+	loop   *ssa.Loop
+	notRun bool
+	cfg    depgraph.Config
+	unit   string
+	// budget is this loop's pre-split share of a shared search budget
+	// (nil: use partition.Options.Budget as passed).
+	budget *resilience.Budget
+
+	g          *depgraph.Graph
+	pr         *partition.Result
+	gerr       error
+	begin, dur time.Duration
+}
+
+// run analyzes the job's loop: dependence graph, cost model, partition
+// search. Isolated by resilience.Guard — a panic or injected fault
+// demotes this loop to serial without aborting the compile (or, in the
+// parallel pass 1, killing the worker pool).
+func (j *pass1Job) run(ctx context.Context, popt partition.Options) {
+	if j.notRun {
+		return
+	}
+	j.gerr = resilience.Guard(func() error {
+		if err := injectPass1.Fire(ctx); err != nil {
+			return err
+		}
+		j.g = depgraph.Build(j.loop, j.cfg)
+		if j.g == nil {
+			return nil
+		}
+		j.rep.VCCount = len(j.g.VCs)
+		popt.BodySize = j.rep.BodySize
+		popt.Context = ctx
+		if j.budget != nil {
+			popt.Budget = j.budget
+		}
+		j.pr = partition.Search(j.g, cost.Build(j.g), popt)
+		return nil
+	})
+}
+
+// runJobs drains the job list with a pool of worker goroutines.
+func runJobs(jobs []*pass1Job, workers int, run func(*pass1Job)) {
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= len(jobs) {
+					return
+				}
+				run(jobs[t])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func decide(rep *LoopReport, sel SelectOptions, disableSelection bool) Decision {

@@ -2,6 +2,7 @@ package cost
 
 import (
 	"math/bits"
+	"sync"
 
 	"sptc/internal/bitset"
 	"sptc/internal/ir"
@@ -279,4 +280,64 @@ func (e *Evaluator) EvalSet(zero bitset.Set) float64 {
 	// bit-for-bit, independent of evaluation history.
 	e.dynTotal = e.sumDynamic()
 	return e.constTotal + e.dynTotal
+}
+
+// EvaluatorPool hands out per-worker Evaluators of one model. The
+// parallel partition search runs one walker per goroutine, and each
+// walker needs a private Evaluator (the incremental state in the
+// evaluator is single-threaded by design); pooling them keeps the
+// propagation state warm across the short subtree tasks a worker drains
+// instead of rebuilding the dense arrays per task. The pool additionally
+// remembers every evaluator it ever created so the search can aggregate
+// Evals/Recomputes across workers after the fan-out joins.
+type EvaluatorPool struct {
+	m    *Model
+	pool sync.Pool
+
+	mu  sync.Mutex
+	all []*Evaluator
+}
+
+// NewEvaluatorPool returns an empty pool of evaluators for the model.
+func (m *Model) NewEvaluatorPool() *EvaluatorPool {
+	p := &EvaluatorPool{m: m}
+	p.pool.New = func() any {
+		e := m.NewEvaluator()
+		p.mu.Lock()
+		p.all = append(p.all, e)
+		p.mu.Unlock()
+		return e
+	}
+	return p
+}
+
+// Get hands out an evaluator (freshly built or recycled with its
+// incremental state intact).
+func (p *EvaluatorPool) Get() *Evaluator { return p.pool.Get().(*Evaluator) }
+
+// Put returns an evaluator to the pool.
+func (p *EvaluatorPool) Put(e *Evaluator) { p.pool.Put(e) }
+
+// Evals sums Evals over every evaluator the pool created. Call after the
+// goroutines using the pool have joined.
+func (p *EvaluatorPool) Evals() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.all {
+		n += e.Evals()
+	}
+	return n
+}
+
+// Recomputes sums Recomputes over every evaluator the pool created. Call
+// after the goroutines using the pool have joined.
+func (p *EvaluatorPool) Recomputes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.all {
+		n += e.Recomputes()
+	}
+	return n
 }

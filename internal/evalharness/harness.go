@@ -106,6 +106,15 @@ type Options struct {
 	// affected jobs are marked StatusDegraded). <= 0 leaves the search
 	// unbounded.
 	SearchBudget int
+	// SearchWorkers parallelizes pass 1 inside each compile job:
+	// candidate loops are analyzed concurrently and each partition search
+	// runs its parallel branch-and-bound with this many workers (see
+	// core.Options.SearchWorkers). Compilation results are identical for
+	// every value; only wall-clock compile time changes. This
+	// parallelism nests inside the job-level Workers pool, so the total
+	// goroutine fan-out is roughly Workers x SearchWorkers. 0 keeps the
+	// classic serial pass 1.
+	SearchWorkers int
 	// Context cancels the whole suite (a hard abort, unlike the per-job
 	// Timeout). Nil means context.Background().
 	Context context.Context
@@ -369,6 +378,7 @@ func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *Compi
 		if opt.SearchBudget > 0 {
 			copt.Partition.MaxSearchNodes = opt.SearchBudget
 		}
+		copt.SearchWorkers = opt.SearchWorkers
 		res, cdur, err := cache.Get(b.Name, b.Source, copt)
 		if err != nil {
 			return fmt.Errorf("%s compile: %w", level, err)

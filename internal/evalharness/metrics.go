@@ -39,6 +39,16 @@ type Metrics struct {
 	// Recomputes totals the dirty dynamic nodes the incremental cost
 	// evaluator recomputed (the §4.2.3 propagation's unit of work).
 	Recomputes int64
+	// SearchWorkers is the parallel branch-and-bound worker count the
+	// compile's partition searches ran with (0: classic serial search).
+	SearchWorkers int64
+	// BoundUpdates totals the incumbent improvements the searches
+	// recorded (the bound heuristic 2 prunes against); MemoShardHits
+	// totals the cost queries answered by a memo entry another worker
+	// propagated (always 0 for serial searches, scheduling-dependent
+	// when SearchWorkers >= 2).
+	BoundUpdates  int64
+	MemoShardHits int64
 	// SimOps is the number of dynamic instructions simulated.
 	SimOps int64
 	// Degraded counts the compile's fail-soft events (loops demoted to
@@ -54,12 +64,24 @@ type Metrics struct {
 // are excluded).
 func metricsFromTrack(tk *trace.Track, compile, simulate time.Duration) Metrics {
 	m := Metrics{
-		Timing:      Timing{Compile: compile, Simulate: simulate},
-		SearchNodes: tk.SumInt("loop", "search_nodes"),
-		CostEvals:   tk.SumInt("loop", "cost_evals"),
-		DedupHits:   tk.SumInt("loop", "dedup_hits"),
-		Recomputes:  tk.SumInt("loop", "recomputes"),
-		Degraded:    tk.SumInt("pass1", "degraded") + tk.SumInt("transform", "degraded"),
+		Timing:        Timing{Compile: compile, Simulate: simulate},
+		SearchNodes:   tk.SumInt("loop", "search_nodes"),
+		CostEvals:     tk.SumInt("loop", "cost_evals"),
+		DedupHits:     tk.SumInt("loop", "dedup_hits"),
+		Recomputes:    tk.SumInt("loop", "recomputes"),
+		BoundUpdates:  tk.SumInt("loop", "bound_updates"),
+		MemoShardHits: tk.SumInt("loop", "memo_shard_hits"),
+		Degraded:      tk.SumInt("pass1", "degraded") + tk.SumInt("transform", "degraded"),
+	}
+	// search_workers is a configuration echo, not an additive counter:
+	// take it from any loop span that searched.
+	for _, s := range tk.Spans() {
+		if s.Name != "loop" {
+			continue
+		}
+		if v, ok := s.Int64("search_workers"); ok && v > m.SearchWorkers {
+			m.SearchWorkers = v
+		}
 	}
 	if v, ok := tk.Find("simulate").Int64("sim_instructions"); ok {
 		m.SimOps = v

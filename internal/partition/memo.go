@@ -1,0 +1,138 @@
+package partition
+
+import (
+	"sync"
+
+	"sptc/internal/bitset"
+	"sptc/internal/cost"
+)
+
+// zeroMemo is the interned zero-set table: every distinct zero-set the
+// search asks about (record costs and optimistic bounds share one key
+// space) is propagated through the cost model at most once; repeat
+// visits are answered from the table.
+//
+// The table is keyed by the set's 64-bit content hash, computed once per
+// query; entries hold the full set for an exact compare, so there is no
+// second hashing pass and no string key materialization on the insert
+// path. Each shard stores its entries in one growable arena slice with
+// the hash map pointing at chain heads (hash collisions link through
+// memoEntry.next), so an insert costs one set clone plus amortized
+// arena/map growth — no per-bucket slice allocations. For the parallel
+// search the table is split into shards, each behind its own mutex, so
+// workers publishing propagation results rarely contend; the serial
+// search uses a single lock-free shard. Propagation runs outside the
+// shard lock — two workers racing on one set may both compute it, but
+// evaluations of the same zero-set are bit-identical by the evaluator's
+// contract, so the duplicate is only wasted work, never a wrong answer.
+type zeroMemo struct {
+	locked bool
+	mask   uint64
+	shards []memoShard
+}
+
+type memoShard struct {
+	mu      sync.Mutex
+	m       map[uint64]int32 // content hash -> chain head in entries
+	entries []memoEntry
+}
+
+type memoEntry struct {
+	set   bitset.Set
+	cost  float64
+	next  int32 // next entry with the same hash (-1: chain end)
+	owner int32
+}
+
+// memoShards is the shard count of the concurrent table (power of two).
+const memoShards = 64
+
+func newZeroMemo(parallel bool) *zeroMemo {
+	n := 1
+	if parallel {
+		n = memoShards
+	}
+	z := &zeroMemo{locked: parallel, mask: uint64(n - 1), shards: make([]memoShard, n)}
+	// Presize the arenas: repeated append-doubling of pointer-bearing
+	// entries costs ~10% of a small serial search in growslice + write
+	// barriers. The serial shard takes every insert, so it gets a large
+	// arena; parallel shards split the load 64 ways.
+	capPer := 512
+	if parallel {
+		capPer = 64
+	}
+	for i := range z.shards {
+		z.shards[i].m = make(map[uint64]int32)
+		z.shards[i].entries = make([]memoEntry, 0, capPer)
+	}
+	return z
+}
+
+// find walks the shard's hash chain for an exact match. Callers hold the
+// shard lock when the memo is locked.
+func (sh *memoShard) find(h uint64, zero bitset.Set) (*memoEntry, bool) {
+	idx, ok := sh.m[h]
+	if !ok {
+		return nil, false
+	}
+	for idx >= 0 {
+		e := &sh.entries[idx]
+		if e.set.Equal(zero) {
+			return e, true
+		}
+		idx = e.next
+	}
+	return nil, false
+}
+
+// insert prepends a new entry to the hash chain. Callers hold the shard
+// lock when the memo is locked.
+func (sh *memoShard) insert(h uint64, zero bitset.Set, c float64, owner int32) {
+	head := int32(-1)
+	if idx, ok := sh.m[h]; ok {
+		head = idx
+	}
+	sh.entries = append(sh.entries, memoEntry{set: zero.Clone(), cost: c, next: head, owner: owner})
+	sh.m[h] = int32(len(sh.entries) - 1)
+}
+
+// eval returns the misspeculation cost of the zero-set, propagating with
+// ev only when no walker has asked about this content before. hit
+// reports a table answer; cross reports a hit on an entry that a
+// different owner (another worker) computed — the cross-worker sharing
+// the sharded table exists for.
+func (z *zeroMemo) eval(zero bitset.Set, ev *cost.Evaluator, owner int32) (c float64, hit, cross bool) {
+	h := zero.Hash()
+	sh := &z.shards[h&z.mask]
+	if z.locked {
+		sh.mu.Lock()
+	}
+	if e, ok := sh.find(h, zero); ok {
+		cross = e.owner != owner
+		c = e.cost
+		if z.locked {
+			sh.mu.Unlock()
+		}
+		return c, true, cross
+	}
+	if z.locked {
+		sh.mu.Unlock()
+	}
+
+	c = ev.EvalSet(zero)
+
+	if z.locked {
+		sh.mu.Lock()
+		if _, ok := sh.find(h, zero); ok {
+			// Another worker published while we propagated; keep its
+			// entry (same value bit for bit).
+			sh.mu.Unlock()
+			return c, false, false
+		}
+	}
+	sh.insert(h, zero, c, owner)
+	if z.locked {
+		sh.mu.Unlock()
+	}
+	return c, false, false
+}

@@ -161,17 +161,17 @@ func referenceSearch(g *depgraph.Graph, m *cost.Model, sizeLimit int) *refResult
 // maxOracleVCs bounds the exhaustive enumeration (2^n subsets).
 const maxOracleVCs = 10
 
-// checkSearchAgainstReference runs both the optimized search and the
-// naive reference on one loop and cross-checks every observable:
-// optimal cost, empty cost, pre-fork size, node counts, and that the
-// returned partition re-evaluates (from scratch, on the plain model) to
-// the claimed cost.
-func checkSearchAgainstReference(tb testing.TB, g *depgraph.Graph, m *cost.Model) {
+// checkSearchAgainstReference runs both the optimized search (under the
+// given options — callers vary Workers to put the parallel search
+// through the same oracle) and the naive reference on one loop and
+// cross-checks every observable: optimal cost, empty cost, pre-fork
+// size, node counts, and that the returned partition re-evaluates (from
+// scratch, on the plain model) to the claimed cost.
+func checkSearchAgainstReference(tb testing.TB, g *depgraph.Graph, m *cost.Model, opt partition.Options) {
 	tb.Helper()
 	if len(g.VCs) > maxOracleVCs {
 		return
 	}
-	opt := partition.DefaultOptions()
 	r := partition.Search(g, m, opt)
 	if r.Skipped {
 		return
@@ -317,7 +317,7 @@ func mainLoopGraphs(tb testing.TB, src string) ([]*depgraph.Graph, []*cost.Model
 // the hand-written loop plus a block of generated programs.
 func TestSearchMatchesReference(t *testing.T) {
 	g, m := loopGraph(t, fig2ish, 0)
-	checkSearchAgainstReference(t, g, m)
+	checkSearchAgainstReference(t, g, m, partition.DefaultOptions())
 
 	seeds := 12
 	if testing.Short() {
@@ -326,7 +326,7 @@ func TestSearchMatchesReference(t *testing.T) {
 	for seed := int64(1); seed <= int64(seeds); seed++ {
 		gs, ms := mainLoopGraphs(t, splgen.Generate(seed))
 		for i := range gs {
-			checkSearchAgainstReference(t, gs[i], ms[i])
+			checkSearchAgainstReference(t, gs[i], ms[i], partition.DefaultOptions())
 		}
 	}
 }
@@ -357,7 +357,7 @@ func FuzzPartitionSearch(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64) {
 		gs, ms := mainLoopGraphs(t, fuzzSource(seed))
 		for i := range gs {
-			checkSearchAgainstReference(t, gs[i], ms[i])
+			checkSearchAgainstReference(t, gs[i], ms[i], partition.DefaultOptions())
 			checkAnytimeOracle(t, gs[i], ms[i])
 		}
 	})
@@ -377,7 +377,7 @@ func TestAdversarialPrograms(t *testing.T) {
 			t.Fatalf("seed %d: adversarial program produced no loop graphs", seed)
 		}
 		for i := range gs {
-			checkSearchAgainstReference(t, gs[i], ms[i])
+			checkSearchAgainstReference(t, gs[i], ms[i], partition.DefaultOptions())
 			checkAnytimeOracle(t, gs[i], ms[i])
 		}
 	}

@@ -53,7 +53,30 @@ type Options struct {
 	// search node charges one work unit, so one budget can be shared
 	// across the searches of a whole compilation phase. MaxSearchNodes
 	// and Context are ignored when Budget is set.
+	//
+	// With Workers >= 1 the search assumes exclusive ownership of the
+	// budget for the duration of the call and pre-splits its remaining
+	// units across subtree tasks (see Workers); callers sharing one
+	// allowance across several parallel searches should carve it up
+	// first with Budget.Split.
 	Budget *resilience.Budget
+	// Workers selects the parallel branch-and-bound: the search expands
+	// a deterministic frontier of subtrees serially, then fans the
+	// subtree tasks out to this many goroutines. The returned partition
+	// is byte-identical for every Workers value >= 1 (and equal to the
+	// serial result): candidates are totally ordered by (cost, pre-fork
+	// size, DFS discovery rank) and the reducer takes the global minimum
+	// of that order, which no schedule can change. 0 (the default) runs
+	// the classic serial depth-first search.
+	//
+	// With a node budget (the default), each task prunes against the
+	// incumbent frozen after frontier expansion plus its own
+	// improvements, and spends a deterministically pre-split share of
+	// the budget, so degradation decisions are also identical at every
+	// worker count. Unbudgeted searches prune against a live shared
+	// incumbent (CAS-published) instead — same partition, fewer explored
+	// nodes, but scheduling-dependent SearchNodes.
+	Workers int
 }
 
 // DefaultOptions mirror the paper's configuration.
@@ -120,6 +143,18 @@ type Result struct {
 	CostEvals  int
 	DedupHits  int
 	Recomputes int
+
+	// Workers echoes Options.Workers. BoundUpdates counts incumbent
+	// improvements across all walkers (how often the shared bound
+	// tightened); MemoShardHits counts zero-set lookups answered from an
+	// entry another worker propagated — the cross-worker sharing the
+	// concurrent memo exists for (0 in the serial search). With Workers
+	// >= 2, CostEvals/DedupHits/MemoShardHits depend on scheduling (two
+	// workers may race to propagate one set); SearchNodes and the
+	// partition itself do not as long as a node budget is set.
+	Workers       int
+	BoundUpdates  int
+	MemoShardHits int
 }
 
 // String summarizes the result.
@@ -286,6 +321,9 @@ func vcDepGraph(g *depgraph.Graph) map[*ir.Stmt][]*ir.Stmt {
 // at most the serial partition's cost. Node-budget exhaustion is
 // deterministic (the same loop and budget always stop at the same node);
 // deadline exhaustion is not.
+//
+// With Options.Workers >= 1 the branch-and-bound itself runs in
+// parallel; see Options.Workers for the determinism contract.
 func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 	r := &Result{
 		Graph:     g,
@@ -294,6 +332,7 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 		BodySize:  g.Loop.BodySize(),
 		Move:      make(map[*ir.Stmt]bool),
 		CopyConds: make(map[*ir.Stmt]bool),
+		Workers:   opt.Workers,
 	}
 	if opt.BodySize > 0 {
 		r.BodySize = opt.BodySize
@@ -318,28 +357,24 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 		stop = err
 	}
 
-	// Interned dedup table: every zero-set the search asks about (record
-	// costs and optimistic bounds share one key space) is propagated at
-	// most once; repeat visits are answered from the table. Lookups are
-	// allocation-free (KeyView); only first sights copy the key.
-	eval := m.NewEvaluator()
-	nVC := eval.NumVCs()
-	memo := make(map[string]float64)
-	evalZero := func(zero bitset.Set) float64 {
-		if c, ok := memo[zero.KeyView()]; ok {
-			r.DedupHits++
-			return c
-		}
-		r.CostEvals++
-		c := eval.EvalSet(zero)
-		memo[zero.Key()] = c
-		return c
-	}
-	r.EmptyCost = evalZero(bitset.New(nVC))
+	s := &searcher{g: g, m: m, opt: opt}
+	s.pool = m.NewEvaluatorPool()
+	// Parallelize only when asked and when the subset tree is big enough
+	// to have a frontier; the serial and parallel paths return the same
+	// Result either way, so this is purely a fan-out decision.
+	parallel := opt.Workers >= 1 && len(g.VCs) > 1 && stop == nil
+	s.memo = newZeroMemo(parallel)
+
+	eval := s.pool.Get()
+	s.nVC = eval.NumVCs()
+	emptyZero := bitset.New(s.nVC)
+	r.EmptyCost, _, _ = s.memo.eval(emptyZero, eval, -1)
+	r.CostEvals++
 
 	if opt.MaxVCs > 0 && len(g.VCs) > opt.MaxVCs {
 		r.Skipped = true
-		r.Recomputes = eval.Recomputes()
+		s.pool.Put(eval)
+		r.Recomputes = s.pool.Recomputes()
 		return r
 	}
 	if stop != nil {
@@ -348,216 +383,139 @@ func Search(g *depgraph.Graph, m *cost.Model, opt Options) *Result {
 		r.Cost = r.EmptyCost
 		r.Degraded = true
 		r.DegradeReason = resilience.ReasonFor(stop)
-		r.Recomputes = eval.Recomputes()
+		s.pool.Put(eval)
+		r.Recomputes = s.pool.Recomputes()
 		return r
 	}
 
+	s.precompute(eval)
+	s.pool.Put(eval)
+
+	var best *incumbent
+	var stops []error
+	if parallel {
+		best, stops = s.runParallel(r, budget)
+	} else {
+		best, stops = s.runSerial(r, budget)
+	}
+
+	for _, err := range stops {
+		if err != nil {
+			r.Degraded = true
+			r.DegradeReason = resilience.ReasonFor(err)
+			break
+		}
+	}
+
+	// Convert the winning bitsets back to the exported map/slice form.
+	r.Cost = best.cost
+	r.PreForkSize = best.size
+	best.vcs.ForEach(func(i int) { r.PreForkVCs = append(r.PreForkVCs, s.vcs[i]) })
+	best.move.ForEach(func(si int) { r.Move[g.Stmts[si]] = true })
+	best.conds.ForEach(func(si int) { r.CopyConds[g.Stmts[si]] = true })
+	r.Recomputes = s.pool.Recomputes()
+	return r
+}
+
+// precompute builds the dense tables every walker shares: closures and
+// legality edges as bitsets, per-statement sizes, and the suffix
+// zero-sets of the optimistic lower bound.
+func (s *searcher) precompute(eval *cost.Evaluator) {
+	g := s.g
 	// VCs are already in iteration order, which topologically orders the
 	// VC-dep graph (intra edges are forward).
-	vcs := g.VCs
-	n := len(vcs)
-	nStmt := len(g.Stmts)
+	s.vcs = g.VCs
+	s.n = len(s.vcs)
+	s.nStmt = len(g.Stmts)
+	s.sizeLimit = int(float64(s.bodySize()) * s.opt.PreForkFraction)
 
 	// Per-statement call-expanded op counts, by dense index.
 	sizes := ir.NewSizeCache()
-	ops := make([]int, nStmt)
-	for i, s := range g.Stmts {
-		ops[i] = sizes.StmtOps(s)
+	s.ops = make([]int, s.nStmt)
+	for i, st := range g.Stmts {
+		s.ops[i] = sizes.StmtOps(st)
 	}
 
 	// Statement index -> cost-model pseudo ordinal (-1 for non-VCs).
-	vcOrd := make([]int32, nStmt)
-	for i := range vcOrd {
-		vcOrd[i] = -1
+	s.vcOrd = make([]int32, s.nStmt)
+	for i := range s.vcOrd {
+		s.vcOrd[i] = -1
 	}
-	for _, vc := range vcs {
+	for _, vc := range s.vcs {
 		if o := eval.Ordinal(vc); o >= 0 {
-			vcOrd[g.Order[vc]] = int32(o)
+			s.vcOrd[g.Order[vc]] = int32(o)
 		}
 	}
 
 	// Closures as statement bitsets, plus each closure's zeroed-VC set.
 	producers := legalProducers(g)
-	moveBits := make([]bitset.Set, n)
-	condBits := make([]bitset.Set, n)
-	moveVCBits := make([]bitset.Set, n)
-	for i, vc := range vcs {
+	s.moveBits = make([]bitset.Set, s.n)
+	s.condBits = make([]bitset.Set, s.n)
+	s.moveVCBits = make([]bitset.Set, s.n)
+	for i, vc := range s.vcs {
 		c := computeClosure(g, producers, vc)
-		moveBits[i] = bitset.New(nStmt)
-		condBits[i] = bitset.New(nStmt)
-		moveVCBits[i] = bitset.New(nVC)
-		for s := range c.Move {
-			si := g.Order[s]
-			moveBits[i].Add(si)
-			if o := vcOrd[si]; o >= 0 {
-				moveVCBits[i].Add(int(o))
+		s.moveBits[i] = bitset.New(s.nStmt)
+		s.condBits[i] = bitset.New(s.nStmt)
+		s.moveVCBits[i] = bitset.New(s.nVC)
+		for st := range c.Move {
+			si := g.Order[st]
+			s.moveBits[i].Add(si)
+			if o := s.vcOrd[si]; o >= 0 {
+				s.moveVCBits[i].Add(int(o))
 			}
 		}
-		for s := range c.CopyConds {
-			condBits[i].Add(g.Order[s])
+		for st := range c.CopyConds {
+			s.condBits[i].Add(g.Order[st])
 		}
 	}
 
-	// VC-dep predecessors as bitsets over VC indices.
-	vcIdx := make(map[*ir.Stmt]int, n)
-	for i, vc := range vcs {
+	// VC-dep predecessors as bitsets over VC indices (§5.2 legality).
+	vcIdx := make(map[*ir.Stmt]int, s.n)
+	for i, vc := range s.vcs {
 		vcIdx[vc] = i
 	}
-	predBits := make([]bitset.Set, n)
-	for i := range predBits {
-		predBits[i] = bitset.New(n)
+	s.predBits = make([]bitset.Set, s.n)
+	for i := range s.predBits {
+		s.predBits[i] = bitset.New(s.n)
 	}
 	for vc, preds := range vcDepGraph(g) {
 		for _, p := range preds {
-			predBits[vcIdx[vc]].Add(vcIdx[p])
+			s.predBits[vcIdx[vc]].Add(vcIdx[p])
 		}
 	}
 
 	// suffixZero[i] = zeroed-VC set of the union of closures of vcs[i..],
 	// used for the optimistic lower bound of heuristic 2.
-	suffixZero := make([]bitset.Set, n+1)
-	suffixZero[n] = bitset.New(nVC)
-	for i := n - 1; i >= 0; i-- {
-		u := suffixZero[i+1].Clone()
-		u.Or(moveVCBits[i])
-		suffixZero[i] = u
+	s.suffixZero = make([]bitset.Set, s.n+1)
+	s.suffixZero[s.n] = bitset.New(s.nVC)
+	for i := s.n - 1; i >= 0; i-- {
+		u := s.suffixZero[i+1].Clone()
+		u.Or(s.moveVCBits[i])
+		s.suffixZero[i] = u
 	}
+}
 
-	// Best so far: the empty partition (always legal, size 0).
-	r.Cost = r.EmptyCost
-	r.PreForkSize = 0
-	bestVCs := bitset.New(n)
-	bestMove := bitset.New(nStmt)
-	bestConds := bitset.New(nStmt)
-
-	inSet := bitset.New(n)
-	curMove := bitset.New(nStmt)
-	curConds := bitset.New(nStmt)
-	curZero := bitset.New(nVC)
-	boundZero := bitset.New(nVC)
-	moveRef := make([]int32, nStmt)
-	condRef := make([]int32, nStmt)
-	curSize := 0
-
-	record := func() {
-		c := evalZero(curZero)
-		if c < r.Cost-1e-12 || (c < r.Cost+1e-12 && curSize < r.PreForkSize) {
-			r.Cost = c
-			r.PreForkSize = curSize
-			bestVCs.CopyFrom(inSet)
-			bestMove.CopyFrom(curMove)
-			bestConds.CopyFrom(curConds)
-		}
+func (s *searcher) bodySize() int {
+	if s.opt.BodySize > 0 {
+		return s.opt.BodySize
 	}
+	return s.g.Loop.BodySize()
+}
 
-	// A statement contributes to the pre-fork size while it is referenced
-	// by any pushed closure, through either set (Move and CopyConds are
-	// disjoint: branches are only ever condition-copied, never moved).
-	push := func(i int) {
-		inSet.Add(i)
-		moveBits[i].ForEach(func(s int) {
-			if moveRef[s] == 0 {
-				curMove.Add(s)
-				if condRef[s] == 0 {
-					curSize += ops[s]
-				}
-				if o := vcOrd[s]; o >= 0 {
-					curZero.Add(int(o))
-				}
-			}
-			moveRef[s]++
-		})
-		condBits[i].ForEach(func(s int) {
-			if condRef[s] == 0 {
-				curConds.Add(s)
-				if moveRef[s] == 0 {
-					curSize += ops[s]
-				}
-			}
-			condRef[s]++
-		})
-	}
-	pop := func(i int) {
-		inSet.Remove(i)
-		moveBits[i].ForEach(func(s int) {
-			moveRef[s]--
-			if moveRef[s] == 0 {
-				curMove.Remove(s)
-				if condRef[s] == 0 {
-					curSize -= ops[s]
-				}
-				if o := vcOrd[s]; o >= 0 {
-					curZero.Remove(int(o))
-				}
-			}
-		})
-		condBits[i].ForEach(func(s int) {
-			condRef[s]--
-			if condRef[s] == 0 {
-				curConds.Remove(s)
-				if moveRef[s] == 0 {
-					curSize -= ops[s]
-				}
-			}
-		})
-	}
+// runSerial is the classic depth-first branch-and-bound on the calling
+// goroutine. A caller-shared Options.Budget is charged sequentially,
+// preserving the exact legacy exhaustion points.
+func (s *searcher) runSerial(r *Result, budget *resilience.Budget) (*incumbent, []error) {
+	w := s.newWalker(-1, budget, false, false)
+	w.seedEmpty(r.EmptyCost)
+	w.record() // empty partition: the always-legal serial fallback
+	w.search(-1)
+	w.release()
 
-	var search func(lastIdx int)
-	search = func(lastIdx int) {
-		if stop != nil {
-			return
-		}
-		if err := budget.Spend(1); err != nil {
-			stop = err
-			return
-		}
-		r.SearchNodes++
-
-		if opt.PruneBound {
-			boundZero.CopyFrom(curZero)
-			boundZero.Or(suffixZero[lastIdx+1])
-			if lb := evalZero(boundZero); lb >= r.Cost-1e-12 {
-				return
-			}
-		}
-
-		for i := lastIdx + 1; i < n && stop == nil; i++ {
-			// §5.2: a node may be added only when all its VC-dep
-			// predecessors are already in the pre-fork region.
-			ok := true
-			for w, pw := range predBits[i] {
-				if pw&^inSet[w] != 0 {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			push(i)
-			if opt.PruneSize && curSize > r.SizeLimit {
-				pop(i)
-				continue // heuristic 1: descendants only grow
-			}
-			if curSize <= r.SizeLimit {
-				record()
-			}
-			search(i)
-			pop(i)
-		}
-	}
-
-	record() // empty partition: the always-legal serial fallback
-	search(-1)
-	if stop != nil {
-		r.Degraded = true
-		r.DegradeReason = resilience.ReasonFor(stop)
-	}
-
-	// Convert the winning bitsets back to the exported map/slice form.
-	bestVCs.ForEach(func(i int) { r.PreForkVCs = append(r.PreForkVCs, vcs[i]) })
-	bestMove.ForEach(func(si int) { r.Move[g.Stmts[si]] = true })
-	bestConds.ForEach(func(si int) { r.CopyConds[g.Stmts[si]] = true })
-	r.Recomputes = eval.Recomputes()
-	return r
+	r.SearchNodes += w.nodes
+	r.CostEvals += w.costEvals
+	r.DedupHits += w.dedupHits
+	r.MemoShardHits += w.crossHits
+	r.BoundUpdates += w.boundUps
+	return w.snapshot(), []error{w.stop}
 }

@@ -1,0 +1,365 @@
+package partition
+
+import (
+	"sync/atomic"
+
+	"sptc/internal/bitset"
+	"sptc/internal/cost"
+	"sptc/internal/depgraph"
+	"sptc/internal/ir"
+	"sptc/internal/resilience"
+)
+
+// eps is the cost-comparison tolerance of the pruning heuristics. The
+// incumbent and record comparisons themselves are exact (evaluations of
+// one zero-set are bit-identical, so exact ties are meaningful and
+// near-ties are modeling noise); the bound prune keeps the historical
+// tolerance so a lower bound that equals the incumbent cost up to float
+// noise still cuts.
+const eps = 1e-12
+
+// searcher holds everything about one Search call that is immutable once
+// the precomputation is done, shared read-only by every walker: the
+// dense closure/legality/suffix tables, the interned zero-set memo, the
+// evaluator pool, and (in live-bound mode) the CAS-published shared
+// incumbent.
+type searcher struct {
+	g   *depgraph.Graph
+	m   *cost.Model
+	opt Options
+
+	vcs       []*ir.Stmt
+	n         int // violation candidates
+	nStmt     int // statements (dense indices)
+	nVC       int // cost-model pseudo ordinals
+	sizeLimit int
+
+	ops        []int        // per-statement call-expanded op counts
+	vcOrd      []int32      // statement index -> pseudo ordinal (-1: none)
+	moveBits   []bitset.Set // per-VC move closure over statement indices
+	condBits   []bitset.Set // per-VC copy-cond closure over statement indices
+	moveVCBits []bitset.Set // per-VC zeroed pseudo ordinals of the closure
+	predBits   []bitset.Set // per-VC legality predecessors over VC indices
+	suffixZero []bitset.Set // zeroed ordinals of closures of vcs[i..]
+
+	memo   *zeroMemo
+	pool   *cost.EvaluatorPool
+	shared atomic.Pointer[incumbent] // live-bound mode's global incumbent
+}
+
+// incumbent is an immutable published best partition. The total order on
+// incumbents is (cost, pre-fork size, DFS discovery rank), all compared
+// exactly; the rank is the subset's position in the serial depth-first
+// visit order, which bitset.SeqLess compares without materializing
+// ranks. The order is schedule-free: whichever walker finds the global
+// minimum, every comparison against it resolves the same way, which is
+// what makes the parallel search worker-count-invariant.
+type incumbent struct {
+	cost             float64
+	size             int
+	vcs, move, conds bitset.Set
+}
+
+// incBetter reports whether a precedes b in the (cost, size, rank)
+// order.
+func incBetter(a, b *incumbent) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	if a.size != b.size {
+		return a.size < b.size
+	}
+	return a.vcs.SeqLess(b.vcs)
+}
+
+// walker is the mutable depth-first state of one explorer of the subset
+// tree: the serial search, the parallel frontier coordinator, or a
+// worker goroutine draining subtree tasks. All walkers of one Search
+// share the searcher's immutable tables and memo; everything here is
+// private to one goroutine.
+type walker struct {
+	s      *searcher
+	id     int32 // memo owner (-1: serial/coordinator, else worker index)
+	eval   *cost.Evaluator
+	budget *resilience.Budget
+
+	inSet     bitset.Set // VC indices in the pre-fork set
+	curMove   bitset.Set
+	curConds  bitset.Set
+	curZero   bitset.Set
+	boundZero bitset.Set
+	moveRef   []int32
+	condRef   []int32
+	curSize   int
+
+	// Local incumbent. For the serial walker and frozen-bound workers it
+	// is the pruning bound; live-bound workers prune against the shared
+	// incumbent instead and keep the local one as their publish staging.
+	bestCost                     float64
+	bestSize                     int
+	bestVCs, bestMove, bestConds bitset.Set
+
+	// live selects the shared atomic incumbent as the pruning bound.
+	live bool
+	// strict disables the equal-size tie cut. The serial walker and the
+	// frontier coordinator visit candidates in DFS order, so their
+	// incumbent always precedes the unexplored ones in rank and a
+	// subtree whose lower bound ties the incumbent cost at equal size
+	// can be cut (everything below loses the rank tie-break). A worker's
+	// incumbent can come from a rank-later subtree (the frozen seed or a
+	// shared-bound update), so workers must keep exploring at equal size
+	// — cutting there could discard the rank winner.
+	strict bool
+
+	stop error
+
+	nodes     int
+	costEvals int
+	dedupHits int
+	crossHits int
+	boundUps  int
+}
+
+func (s *searcher) newWalker(id int32, budget *resilience.Budget, live, strict bool) *walker {
+	return &walker{
+		s:      s,
+		id:     id,
+		eval:   s.pool.Get(),
+		budget: budget,
+
+		inSet:     bitset.New(s.n),
+		curMove:   bitset.New(s.nStmt),
+		curConds:  bitset.New(s.nStmt),
+		curZero:   bitset.New(s.nVC),
+		boundZero: bitset.New(s.nVC),
+		moveRef:   make([]int32, s.nStmt),
+		condRef:   make([]int32, s.nStmt),
+
+		bestVCs:   bitset.New(s.n),
+		bestMove:  bitset.New(s.nStmt),
+		bestConds: bitset.New(s.nStmt),
+
+		live:   live,
+		strict: strict,
+	}
+}
+
+// release returns the walker's evaluator to the pool.
+func (w *walker) release() { w.s.pool.Put(w.eval) }
+
+// seedEmpty initializes the incumbent to the serial fallback: the empty
+// pre-fork partition (always legal, size 0).
+func (w *walker) seedEmpty(emptyCost float64) {
+	w.bestCost = emptyCost
+	w.bestSize = 0
+}
+
+// seedFrom initializes the incumbent from a published candidate.
+func (w *walker) seedFrom(inc *incumbent) {
+	w.bestCost = inc.cost
+	w.bestSize = inc.size
+	w.bestVCs.CopyFrom(inc.vcs)
+	w.bestMove.CopyFrom(inc.move)
+	w.bestConds.CopyFrom(inc.conds)
+}
+
+// snapshot clones the walker's incumbent as a publishable candidate.
+func (w *walker) snapshot() *incumbent {
+	return &incumbent{
+		cost: w.bestCost, size: w.bestSize,
+		vcs: w.bestVCs.Clone(), move: w.bestMove.Clone(), conds: w.bestConds.Clone(),
+	}
+}
+
+func (w *walker) evalZero(zero bitset.Set) float64 {
+	c, hit, cross := w.s.memo.eval(zero, w.eval, w.id)
+	if hit {
+		w.dedupHits++
+		if cross {
+			w.crossHits++
+		}
+	} else {
+		w.costEvals++
+	}
+	return c
+}
+
+// record evaluates the current partition and takes it as the incumbent
+// when it precedes the current one in (cost, size, rank) order. Live
+// walkers additionally CAS-publish improvements to the shared incumbent
+// so every worker prunes against the global best.
+func (w *walker) record() {
+	c := w.evalZero(w.curZero)
+	if c != w.bestCost {
+		if c > w.bestCost {
+			return
+		}
+	} else if w.curSize != w.bestSize {
+		if w.curSize > w.bestSize {
+			return
+		}
+	} else if !w.inSet.SeqLess(w.bestVCs) {
+		return
+	}
+	w.bestCost = c
+	w.bestSize = w.curSize
+	w.bestVCs.CopyFrom(w.inSet)
+	w.bestMove.CopyFrom(w.curMove)
+	w.bestConds.CopyFrom(w.curConds)
+	w.boundUps++
+	if w.live {
+		w.publish()
+	}
+}
+
+// publish CAS-loops the walker's incumbent into the shared slot,
+// yielding to any concurrently published candidate that precedes it.
+func (w *walker) publish() {
+	cand := w.snapshot()
+	for {
+		cur := w.s.shared.Load()
+		if cur != nil && !incBetter(cand, cur) {
+			return
+		}
+		if w.s.shared.CompareAndSwap(cur, cand) {
+			return
+		}
+	}
+}
+
+// boundCut implements heuristic 2 (§5.2), extended so that it never cuts
+// a subtree that could still win the documented (cost, size, rank)
+// tie-break: the optimistic lower bound (every remaining closure
+// applied) is compared against the incumbent, and a subtree whose bound
+// ties the incumbent cost is only cut when its pre-fork size already
+// ties or exceeds the incumbent's — size is monotone along a descent, so
+// everything below would lose the size tie-break (or, at equal size for
+// non-strict walkers, the rank tie-break). This is what makes bound
+// pruning preserve the full tie-break, which the pre-dense-index search
+// did not.
+func (w *walker) boundCut(lastIdx int) bool {
+	if !w.s.opt.PruneBound {
+		return false
+	}
+	w.boundZero.CopyFrom(w.curZero)
+	w.boundZero.Or(w.s.suffixZero[lastIdx+1])
+	lb := w.evalZero(w.boundZero)
+	bc, bs := w.bestCost, w.bestSize
+	if w.live {
+		if inc := w.s.shared.Load(); inc != nil {
+			bc, bs = inc.cost, inc.size
+		}
+	}
+	if lb > bc+eps {
+		return true
+	}
+	if lb >= bc-eps {
+		if w.curSize > bs {
+			return true
+		}
+		if !w.strict && w.curSize == bs {
+			return true
+		}
+	}
+	return false
+}
+
+// legal reports whether vcs[i] may join the pre-fork set: all its VC-dep
+// predecessors are already in (§5.2).
+func (w *walker) legal(i int) bool {
+	for wd, pw := range w.s.predBits[i] {
+		if pw&^w.inSet[wd] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// A statement contributes to the pre-fork size while it is referenced by
+// any pushed closure, through either set (Move and CopyConds are
+// disjoint: branches are only ever condition-copied, never moved).
+func (w *walker) push(i int) {
+	s := w.s
+	w.inSet.Add(i)
+	s.moveBits[i].ForEach(func(si int) {
+		if w.moveRef[si] == 0 {
+			w.curMove.Add(si)
+			if w.condRef[si] == 0 {
+				w.curSize += s.ops[si]
+			}
+			if o := s.vcOrd[si]; o >= 0 {
+				w.curZero.Add(int(o))
+			}
+		}
+		w.moveRef[si]++
+	})
+	s.condBits[i].ForEach(func(si int) {
+		if w.condRef[si] == 0 {
+			w.curConds.Add(si)
+			if w.moveRef[si] == 0 {
+				w.curSize += s.ops[si]
+			}
+		}
+		w.condRef[si]++
+	})
+}
+
+func (w *walker) pop(i int) {
+	s := w.s
+	w.inSet.Remove(i)
+	s.moveBits[i].ForEach(func(si int) {
+		w.moveRef[si]--
+		if w.moveRef[si] == 0 {
+			w.curMove.Remove(si)
+			if w.condRef[si] == 0 {
+				w.curSize -= s.ops[si]
+			}
+			if o := s.vcOrd[si]; o >= 0 {
+				w.curZero.Remove(int(o))
+			}
+		}
+	})
+	s.condBits[i].ForEach(func(si int) {
+		w.condRef[si]--
+		if w.condRef[si] == 0 {
+			w.curConds.Remove(si)
+			if w.moveRef[si] == 0 {
+				w.curSize -= s.ops[si]
+			}
+		}
+	})
+}
+
+// search explores the subtree below the current set, extending it with
+// candidates after lastIdx. Every invocation charges one work unit
+// against the walker's budget; exhaustion sets w.stop and unwinds.
+func (w *walker) search(lastIdx int) {
+	if w.stop != nil {
+		return
+	}
+	if err := w.budget.Spend(1); err != nil {
+		w.stop = err
+		return
+	}
+	w.nodes++
+
+	if w.boundCut(lastIdx) {
+		return
+	}
+
+	for i := lastIdx + 1; i < w.s.n && w.stop == nil; i++ {
+		if !w.legal(i) {
+			continue
+		}
+		w.push(i)
+		if w.s.opt.PruneSize && w.curSize > w.s.sizeLimit {
+			w.pop(i)
+			continue // heuristic 1: descendants only grow
+		}
+		if w.curSize <= w.s.sizeLimit {
+			w.record()
+		}
+		w.search(i)
+		w.pop(i)
+	}
+}

@@ -210,13 +210,20 @@ func (r *Recorder) Count(reason Reason) int {
 // charge); the deadline is polled every pollEvery charges so hot loops
 // pay almost nothing for it.
 //
+// Budgets are safe for concurrent use: the counters are atomics and the
+// exhaustion error is published once with a compare-and-swap, so several
+// workers can charge one allowance. Note that while concurrent charging
+// is race-free, which worker observes the exhaustion first depends on
+// scheduling; workers that need deterministic exhaustion points should
+// pre-split the allowance into per-worker shares with Split instead.
+//
 // A nil *Budget is the unlimited budget: Spend always succeeds.
 type Budget struct {
 	ctx       context.Context
-	remaining int64
 	unlimited bool
-	sincePoll int64
-	exhausted error // sticky first exhaustion error
+	remaining atomic.Int64
+	sincePoll atomic.Int64
+	exhausted atomic.Pointer[error] // sticky first exhaustion error
 }
 
 // pollEvery is how many work-unit charges pass between deadline polls.
@@ -229,34 +236,49 @@ func NewBudget(ctx context.Context, units int64) *Budget {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Budget{ctx: ctx, remaining: units, unlimited: units <= 0}
+	b := &Budget{ctx: ctx, unlimited: units <= 0}
+	b.remaining.Store(units)
+	return b
+}
+
+// newExactBudget is NewBudget without the units<=0-means-unlimited rule:
+// a zero-unit budget that fails its first charge, for zero shares of a
+// Split.
+func newExactBudget(ctx context.Context, units int64) *Budget {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &Budget{ctx: ctx}
+	b.remaining.Store(units)
+	return b
+}
+
+// fail publishes the first exhaustion error; later calls keep the first.
+func (b *Budget) fail(err error) error {
+	b.exhausted.CompareAndSwap(nil, &err)
+	return *b.exhausted.Load()
 }
 
 // Spend charges n work units. It returns nil while the budget holds,
 // ErrBudget once the unit allowance is exhausted, and the context error
 // once the deadline has expired or the context was canceled. After the
-// first failure every later Spend returns the same error. Budgets are
-// not safe for concurrent use; each belongs to one worker.
+// first failure every later Spend returns the same error.
 func (b *Budget) Spend(n int64) error {
 	if b == nil {
 		return nil
 	}
-	if b.exhausted != nil {
-		return b.exhausted
+	if e := b.exhausted.Load(); e != nil {
+		return *e
 	}
 	if !b.unlimited {
-		b.remaining -= n
-		if b.remaining < 0 {
-			b.exhausted = ErrBudget
-			return b.exhausted
+		if b.remaining.Add(-n) < 0 {
+			return b.fail(ErrBudget)
 		}
 	}
-	b.sincePoll += n
-	if b.sincePoll >= pollEvery {
-		b.sincePoll = 0
+	if b.sincePoll.Add(n) >= pollEvery {
+		b.sincePoll.Store(0)
 		if err := b.ctx.Err(); err != nil {
-			b.exhausted = err
-			return b.exhausted
+			return b.fail(err)
 		}
 	}
 	return nil
@@ -269,19 +291,20 @@ func (b *Budget) Err() error {
 	if b == nil {
 		return nil
 	}
-	if b.exhausted == nil {
-		if err := b.ctx.Err(); err != nil {
-			b.exhausted = err
-		}
+	if e := b.exhausted.Load(); e != nil {
+		return *e
 	}
-	return b.exhausted
+	if err := b.ctx.Err(); err != nil {
+		return b.fail(err)
+	}
+	return nil
 }
 
 // Exhaust forces the budget into the exhausted state (used by the
 // FaultExhaust injection).
 func (b *Budget) Exhaust() {
-	if b != nil && b.exhausted == nil {
-		b.exhausted = ErrBudget
+	if b != nil {
+		b.fail(ErrBudget)
 	}
 }
 
@@ -290,7 +313,45 @@ func (b *Budget) Remaining() int64 {
 	if b == nil || b.unlimited {
 		return -1
 	}
-	return b.remaining
+	return b.remaining.Load()
+}
+
+// Split carves the remaining unit allowance into k child budgets with
+// near-equal shares: every child gets remaining/k units and the first
+// remaining%k children get one extra, so the shares depend only on the
+// allowance and k — not on scheduling — and a fixed (work, k) always
+// degrades the same children at the same charge no matter how many
+// goroutines drain them. The parent is drained (its units drop to zero);
+// children share the parent's context deadline. Splitting an unlimited
+// budget yields unlimited children, and splitting a nil budget yields
+// nil (unlimited) children.
+func (b *Budget) Split(k int) []*Budget {
+	if k <= 0 {
+		return nil
+	}
+	kids := make([]*Budget, k)
+	if b == nil {
+		return kids
+	}
+	if b.unlimited {
+		for i := range kids {
+			kids[i] = NewBudget(b.ctx, 0)
+		}
+		return kids
+	}
+	rem := b.remaining.Swap(0)
+	if rem < 0 {
+		rem = 0
+	}
+	share, extra := rem/int64(k), rem%int64(k)
+	for i := range kids {
+		u := share
+		if int64(i) < extra {
+			u++
+		}
+		kids[i] = newExactBudget(b.ctx, u)
+	}
+	return kids
 }
 
 type budgetKey struct{}

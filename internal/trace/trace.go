@@ -163,6 +163,41 @@ func (tk *Track) Start(name string) *Span {
 	return s
 }
 
+// Now returns the current timestamp on the tracer's clock (the offset
+// Span.Begin is measured in). Unlike Start, Now is safe to call from
+// any goroutine: it only reads the tracer's immutable epoch. Returns 0
+// on a nil track or a disabled tracer.
+func (tk *Track) Now() time.Duration {
+	if tk == nil || !tk.t.on.Load() {
+		return 0
+	}
+	return time.Since(tk.t.epoch)
+}
+
+// Record appends an already-closed span at the track's current nesting
+// depth. It is the bridge for parallel pipeline phases: worker
+// goroutines timestamp their work with Now, and the track's owner
+// records the finished spans after the join, in a deterministic order.
+// Recorded siblings may therefore overlap in time (they ran
+// concurrently), which ordinary Start/End children never do. Counters
+// may still be attached to the returned span; End on it is a no-op.
+// Nil-safe. Must be called by the track's owning goroutine, like Start.
+func (tk *Track) Record(name string, begin, dur time.Duration) *Span {
+	if tk == nil || !tk.t.on.Load() {
+		return nil
+	}
+	s := &Span{
+		Name:  name,
+		Depth: len(tk.stack),
+		Begin: begin,
+		Dur:   dur,
+		track: tk,
+		done:  true,
+	}
+	tk.spans = append(tk.spans, s)
+	return s
+}
+
 // Spans returns the track's spans in start order (parents before
 // children). Nil-safe.
 func (tk *Track) Spans() []*Span {

@@ -1,30 +1,36 @@
 #!/usr/bin/env bash
-# bench.sh — run the hot-path micro-benchmarks and emit BENCH_pr2.json.
+# bench.sh — run the hot-path micro-benchmarks and emit BENCH_pr5.json.
 #
 # The JSON has two sections:
-#   "baseline" — the pre-optimization numbers committed in
-#                scripts/bench_baseline_pr2.json (pointer-keyed maps,
-#                per-iteration allocation), kept for the perf trajectory;
+#   "baseline" — the pre-change numbers committed in
+#                scripts/bench_baseline_pr5.json (serial branch-and-bound,
+#                serial pass 1), kept for the perf trajectory;
 #   "current"  — this run of BenchmarkPartitionSearch,
-#                BenchmarkCostPropagation and BenchmarkSimulate
+#                BenchmarkCostPropagation, BenchmarkSimulate,
+#                BenchmarkPartitionSearchParallel/{serial,w1,w2,w4,w8} and
+#                BenchmarkCompile/{serial,w8}
 #                (ns/op, B/op, allocs/op, plus reported metrics such as
 #                search_nodes and sim_instructions).
+#
+# Parallel-search scaling is only visible with GOMAXPROCS > 1; on a
+# single-core runner the wN sub-benchmarks measure the live shared-bound
+# pruning win plus coordination overhead.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s COUNT=1 scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr2.json}
+out=${1:-BENCH_pr5.json}
 benchtime=${BENCHTIME:-2s}
 count=${COUNT:-1}
-baseline=scripts/bench_baseline_pr2.json
+baseline=scripts/bench_baseline_pr5.json
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench '^(BenchmarkPartitionSearch|BenchmarkCostPropagation|BenchmarkSimulate)$' \
+    -bench '^(BenchmarkPartitionSearch|BenchmarkCostPropagation|BenchmarkSimulate|BenchmarkPartitionSearchParallel|BenchmarkCompile)$' \
     -benchmem -benchtime "$benchtime" -count "$count" . | tee "$tmp"
 
 # Parse `BenchmarkName-8  N  v1 unit1  v2 unit2 ...` lines into a JSON
@@ -60,7 +66,7 @@ fi
 
 {
     echo '{'
-    echo '  "benchmarks": ["BenchmarkPartitionSearch", "BenchmarkCostPropagation", "BenchmarkSimulate"],'
+    echo '  "benchmarks": ["BenchmarkPartitionSearch", "BenchmarkCostPropagation", "BenchmarkSimulate", "BenchmarkPartitionSearchParallel", "BenchmarkCompile"],'
     echo "  \"baseline\": $(echo "$base" | sed 's/^/  /' | sed '1s/^  //'),"
     echo "  \"current\": $(echo "$current" | sed 's/^/  /' | sed '1s/^  //')"
     echo '}'
