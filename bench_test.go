@@ -557,6 +557,62 @@ func BenchmarkSimulate(b *testing.B) {
 	b.ReportMetric(float64(ops), "sim_instructions")
 }
 
+// BenchmarkSimulateTree measures the same simulation on the reference
+// tree-walking interpreter (the bytecode engine's differential oracle);
+// the ratio to BenchmarkSimulate is the bytecode engine's speedup.
+func BenchmarkSimulateTree(b *testing.B) {
+	res := compiled(b, "gap", core.LevelBest)
+	opt := sptc.SimulationOptions(res)
+	opt.Out = io.Discard
+	opt.Engine = machine.EngineTree
+	cfg := machine.DefaultConfig()
+	var ops int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := machine.Run(res.Prog, cfg, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = sim.Ops
+	}
+	b.ReportMetric(float64(ops), "sim_instructions")
+}
+
+// BenchmarkRunBatch measures the batched entry point over the whole
+// benchmark suite at the best level: one RunBatch call simulates every
+// program on worker-owned pooled engines. The w1/wmax pair separates
+// single-stream engine speed from the scheduler's scaling; lowered
+// programs are cached across iterations, as in a sweep.
+func BenchmarkRunBatch(b *testing.B) {
+	var jobs []machine.BatchJob
+	for _, bench := range benchprog.Suite() {
+		res := compiled(b, bench.Name, core.LevelBest)
+		opt := sptc.SimulationOptions(res)
+		opt.Out = io.Discard
+		jobs = append(jobs, machine.BatchJob{Prog: res.Prog, Config: machine.DefaultConfig(), Opt: opt})
+	}
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{
+		{"w1", 1}, {"wmax", 0},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var ops int64
+			for i := 0; i < b.N; i++ {
+				ops = 0
+				for _, r := range machine.RunBatch(jobs, machine.BatchOptions{Workers: c.workers}) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+					ops += r.Res.Ops
+				}
+			}
+			b.ReportMetric(float64(ops), "sim_instructions")
+		})
+	}
+}
+
 func BenchmarkCostModelEvaluate(b *testing.B) {
 	g, m := ablationLoopGraph(b)
 	pre := map[*ir.Stmt]bool{}

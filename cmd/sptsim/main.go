@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	sptsim [-level best] [-compare] [-quiet] file.spl
+//	sptsim [-level best] [-engine bytecode|tree] [-compare] [-quiet] file.spl
 package main
 
 import (
@@ -35,6 +35,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		level    = fs.String("level", "best", "compilation level: base|basic|best|anticipated")
+		engine   = fs.String("engine", "bytecode", "simulation engine: bytecode|tree (bit-identical results)")
 		compare  = fs.Bool("compare", false, "also simulate the base compilation and report speedup")
 		quiet    = fs.Bool("quiet", false, "suppress program output")
 		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON trace to `file`")
@@ -55,6 +56,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	lvl, ok := cliutil.ParseLevel(*level, true)
 	if !ok {
 		fmt.Fprintf(stderr, "sptsim: unknown level %q\n", *level)
+		return 2
+	}
+	eng, ok := cliutil.ParseEngine(*engine)
+	if !ok {
+		fmt.Fprintf(stderr, "sptsim: unknown engine %q\n", *engine)
 		return 2
 	}
 
@@ -108,27 +114,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	simOpt.Out = out
 	simOpt.Trace = tk
 	simOpt.Context = ctx
-	sim, err := machine.Run(res.Prog, sptc.DefaultMachineConfig(), simOpt)
-	if err != nil {
-		fmt.Fprintf(stderr, "sptsim: %v\n", err)
-		return 1
-	}
+	simOpt.Engine = eng
 
-	fmt.Fprintf(stdout, "level=%s cycles=%.0f instructions=%d ipc=%.2f branches=%d mispredicts=%d mem-accesses=%d\n",
-		lvl, sim.Cycles, sim.Ops, sim.IPC(), sim.BranchLookups, sim.BranchMisses, sim.MemAccesses)
-
-	var ids []int
-	for id := range sim.Loops {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		ls := sim.Loops[id]
-		fmt.Fprintf(stdout, "  SPT loop %d: invocations=%d iterations=%d speculative=%d misspeculated=%d reexec-ratio=%.3f loop-speedup=%.2fx\n",
-			id, ls.Invocations, ls.Iterations, ls.SpecIters, ls.MisspecIters, ls.ReexecRatio(), ls.LoopSpeedup())
-	}
-
-	if *compare && lvl != sptc.LevelBase {
+	// The level simulation and the -compare base simulation are
+	// independent jobs; RunBatch runs them concurrently on pooled
+	// engines (a single job degenerates to one worker).
+	jobs := []machine.BatchJob{{Prog: res.Prog, Config: sptc.DefaultMachineConfig(), Opt: simOpt}}
+	withBase := *compare && lvl != sptc.LevelBase
+	if withBase {
 		bopt := core.DefaultOptions(core.LevelBase)
 		var btk *trace.Track
 		if tr != nil {
@@ -145,11 +138,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baseOpt.Out = io.Discard
 		baseOpt.Trace = btk
 		baseOpt.Context = ctx
-		baseSim, err := machine.Run(baseRes.Prog, sptc.DefaultMachineConfig(), baseOpt)
-		if err != nil {
+		baseOpt.Engine = eng
+		jobs = append(jobs, machine.BatchJob{Prog: baseRes.Prog, Config: sptc.DefaultMachineConfig(), Opt: baseOpt})
+	}
+	results := machine.RunBatch(jobs, machine.BatchOptions{Context: ctx})
+	if err := results[0].Err; err != nil {
+		fmt.Fprintf(stderr, "sptsim: %v\n", err)
+		return 1
+	}
+	sim := results[0].Res
+
+	fmt.Fprintf(stdout, "level=%s cycles=%.0f instructions=%d ipc=%.2f branches=%d mispredicts=%d mem-accesses=%d\n",
+		lvl, sim.Cycles, sim.Ops, sim.IPC(), sim.BranchLookups, sim.BranchMisses, sim.MemAccesses)
+
+	var ids []int
+	for id := range sim.Loops {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ls := sim.Loops[id]
+		fmt.Fprintf(stdout, "  SPT loop %d: invocations=%d iterations=%d speculative=%d misspeculated=%d reexec-ratio=%.3f loop-speedup=%.2fx\n",
+			id, ls.Invocations, ls.Iterations, ls.SpecIters, ls.MisspecIters, ls.ReexecRatio(), ls.LoopSpeedup())
+	}
+
+	if withBase {
+		if err := results[1].Err; err != nil {
 			fmt.Fprintf(stderr, "sptsim: base simulate: %v\n", err)
 			return 1
 		}
+		baseSim := results[1].Res
 		fmt.Fprintf(stdout, "base cycles=%.0f speedup=%.3fx (%.1f%%)\n",
 			baseSim.Cycles, baseSim.Cycles/sim.Cycles, (baseSim.Cycles/sim.Cycles-1)*100)
 	}

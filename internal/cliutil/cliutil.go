@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sptc/internal/core"
+	"sptc/internal/machine"
 	"sptc/internal/resilience"
 	"sptc/internal/trace"
 )
@@ -149,6 +150,20 @@ func (r *Resilience) Context() (context.Context, context.CancelFunc) {
 		return context.WithTimeout(context.Background(), r.Timeout)
 	}
 	return context.Background(), func() {}
+}
+
+// ParseEngine maps the CLI -engine names to simulator engine kinds; ok
+// is false for an unknown name. The two engines are bit-identical in
+// results; "tree" keeps the reference walker reachable for differential
+// debugging and timing comparisons.
+func ParseEngine(name string) (machine.EngineKind, bool) {
+	switch name {
+	case "bytecode":
+		return machine.EngineBytecode, true
+	case "tree":
+		return machine.EngineTree, true
+	}
+	return 0, false
 }
 
 // ParseLevel maps the CLI level names to core levels; ok is false for an

@@ -13,14 +13,13 @@ import (
 	"sptc/internal/ssa"
 )
 
-// runSimulator compiles nothing; it executes an already-compiled program
-// on the machine simulator with speculation enabled for every loop the
-// compiler transformed, and returns the printed output plus stats.
-func runSimulator(tb testing.TB, res *core.Result, src string, level core.Level) (string, *machine.Result) {
-	tb.Helper()
+// simRunOptions builds RunOptions activating speculation for every loop
+// the compiler transformed.
+func simRunOptions(res *core.Result, engine machine.EngineKind) machine.RunOptions {
 	ro := machine.RunOptions{
 		SPTHeaders: map[*ir.Block]int{},
 		LoopBlocks: map[*ir.Block]map[*ir.Block]bool{},
+		Engine:     engine,
 	}
 	for _, sl := range res.SPT {
 		dom := ssa.BuildDomTree(sl.Func)
@@ -36,6 +35,15 @@ func runSimulator(tb testing.TB, res *core.Result, src string, level core.Level)
 		}
 		ro.LoopBlocks[sl.Header] = set
 	}
+	return ro
+}
+
+// runSimulator compiles nothing; it executes an already-compiled program
+// on the machine simulator with speculation enabled for every loop the
+// compiler transformed, and returns the printed output plus stats.
+func runSimulator(tb testing.TB, res *core.Result, src string, level core.Level, engine machine.EngineKind) (string, *machine.Result) {
+	tb.Helper()
+	ro := simRunOptions(res, engine)
 	var simOut strings.Builder
 	ro.Out = &simOut
 	stats, err := machine.Run(res.Prog, machine.DefaultConfig(), ro)
@@ -82,9 +90,34 @@ func checkDifferential(tb testing.TB, src string) {
 			tb.Fatalf("%s interp diverged:\nwant %q\ngot  %q\n%s", level, want.String(), got.String(), src)
 		}
 
-		simOut, _ := runSimulator(tb, res, src, level)
+		simOut, bcStats := runSimulator(tb, res, src, level, machine.EngineBytecode)
 		if simOut != want.String() {
 			tb.Fatalf("%s simulator diverged:\nwant %q\ngot  %q\n%s", level, want.String(), simOut, src)
+		}
+
+		// The reference tree-walker must agree with the bytecode engine
+		// bit for bit: same bytes printed, same cycle count (exact float
+		// equality), same dynamic instruction, branch, and memory
+		// counters. This is the fuzzed arm of the engine-fidelity oracle
+		// (TestEngineFidelity covers the benchmark suite).
+		treeOut, treeStats := runSimulator(tb, res, src, level, machine.EngineTree)
+		if treeOut != simOut {
+			tb.Fatalf("%s engines printed different output:\nbytecode %q\ntree     %q\n%s", level, simOut, treeOut, src)
+		}
+		if bcStats.Cycles != treeStats.Cycles || bcStats.Ops != treeStats.Ops ||
+			bcStats.BranchLookups != treeStats.BranchLookups || bcStats.BranchMisses != treeStats.BranchMisses ||
+			bcStats.MemAccesses != treeStats.MemAccesses {
+			tb.Fatalf("%s engine counters diverged:\nbytecode cycles=%v ops=%d branches=%d/%d mem=%d\ntree     cycles=%v ops=%d branches=%d/%d mem=%d\n%s",
+				level,
+				bcStats.Cycles, bcStats.Ops, bcStats.BranchLookups, bcStats.BranchMisses, bcStats.MemAccesses,
+				treeStats.Cycles, treeStats.Ops, treeStats.BranchLookups, treeStats.BranchMisses, treeStats.MemAccesses,
+				src)
+		}
+		for id, bls := range bcStats.Loops {
+			tls := treeStats.Loops[id]
+			if tls == nil || *bls != *tls {
+				tb.Fatalf("%s loop %d stats diverged:\nbytecode %+v\ntree     %+v\n%s", level, id, bls, tls, src)
+			}
 		}
 	}
 }
@@ -103,6 +136,156 @@ func TestFuzzPipelineSemantics(t *testing.T) {
 			t.Parallel()
 			checkDifferential(t, splgen.Generate(seed))
 		})
+	}
+}
+
+// TestDifferentialEdgeCases routes hand-written programs through the
+// same oracle, targeting corners the random generator rarely reaches:
+// the integer/float builtins, int<->float casts, shift counts at and
+// past the 63-bit mask (both simulators compute x << uint(y&63), so a
+// count of 64 must behave as 0 and -1 as 63 everywhere), truncating
+// division and remainder with negative operands and constant divisors
+// (the bytecode engine fuses those), and returns executed from inside
+// an SPT loop body, which exit through the misspeculation-safe
+// return-through-loop path on both legs.
+func TestDifferentialEdgeCases(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"builtins", `
+func main() {
+	var i int = 0;
+	var acc int = 0;
+	var f float = 0.0;
+	while (i < 200) {
+		acc = acc + imin(i, 100 - i) + imax(0 - i, i % 17) + iabs(50 - i);
+		f = f + fmin(float(i), 31.5) + fmax(f * 0.001, fabs(float(10 - i))) + fsqrt(float(i) + 0.25);
+		i = i + 1;
+	}
+	print(acc);
+	print(int(f));
+}
+`},
+		{"casts", `
+func main() {
+	var i int = 0;
+	var s int = 0;
+	var g float = 1.0;
+	while (i < 300) {
+		var x float = float(i * 7 - 1000);
+		s = s + int(x / 3.0) + int(g);
+		g = g + x * 0.125 - float(int(g) % 13);
+		i = i + 1;
+	}
+	print(s);
+	print(int(g * 0.001));
+}
+`},
+		{"shift-masking", `
+func main() {
+	var i int = 0;
+	var h int = 1;
+	var neg int = 0 - 1;
+	while (i < 256) {
+		h = h + (1 << (i & 63)) % 1000003;
+		h = h + ((h >> (i % 70)) & 255);
+		h = h + (i << 62) % 997;
+		h = h + ((h ^ i) >> neg);
+		i = i + 1;
+	}
+	print(h);
+}
+`},
+		{"div-rem", `
+func main() {
+	var i int = 1;
+	var s int = 0;
+	while (i < 400) {
+		var x int = i * 37 - 3000;
+		s = s + x / 7 + x % 7 + x / (0 - 5) + x % (0 - 5);
+		s = s + (x * x) / (i + 1);
+		i = i + 1;
+	}
+	print(s);
+}
+`},
+		{"return-through-loop", `
+func scan(limit int) int {
+	var i int = 0;
+	var acc int = 0;
+	while (i < 100000) {
+		acc = acc + (i * i) % 101;
+		if (acc > limit) {
+			return acc * 2 + i;
+		}
+		i = i + 1;
+	}
+	return 0 - acc;
+}
+
+func main() {
+	var k int = 0;
+	var total int = 0;
+	while (k < 50) {
+		total = (total + scan(k * 37 + 10)) % 1000003;
+		k = k + 1;
+	}
+	print(total);
+}
+`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			checkDifferential(t, tc.src)
+		})
+	}
+}
+
+// TestFsqrtNegativeErrorParity pins runtime-error behavior: when the
+// program eventually takes fsqrt of a negative value, the interpreter
+// and both simulator engines must all fail (no engine may silently keep
+// running), and the two simulator engines must report the identical
+// error. The SPT levels cannot compile an erroring program at all —
+// the profiling interpretation runs it to completion and surfaces the
+// same failure at compile time — so the simulators execute the base
+// compilation here; the builtin error path is level-independent.
+func TestFsqrtNegativeErrorParity(t *testing.T) {
+	src := `
+func main() {
+	var i int = 0;
+	var f float = 100.0;
+	while (i < 500) {
+		f = f - float(i);
+		f = f + fsqrt(f) * 0.25;
+		i = i + 1;
+	}
+	print(f);
+}
+`
+	baseRes, err := core.CompileSource("edge.spl", src, core.DefaultOptions(core.LevelBase))
+	if err != nil {
+		t.Fatalf("base compile: %v", err)
+	}
+	var sink strings.Builder
+	if _, err := interp.New(baseRes.Prog, &sink).Run(); err == nil || !strings.Contains(err.Error(), "fsqrt of negative value") {
+		t.Fatalf("interp error = %v, want fsqrt-of-negative failure", err)
+	}
+
+	errText := map[machine.EngineKind]string{}
+	for _, engine := range []machine.EngineKind{machine.EngineBytecode, machine.EngineTree} {
+		ro := simRunOptions(baseRes, engine)
+		ro.Out = &sink
+		_, err := machine.Run(baseRes.Prog, machine.DefaultConfig(), ro)
+		if err == nil || !strings.Contains(err.Error(), "fsqrt of negative value") {
+			t.Fatalf("%v simulate error = %v, want fsqrt-of-negative failure", engine, err)
+		}
+		errText[engine] = err.Error()
+	}
+	if errText[machine.EngineBytecode] != errText[machine.EngineTree] {
+		t.Fatalf("engines report different errors:\nbytecode %q\ntree     %q",
+			errText[machine.EngineBytecode], errText[machine.EngineTree])
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"sptc/internal/core"
 	"sptc/internal/interp"
+	"sptc/internal/machine"
 )
 
 // misspecSrc is built to defeat speculation part of the time: each
@@ -55,7 +56,7 @@ func TestDifferentialMisspeculation(t *testing.T) {
 		t.Fatalf("base run: %v", err)
 	}
 
-	out, stats := runSimulator(t, res, misspecSrc, core.LevelBest)
+	out, stats := runSimulator(t, res, misspecSrc, core.LevelBest, machine.EngineBytecode)
 	if out != want.String() {
 		t.Fatalf("simulator diverged:\nwant %q\ngot  %q", want.String(), out)
 	}

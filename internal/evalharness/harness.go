@@ -118,6 +118,10 @@ type Options struct {
 	// Context cancels the whole suite (a hard abort, unlike the per-job
 	// Timeout). Nil means context.Background().
 	Context context.Context
+	// Engine selects the simulator's execution engine (the bytecode
+	// engine by default; machine.EngineTree runs the reference
+	// tree-walker). Results are bit-identical between the two.
+	Engine machine.EngineKind
 }
 
 // DefaultEvalOptions returns the paper's evaluation setup.
@@ -212,6 +216,10 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one simulation engine, so the expensive
+			// per-run machine state (memory image, cache and predictor
+			// tables, frame pools) is pooled across the jobs it executes.
+			eng := machine.NewEngine()
 			for ji := range ch {
 				if failed.Load() {
 					continue
@@ -220,11 +228,11 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 				b := benches[j.benchIdx]
 				var err error
 				if j.levelIdx < 0 {
-					err = runBase(b, opt, cache, bases[j.benchIdx], suite.Runs[j.benchIdx], logger)
+					err = runBase(b, opt, cache, eng, bases[j.benchIdx], suite.Runs[j.benchIdx], logger)
 				} else {
 					lvl := opt.Levels[j.levelIdx]
 					tk := levelTracks[j.benchIdx][j.levelIdx]
-					levelRuns[j.benchIdx][j.levelIdx], err = runLevel(b, lvl, opt, cache, bases[j.benchIdx], tk, logger)
+					levelRuns[j.benchIdx][j.levelIdx], err = runLevel(b, lvl, opt, cache, eng, bases[j.benchIdx], tk, logger)
 				}
 				if err != nil {
 					errs[ji] = fmt.Errorf("%s: %w", b.Name, err)
@@ -288,7 +296,7 @@ type baseRun struct {
 	err     error
 }
 
-func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, logger *safeLogger) error {
+func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, eng *machine.Engine, logger *safeLogger) error {
 	br.once.Do(func() {
 		err := runJob(opt, &br.retried, func(ctx context.Context) error {
 			copt := core.DefaultOptions(core.LevelBase)
@@ -300,7 +308,7 @@ func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, 
 			}
 			var out captureWriter
 			start := time.Now()
-			sim, err := machine.Run(res.Prog, opt.Machine, machine.RunOptions{Out: &out, Trace: br.track, Context: ctx})
+			sim, err := eng.Run(res.Prog, opt.Machine, machine.RunOptions{Out: &out, Trace: br.track, Context: ctx, Engine: opt.Engine})
 			if err != nil {
 				return fmt.Errorf("base simulate: %w", err)
 			}
@@ -326,8 +334,8 @@ func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, 
 // runBase fills a benchmark's base reference fields and the Figure 16
 // maximum-coverage measurement. Only this job touches the base program's
 // IR, so the coverage simulation never races with the level jobs.
-func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, br *baseRun, run *BenchmarkRun, logger *safeLogger) error {
-	err := br.get(b, opt, cache, logger)
+func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, eng *machine.Engine, br *baseRun, run *BenchmarkRun, logger *safeLogger) error {
+	err := br.get(b, opt, cache, eng, logger)
 	run.BaseStatus = br.status
 	run.BaseErr = br.err
 	if br.status != StatusOK {
@@ -349,8 +357,9 @@ func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, br *baseRu
 	covOpt.Trace = br.track
 	covOpt.TraceName = "coverage"
 	covOpt.Context = opt.Context
+	covOpt.Engine = opt.Engine
 	if len(sizes) > 0 {
-		covSim, err := machine.Run(br.res.Prog, opt.Machine, covOpt)
+		covSim, err := eng.Run(br.res.Prog, opt.Machine, covOpt)
 		if err != nil {
 			return fmt.Errorf("coverage simulate: %w", err)
 		}
@@ -366,8 +375,8 @@ func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, br *baseRu
 // runLevel compiles and simulates one benchmark at one level, recording
 // the job's span tree on its dedicated track. Panics and per-job
 // timeouts mark the returned LevelRun instead of failing the suite.
-func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *CompileCache, br *baseRun, tk *trace.Track, logger *safeLogger) (*LevelRun, error) {
-	if err := br.get(b, opt, cache, logger); err != nil && br.status == StatusOK {
+func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *CompileCache, eng *machine.Engine, br *baseRun, tk *trace.Track, logger *safeLogger) (*LevelRun, error) {
+	if err := br.get(b, opt, cache, eng, logger); err != nil && br.status == StatusOK {
 		return nil, err
 	}
 	lr := &LevelRun{Level: level}
@@ -386,10 +395,11 @@ func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *Compi
 		simOpt := simulationOptions(res)
 		simOpt.Trace = tk
 		simOpt.Context = ctx
+		simOpt.Engine = opt.Engine
 		var out captureWriter
 		simOpt.Out = &out
 		start := time.Now()
-		sim, err := machine.Run(res.Prog, opt.Machine, simOpt)
+		sim, err := eng.Run(res.Prog, opt.Machine, simOpt)
 		if err != nil {
 			return fmt.Errorf("%s simulate: %w", level, err)
 		}

@@ -432,11 +432,15 @@ func (p *Program) FuncByName(name string) *Func { return p.byName[name] }
 func (p *Program) GlobalByName(name string) *Global { return p.gByNm[name] }
 
 // Layout assigns flat memory addresses to all globals and returns the
-// total memory size in words.
+// total memory size in words. Redundant writes are skipped, so once a
+// program is laid out (and no globals were added since) Layout is a
+// read-only pass and safe to call from concurrent simulations.
 func (p *Program) Layout() int {
 	addr := 0
 	for _, g := range p.Globals {
-		g.Addr = addr
+		if g.Addr != addr {
+			g.Addr = addr
+		}
 		addr += g.Size
 	}
 	return addr

@@ -1,17 +1,28 @@
 package machine
 
-// cacheLevel is one set-associative level with LRU replacement.
+// cacheLevel is one set-associative level with LRU replacement. Each
+// way packs its tag (high 32 bits) and last-use stamp (low 32 bits)
+// into one word, stored flat (sets x assoc), so an access walks a
+// single contiguous run of memory. 32-bit fields suffice: a tag
+// collision would need a simulated memory beyond 2^31 words and a
+// stamp wrap 2^31 accesses in one run, neither of which is reachable,
+// and both engines share this model so they stay bit-identical
+// regardless.
 type cacheLevel struct {
 	sets     int
+	setMask  int64 // sets-1 when sets is a power of two, else -1
 	assoc    int
 	lineBits uint
 	lat      float64
-	tags     [][]int64 // tag per way, -1 = invalid
-	lru      [][]int64 // last-use stamp per way
-	stamp    int64
+	meta     []uint64 // tag<<32 | stamp per (set, way); tag ^uint32(0) = invalid
+	stamp    uint32
 
 	hits, misses int64
 }
+
+// invalidWay has a tag (all-ones) that no real line produces, since
+// tags come from non-negative line numbers below 2^31.
+const invalidWay = uint64(0xffffffff) << 32
 
 func newCacheLevel(words, assoc, lineWords int, lat float64) *cacheLevel {
 	lineBits := uint(0)
@@ -23,43 +34,101 @@ func newCacheLevel(words, assoc, lineWords int, lat float64) *cacheLevel {
 	if sets < 1 {
 		sets = 1
 	}
-	c := &cacheLevel{sets: sets, assoc: assoc, lineBits: lineBits, lat: lat}
-	c.tags = make([][]int64, sets)
-	c.lru = make([][]int64, sets)
-	for i := range c.tags {
-		c.tags[i] = make([]int64, assoc)
-		c.lru[i] = make([]int64, assoc)
-		for w := range c.tags[i] {
-			c.tags[i][w] = -1
-		}
+	c := &cacheLevel{sets: sets, setMask: -1, assoc: assoc, lineBits: lineBits, lat: lat}
+	if sets&(sets-1) == 0 {
+		c.setMask = int64(sets - 1)
+	}
+	c.meta = make([]uint64, sets*assoc)
+	for i := range c.meta {
+		c.meta[i] = invalidWay
 	}
 	return c
+}
+
+// reset restores the level to its post-construction state (all ways
+// invalid, stamps and counters zero) so a pooled engine can reuse the
+// allocation with cold-cache behavior identical to a fresh level.
+func (c *cacheLevel) reset() {
+	for i := range c.meta {
+		c.meta[i] = invalidWay
+	}
+	c.stamp = 0
+	c.hits, c.misses = 0, 0
 }
 
 // access looks up the line holding addr, filling it on miss. Returns
 // whether it hit.
 func (c *cacheLevel) access(addr int) bool {
 	line := int64(addr) >> c.lineBits
-	set := int(line % int64(c.sets))
+	var set int
+	if c.setMask >= 0 {
+		set = int(line & c.setMask)
+	} else {
+		set = int(line % int64(c.sets))
+	}
 	c.stamp++
-	ways := c.tags[set]
-	for w, t := range ways {
-		if t == line {
-			c.lru[set][w] = c.stamp
+	base := set * c.assoc
+	tag := uint64(uint32(line)) << 32
+	if c.assoc == 4 {
+		// The default L1 (which absorbs nearly every access) is 4-way:
+		// a fixed-size view drops the bounds checks and loop overhead
+		// from the sweep. Semantics are identical to the generic path.
+		w := (*[4]uint64)(c.meta[base : base+4 : base+4])
+		if w[0]&invalidWay == tag {
+			w[0] = tag | uint64(c.stamp)
+			c.hits++
+			return true
+		}
+		if w[1]&invalidWay == tag {
+			w[1] = tag | uint64(c.stamp)
+			c.hits++
+			return true
+		}
+		if w[2]&invalidWay == tag {
+			w[2] = tag | uint64(c.stamp)
+			c.hits++
+			return true
+		}
+		if w[3]&invalidWay == tag {
+			w[3] = tag | uint64(c.stamp)
+			c.hits++
+			return true
+		}
+		victim, minStamp := 0, uint32(w[0])
+		if st := uint32(w[1]); st < minStamp {
+			victim, minStamp = 1, st
+		}
+		if st := uint32(w[2]); st < minStamp {
+			victim, minStamp = 2, st
+		}
+		if st := uint32(w[3]); st < minStamp {
+			victim = 3
+		}
+		c.misses++
+		w[victim] = tag | uint64(c.stamp)
+		return false
+	}
+	ways := c.meta[base : base+c.assoc]
+	for w, m := range ways {
+		if m&invalidWay == tag {
+			ways[w] = tag | uint64(c.stamp)
 			c.hits++
 			return true
 		}
 	}
-	c.misses++
-	// Fill: evict LRU way.
+	// Miss: the victim is the lowest-indexed way with the minimal stamp.
+	// Scanning for it only here keeps the (dominant) hit path to a single
+	// sweep. Stamps sit in the low bits, so comparing the full packed
+	// words would order by tag first; mask them out.
 	victim := 0
-	for w := 1; w < c.assoc; w++ {
-		if c.lru[set][w] < c.lru[set][victim] {
-			victim = w
+	minStamp := uint32(ways[0])
+	for w := 1; w < len(ways); w++ {
+		if s := uint32(ways[w]); s < minStamp {
+			victim, minStamp = w, s
 		}
 	}
-	ways[victim] = line
-	c.lru[set][victim] = c.stamp
+	c.misses++
+	ways[victim] = tag | uint64(c.stamp)
 	return false
 }
 
@@ -77,6 +146,14 @@ func newHierarchy(cfg Config) *hierarchy {
 		l3:     newCacheLevel(cfg.L3Words, cfg.L3Assoc, cfg.LineWords, cfg.L3Lat),
 		memLat: cfg.MemLat,
 	}
+}
+
+// reset cold-clears all three levels and the memory-access counter.
+func (h *hierarchy) reset() {
+	h.l1.reset()
+	h.l2.reset()
+	h.l3.reset()
+	h.memAccess = 0
 }
 
 // load returns the latency of a load from addr.
@@ -124,6 +201,12 @@ func newPredictor(entries int) *branchPredictor {
 		n <<= 1
 	}
 	return &branchPredictor{table: make([]uint8, n), mask: n - 1}
+}
+
+// reset clears the counters to the strongly-not-taken initial state.
+func (bp *branchPredictor) reset() {
+	clear(bp.table)
+	bp.lookups, bp.misses = 0, 0
 }
 
 // predict consults and updates the counter for site; returns true when

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"sptc/internal/interp"
 	"sptc/internal/ir"
@@ -102,6 +103,33 @@ type RunOptions struct {
 	// Context, when set, cancels the simulation cooperatively: it is
 	// polled every ctxPollSteps simulated statements.
 	Context context.Context
+	// Engine selects the execution engine: the compile-once bytecode
+	// engine (EngineBytecode, the default) or the reference tree-walking
+	// interpreter (EngineTree). The two are bit-identical — same output
+	// bytes, cycles, op counts and fidelity counters; the tree walker is
+	// kept as the differential oracle for the bytecode engine.
+	Engine EngineKind
+}
+
+// EngineKind selects the simulator's execution engine.
+type EngineKind uint8
+
+const (
+	// EngineBytecode executes functions lowered to flat bytecode, cached
+	// per (program, config). The default.
+	EngineBytecode EngineKind = iota
+	// EngineTree executes the reference tree-walking interpreter.
+	EngineTree
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineBytecode:
+		return "bytecode"
+	case EngineTree:
+		return "tree"
+	}
+	return fmt.Sprintf("EngineKind(%d)", uint8(k))
 }
 
 // ctxPollSteps is how often (in simulated statements) the simulator
@@ -225,6 +253,20 @@ type sim struct {
 	phiTaints []bool
 	argBuf    []Value // stack-discipline scratch for call arguments
 
+	// Bytecode engine state (see bytecode.go / bcexec.go).
+	low    *loweredProg // non-nil: execute lowered bytecode instead of walking the IR
+	vstack []tval       // operand stack, stack-disciplined across nested calls
+	// sptID is the dense form of RunOptions.SPTHeaders, indexed by the
+	// lowered function's block numbering (instr.b), so block entry tests
+	// a slice instead of a map. -1 marks a non-header block.
+	sptID map[*ir.Func][]int32
+	// Dense form of the active SPT leg's stop predicate (stop fires when
+	// control reaches stopHdr or leaves the loop's block set), so the hot
+	// jump path tests a slice instead of calling a closure over a map.
+	stopHdr     *ir.Block
+	stopIn      []bool               // by the loop function's dense block index
+	inLoopDense map[*ir.Block][]bool // per-run cache, keyed by loop header
+
 	// loop attribution
 	attr      map[*ir.Block]int
 	attrStack []attrEntry
@@ -287,91 +329,28 @@ func (s *sim) bp() *branchPredictor {
 	return s.bpM
 }
 
-// Run simulates the program to completion.
+// enginePool recycles engines for the one-shot Run API, so even callers
+// that never hold an Engine amortize the per-run machine state (memory
+// image, cache and predictor tables, frame pools, operand stacks).
+// Engine.reset re-establishes run-fresh semantics, so pooled and fresh
+// engines produce bit-identical results (TestEngineFidelity covers the
+// reuse path explicitly).
+var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+
+// Run simulates the program to completion on a pooled engine. Callers
+// with many independent simulations should use an Engine (or RunBatch),
+// which pins the pooled per-run machine state to a worker; the results
+// are identical either way.
 func Run(prog *ir.Program, cfg Config, opt RunOptions) (*Result, error) {
-	if opt.Out == nil {
-		opt.Out = io.Discard
-	}
-	name := opt.TraceName
-	if name == "" {
-		name = "simulate"
-	}
-	sp := opt.Trace.Start(name)
-	defer sp.End()
-	if err := injectRun.Fire(opt.Context); err != nil {
-		sp.Str("error", err.Error())
-		return nil, err
-	}
-	if opt.Context != nil {
-		if err := opt.Context.Err(); err != nil {
-			sp.Str("error", err.Error())
-			return nil, err
-		}
-	}
-	s := &sim{
-		cfg:        cfg,
-		prog:       prog,
-		ctx:        opt.Context,
-		mem:        make([]Value, prog.Layout()),
-		hier:       newHierarchy(cfg),
-		bpM:        newPredictor(cfg.PredictorEntries),
-		bpS:        newPredictor(cfg.PredictorEntries),
-		out:        opt.Out,
-		spt:        opt.SPTHeaders,
-		loopBlocks: opt.LoopBlocks,
-		loops:      make(map[int]*LoopStats),
-		framePool:  make(map[*ir.Func]*framePoolEntry),
-		attr:       opt.AttributeLoops,
-		attrCyc:    make(map[int]float64),
-	}
-	for _, g := range prog.Globals {
-		if !g.IsArray() {
-			if g.Elem == ir.ValFloat {
-				s.mem[g.Addr] = Value{F: g.InitF}
-			} else {
-				s.mem[g.Addr] = Value{I: g.InitInt}
-			}
-		}
-	}
-	if prog.Main == nil {
-		return nil, errors.New("machine: program has no main")
-	}
-	if _, err := s.call(prog.Main, nil, 0); err != nil {
-		sp.Str("error", err.Error())
-		return nil, err
-	}
-	s.flushAttr()
-	res := &Result{
-		Cycles:        s.cycles,
-		Ops:           s.ops,
-		Loops:         s.loops,
-		CyclesByLoop:  s.attrCyc,
-		BranchLookups: s.bpM.lookups + s.bpS.lookups,
-		BranchMisses:  s.bpM.misses + s.bpS.misses,
-		MemAccesses:   s.hier.memAccess,
-	}
-	if sp != nil {
-		var forks, kills, specIters, misspecIters int64
-		for _, ls := range res.Loops {
-			forks += ls.Forks
-			kills += ls.Kills
-			specIters += ls.SpecIters
-			misspecIters += ls.MisspecIters
-		}
-		sp.Int("sim_instructions", res.Ops).
-			Float("cycles", res.Cycles).
-			Int("forks", forks).
-			Int("kills", kills).
-			Int("spec_iters", specIters).
-			Int("misspec_iters", misspecIters).
-			Int("branch_misses", res.BranchMisses).
-			Int("mem_accesses", res.MemAccesses)
-	}
-	return res, nil
+	e := enginePool.Get().(*Engine)
+	res, err := e.Run(prog, cfg, opt)
+	enginePool.Put(e)
+	return res, err
 }
 
 func (s *sim) call(f *ir.Func, args []Value, depth int) (Value, error) {
-	return s.callTainted(f, args, depth, false)
+	v, _, err := s.callTainted(f, args, depth, false)
+	return v, err
 }
 
 // popAttrFrame drops attribution entries belonging to a returning frame.
@@ -386,10 +365,11 @@ func (s *sim) popAttrFrame(fr *frame) {
 }
 
 type execOutcome struct {
-	ret     bool
-	retVal  Value
-	stopped *ir.Block // set when the stop predicate fired (block not executed)
-	prev    *ir.Block // predecessor on arrival at stopped
+	ret      bool
+	retVal   Value
+	retTaint bool      // the returned value depends on violated speculative state
+	stopped  *ir.Block // set when the stop predicate fired (block not executed)
+	prev     *ir.Block // predecessor on arrival at stopped
 }
 
 // exec runs from blk (entered from prev) until the function returns or
@@ -401,7 +381,7 @@ func (s *sim) exec(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool) (e
 		if id, ok := s.spt[blk]; ok && !s.sptActive {
 			exit, exitPrev, err := s.runSPTLoop(fr, blk, prev, id)
 			if rt, ok := err.(errReturnThroughLoop); ok {
-				return execOutcome{ret: true, retVal: rt.val}, nil
+				return execOutcome{ret: true, retVal: rt.val, retTaint: rt.taint}, nil
 			}
 			if err != nil {
 				return execOutcome{}, err
@@ -434,7 +414,7 @@ func (s *sim) exec(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool) (e
 				vals[i], taints[i] = v, tnt
 			}
 			for i, phi := range phis {
-				s.defineVar(fr, phi, phi.Dst, vals[i], taints[i])
+				s.defineVar(fr, phi.Dst, vals[i], taints[i])
 			}
 		}
 
@@ -458,7 +438,7 @@ func (s *sim) exec(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool) (e
 				}
 				s.cycles += s.cfg.IssueCost
 				s.ops++
-				s.defineVar(fr, st, st.Dst, v, tnt)
+				s.defineVar(fr, st.Dst, v, tnt)
 				s.chargeSpec(st, tnt, c0, o0)
 
 			case ir.StmtStoreG, ir.StmtStoreA:
@@ -501,7 +481,7 @@ func (s *sim) exec(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool) (e
 				s.cycles += s.cfg.IssueCost
 				s.ops++
 				s.chargeSpec(st, tnt, c0, o0)
-				return execOutcome{ret: true, retVal: v}, nil
+				return execOutcome{ret: true, retVal: v, retTaint: tnt}, nil
 
 			case ir.StmtIf:
 				v, tnt, err := s.eval(fr, st, st.RHS)
@@ -526,18 +506,29 @@ func (s *sim) exec(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool) (e
 				prev, blk = blk, blk.Succs[0]
 				goto nextBlock
 
+			// Fork and kill accounting convention: each executes as one
+			// dynamic instruction (ops++) on whichever core runs it, and
+			// both flow through chargeSpec so speculative-leg op counts
+			// (spec.ops) include them. Their cycle overheads are charged
+			// where they take effect: ForkOverhead inside onFork (only
+			// when a fork actually spawns), KillOverhead only on the
+			// non-speculative core (a speculative thread's own kill is
+			// discarded with the thread).
 			case ir.StmtFork:
+				s.ops++
 				if s.forkIter != nil {
 					s.onFork(fr)
 				}
 				// Outside an active main SPT leg (including speculative
-				// legs) the fork is a no-op.
+				// legs) the fork spawns nothing.
+				s.chargeSpec(st, false, c0, o0)
 
 			case ir.StmtKill:
+				s.ops++
 				if s.spec == nil {
 					s.cycles += s.cfg.KillOverhead
 				}
-				s.ops++
+				s.chargeSpec(st, false, c0, o0)
 
 			default:
 				return execOutcome{}, fmt.Errorf("machine: invalid statement kind %s", st.Kind)
@@ -576,20 +567,26 @@ func (s *sim) readVar(fr *frame, v *ir.Var) (Value, bool) {
 	if s.spec == nil {
 		return val, false
 	}
+	return val, s.readVarSpec(fr, v, val)
+}
+
+// readVarSpec is readVar's speculative tail, split out so the common
+// non-speculative read inlines at its call sites.
+func (s *sim) readVarSpec(fr *frame, v *ir.Var, val Value) bool {
 	if fr == s.spec.loopFrame && s.defGen[v.ID] != s.defStamp {
 		var snap Value
 		if s.snapGen[v.Base.ID] == fr.gen {
 			snap = s.snapVals[v.Base.ID]
 		}
 		if snap != val {
-			return val, true // violated: stale context value
+			return true // violated: stale context value
 		}
-		return val, false
+		return false
 	}
-	return val, fr.taint[v.ID] == fr.gen
+	return fr.taint[v.ID] == fr.gen
 }
 
-func (s *sim) defineVar(fr *frame, st *ir.Stmt, v *ir.Var, val Value, tnt bool) {
+func (s *sim) defineVar(fr *frame, v *ir.Var, val Value, tnt bool) {
 	fr.setReg(v, val)
 	if s.spec != nil {
 		if fr == s.spec.loopFrame {
@@ -597,7 +594,6 @@ func (s *sim) defineVar(fr *frame, st *ir.Stmt, v *ir.Var, val Value, tnt bool) 
 		}
 		fr.setTaint(v, tnt)
 	}
-	_ = st
 }
 
 // writeMem stores to memory, maintaining the undo log and speculative
@@ -799,16 +795,19 @@ func (s *sim) evalCall(fr *frame, st *ir.Stmt, o *ir.Op) (Value, bool, error) {
 		argTaint = argTaint || t
 	}
 	s.ops++
-	v, err := s.callTainted(o.Func, s.argBuf[base:], fr.depth+1, argTaint)
+	v, retTaint, err := s.callTainted(o.Func, s.argBuf[base:], fr.depth+1, argTaint)
 	s.argBuf = s.argBuf[:base]
-	return v, argTaint, err
+	return v, argTaint || retTaint, err
 }
 
 // callTainted invokes a function during either normal or speculative
-// execution. Argument taint seeds the callee's parameter taint.
-func (s *sim) callTainted(f *ir.Func, args []Value, depth int, argTaint bool) (Value, error) {
+// execution. Argument taint seeds the callee's parameter taint; the
+// second result is the taint of the returned value, so misspeculation
+// observed inside the callee (e.g. a read of a post-fork-modified
+// global) propagates back to the caller's expression.
+func (s *sim) callTainted(f *ir.Func, args []Value, depth int, argTaint bool) (Value, bool, error) {
 	if depth > 10000 {
-		return Value{}, fmt.Errorf("machine: call stack overflow in %s", f.Name)
+		return Value{}, false, fmt.Errorf("machine: call stack overflow in %s", f.Name)
 	}
 	fr := s.acquireFrame(f, depth)
 	for i, p := range f.Params {
@@ -820,16 +819,16 @@ func (s *sim) callTainted(f *ir.Func, args []Value, depth int, argTaint bool) (V
 		}
 	}
 	s.cycles += s.cfg.CallOverhead
-	out, err := s.exec(fr, f.Entry, nil, nil)
+	out, err := s.execFrom(fr, f.Entry, nil, nil)
 	if err != nil {
-		return Value{}, err
+		return Value{}, false, err
 	}
 	s.popAttrFrame(fr)
 	s.releaseFrame(fr)
 	if !out.ret {
-		return Value{}, fmt.Errorf("machine: %s finished without return", f.Name)
+		return Value{}, false, fmt.Errorf("machine: %s finished without return", f.Name)
 	}
-	return out.retVal, nil
+	return out.retVal, out.retTaint, nil
 }
 
 func (s *sim) evalBuiltin(fr *frame, st *ir.Stmt, o *ir.Op) (Value, bool, error) {

@@ -21,14 +21,17 @@ type iterRun struct {
 }
 
 // ensureSpecMem lazily allocates the address-indexed speculative buffers
-// (undo log, write-set, write taint) at the first fork.
+// (undo log, write-set, write taint) at the first fork. A pooled engine
+// may carry buffers from a smaller program; grow them to cover the
+// current memory image (stamps restart at zero, reading as absent).
 func (s *sim) ensureSpecMem() {
-	if s.undoVal == nil {
+	if len(s.undoVal) < len(s.mem) {
 		n := len(s.mem)
 		s.undoVal = make([]Value, n)
 		s.undoGen = make([]uint32, n)
 		s.writtenGen = make([]uint32, n)
 		s.taintMemGen = make([]uint32, n)
+		s.undoStamp, s.specStamp = 0, 0
 	}
 }
 
@@ -86,7 +89,7 @@ func (s *sim) runIteration(it *iterRun, fr *frame, from, prev *ir.Block, stop fu
 		s.forkC0, s.forkM0 = c0, m0
 	}
 
-	out, err := s.exec(fr, from, prev, stop)
+	out, err := s.execFrom(fr, from, prev, stop)
 	if mainLeg {
 		s.forkIter, s.forkFrame = nil, nil
 		s.undoActive = false
@@ -97,7 +100,7 @@ func (s *sim) runIteration(it *iterRun, fr *frame, from, prev *ir.Block, stop fu
 	if out.ret {
 		// A return from inside the loop leaves the function entirely; the
 		// SPT runner treats it as an exit with the value propagated.
-		return errReturnThroughLoop{out.retVal}
+		return errReturnThroughLoop{out.retVal, out.retTaint}
 	}
 	it.cycles = s.cycles - c0
 	it.memCycles = s.memCycles - m0
@@ -130,7 +133,10 @@ func (s *sim) onFork(fr *frame) {
 
 // errReturnThroughLoop unwinds a function return that happened inside an
 // SPT loop body back to the SPT runner.
-type errReturnThroughLoop struct{ val Value }
+type errReturnThroughLoop struct {
+	val   Value
+	taint bool
+}
 
 func (errReturnThroughLoop) Error() string { return "return through SPT loop" }
 
@@ -154,6 +160,26 @@ func (s *sim) runSPTLoop(fr *frame, header, prev *ir.Block, loopID int) (*ir.Blo
 
 	stop := func(b *ir.Block) bool {
 		return b == header || !inLoop[b]
+	}
+
+	// Give the bytecode engine a dense view of the stop predicate
+	// (closure-and-map-free); built once per run per header.
+	if s.low != nil {
+		if lfn := s.low.fns[fr.fn]; lfn != nil {
+			dense := s.inLoopDense[header]
+			if dense == nil {
+				dense = make([]bool, len(lfn.blocks))
+				for i, b := range lfn.blocks {
+					dense[i] = inLoop[b]
+				}
+				if s.inLoopDense == nil {
+					s.inLoopDense = make(map[*ir.Block][]bool)
+				}
+				s.inLoopDense[header] = dense
+			}
+			s.stopHdr, s.stopIn = header, dense
+			defer func() { s.stopHdr, s.stopIn = nil, nil }()
+		}
 	}
 
 	elapsed0 := s.cycles

@@ -1,36 +1,39 @@
 #!/usr/bin/env bash
-# bench.sh — run the hot-path micro-benchmarks and emit BENCH_pr5.json.
+# bench.sh — run the hot-path micro-benchmarks and emit BENCH_pr6.json.
 #
 # The JSON has two sections:
 #   "baseline" — the pre-change numbers committed in
-#                scripts/bench_baseline_pr5.json (serial branch-and-bound,
-#                serial pass 1), kept for the perf trajectory;
+#                scripts/bench_baseline_pr6.json (tree-walking simulator,
+#                no batch scheduler), kept for the perf trajectory;
 #   "current"  — this run of BenchmarkPartitionSearch,
-#                BenchmarkCostPropagation, BenchmarkSimulate,
+#                BenchmarkCostPropagation, BenchmarkSimulate (bytecode
+#                engine), BenchmarkSimulateTree (reference walker — the
+#                in-process ratio to BenchmarkSimulate is the engine
+#                speedup), BenchmarkRunBatch/{w1,wmax},
 #                BenchmarkPartitionSearchParallel/{serial,w1,w2,w4,w8} and
 #                BenchmarkCompile/{serial,w8}
 #                (ns/op, B/op, allocs/op, plus reported metrics such as
 #                search_nodes and sim_instructions).
 #
-# Parallel-search scaling is only visible with GOMAXPROCS > 1; on a
-# single-core runner the wN sub-benchmarks measure the live shared-bound
-# pruning win plus coordination overhead.
+# Parallel-search and batch-scheduler scaling is only visible with
+# GOMAXPROCS > 1; on a single-core runner the wN sub-benchmarks measure
+# coordination overhead (search also keeps its shared-bound pruning win).
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s COUNT=1 scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr5.json}
+out=${1:-BENCH_pr6.json}
 benchtime=${BENCHTIME:-2s}
 count=${COUNT:-1}
-baseline=scripts/bench_baseline_pr5.json
+baseline=scripts/bench_baseline_pr6.json
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench '^(BenchmarkPartitionSearch|BenchmarkCostPropagation|BenchmarkSimulate|BenchmarkPartitionSearchParallel|BenchmarkCompile)$' \
+    -bench '^(BenchmarkPartitionSearch|BenchmarkCostPropagation|BenchmarkSimulate|BenchmarkSimulateTree|BenchmarkRunBatch|BenchmarkPartitionSearchParallel|BenchmarkCompile)$' \
     -benchmem -benchtime "$benchtime" -count "$count" . | tee "$tmp"
 
 # Parse `BenchmarkName-8  N  v1 unit1  v2 unit2 ...` lines into a JSON
@@ -66,7 +69,7 @@ fi
 
 {
     echo '{'
-    echo '  "benchmarks": ["BenchmarkPartitionSearch", "BenchmarkCostPropagation", "BenchmarkSimulate", "BenchmarkPartitionSearchParallel", "BenchmarkCompile"],'
+    echo '  "benchmarks": ["BenchmarkPartitionSearch", "BenchmarkCostPropagation", "BenchmarkSimulate", "BenchmarkSimulateTree", "BenchmarkRunBatch", "BenchmarkPartitionSearchParallel", "BenchmarkCompile"],'
     echo "  \"baseline\": $(echo "$base" | sed 's/^/  /' | sed '1s/^  //'),"
     echo "  \"current\": $(echo "$current" | sed 's/^/  /' | sed '1s/^  //')"
     echo '}'
