@@ -22,6 +22,7 @@ import (
 	"sptc/internal/cost"
 	"sptc/internal/depgraph"
 	"sptc/internal/evalharness"
+	"sptc/internal/incr"
 	"sptc/internal/interp"
 	"sptc/internal/ir"
 	"sptc/internal/machine"
@@ -611,6 +612,92 @@ func BenchmarkRunBatch(b *testing.B) {
 			b.ReportMetric(float64(ops), "sim_instructions")
 		})
 	}
+}
+
+// incrWideSource builds a program of `loops` independent loops, each a
+// wide fan of n accumulator recurrences (every subset of its n violation
+// candidates is legal, so each loop costs ~2^n search nodes): compile
+// time is dominated by the partition searches, the work incremental
+// recompilation can skip. salt perturbs the first loop's constants only,
+// for the one-dirty-loop case.
+func incrWideSource(loops, n, salt int) string {
+	var sb strings.Builder
+	sb.WriteString("var a int[64];\n")
+	for l := 0; l < loops; l++ {
+		for k := 0; k < n; k++ {
+			fmt.Fprintf(&sb, "var s%dx%d int;\n", l, k)
+		}
+	}
+	sb.WriteString("func main() {\n")
+	for l := 0; l < loops; l++ {
+		c := l*7 + 1
+		if l == 0 {
+			c += salt
+		}
+		fmt.Fprintf(&sb, "\tvar i%d int;\n\tfor (i%d = 0; i%d < 150; i%d++) {\n", l, l, l, l)
+		for k := 0; k < n; k++ {
+			fmt.Fprintf(&sb, "\t\ts%dx%d = (s%dx%d + a[(i%d + %d) & 63] + %d) & 1048575;\n", l, k, l, k, l, k, c+k)
+		}
+		fmt.Fprintf(&sb, "\t\ta[(i%d * 7) & 63] = i%d;\n\t}\n", l, l)
+	}
+	sb.WriteString("\tprint(")
+	for l := 0; l < loops; l++ {
+		for k := 0; k < n; k++ {
+			if l+k > 0 {
+				sb.WriteString(" + ")
+			}
+			fmt.Fprintf(&sb, "s%dx%d", l, k)
+		}
+	}
+	sb.WriteString(");\n}\n")
+	return sb.String()
+}
+
+// BenchmarkCompileIncremental measures what a loop-result store saves on
+// the search-dominated incrWideSource program: `cold` compiles with no
+// store, `warm` recompiles an unchanged program against a populated
+// store (every loop a hit, pass 1 skips all searches), and
+// `one-dirty-loop` recompiles after an edit to one loop (that loop
+// searches cold, the rest splice from the store; the store is rebuilt
+// off-clock each iteration so the dirty loop never becomes a hit).
+// Compiled at the basic level: at best+, profile-driven dependence
+// pruning collapses the scalar fan to one violation candidate and the
+// search is no longer the dominant phase being skipped.
+func BenchmarkCompileIncremental(b *testing.B) {
+	const loops, fan = 3, 16
+	src := incrWideSource(loops, fan, 0)
+	edited := incrWideSource(loops, fan, 100)
+	compile := func(src string, store *incr.Store) *core.Result {
+		opt := core.DefaultOptions(core.LevelBasic)
+		opt.Incr = store
+		res, err := core.CompileSource("incrbench.spl", src, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compile(src, nil)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		store := incr.New()
+		compile(src, store)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			compile(src, store)
+		}
+	})
+	b.Run("one-dirty-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			store := incr.New()
+			compile(src, store)
+			b.StartTimer()
+			compile(edited, store)
+		}
+	})
 }
 
 func BenchmarkCostModelEvaluate(b *testing.B) {

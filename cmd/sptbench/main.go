@@ -17,6 +17,7 @@
 //	sptbench -timeout 30s       # per-job wall clock; timed-out jobs are marked, suite continues
 //	sptbench -search-budget 100 # anytime partition search, 100 nodes per loop
 //	sptbench -inject core.pass1.loop=panic  # fault injection (see internal/resilience)
+//	sptbench -incr-cache spt.cache          # loop-result store for incremental recompilation
 package main
 
 import (
@@ -58,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memProf  = fs.String("memprofile", "", "write a heap profile to `file`")
 	)
 	resil := cliutil.AddResilienceFlags(fs)
+	incrFlag := cliutil.AddIncrFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -106,6 +108,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opt.Timeout = resil.Timeout
 	opt.SearchBudget = resil.SearchBudget
 	opt.SearchWorkers = resil.SearchWorkers
+	store, saveStore := incrFlag.Open()
+	defer saveStore()
+	opt.Incr = store
 
 	prof, err := cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {

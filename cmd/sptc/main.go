@@ -15,7 +15,9 @@
 // -search-budget caps the anytime partition search per loop, and
 // -inject arms fault-injection points (see internal/resilience); loops
 // hit by an injected fault are demoted to serial and reported as
-// degradation events.
+// degradation events. -incr-cache names a loop-result store for
+// incremental recompilation: loops whose fingerprint is unchanged since
+// the last compile skip the pass-1 analysis entirely.
 package main
 
 import (
@@ -48,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memProf    = fs.String("memprofile", "", "write a heap profile to `file`")
 	)
 	resil := cliutil.AddResilienceFlags(fs)
+	incrFlag := cliutil.AddIncrFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -90,6 +93,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opt.Partition.MaxSearchNodes = resil.SearchBudget
 	}
 	opt.SearchWorkers = resil.SearchWorkers
+	store, saveStore := incrFlag.Open()
+	defer saveStore()
+	opt.Incr = store
 	if *traceOut != "" || *traceCSV != "" {
 		tr = trace.New()
 		opt.Trace = tr.StartTrack(fs.Arg(0))

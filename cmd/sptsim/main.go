@@ -5,7 +5,8 @@
 // -cpuprofile/-memprofile write pprof profiles. -timeout bounds the
 // whole compile+simulate wall clock, -search-budget caps the anytime
 // partition search per loop, and -inject arms fault-injection points
-// (see internal/resilience).
+// (see internal/resilience). -incr-cache names a loop-result store for
+// incremental recompilation (see internal/incr).
 //
 // Usage:
 //
@@ -44,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memProf  = fs.String("memprofile", "", "write a heap profile to `file`")
 	)
 	resil := cliutil.AddResilienceFlags(fs)
+	incrFlag := cliutil.AddIncrFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -98,6 +100,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		copt.Partition.MaxSearchNodes = resil.SearchBudget
 	}
 	copt.SearchWorkers = resil.SearchWorkers
+	store, saveStore := incrFlag.Open()
+	defer saveStore()
+	copt.Incr = store
 	res, err := core.CompileSource(fs.Arg(0), string(src), copt)
 	if err != nil {
 		fmt.Fprintf(stderr, "sptsim: %v\n", err)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sptc/internal/core"
+	"sptc/internal/incr"
 	"sptc/internal/machine"
 	"sptc/internal/resilience"
 	"sptc/internal/trace"
@@ -150,6 +151,42 @@ func (r *Resilience) Context() (context.Context, context.CancelFunc) {
 		return context.WithTimeout(context.Background(), r.Timeout)
 	}
 	return context.Background(), func() {}
+}
+
+// Incr carries the -incr-cache flag value.
+type Incr struct {
+	// Path is the loop-result store file; empty disables incremental
+	// compilation.
+	Path string
+}
+
+// AddIncrFlag registers -incr-cache on fs.
+func AddIncrFlag(fs *flag.FlagSet) *Incr {
+	i := &Incr{}
+	fs.StringVar(&i.Path, "incr-cache", "", "loop-result store `file` for incremental recompilation (empty = off)")
+	return i
+}
+
+// Open opens the loop-result store named by -incr-cache and returns it
+// with a closer that persists it. The open is fail-soft in the
+// incremental-compilation contract's sense: a corrupt or truncated store
+// is salvaged by incr.Open itself, and an unreadable one (I/O error)
+// degrades to a cold compile with a warning on stderr — a damaged cache
+// never fails the build. With no path it returns (nil, no-op closer).
+func (i *Incr) Open() (*incr.Store, func()) {
+	if i.Path == "" {
+		return nil, func() {}
+	}
+	store, err := incr.Open(i.Path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warning: -incr-cache %s unreadable (%v): compiling cold\n", i.Path, err)
+		return nil, func() {}
+	}
+	return store, func() {
+		if err := store.Save(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: -incr-cache %s not saved: %v\n", i.Path, err)
+		}
+	}
 }
 
 // ParseEngine maps the CLI -engine names to simulator engine kinds; ok

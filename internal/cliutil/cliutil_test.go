@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sptc/internal/core"
+	"sptc/internal/machine"
 	"sptc/internal/resilience"
 	"sptc/internal/trace"
 )
@@ -150,5 +151,113 @@ func TestResilienceArmBadSpec(t *testing.T) {
 	r := &Resilience{Inject: "point-without-fault"}
 	if err := r.Arm(); err == nil {
 		t.Error("malformed spec should fail")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	cases := []struct {
+		name string
+		want machine.EngineKind
+		ok   bool
+	}{
+		{"bytecode", machine.EngineBytecode, true},
+		{"tree", machine.EngineTree, true},
+		{"jit", 0, false},
+		{"Bytecode", 0, false}, // names are case-sensitive
+		{"", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := ParseEngine(tc.name)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("ParseEngine(%q) = (%v, %v), want (%v, %v)", tc.name, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestResilienceArmBadSpecs(t *testing.T) {
+	cases := []string{
+		"point-without-fault",
+		"p=unknown-fault",
+		"p=delay:notaduration",
+		"=panic",
+	}
+	for _, spec := range cases {
+		t.Run(spec, func(t *testing.T) {
+			defer resilience.DisarmAll()
+			r := &Resilience{Inject: spec}
+			if err := r.Arm(); err == nil {
+				t.Errorf("spec %q should fail to arm", spec)
+			}
+		})
+	}
+}
+
+func TestIncrFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	i := AddIncrFlag(fs)
+	if err := fs.Parse([]string{"-incr-cache", filepath.Join(t.TempDir(), "c.bin")}); err != nil {
+		t.Fatal(err)
+	}
+	store, closer := i.Open()
+	if store == nil {
+		t.Fatal("expected a store for a fresh cache path")
+	}
+	closer() // saves an empty store without error
+
+	// No flag: incremental compilation stays off.
+	var off Incr
+	if store, closer := off.Open(); store != nil {
+		t.Error("empty path must disable the store")
+	} else {
+		closer()
+	}
+}
+
+// TestIncrOpenFailSoft pins the fail-soft contract of -incr-cache: a
+// damaged or unreadable store degrades to a cold compile (nil store or
+// salvaged partial store) and never returns an error to the command.
+func TestIncrOpenFailSoft(t *testing.T) {
+	cases := map[string]struct {
+		prepare   func(t *testing.T, dir string) string
+		wantStore bool
+	}{
+		"unreadable-directory-as-file": {
+			func(t *testing.T, dir string) string { return dir }, // a directory: read fails
+			false,
+		},
+		"corrupt-content": {
+			func(t *testing.T, dir string) string {
+				p := filepath.Join(dir, "c.bin")
+				if err := os.WriteFile(p, []byte("sptincr1 then garbage bytes"), 0o666); err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			true, // salvaged to an empty store, still usable
+		},
+		"truncated-magic": {
+			func(t *testing.T, dir string) string {
+				p := filepath.Join(dir, "c.bin")
+				if err := os.WriteFile(p, []byte("spt"), 0o666); err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			true,
+		},
+		"missing-file": {
+			func(t *testing.T, dir string) string { return filepath.Join(dir, "new.bin") },
+			true,
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			i := &Incr{Path: tc.prepare(t, t.TempDir())}
+			store, closer := i.Open()
+			if (store != nil) != tc.wantStore {
+				t.Fatalf("store presence = %v, want %v", store != nil, tc.wantStore)
+			}
+			closer() // must never panic or fail the build
+		})
 	}
 }

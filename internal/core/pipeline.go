@@ -23,6 +23,7 @@ import (
 
 	"sptc/internal/cost"
 	"sptc/internal/depgraph"
+	"sptc/internal/incr"
 	"sptc/internal/interp"
 	"sptc/internal/ir"
 	"sptc/internal/parser"
@@ -122,6 +123,20 @@ type Options struct {
 	// DisableSelection transforms every loop with a legal partition
 	// regardless of the §6.1 criteria (ablation: "speculate everything").
 	DisableSelection bool
+	// Incr enables incremental recompilation: before the pass-1 pool
+	// runs, every candidate loop is fingerprinted (normalized IR plus all
+	// dependence-graph and profile inputs the cost model reads) and
+	// looked up in the store; clean loops splice their stored partition
+	// into pass 2 without building a dependence graph or searching, dirty
+	// loops run pass 1 as usual and store their result. The compilation
+	// output is byte-identical to a from-scratch compile (pinned by the
+	// metamorphic equivalence suite). Caching is bypassed — every loop
+	// compiles cold — whenever a hit could diverge from a cold compile:
+	// under a shared search budget or a context deadline (anytime
+	// degradation depends on elapsed work), or with fault-injection
+	// points armed (a hit would skip the injection sites). Degraded
+	// results are never stored. Nil disables the cache.
+	Incr *incr.Store
 	// Trace receives one span per pipeline pass (parse, sem, build,
 	// unroll, privatize, ssa, profile, svp, pass1, pass2, transform,
 	// cleanup) plus one "loop" span per analyzed candidate carrying the
@@ -424,6 +439,12 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 	popt := opt.Partition
 	popt.PreForkFraction = opt.Select.PreForkFraction
 	popt.Workers = opt.SearchWorkers
+
+	// Incremental planning: fingerprint every candidate and mark the
+	// clean ones before any budget is split or any worker runs; hits
+	// never reach the search, so the split below stays deterministic.
+	plan := planIncremental(p, jobs, opt, popt, ctx, effects)
+
 	if opt.SearchWorkers >= 2 {
 		// A shared node budget cannot be raced over by concurrent
 		// searches without making exhaustion order — and so degradation
@@ -470,7 +491,9 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 			lsp.Str("degraded", ev.Reason.String())
 			continue
 		}
-		if j.g == nil {
+		if j.pr == nil {
+			// No dependence graph (the loop never ran) and no cached
+			// partition: nothing to decide.
 			rep.Decision = DecisionNotRun
 			continue
 		}
@@ -495,7 +518,30 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 			Int("search_workers", int64(pr.Workers)).
 			Int("bound_updates", int64(pr.BoundUpdates)).
 			Int("memo_shard_hits", int64(pr.MemoShardHits))
-		cands = append(cands, &candidateShim{rep: rep, loop: j.loop, graph: j.g})
+		order := j.order
+		if order == nil && j.g != nil {
+			order = j.g.Order
+		}
+		if plan != nil {
+			if j.cached != nil {
+				lsp.Int("incr_hit", 1)
+			} else if j.fpOK && j.g != nil && len(j.g.Stmts) == len(j.stmts) {
+				// Store the fresh result for the next compile. Degraded
+				// results are rejected inside EncodeResult; a statement
+				// enumeration mismatch (never expected: the fingerprint
+				// and the graph flatten the same body order) skips the
+				// store rather than risking a bad splice.
+				if e := incr.EncodeResult(pr, j.g.Order, len(j.g.Stmts), j.unit, rep.VCCount); e != nil {
+					opt.Incr.Put(j.key, e)
+				}
+			}
+		}
+		cands = append(cands, &candidateShim{rep: rep, loop: j.loop, order: order})
+	}
+	if plan != nil {
+		pass1.Int("incr_hits", plan.hits).
+			Int("incr_misses", plan.misses).
+			Int("incr_invalidated", plan.invalidated)
 	}
 	pass1.Int("degraded", int64(len(res.Degradations))).End()
 	if err := ctx.Err(); err != nil {
@@ -553,7 +599,7 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 					return err
 				}
 				var err error
-				sr, err = transform.TransformSPT(f, c.loop, pr.Move, pr.CopyConds, c.graph.Order, sptID)
+				sr, err = transform.TransformSPT(f, c.loop, pr.Move, pr.CopyConds, c.order, sptID)
 				return err
 			})
 			if gerr != nil {
@@ -599,10 +645,14 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 }
 
 // candidateShim carries one loop candidate through passes 1 and 2.
+// order is the body-statement iteration order the transformation sorts
+// by — from the dependence graph on a cold analysis, or rebuilt from the
+// fingerprint enumeration on an incremental hit (the full graph is never
+// built for clean loops).
 type candidateShim struct {
 	rep   *LoopReport
 	loop  *ssa.Loop
-	graph *depgraph.Graph
+	order map[*ir.Stmt]int
 }
 
 // pass1Job is one loop candidate's analysis unit: the inputs are built
@@ -620,6 +670,16 @@ type pass1Job struct {
 	// (nil: use partition.Options.Budget as passed).
 	budget *resilience.Budget
 
+	// Incremental-compilation state (set by planIncremental). fpOK marks
+	// a fingerprintable loop; cached is the stored partition on a hit
+	// (run skips the whole analysis), with order the rebuilt iteration
+	// order; stmts is the fingerprint's body enumeration.
+	fpOK   bool
+	key    incr.Key
+	stmts  []*ir.Stmt
+	cached *partition.Result
+	order  map[*ir.Stmt]int
+
 	g          *depgraph.Graph
 	pr         *partition.Result
 	gerr       error
@@ -632,6 +692,12 @@ type pass1Job struct {
 // parallel pass 1, killing the worker pool).
 func (j *pass1Job) run(ctx context.Context, popt partition.Options) {
 	if j.notRun {
+		return
+	}
+	if j.cached != nil {
+		// Incremental hit: the stored partition replaces the whole
+		// analysis — no dependence graph, no cost model, no search.
+		j.pr = j.cached
 		return
 	}
 	j.gerr = resilience.Guard(func() error {
@@ -651,6 +717,72 @@ func (j *pass1Job) run(ctx context.Context, popt partition.Options) {
 		j.pr = partition.Search(j.g, cost.Build(j.g), popt)
 		return nil
 	})
+}
+
+// incrPlan summarizes one compile's incremental planning, for the pass-1
+// trace counters (incr_hits/incr_misses/incr_invalidated).
+type incrPlan struct {
+	hits, misses, invalidated int64
+}
+
+// planIncremental fingerprints every runnable candidate loop and marks
+// the store hits so the pool skips their analysis. Returns nil when the
+// cache is off or bypassed; bypass conditions are exactly the ones under
+// which a splice could diverge from a cold compile: a shared search
+// budget or a deadline makes anytime degradation depend on elapsed work,
+// and armed fault-injection points must keep firing inside every loop's
+// analysis.
+func planIncremental(p *ir.Program, jobs []*pass1Job, opt Options, popt partition.Options, ctx context.Context, effects map[*ir.Func]*depgraph.Effects) *incrPlan {
+	if opt.Incr == nil || popt.Budget != nil {
+		return nil
+	}
+	if _, hasDeadline := ctx.Deadline(); hasDeadline {
+		return nil
+	}
+	if len(resilience.Armed()) > 0 {
+		return nil
+	}
+	fper := incr.NewFingerprinter(p, effects)
+	optsKey := incr.OptionsKey(popt)
+	plan := &incrPlan{}
+	for _, j := range jobs {
+		if j.notRun {
+			continue
+		}
+		sum, stmts, ok := fper.Loop(j.loop, j.cfg, j.rep.BodySize)
+		if !ok {
+			continue
+		}
+		j.fpOK = true
+		j.key = incr.Key{FP: sum, Level: int(opt.Level), Opts: optsKey}
+		j.stmts = stmts
+		e, st := opt.Incr.Lookup(j.key, j.unit)
+		switch st {
+		case incr.StatusHit:
+			pr, ok := e.Decode(stmts, popt.Workers)
+			if !ok {
+				// The stored entry does not fit this body enumeration
+				// (a store written by a different build, or damage the
+				// checksum missed): recompile cold.
+				plan.misses++
+				continue
+			}
+			order := make(map[*ir.Stmt]int, len(stmts))
+			for i, s := range stmts {
+				order[s] = i
+			}
+			j.cached = pr
+			j.order = order
+			j.rep.VCCount = pr.VCCount
+			plan.hits++
+		case incr.StatusInvalidated:
+			plan.invalidated++
+			plan.misses++
+		default:
+			plan.misses++
+		}
+	}
+	return plan
 }
 
 // runJobs drains the job list with a pool of worker goroutines.

@@ -114,7 +114,7 @@ func Build(l *ssa.Loop, cfg Config) *Graph {
 		return nil
 	}
 
-	for _, b := range bodyOrder(l) {
+	for _, b := range BodyOrder(l) {
 		for _, s := range b.Stmts {
 			g.Order[s] = len(g.Stmts)
 			g.Stmts = append(g.Stmts, s)
@@ -133,7 +133,7 @@ func Build(l *ssa.Loop, cfg Config) *Graph {
 	return g
 }
 
-// bodyOrder returns the loop's blocks in iteration-execution order: a
+// BodyOrder returns the loop's blocks in iteration-execution order: a
 // topological order of the loop body with every child loop contracted to
 // a single unit (so an inner loop's blocks always precede blocks that
 // execute after the inner loop exits, which plain reverse postorder does
@@ -141,7 +141,11 @@ func Build(l *ssa.Loop, cfg Config) *Graph {
 // are ordered recursively. Blocks on exclusive branch arms are mutually
 // unordered at run time, so any topological placement is sound for the
 // order-based legality rules.
-func bodyOrder(l *ssa.Loop) []*ir.Block {
+//
+// Flattening the statements of these blocks yields exactly Graph.Stmts;
+// the incremental-compilation fingerprint relies on that to enumerate a
+// loop body without building the graph.
+func BodyOrder(l *ssa.Loop) []*ir.Block {
 	// Unit of a block: the outermost child loop containing it, or the
 	// block itself. Child loops are disjoint at the top level.
 	type unit struct {
@@ -205,7 +209,7 @@ func bodyOrder(l *ssa.Loop) []*ir.Block {
 			out = append(out, u.block)
 			continue
 		}
-		out = append(out, bodyOrder(u.child)...)
+		out = append(out, BodyOrder(u.child)...)
 	}
 	return out
 }

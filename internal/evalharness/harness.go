@@ -21,6 +21,7 @@ import (
 
 	"sptc/internal/benchprog"
 	"sptc/internal/core"
+	"sptc/internal/incr"
 	"sptc/internal/ir"
 	"sptc/internal/machine"
 	"sptc/internal/ssa"
@@ -122,6 +123,13 @@ type Options struct {
 	// engine by default; machine.EngineTree runs the reference
 	// tree-walker). Results are bit-identical between the two.
 	Engine machine.EngineKind
+	// Incr is an optional loop-result store shared by every level compile
+	// in the suite (see core.Options.Incr); the Store is safe for the
+	// concurrent jobs. Each run's hit/miss counters land in its Metrics.
+	// Note the per-job Timeout disables caching inside the compile (a
+	// deadline could degrade the search), so Incr pays off in untimed
+	// runs. Nil compiles everything cold.
+	Incr *incr.Store
 }
 
 // DefaultEvalOptions returns the paper's evaluation setup.
@@ -388,6 +396,7 @@ func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *Compi
 			copt.Partition.MaxSearchNodes = opt.SearchBudget
 		}
 		copt.SearchWorkers = opt.SearchWorkers
+		copt.Incr = opt.Incr
 		res, cdur, err := cache.Get(b.Name, b.Source, copt)
 		if err != nil {
 			return fmt.Errorf("%s compile: %w", level, err)

@@ -49,6 +49,14 @@ type Metrics struct {
 	// when SearchWorkers >= 2).
 	BoundUpdates  int64
 	MemoShardHits int64
+	// IncrHits/IncrMisses/IncrInvalidated are the incremental-compilation
+	// counters (0 unless Options.Incr provides a loop-result store): loops
+	// whose stored partition was spliced in without re-analysis, loops
+	// compiled cold, and the subset of misses whose structural slot was
+	// seen before with a different fingerprint (the loop changed).
+	IncrHits        int64
+	IncrMisses      int64
+	IncrInvalidated int64
 	// SimOps is the number of dynamic instructions simulated.
 	SimOps int64
 	// Degraded counts the compile's fail-soft events (loops demoted to
@@ -72,6 +80,10 @@ func metricsFromTrack(tk *trace.Track, compile, simulate time.Duration) Metrics 
 		BoundUpdates:  tk.SumInt("loop", "bound_updates"),
 		MemoShardHits: tk.SumInt("loop", "memo_shard_hits"),
 		Degraded:      tk.SumInt("pass1", "degraded") + tk.SumInt("transform", "degraded"),
+
+		IncrHits:        tk.SumInt("pass1", "incr_hits"),
+		IncrMisses:      tk.SumInt("pass1", "incr_misses"),
+		IncrInvalidated: tk.SumInt("pass1", "incr_invalidated"),
 	}
 	// search_workers is a configuration echo, not an additive counter:
 	// take it from any loop span that searched.

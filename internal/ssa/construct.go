@@ -14,7 +14,11 @@ func Build(f *ir.Func, dom *DomTree) {
 }
 
 func insertPhis(f *ir.Func, dom *DomTree) {
-	// Definition sites per base variable.
+	// Definition sites per base variable. bases keeps first-definition
+	// order: phi insertion must not iterate a map, or phi statement IDs
+	// and in-block phi order would differ between compiles of the same
+	// program.
+	var bases []*ir.Var
 	defSites := make(map[*ir.Var][]*ir.Block)
 	defBlocks := make(map[*ir.Var]map[*ir.Block]bool)
 	for _, b := range f.Blocks {
@@ -23,6 +27,7 @@ func insertPhis(f *ir.Func, dom *DomTree) {
 				base := d.Base
 				if defBlocks[base] == nil {
 					defBlocks[base] = make(map[*ir.Block]bool)
+					bases = append(bases, base)
 				}
 				if !defBlocks[base][b] {
 					defBlocks[base][b] = true
@@ -32,7 +37,8 @@ func insertPhis(f *ir.Func, dom *DomTree) {
 		}
 	}
 
-	for base, sites := range defSites {
+	for _, base := range bases {
+		sites := defSites[base]
 		hasPhi := make(map[*ir.Block]bool)
 		work := append([]*ir.Block(nil), sites...)
 		for len(work) > 0 {

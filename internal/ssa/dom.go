@@ -81,8 +81,12 @@ func BuildDomTree(f *ir.Func) *DomTree {
 	}
 	t.Idom[f.Entry] = nil
 
-	for b, id := range t.Idom {
-		if id != nil {
+	// Children in reverse postorder, not map order: the SSA rename walk
+	// follows Children, and its visit order decides variable version
+	// numbering — map iteration here would make compiles of the same
+	// program differ run to run.
+	for _, b := range t.rpo {
+		if id := t.Idom[b]; id != nil {
 			t.Children[id] = append(t.Children[id], b)
 		}
 	}

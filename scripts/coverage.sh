@@ -23,6 +23,7 @@ check() {
 
 check ./internal/trace 70
 check ./internal/cliutil 70
+check ./internal/incr 80
 check ./cmd/sptc 70
 check ./cmd/sptsim 70
 check ./cmd/sptbench 70
