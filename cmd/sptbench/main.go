@@ -29,6 +29,7 @@ import (
 
 	"sptc/internal/cliutil"
 	"sptc/internal/evalharness"
+	"sptc/internal/service"
 	"sptc/internal/trace"
 )
 
@@ -60,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	resil := cliutil.AddResilienceFlags(fs)
 	incrFlag := cliutil.AddIncrFlag(fs)
+	server := cliutil.AddServerFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -108,9 +110,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opt.Timeout = resil.Timeout
 	opt.SearchBudget = resil.SearchBudget
 	opt.SearchWorkers = resil.SearchWorkers
-	store, saveStore := incrFlag.Open()
-	defer saveStore()
-	opt.Incr = store
+	if *server != "" {
+		// Service mode: every compile+simulate job goes through the sptd
+		// daemon (whose response cache makes repeat suites near-free);
+		// the local incr store does not apply.
+		opt.Client = &service.Remote{URL: *server}
+	} else {
+		store, saveStore := incrFlag.Open()
+		defer saveStore()
+		opt.Incr = store
+	}
 
 	prof, err := cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {

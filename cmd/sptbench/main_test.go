@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sptc/internal/service"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -199,5 +202,43 @@ func TestTraceJobIsolation(t *testing.T) {
 		if compiles[tid] != 1 {
 			t.Errorf("track %q has %d compile spans, want exactly 1", label, compiles[tid])
 		}
+	}
+}
+
+// TestServerMode runs the evaluation through a live sptd daemon
+// (-server) and asserts the machine-readable output is byte-identical
+// to the in-process run, timings normalized: the figures cannot tell
+// where the compilation happened.
+func TestServerMode(t *testing.T) {
+	srv, err := service.NewServer(service.Config{Addr: "127.0.0.1:0", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("daemon shutdown: %v", err)
+		}
+	}()
+
+	code, local, stderr := runCmd(t, "-csv", "-bench", "bzip2", "-level", "best")
+	if code != 0 {
+		t.Fatalf("local run: exit %d, stderr: %s", code, stderr)
+	}
+	code, remote, stderr := runCmd(t, "-csv", "-bench", "bzip2", "-level", "best", "-server", srv.URL())
+	if code != 0 {
+		t.Fatalf("remote run: exit %d, stderr: %s", code, stderr)
+	}
+	if normalizeCSV(remote) != normalizeCSV(local) {
+		t.Errorf("-server output differs from in-process output:\n--- local ---\n%s--- remote ---\n%s", local, remote)
+	}
+	if m := srv.Snapshot(); m.Requests == 0 {
+		t.Error("-server run sent no requests to the daemon")
 	}
 }

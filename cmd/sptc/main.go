@@ -17,7 +17,9 @@
 // hit by an injected fault are demoted to serial and reported as
 // degradation events. -incr-cache names a loop-result store for
 // incremental recompilation: loops whose fingerprint is unchanged since
-// the last compile skip the pass-1 analysis entirely.
+// the last compile skip the pass-1 analysis entirely. -server routes
+// the compile through a running sptd daemon (internal/service) instead
+// of executing in-process; the report is byte-identical either way.
 package main
 
 import (
@@ -27,8 +29,7 @@ import (
 	"os"
 
 	"sptc/internal/cliutil"
-	"sptc/internal/core"
-	"sptc/internal/ir"
+	"sptc/internal/service"
 	"sptc/internal/trace"
 )
 
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	resil := cliutil.AddResilienceFlags(fs)
 	incrFlag := cliutil.AddIncrFlag(fs)
+	server := cliutil.AddServerFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -86,22 +88,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, cancel := resil.Context()
 	defer cancel()
 
-	var tr *trace.Tracer
-	opt := core.DefaultOptions(lvl)
-	opt.Context = ctx
-	if resil.SearchBudget > 0 {
-		opt.Partition.MaxSearchNodes = resil.SearchBudget
-	}
-	opt.SearchWorkers = resil.SearchWorkers
-	store, saveStore := incrFlag.Open()
-	defer saveStore()
-	opt.Incr = store
-	if *traceOut != "" || *traceCSV != "" {
-		tr = trace.New()
-		opt.Trace = tr.StartTrack(fs.Arg(0))
+	req := &service.CompileRequest{
+		Name:   fs.Arg(0),
+		Source: string(src),
+		Level:  lvl.String(),
+		Options: service.ReqOptions{
+			SearchBudget: resil.SearchBudget,
+			Dump:         *dump,
+		},
 	}
 
-	res, err := core.CompileSource(fs.Arg(0), string(src), opt)
+	var tr *trace.Tracer
+	if *traceOut != "" || *traceCSV != "" {
+		tr = trace.New()
+	}
+	var client service.Client
+	if *server != "" {
+		// Remote mode: the daemon owns tracing, caching and pass-1
+		// parallelism; an exported trace is empty here.
+		client = &service.Remote{URL: *server, Context: ctx}
+	} else {
+		env := service.Env{SearchWorkers: resil.SearchWorkers, Context: ctx}
+		store, saveStore := incrFlag.Open()
+		defer saveStore()
+		env.Incr = store
+		if tr != nil {
+			env.Track = tr.StartTrack(fs.Arg(0))
+		}
+		client = &service.Local{Env: env}
+	}
+
+	resp, err := client.Compile(req)
 	if err != nil {
 		fmt.Fprintf(stderr, "sptc: %v\n", err)
 		return 1
@@ -109,8 +126,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *report {
 		fmt.Fprintf(stdout, "%d loop candidate(s), %d SPT loop(s) generated at level %s\n",
-			len(res.Reports), len(res.SPT), lvl)
-		for _, r := range res.Reports {
+			len(resp.Reports), resp.SPTCount, resp.Level)
+		for _, r := range resp.Reports {
 			fmt.Fprintf(stdout, "  %-12s loop%-3d %-5s depth=%d body=%-4d trips=%-8.1f vcs=%-3d cost=%-8.2f pre=%-4d %s",
 				r.Func, r.LoopID, r.Kind, r.Depth, r.BodySize, r.AvgTrip, r.VCCount, r.EstCost, r.PreForkSize, r.Decision)
 			if r.SVP {
@@ -120,20 +137,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stdout, "  -> SPT loop %d", r.SPTLoopID)
 			}
 			fmt.Fprintln(stdout)
-			if *partitions && r.Partition != nil {
+			if *partitions && r.Partition != "" {
 				fmt.Fprintf(stdout, "      partition: %s\n", r.Partition)
 			}
 		}
-		if res.Degraded() {
-			fmt.Fprintf(stdout, "%d degradation event(s):\n", len(res.Degradations))
-			for _, ev := range res.Degradations {
+		if resp.Degraded {
+			fmt.Fprintf(stdout, "%d degradation event(s):\n", len(resp.Degradations))
+			for _, ev := range resp.Degradations {
 				fmt.Fprintf(stdout, "  %s\n", ev)
 			}
 		}
 	}
 
 	if *dump {
-		fmt.Fprint(stdout, ir.FormatProgram(res.Prog))
+		fmt.Fprint(stdout, resp.IR)
 	}
 
 	if err := cliutil.ExportTrace(tr, *traceOut, *traceCSV); err != nil {

@@ -6,7 +6,9 @@
 // whole compile+simulate wall clock, -search-budget caps the anytime
 // partition search per loop, and -inject arms fault-injection points
 // (see internal/resilience). -incr-cache names a loop-result store for
-// incremental recompilation (see internal/incr).
+// incremental recompilation (see internal/incr). -server routes the
+// compile+simulate through a running sptd daemon (internal/service);
+// the printed report is byte-identical either way.
 //
 // Usage:
 //
@@ -20,10 +22,8 @@ import (
 	"os"
 	"sort"
 
-	"sptc"
 	"sptc/internal/cliutil"
-	"sptc/internal/core"
-	"sptc/internal/machine"
+	"sptc/internal/service"
 	"sptc/internal/trace"
 )
 
@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	resil := cliutil.AddResilienceFlags(fs)
 	incrFlag := cliutil.AddIncrFlag(fs)
+	server := cliutil.AddServerFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -79,13 +80,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer prof.Stop()
 
-	var tr *trace.Tracer
-	var tk *trace.Track
-	if *traceOut != "" || *traceCSV != "" {
-		tr = trace.New()
-		tk = tr.StartTrack(fs.Arg(0) + "/" + lvl.String())
-	}
-
 	if err := resil.Arm(); err != nil {
 		fmt.Fprintf(stderr, "sptsim: %v\n", err)
 		return 2
@@ -93,68 +87,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, cancel := resil.Context()
 	defer cancel()
 
-	copt := core.DefaultOptions(lvl)
-	copt.Trace = tk
-	copt.Context = ctx
-	if resil.SearchBudget > 0 {
-		copt.Partition.MaxSearchNodes = resil.SearchBudget
+	req := &service.SimulateRequest{
+		Name:    fs.Arg(0),
+		Source:  string(src),
+		Level:   lvl.String(),
+		Options: service.ReqOptions{SearchBudget: resil.SearchBudget},
+		Compare: *compare,
 	}
-	copt.SearchWorkers = resil.SearchWorkers
-	store, saveStore := incrFlag.Open()
-	defer saveStore()
-	copt.Incr = store
-	res, err := core.CompileSource(fs.Arg(0), string(src), copt)
+
+	var tr *trace.Tracer
+	if *traceOut != "" || *traceCSV != "" {
+		tr = trace.New()
+	}
+	var client service.Client
+	remote := *server != ""
+	if remote {
+		// Remote mode: the daemon owns tracing, caching, the engine choice
+		// and pass-1 parallelism; program output arrives in the response.
+		client = &service.Remote{URL: *server, Context: ctx}
+	} else {
+		env := service.Env{
+			SearchWorkers: resil.SearchWorkers,
+			Engine:        eng,
+			Context:       ctx,
+		}
+		store, saveStore := incrFlag.Open()
+		defer saveStore()
+		env.Incr = store
+		if tr != nil {
+			env.Track = tr.StartTrack(fs.Arg(0) + "/" + lvl.String())
+			if *compare && lvl.String() != "base" {
+				env.BaseTrack = tr.StartTrack(fs.Arg(0) + "/base")
+			}
+		}
+		if !*quiet {
+			// Stream program output live, exactly like the pre-service CLI.
+			env.Out = stdout
+		}
+		client = &service.Local{Env: env}
+	}
+
+	resp, err := client.Simulate(req)
 	if err != nil {
 		fmt.Fprintf(stderr, "sptsim: %v\n", err)
 		return 1
 	}
-	if res.Degraded() {
-		fmt.Fprintf(stderr, "sptsim: compile degraded (%d event(s))\n", len(res.Degradations))
+	if resp.Compile.Degraded {
+		fmt.Fprintf(stderr, "sptsim: compile degraded (%d event(s))\n", len(resp.Compile.Degradations))
 	}
-	var out io.Writer = stdout
-	if *quiet {
-		out = io.Discard
+	if remote && !*quiet {
+		fmt.Fprint(stdout, resp.Output)
 	}
-	simOpt := sptc.SimulationOptions(res)
-	simOpt.Out = out
-	simOpt.Trace = tk
-	simOpt.Context = ctx
-	simOpt.Engine = eng
 
-	// The level simulation and the -compare base simulation are
-	// independent jobs; RunBatch runs them concurrently on pooled
-	// engines (a single job degenerates to one worker).
-	jobs := []machine.BatchJob{{Prog: res.Prog, Config: sptc.DefaultMachineConfig(), Opt: simOpt}}
-	withBase := *compare && lvl != sptc.LevelBase
-	if withBase {
-		bopt := core.DefaultOptions(core.LevelBase)
-		var btk *trace.Track
-		if tr != nil {
-			btk = tr.StartTrack(fs.Arg(0) + "/base")
-		}
-		bopt.Trace = btk
-		bopt.Context = ctx
-		baseRes, err := core.CompileSource(fs.Arg(0), string(src), bopt)
-		if err != nil {
-			fmt.Fprintf(stderr, "sptsim: base compile: %v\n", err)
-			return 1
-		}
-		baseOpt := sptc.SimulationOptions(baseRes)
-		baseOpt.Out = io.Discard
-		baseOpt.Trace = btk
-		baseOpt.Context = ctx
-		baseOpt.Engine = eng
-		jobs = append(jobs, machine.BatchJob{Prog: baseRes.Prog, Config: sptc.DefaultMachineConfig(), Opt: baseOpt})
-	}
-	results := machine.RunBatch(jobs, machine.BatchOptions{Context: ctx})
-	if err := results[0].Err; err != nil {
-		fmt.Fprintf(stderr, "sptsim: %v\n", err)
-		return 1
-	}
-	sim := results[0].Res
-
+	sim := resp.Sim
 	fmt.Fprintf(stdout, "level=%s cycles=%.0f instructions=%d ipc=%.2f branches=%d mispredicts=%d mem-accesses=%d\n",
-		lvl, sim.Cycles, sim.Ops, sim.IPC(), sim.BranchLookups, sim.BranchMisses, sim.MemAccesses)
+		resp.Level, sim.Cycles, sim.Ops, sim.IPC(), sim.BranchLookups, sim.BranchMisses, sim.MemAccesses)
 
 	var ids []int
 	for id := range sim.Loops {
@@ -167,14 +154,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			id, ls.Invocations, ls.Iterations, ls.SpecIters, ls.MisspecIters, ls.ReexecRatio(), ls.LoopSpeedup())
 	}
 
-	if withBase {
-		if err := results[1].Err; err != nil {
-			fmt.Fprintf(stderr, "sptsim: base simulate: %v\n", err)
-			return 1
-		}
-		baseSim := results[1].Res
+	if resp.Base != nil {
 		fmt.Fprintf(stdout, "base cycles=%.0f speedup=%.3fx (%.1f%%)\n",
-			baseSim.Cycles, baseSim.Cycles/sim.Cycles, (baseSim.Cycles/sim.Cycles-1)*100)
+			resp.Base.Cycles, resp.Base.Cycles/sim.Cycles, (resp.Base.Cycles/sim.Cycles-1)*100)
 	}
 
 	if err := cliutil.ExportTrace(tr, *traceOut, *traceCSV); err != nil {

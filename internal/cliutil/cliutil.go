@@ -189,6 +189,15 @@ func (i *Incr) Open() (*incr.Store, func()) {
 	}
 }
 
+// AddServerFlag registers -server on fs: the base URL of a running sptd
+// daemon. When set, the command executes through the daemon's HTTP API
+// (with its persistent response cache) instead of in-process; the
+// printed output is byte-identical either way because both modes render
+// from the same wire response.
+func AddServerFlag(fs *flag.FlagSet) *string {
+	return fs.String("server", "", "execute via the sptd daemon at `URL` (e.g. http://localhost:8347) instead of in-process")
+}
+
 // ParseEngine maps the CLI -engine names to simulator engine kinds; ok
 // is false for an unknown name. The two engines are bit-identical in
 // results; "tree" keeps the reference walker reachable for differential
@@ -206,17 +215,5 @@ func ParseEngine(name string) (machine.EngineKind, bool) {
 // ParseLevel maps the CLI level names to core levels; ok is false for an
 // unknown name. allowBase admits the non-SPT reference level.
 func ParseLevel(name string, allowBase bool) (core.Level, bool) {
-	switch name {
-	case "base":
-		if allowBase {
-			return core.LevelBase, true
-		}
-	case "basic":
-		return core.LevelBasic, true
-	case "best":
-		return core.LevelBest, true
-	case "anticipated":
-		return core.LevelAnticipated, true
-	}
-	return 0, false
+	return core.ParseLevel(name, allowBase)
 }

@@ -240,6 +240,10 @@ type LoopReport struct {
 	SPTLoopID   int
 	EstCost     float64
 	PreForkSize int
+	// HasCalls reports whether the transformed loop's final body contains
+	// non-builtin calls (the paper's Figure 19 outliers). Computed on the
+	// post-cleanup IR for transformed loops only.
+	HasCalls bool
 }
 
 // SPTLoop identifies a transformed loop for the machine simulator.
@@ -641,7 +645,35 @@ func Compile(p *ir.Program, opt Options) (*Result, error) {
 		}
 	}
 	csp.End()
+	for _, sl := range res.SPT {
+		sl.Report.HasCalls = loopHasCalls(sl)
+	}
 	return res, nil
+}
+
+// loopHasCalls reports whether the loop's final body contains non-builtin
+// calls, recomputed on the post-cleanup IR (Figure 19's outlier marker).
+func loopHasCalls(sl *SPTLoop) bool {
+	dom := ssa.BuildDomTree(sl.Func)
+	nest := ssa.FindLoops(sl.Func, dom)
+	nl := nest.ByHeader[sl.Header]
+	if nl == nil {
+		return false
+	}
+	for _, b := range nl.Blocks {
+		for _, s := range b.Stmts {
+			found := false
+			s.Ops(func(o *ir.Op) {
+				if o.Kind == ir.OpCall && !o.Builtin {
+					found = true
+				}
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // candidateShim carries one loop candidate through passes 1 and 2.

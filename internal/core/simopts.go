@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sptc/internal/ir"
+	"sptc/internal/machine"
+	"sptc/internal/ssa"
+)
+
+// SimulationOptions assembles machine.RunOptions for a compiled program:
+// SPT headers with their loop IDs and the block membership of every SPT
+// loop (recomputed on the final IR). Shared by the root package, the
+// evaluation harness, and the compilation service.
+func SimulationOptions(res *Result) machine.RunOptions {
+	opt := machine.RunOptions{
+		SPTHeaders: make(map[*ir.Block]int),
+		LoopBlocks: make(map[*ir.Block]map[*ir.Block]bool),
+	}
+	byFunc := make(map[*ir.Func][]*SPTLoop)
+	for _, l := range res.SPT {
+		byFunc[l.Func] = append(byFunc[l.Func], l)
+	}
+	for f, loops := range byFunc {
+		dom := ssa.BuildDomTree(f)
+		nest := ssa.FindLoops(f, dom)
+		for _, sl := range loops {
+			nl := nest.ByHeader[sl.Header]
+			if nl == nil {
+				continue // transformed away (e.g. fully dead)
+			}
+			opt.SPTHeaders[sl.Header] = sl.ID
+			set := make(map[*ir.Block]bool, len(nl.Blocks))
+			for _, b := range nl.Blocks {
+				set[b] = true
+			}
+			opt.LoopBlocks[sl.Header] = set
+		}
+	}
+	return opt
+}
+
+// CoverageOptions returns RunOptions that attribute cycles to every
+// natural loop of the program whose body size is at most maxBody ops
+// (used to measure the paper's Figure 16 "maximum coverage"). Keys are
+// sequential loop indexes; the returned slice maps key -> body size.
+func CoverageOptions(prog *ir.Program, maxBody int) (machine.RunOptions, []int) {
+	opt := machine.RunOptions{
+		AttributeLoops: make(map[*ir.Block]int),
+		LoopBlocks:     make(map[*ir.Block]map[*ir.Block]bool),
+	}
+	var sizes []int
+	for _, f := range prog.Funcs {
+		dom := ssa.BuildDomTree(f)
+		nest := ssa.FindLoops(f, dom)
+		for _, l := range nest.Loops {
+			size := l.BodySize()
+			if maxBody > 0 && size > maxBody {
+				continue
+			}
+			key := len(sizes)
+			sizes = append(sizes, size)
+			opt.AttributeLoops[l.Header] = key
+			set := make(map[*ir.Block]bool, len(l.Blocks))
+			for _, b := range l.Blocks {
+				set[b] = true
+			}
+			opt.LoopBlocks[l.Header] = set
+		}
+	}
+	return opt, sizes
+}
+
+// ParseDecision maps a Decision.String() name back to the Decision; ok
+// is false for an unknown name. The compilation service uses it to
+// reconstruct loop reports from wire responses.
+func ParseDecision(name string) (Decision, bool) {
+	for d := DecisionSelected; d <= DecisionDegraded; d++ {
+		if d.String() == name {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// ParseLevel maps the external level names (CLI flags, service requests)
+// to core levels; ok is false for an unknown name. allowBase admits the
+// non-SPT reference level.
+func ParseLevel(name string, allowBase bool) (Level, bool) {
+	switch name {
+	case "base":
+		if allowBase {
+			return LevelBase, true
+		}
+	case "basic":
+		return LevelBasic, true
+	case "best":
+		return LevelBest, true
+	case "anticipated":
+		return LevelAnticipated, true
+	}
+	return 0, false
+}

@@ -24,7 +24,7 @@ import (
 	"sptc/internal/incr"
 	"sptc/internal/ir"
 	"sptc/internal/machine"
-	"sptc/internal/ssa"
+	"sptc/internal/service"
 	"sptc/internal/trace"
 )
 
@@ -130,6 +130,15 @@ type Options struct {
 	// deadline could degrade the search), so Incr pays off in untimed
 	// runs. Nil compiles everything cold.
 	Incr *incr.Store
+	// Client, when non-nil, executes every compile+simulate job through
+	// the compilation service (typically a service.Remote against a
+	// running sptd daemon) instead of in-process. Results are
+	// reconstructed from the wire responses, so the figure extraction is
+	// unchanged and agrees with a local run. In this mode Trace, Incr,
+	// SearchWorkers and Engine are the daemon's business and ignored
+	// here; Timeout still applies per job (a *service.Remote is re-bound
+	// to the job's context so the HTTP request is actually canceled).
+	Client service.Client
 }
 
 // DefaultEvalOptions returns the paper's evaluation setup.
@@ -298,6 +307,7 @@ type baseRun struct {
 	res     *core.Result
 	sim     *machine.Result
 	out     string
+	maxCov  float64 // remote mode only: Figure 16 coverage from the daemon
 	metrics Metrics
 	status  Status
 	retried bool
@@ -307,6 +317,24 @@ type baseRun struct {
 func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, eng *machine.Engine, logger *safeLogger) error {
 	br.once.Do(func() {
 		err := runJob(opt, &br.retried, func(ctx context.Context) error {
+			if opt.Client != nil {
+				resp, err := jobClient(opt, ctx).Simulate(&service.SimulateRequest{
+					Name:            b.Name,
+					Source:          b.Source,
+					Level:           core.LevelBase.String(),
+					CoverageMaxBody: opt.MaxLoopBody,
+				})
+				if err != nil {
+					return fmt.Errorf("base compile+simulate: %w", err)
+				}
+				br.sim = service.ReconstructSim(resp.Sim)
+				br.out = resp.Output
+				br.maxCov = resp.MaxCoverage
+				br.metrics = metricsFromCounters(resp.Compile.Counters, resp.Meta)
+				logger.logf("[%s] base: %.0f cycles, IPC %.2f (compile %s, simulate %s, cache %s)",
+					b.Name, br.sim.Cycles, br.sim.IPC(), fmtDur(resp.Meta.Compile), fmtDur(resp.Meta.Simulate), dispOrNone(resp.Meta.Cache))
+				return nil
+			}
 			copt := core.DefaultOptions(core.LevelBase)
 			copt.Trace = br.track
 			copt.Context = ctx
@@ -357,6 +385,11 @@ func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, eng *machi
 	run.BaseOutput = br.out
 	run.BaseIPC = br.sim.IPC()
 	run.BaseMetrics = br.metrics
+	if opt.Client != nil {
+		// Remote mode: the daemon measured coverage (CoverageMaxBody).
+		run.MaxCoverage = br.maxCov
+		return nil
+	}
 
 	// Maximum loop coverage at the SPT size limit (Figure 16). The
 	// auxiliary simulation records as a "coverage" span so it never
@@ -389,6 +422,9 @@ func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *Compi
 	}
 	lr := &LevelRun{Level: level}
 	err := runJob(opt, &lr.Retried, func(ctx context.Context) error {
+		if opt.Client != nil {
+			return runLevelRemote(b, level, opt, br, lr, ctx)
+		}
 		copt := core.DefaultOptions(level)
 		copt.Trace = tk
 		copt.Context = ctx
@@ -441,13 +477,78 @@ func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *Compi
 		logger.logf("[%s] %s: %s (%v)", b.Name, level, st, err)
 		return lr, nil
 	}
-	if lr.Compile.Degraded() {
+	if lr.Status == StatusOK && lr.Compile.Degraded() {
 		lr.Status = StatusDegraded
 	}
 	logger.logf("[%s] %s: %.0f cycles, speedup %.3f, %d SPT loops, coverage %.2f, status %s (compile %s, simulate %s, %d search nodes)",
 		b.Name, level, lr.Sim.Cycles, lr.Speedup, len(lr.Compile.SPT), lr.Coverage, lr.Status,
 		fmtDur(lr.Metrics.Compile), fmtDur(lr.Metrics.Simulate), lr.Metrics.SearchNodes)
 	return lr, nil
+}
+
+// runLevelRemote is runLevel's body in service mode: one Simulate
+// request to the daemon, with the harness-side invariants (output
+// divergence vs base, speedup/coverage derivation) computed from the
+// reconstructed results exactly as the local path computes them.
+func runLevelRemote(b benchprog.Benchmark, level core.Level, opt Options, br *baseRun, lr *LevelRun, ctx context.Context) error {
+	budget := opt.SearchBudget
+	if budget < 0 {
+		budget = 0
+	}
+	resp, err := jobClient(opt, ctx).Simulate(&service.SimulateRequest{
+		Name:    b.Name,
+		Source:  b.Source,
+		Level:   level.String(),
+		Options: service.ReqOptions{SearchBudget: budget},
+	})
+	if err != nil {
+		return fmt.Errorf("%s compile+simulate: %w", level, err)
+	}
+	res, err := service.ReconstructCompile(resp.Compile)
+	if err != nil {
+		return err
+	}
+	sim := service.ReconstructSim(resp.Sim)
+	if br.status == StatusOK && resp.Output != br.out {
+		return fmt.Errorf("%s output diverged from base", level)
+	}
+	lr.Compile, lr.Sim, lr.Output = res, sim, resp.Output
+	if br.sim != nil {
+		lr.Speedup = ratio(br.sim.Cycles, sim.Cycles)
+	}
+	var inLoops float64
+	for _, ls := range sim.Loops {
+		inLoops += ls.Elapsed
+	}
+	lr.Coverage = ratio(inLoops, sim.Cycles)
+	lr.Metrics = metricsFromCounters(resp.Compile.Counters, resp.Meta)
+	if resp.Compile.Degraded {
+		// The wire response carries degradation events as strings only,
+		// so the reconstructed core.Result cannot answer Degraded()
+		// itself; mark the run here.
+		lr.Status = StatusDegraded
+	}
+	return nil
+}
+
+// jobClient binds the suite's Client to one job's context: a
+// *service.Remote is copied with the job context so the per-job timeout
+// cancels the HTTP request itself; other Client implementations are
+// returned as-is.
+func jobClient(opt Options, ctx context.Context) service.Client {
+	if r, ok := opt.Client.(*service.Remote); ok {
+		rc := *r
+		rc.Context = ctx
+		return &rc
+	}
+	return opt.Client
+}
+
+func dispOrNone(disp string) string {
+	if disp == "" {
+		return "none"
+	}
+	return disp
 }
 
 // ratio guards the evaluation's many cycle and op ratios against
@@ -482,61 +583,14 @@ func fmtDur(d time.Duration) string {
 	return d.Round(time.Millisecond).String()
 }
 
-// simulationOptions mirrors the root package helper (duplicated to keep
-// the harness inside internal).
+// simulationOptions and coverageOptions delegate to the shared core
+// helpers (also used by the root package and the compilation service).
 func simulationOptions(res *core.Result) machine.RunOptions {
-	opt := machine.RunOptions{
-		SPTHeaders: make(map[*ir.Block]int),
-		LoopBlocks: make(map[*ir.Block]map[*ir.Block]bool),
-	}
-	byFunc := make(map[*ir.Func][]*core.SPTLoop)
-	for _, l := range res.SPT {
-		byFunc[l.Func] = append(byFunc[l.Func], l)
-	}
-	for f, loops := range byFunc {
-		dom := ssa.BuildDomTree(f)
-		nest := ssa.FindLoops(f, dom)
-		for _, sl := range loops {
-			nl := nest.ByHeader[sl.Header]
-			if nl == nil {
-				continue
-			}
-			opt.SPTHeaders[sl.Header] = sl.ID
-			set := make(map[*ir.Block]bool, len(nl.Blocks))
-			for _, blk := range nl.Blocks {
-				set[blk] = true
-			}
-			opt.LoopBlocks[sl.Header] = set
-		}
-	}
-	return opt
+	return core.SimulationOptions(res)
 }
 
 func coverageOptions(prog *ir.Program, maxBody int) (machine.RunOptions, []int) {
-	opt := machine.RunOptions{
-		AttributeLoops: make(map[*ir.Block]int),
-		LoopBlocks:     make(map[*ir.Block]map[*ir.Block]bool),
-	}
-	var sizes []int
-	for _, f := range prog.Funcs {
-		dom := ssa.BuildDomTree(f)
-		nest := ssa.FindLoops(f, dom)
-		for _, l := range nest.Loops {
-			size := l.BodySize()
-			if maxBody > 0 && size > maxBody {
-				continue
-			}
-			key := len(sizes)
-			sizes = append(sizes, size)
-			opt.AttributeLoops[l.Header] = key
-			set := make(map[*ir.Block]bool, len(l.Blocks))
-			for _, b := range l.Blocks {
-				set[b] = true
-			}
-			opt.LoopBlocks[l.Header] = set
-		}
-	}
-	return opt, sizes
+	return core.CoverageOptions(prog, maxBody)
 }
 
 type captureWriter struct{ buf []byte }
@@ -754,7 +808,7 @@ func (s *SuiteResult) Fig19(level core.Level) []Fig19Point {
 				LoopID:    sl.ID,
 				EstCost:   est,
 				Measured:  ls.ReexecRatio(),
-				HasCalls:  loopHasCalls(sl),
+				HasCalls:  rep.HasCalls,
 				SpecIters: ls.SpecIters,
 			})
 		}
@@ -766,27 +820,4 @@ func (s *SuiteResult) Fig19(level core.Level) []Fig19Point {
 		return pts[i].LoopID < pts[j].LoopID
 	})
 	return pts
-}
-
-func loopHasCalls(sl *core.SPTLoop) bool {
-	dom := ssa.BuildDomTree(sl.Func)
-	nest := ssa.FindLoops(sl.Func, dom)
-	nl := nest.ByHeader[sl.Header]
-	if nl == nil {
-		return false
-	}
-	for _, b := range nl.Blocks {
-		for _, s := range b.Stmts {
-			found := false
-			s.Ops(func(o *ir.Op) {
-				if o.Kind == ir.OpCall && !o.Builtin {
-					found = true
-				}
-			})
-			if found {
-				return true
-			}
-		}
-	}
-	return false
 }

@@ -6,6 +6,7 @@ import (
 
 	"sptc/internal/core"
 	"sptc/internal/resilience"
+	"sptc/internal/service"
 	"sptc/internal/trace"
 )
 
@@ -99,6 +100,29 @@ func metricsFromTrack(tk *trace.Track, compile, simulate time.Duration) Metrics 
 		m.SimOps = v
 	}
 	return m
+}
+
+// metricsFromCounters assembles a job's Metrics from a service response:
+// the daemon read the same trace spans CountersFromTrack-side, so a
+// remote run's metrics agree with a local run's by construction.
+// Wall-clock durations come from the response meta (zero when the
+// response was served from the daemon's cache — no work was done).
+func metricsFromCounters(c service.Counters, meta service.RespMeta) Metrics {
+	return Metrics{
+		Timing:          Timing{Compile: meta.Compile, Simulate: meta.Simulate},
+		SearchNodes:     c.SearchNodes,
+		CostEvals:       c.CostEvals,
+		DedupHits:       c.DedupHits,
+		Recomputes:      c.Recomputes,
+		SearchWorkers:   c.SearchWorkers,
+		BoundUpdates:    c.BoundUpdates,
+		MemoShardHits:   c.MemoShardHits,
+		IncrHits:        c.IncrHits,
+		IncrMisses:      c.IncrMisses,
+		IncrInvalidated: c.IncrInvalidated,
+		SimOps:          c.SimOps,
+		Degraded:        c.Degraded,
+	}
 }
 
 // CompileKey identifies one deterministic compilation.

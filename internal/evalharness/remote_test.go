@@ -1,0 +1,92 @@
+package evalharness
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sptc/internal/core"
+	"sptc/internal/service"
+)
+
+// startDaemon runs an in-process sptd for the remote-mode tests.
+func startDaemon(t *testing.T) *service.Server {
+	t.Helper()
+	srv, err := service.NewServer(service.Config{Addr: "127.0.0.1:0", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("daemon shutdown: %v", err)
+		}
+	})
+	return srv
+}
+
+// TestSuiteRemoteEquivalence runs the evaluation suite through a live
+// sptd daemon (Options.Client) and asserts the rendered CSV and figure
+// output is byte-identical to the local in-process run — cold and again
+// warm from the daemon's response cache. The figures must not be able to
+// tell where the compilation happened.
+func TestSuiteRemoteEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full compile+simulate sweep")
+	}
+	srv := startDaemon(t)
+
+	render := func(client service.Client) (string, string) {
+		opt := DefaultEvalOptions()
+		opt.Benchmarks = []string{"bzip2", "gap"}
+		opt.Client = client
+		suite, err := RunSuite(opt)
+		if err != nil {
+			t.Fatalf("client=%T: %v", client, err)
+		}
+		for _, r := range suite.Runs {
+			if r.BaseMetrics.SimOps == 0 {
+				t.Errorf("client=%T: %s: empty base metrics %+v", client, r.Name, r.BaseMetrics)
+			}
+			r.BaseMetrics.Timing = Timing{}
+			for _, lr := range r.Levels {
+				if lr.Metrics.SimOps == 0 || lr.Metrics.SearchNodes == 0 {
+					t.Errorf("client=%T: %s/%s: empty level metrics %+v", client, r.Name, lr.Level, lr.Metrics)
+				}
+				lr.Metrics.Timing = Timing{}
+			}
+		}
+		var csvBuf, figBuf strings.Builder
+		if err := suite.WriteCSV(&csvBuf, core.LevelBest); err != nil {
+			t.Fatalf("client=%T: %v", client, err)
+		}
+		suite.WriteAll(&figBuf, core.LevelBest)
+		return csvBuf.String(), figBuf.String()
+	}
+
+	localCSV, localFig := render(nil)
+	coldCSV, coldFig := render(&service.Remote{URL: srv.URL()})
+	if localCSV != coldCSV {
+		t.Errorf("CSV output differs between local and remote runs:\n--- local ---\n%s\n--- remote ---\n%s", localCSV, coldCSV)
+	}
+	if localFig != coldFig {
+		t.Errorf("figure output differs between local and remote runs")
+	}
+
+	// Warm: the daemon now answers everything from its response cache;
+	// the rendered evaluation must still not change by a byte.
+	warmCSV, warmFig := render(&service.Remote{URL: srv.URL()})
+	if warmCSV != localCSV || warmFig != localFig {
+		t.Errorf("cached remote run diverged from the local run")
+	}
+	m := srv.Snapshot()
+	if m.CacheHits == 0 {
+		t.Errorf("warm suite hit the cache 0 times (misses=%d)", m.CacheMisses)
+	}
+}

@@ -1,0 +1,207 @@
+package incr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// RecordLog is the framed append-only binary log underneath both the
+// loop-level result store and the service's whole-program response
+// cache. The file format is ninja build-log style:
+//
+//	header:  magic bytes (an 8-byte version tag, e.g. "sptincr1")
+//	record:  u32 payload length | payload | u64 FNV-1a(payload)
+//
+// Records append; payload interpretation (keys, last-record-wins) is the
+// caller's business. Open salvages the longest valid prefix of a corrupt
+// or truncated file — a damaged log can cost warm hits but never fails
+// the caller. Save appends records queued since load and compacts (full
+// rewrite of live records only) after a salvage or when total records
+// outnumber live ones 2:1.
+//
+// RecordLog is not safe for concurrent use; callers serialize access
+// under their own lock.
+type RecordLog struct {
+	magic    string
+	path     string // empty: in-memory only, persistence is a no-op
+	pending  []byte // framed records not yet appended to path
+	records  int    // records in file + pending (incl. superseded)
+	salvaged bool   // load dropped a damaged tail: rewrite on save
+}
+
+// NewRecordLog returns a log persisting to path under the given magic
+// header. An empty path gives a purely in-memory log whose Save and
+// Compact are no-ops.
+func NewRecordLog(magic, path string) *RecordLog {
+	return &RecordLog{magic: magic, path: path}
+}
+
+// OpenRecordLog loads the log at path, creating it on first use, and
+// calls fn once per checksum-valid record in file order. fn returning
+// false stops the scan and marks the log for rewrite, exactly like a
+// damaged record (fail-soft decode errors). Content damage never returns
+// an error; the error path is for real I/O failures only.
+func OpenRecordLog(magic, path string, fn func(payload []byte) bool) (*RecordLog, error) {
+	l := NewRecordLog(magic, path)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return l, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	l.load(data, fn)
+	return l, nil
+}
+
+// load parses the longest valid prefix of a log image.
+func (l *RecordLog) load(data []byte, fn func(payload []byte) bool) {
+	if len(data) < len(l.magic) || string(data[:len(l.magic)]) != l.magic {
+		// Unrecognized file: treat as empty, rewrite on save.
+		l.salvaged = len(data) > 0
+		return
+	}
+	off := len(l.magic)
+	for {
+		if off == len(data) {
+			return // clean end
+		}
+		if off+4 > len(data) {
+			break
+		}
+		n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		rec := off + 4
+		if n < 0 || rec+n+8 > len(data) {
+			break // truncated record
+		}
+		payload := data[rec : rec+n]
+		sumOff := rec + n
+		var sum uint64
+		for i := 0; i < 8; i++ {
+			sum |= uint64(data[sumOff+i]) << (8 * i)
+		}
+		if payloadHash(payload) != sum {
+			break // corrupt record
+		}
+		if !fn(payload) {
+			break // caller rejected the payload
+		}
+		l.records++
+		off = sumOff + 8
+	}
+	l.salvaged = true
+}
+
+// Append queues one record for the next Save and counts it. Framing is
+// skipped for in-memory logs; the record count still advances so the
+// compaction policy stays meaningful if a path is ever attached.
+func (l *RecordLog) Append(payload []byte) {
+	l.records++
+	if l.path == "" {
+		return
+	}
+	var enc encoder
+	enc.u32(uint32(len(payload)))
+	enc.buf = append(enc.buf, payload...)
+	enc.u64(payloadHash(payload))
+	l.pending = append(l.pending, enc.buf...)
+}
+
+// Records reports records in the file plus pending ones, including
+// superseded records not yet compacted away.
+func (l *RecordLog) Records() int { return l.records }
+
+// Salvaged reports whether load dropped a damaged tail (the next Save
+// will compact).
+func (l *RecordLog) Salvaged() bool { return l.salvaged }
+
+// Path returns the backing file path ("" for in-memory logs).
+func (l *RecordLog) Path() string { return l.path }
+
+// Save persists pending records. It appends when the log is healthy and
+// compacts after a salvage or when total records outnumber the caller's
+// live count 2:1; rewrite must emit every live record. A no-op for
+// in-memory logs.
+func (l *RecordLog) Save(live int, rewrite func(emit func(payload []byte))) error {
+	if l.path == "" {
+		return nil
+	}
+	if l.salvaged || l.records > 2*live {
+		return l.Compact(rewrite)
+	}
+	if len(l.pending) == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(l.path, os.O_WRONLY|os.O_CREATE, 0o666)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write([]byte(l.magic)); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(l.pending); err != nil {
+		f.Close()
+		return err
+	}
+	l.pending = nil
+	return f.Close()
+}
+
+// Compact rewrites the file with only the records rewrite emits, via a
+// temp file and rename so a crash mid-compaction leaves the old log
+// intact. A no-op for in-memory logs.
+func (l *RecordLog) Compact(rewrite func(emit func(payload []byte))) error {
+	if l.path == "" {
+		return nil
+	}
+	tmp := l.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var enc encoder
+	enc.buf = append(enc.buf, l.magic...)
+	live := 0
+	rewrite(func(payload []byte) {
+		enc.u32(uint32(len(payload)))
+		enc.buf = append(enc.buf, payload...)
+		enc.u64(payloadHash(payload))
+		live++
+	})
+	if _, err := f.Write(enc.buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("incr: compact %s: %w", l.path, err)
+	}
+	l.pending = nil
+	l.records = live
+	l.salvaged = false
+	return nil
+}

@@ -1,23 +1,14 @@
 package incr
 
 import (
-	"errors"
-	"fmt"
-	"io"
-	"os"
 	"sync"
 )
 
-// Store file format (ninja build-log style append-only binary log):
-//
-//	header:  8-byte magic "sptincr1"
-//	record:  u32 payload length | payload | u64 FNV-1a(payload)
-//
-// Records append; the last record for a key wins. Load salvages the
-// longest valid prefix of a corrupt or truncated file — a damaged store
-// can cost warm hits but can never fail a build. Save appends the
-// records added since load and rewrites the whole file (compaction) when
-// superseded records outnumber live ones.
+// The loop-result store persists through a RecordLog (see log.go): an
+// append-only binary log of encoded (Key, Entry) records under the
+// "sptincr1" magic. Records append; the last record for a key wins.
+// Load salvages the longest valid prefix of a corrupt or truncated file
+// — a damaged store can cost warm hits but can never fail a build.
 
 const storeMagic = "sptincr1"
 
@@ -50,17 +41,15 @@ func (s Status) String() string {
 // across concurrent compile jobs).
 type Store struct {
 	mu      sync.Mutex
-	path    string // empty: in-memory only
+	log     *RecordLog
 	entries map[Key]*Entry
 	slots   map[string]uint64 // slot -> last fingerprint seen
-	pending []byte            // encoded records not yet appended to path
-	records int               // records in file + pending (incl. superseded)
-	salvage bool              // load dropped a corrupt tail: rewrite on save
 }
 
 // New returns an empty in-memory store (no persistence; Save is a no-op).
 func New() *Store {
 	return &Store{
+		log:     NewRecordLog(storeMagic, ""),
 		entries: make(map[Key]*Entry),
 		slots:   make(map[string]uint64),
 	}
@@ -72,62 +61,20 @@ func New() *Store {
 // an error. The error path is for real I/O failures only.
 func Open(path string) (*Store, error) {
 	s := New()
-	s.path = path
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return s, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	data, err := io.ReadAll(f)
-	if err != nil {
-		return nil, err
-	}
-	s.load(data)
-	return s, nil
-}
-
-// load parses the longest valid prefix of a store image.
-func (s *Store) load(data []byte) {
-	if len(data) < len(storeMagic) || string(data[:len(storeMagic)]) != storeMagic {
-		// Unrecognized file: treat as empty, rewrite on save.
-		s.salvage = len(data) > 0
-		return
-	}
-	off := len(storeMagic)
-	for {
-		if off == len(data) {
-			return // clean end
-		}
-		if off+4 > len(data) {
-			break
-		}
-		n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
-		rec := off + 4
-		if n < 0 || rec+n+8 > len(data) {
-			break // truncated record
-		}
-		payload := data[rec : rec+n]
-		sumOff := rec + n
-		var sum uint64
-		for i := 0; i < 8; i++ {
-			sum |= uint64(data[sumOff+i]) << (8 * i)
-		}
-		if payloadHash(payload) != sum {
-			break // corrupt record
-		}
+	log, err := OpenRecordLog(storeMagic, path, func(payload []byte) bool {
 		k, e, err := decodeRecord(payload)
 		if err != nil {
-			break
+			return false
 		}
 		s.entries[k] = e
 		s.slots[e.Slot] = k.FP
-		s.records++
-		off = sumOff + 8
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
-	s.salvage = true
+	s.log = log
+	return s, nil
 }
 
 // Lookup fetches the entry for k and classifies the outcome using slot
@@ -153,15 +100,7 @@ func (s *Store) Put(k Key, e *Entry) {
 	defer s.mu.Unlock()
 	s.entries[k] = e
 	s.slots[e.Slot] = k.FP
-	s.records++
-	if s.path == "" {
-		return
-	}
-	var enc encoder
-	enc.u32(uint32(len(payload)))
-	enc.buf = append(enc.buf, payload...)
-	enc.u64(payloadHash(payload))
-	s.pending = append(s.pending, enc.buf...)
+	s.log.Append(payload)
 }
 
 // Len returns the number of live entries.
@@ -177,81 +116,18 @@ func (s *Store) Len() int {
 func (s *Store) Save() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.path == "" {
-		return nil
-	}
-	if s.salvage || s.records > 2*len(s.entries) {
-		return s.compactLocked()
-	}
-	if len(s.pending) == 0 {
-		return nil
-	}
-	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_CREATE, 0o666)
-	if err != nil {
-		return err
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return err
-	}
-	if st.Size() == 0 {
-		if _, err := f.Write([]byte(storeMagic)); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return err
-	}
-	if _, err := f.Write(s.pending); err != nil {
-		f.Close()
-		return err
-	}
-	s.pending = nil
-	return f.Close()
+	return s.log.Save(len(s.entries), s.rewrite)
 }
 
 // Compact rewrites the store file with live entries only.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.path == "" {
-		return nil
-	}
-	return s.compactLocked()
+	return s.log.Compact(s.rewrite)
 }
 
-func (s *Store) compactLocked() error {
-	tmp := s.path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	var enc encoder
-	enc.buf = append(enc.buf, storeMagic...)
+func (s *Store) rewrite(emit func(payload []byte)) {
 	for k, e := range s.entries {
-		payload := encodeRecord(k, e)
-		enc.u32(uint32(len(payload)))
-		enc.buf = append(enc.buf, payload...)
-		enc.u64(payloadHash(payload))
+		emit(encodeRecord(k, e))
 	}
-	if _, err := f.Write(enc.buf); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, s.path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("incr: compact %s: %w", s.path, err)
-	}
-	s.pending = nil
-	s.records = len(s.entries)
-	s.salvage = false
-	return nil
 }

@@ -1,0 +1,246 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"sptc/internal/incr"
+	"sptc/internal/machine"
+)
+
+// cacheMagic versions the service-cache file format.
+const cacheMagic = "sptsvc01"
+
+// Request kinds, the first cache-key dimension.
+const (
+	kindCompile  byte = 1
+	kindSimulate byte = 2
+)
+
+// CacheKey addresses one deterministic response: the request kind, the
+// FNV-1a hash of (name, source), and the FNV-1a hash of the canonical
+// JSON of every result-affecting option (level, compile options, machine
+// config, response-format version).
+type CacheKey struct {
+	Kind byte
+	Src  uint64
+	Opt  uint64
+}
+
+func hashSource(name, source string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	return h.Sum64()
+}
+
+// optionsKey is the canonical serialization of everything besides the
+// source that can change response bytes.
+type optionsKey struct {
+	Version         int             `json:"v"`
+	Level           string          `json:"level"`
+	Options         ReqOptions      `json:"options"`
+	Machine         *machine.Config `json:"machine,omitempty"`
+	Compare         bool            `json:"compare,omitempty"`
+	CoverageMaxBody int             `json:"coverage_max_body,omitempty"`
+}
+
+func hashOptions(k optionsKey) uint64 {
+	b, err := json.Marshal(k)
+	if err != nil {
+		// Plain structs of scalars cannot fail to marshal.
+		panic(fmt.Sprintf("service: options hash: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// CompileKey derives the cache key of a compile request.
+func CompileKey(req *CompileRequest) CacheKey {
+	return CacheKey{
+		Kind: kindCompile,
+		Src:  hashSource(req.Name, req.Source),
+		Opt:  hashOptions(optionsKey{Version: RespFormatVersion, Level: req.Level, Options: req.Options}),
+	}
+}
+
+// SimulateKey derives the cache key of a simulate request.
+func SimulateKey(req *SimulateRequest) CacheKey {
+	return CacheKey{
+		Kind: kindSimulate,
+		Src:  hashSource(req.Name, req.Source),
+		Opt: hashOptions(optionsKey{
+			Version:         RespFormatVersion,
+			Level:           req.Level,
+			Options:         req.Options,
+			Machine:         req.Machine,
+			Compare:         req.Compare,
+			CoverageMaxBody: req.CoverageMaxBody,
+		}),
+	}
+}
+
+// Cache is the whole-program content-addressed response cache: canonical
+// response JSON keyed by CacheKey, persisted through an append-only
+// incr.RecordLog so it survives daemon restarts, with single-flight
+// deduplication so N identical concurrent requests cost one compile.
+type Cache struct {
+	mu       sync.Mutex
+	log      *incr.RecordLog
+	entries  map[CacheKey][]byte
+	inflight map[CacheKey]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// NewCache returns an empty in-memory cache (no persistence).
+func NewCache() *Cache {
+	return &Cache{
+		log:      incr.NewRecordLog(cacheMagic, ""),
+		entries:  make(map[CacheKey][]byte),
+		inflight: make(map[CacheKey]*flight),
+	}
+}
+
+// OpenCache loads the cache at path, creating it on first use. Corrupt
+// or truncated files are salvaged record-by-record (longest valid
+// prefix, malformed payloads dropped); content damage never returns an
+// error.
+func OpenCache(path string) (*Cache, error) {
+	c := NewCache()
+	log, err := incr.OpenRecordLog(cacheMagic, path, func(payload []byte) bool {
+		key, body, ok := decodeCacheRecord(payload)
+		if !ok {
+			return false
+		}
+		c.entries[key] = body
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.log = log
+	return c, nil
+}
+
+// record payload: kind u8 | src u64 | opt u64 | response JSON.
+func encodeCacheRecord(key CacheKey, body []byte) []byte {
+	p := make([]byte, 0, 17+len(body))
+	p = append(p, key.Kind)
+	p = binary.LittleEndian.AppendUint64(p, key.Src)
+	p = binary.LittleEndian.AppendUint64(p, key.Opt)
+	return append(p, body...)
+}
+
+func decodeCacheRecord(payload []byte) (CacheKey, []byte, bool) {
+	if len(payload) < 17 {
+		return CacheKey{}, nil, false
+	}
+	kind := payload[0]
+	if kind != kindCompile && kind != kindSimulate {
+		return CacheKey{}, nil, false
+	}
+	key := CacheKey{
+		Kind: kind,
+		Src:  binary.LittleEndian.Uint64(payload[1:]),
+		Opt:  binary.LittleEndian.Uint64(payload[9:]),
+	}
+	body := make([]byte, len(payload)-17)
+	copy(body, payload[17:])
+	return key, body, true
+}
+
+// Len returns the number of live cached responses.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Salvaged reports whether loading dropped a damaged tail.
+func (c *Cache) Salvaged() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log.Salvaged()
+}
+
+// Get returns the cached response bytes for key, if present.
+func (c *Cache) Get(key CacheKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.entries[key]
+	return b, ok
+}
+
+// Disposition of one GetOrCompute call.
+const (
+	DispHit  = "hit"  // served from the cache
+	DispMiss = "miss" // computed by this call
+	DispJoin = "join" // waited on an identical in-flight computation
+)
+
+// GetOrCompute returns the response bytes for key, computing them at
+// most once across concurrent callers: the first caller for an absent
+// key runs compute, every concurrent duplicate blocks on its completion
+// and shares the result (a cache stampede costs one compile). compute
+// reports whether its result is cacheable — degraded and failed
+// responses never enter the cache, so a later retry recomputes.
+func (c *Cache) GetOrCompute(key CacheKey, compute func() (data []byte, cacheable bool, err error)) (data []byte, disp string, err error) {
+	c.mu.Lock()
+	if b, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return b, DispHit, nil
+	}
+	if f := c.inflight[key]; f != nil {
+		c.mu.Unlock()
+		<-f.done
+		return f.data, DispJoin, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	data, cacheable, err := compute()
+	f.data, f.err = data, err
+
+	c.mu.Lock()
+	if err == nil && cacheable {
+		c.entries[key] = data
+		c.log.Append(encodeCacheRecord(key, data))
+	}
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	return data, DispMiss, err
+}
+
+// Save persists records added since load, compacting (live entries only)
+// after a salvage or when superseded records outnumber live ones. A
+// no-op for in-memory caches.
+func (c *Cache) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log.Save(len(c.entries), c.rewrite)
+}
+
+// Compact rewrites the cache file with live entries only.
+func (c *Cache) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log.Compact(c.rewrite)
+}
+
+func (c *Cache) rewrite(emit func(payload []byte)) {
+	for key, body := range c.entries {
+		emit(encodeCacheRecord(key, body))
+	}
+}

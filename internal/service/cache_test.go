@@ -1,0 +1,305 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheKeyDerivation(t *testing.T) {
+	base := &CompileRequest{Name: "a.spl", Source: "func main() {}", Level: "best"}
+	k := CompileKey(base)
+
+	same := &CompileRequest{Name: "a.spl", Source: "func main() {}", Level: "best"}
+	if CompileKey(same) != k {
+		t.Error("identical requests produced different keys")
+	}
+
+	variants := map[string]*CompileRequest{
+		"level":   {Name: "a.spl", Source: "func main() {}", Level: "basic"},
+		"source":  {Name: "a.spl", Source: "func main() { }", Level: "best"},
+		"name":    {Name: "b.spl", Source: "func main() {}", Level: "best"},
+		"options": {Name: "a.spl", Source: "func main() {}", Level: "best", Options: ReqOptions{DisableSVP: true}},
+		"dump":    {Name: "a.spl", Source: "func main() {}", Level: "best", Options: ReqOptions{Dump: true}},
+		"budget":  {Name: "a.spl", Source: "func main() {}", Level: "best", Options: ReqOptions{SearchBudget: 10}},
+	}
+	for what, req := range variants {
+		if CompileKey(req) == k {
+			t.Errorf("changing %s did not change the cache key", what)
+		}
+	}
+
+	// A simulate request never shares a key with a compile request.
+	sk := SimulateKey(&SimulateRequest{Name: "a.spl", Source: "func main() {}", Level: "best"})
+	if sk == k {
+		t.Error("simulate and compile requests share a key")
+	}
+	sk2 := SimulateKey(&SimulateRequest{Name: "a.spl", Source: "func main() {}", Level: "best", Compare: true})
+	if sk2 == sk {
+		t.Error("Compare did not change the simulate key")
+	}
+}
+
+func TestGetOrComputeDispositions(t *testing.T) {
+	c := NewCache()
+	key := CacheKey{Kind: kindCompile, Src: 1, Opt: 2}
+
+	data, disp, err := c.GetOrCompute(key, func() ([]byte, bool, error) { return []byte("r1"), true, nil })
+	if err != nil || disp != DispMiss || string(data) != "r1" {
+		t.Fatalf("first call: data=%q disp=%q err=%v, want r1/miss/nil", data, disp, err)
+	}
+	data, disp, err = c.GetOrCompute(key, func() ([]byte, bool, error) {
+		t.Fatal("compute ran for a cached key")
+		return nil, false, nil
+	})
+	if err != nil || disp != DispHit || string(data) != "r1" {
+		t.Fatalf("second call: data=%q disp=%q err=%v, want r1/hit/nil", data, disp, err)
+	}
+
+	// Errors and non-cacheable (degraded) results never enter the cache.
+	ekey := CacheKey{Kind: kindCompile, Src: 3, Opt: 4}
+	if _, _, err := c.GetOrCompute(ekey, func() ([]byte, bool, error) { return nil, false, fmt.Errorf("boom") }); err == nil {
+		t.Fatal("compute error was swallowed")
+	}
+	if _, ok := c.Get(ekey); ok {
+		t.Error("failed computation was cached")
+	}
+	dkey := CacheKey{Kind: kindCompile, Src: 5, Opt: 6}
+	if _, disp, _ := c.GetOrCompute(dkey, func() ([]byte, bool, error) { return []byte("degraded"), false, nil }); disp != DispMiss {
+		t.Fatalf("disp = %q, want miss", disp)
+	}
+	if _, ok := c.Get(dkey); ok {
+		t.Error("non-cacheable (degraded) result was cached")
+	}
+	// The degraded result is recomputed on retry, not served.
+	if _, disp, _ := c.GetOrCompute(dkey, func() ([]byte, bool, error) { return []byte("retry"), true, nil }); disp != DispMiss {
+		t.Errorf("retry after degraded result: disp = %q, want miss", disp)
+	}
+}
+
+// TestCacheStampede pins the single-flight contract: N identical
+// concurrent requests cost exactly one computation; everyone gets the
+// same bytes.
+func TestCacheStampede(t *testing.T) {
+	c := NewCache()
+	key := CacheKey{Kind: kindCompile, Src: 7, Opt: 8}
+	const n = 64
+
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	dispCounts := make([]string, n)
+	datas := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			data, disp, err := c.GetOrCompute(key, func() ([]byte, bool, error) {
+				computes.Add(1)
+				return []byte("the-one-result"), true, nil
+			})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+			dispCounts[i] = disp
+			datas[i] = data
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Errorf("computations = %d, want exactly 1 for %d concurrent identical requests", got, n)
+	}
+	misses := 0
+	for i, d := range dispCounts {
+		if d == DispMiss {
+			misses++
+		}
+		if !bytes.Equal(datas[i], []byte("the-one-result")) {
+			t.Errorf("request %d got %q", i, datas[i])
+		}
+	}
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1 (rest joins or hits)", misses)
+	}
+}
+
+func TestCachePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "svc.cache")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]CacheKey, 5)
+	for i := range keys {
+		keys[i] = CacheKey{Kind: kindCompile, Src: uint64(i), Opt: uint64(i * 7)}
+		body := []byte(fmt.Sprintf(`{"resp":%d}`, i))
+		if _, disp, err := c.GetOrCompute(keys[i], func() ([]byte, bool, error) { return body, true, nil }); err != nil || disp != DispMiss {
+			t.Fatalf("seed %d: disp=%q err=%v", i, disp, err)
+		}
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: every response survives byte-identically.
+	c2, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Salvaged() {
+		t.Error("clean cache file reported salvage")
+	}
+	if c2.Len() != len(keys) {
+		t.Fatalf("reloaded %d entries, want %d", c2.Len(), len(keys))
+	}
+	for i, k := range keys {
+		data, disp, err := c2.GetOrCompute(k, func() ([]byte, bool, error) {
+			t.Fatalf("key %d recomputed after restart", i)
+			return nil, false, nil
+		})
+		if err != nil || disp != DispHit {
+			t.Fatalf("key %d after restart: disp=%q err=%v", i, disp, err)
+		}
+		if want := fmt.Sprintf(`{"resp":%d}`, i); string(data) != want {
+			t.Errorf("key %d: data %q, want %q", i, data, want)
+		}
+	}
+}
+
+// TestCacheSalvage extends the incr error-path coverage to the service
+// cache file: truncation and corruption lose at most the damaged tail,
+// and the next Save compacts the file back to a clean state.
+func TestCacheSalvage(t *testing.T) {
+	seed := func(t *testing.T, path string, n int) {
+		c, err := OpenCache(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			key := CacheKey{Kind: kindSimulate, Src: uint64(i), Opt: 9}
+			body := []byte(fmt.Sprintf(`{"n":%d}`, i))
+			c.GetOrCompute(key, func() ([]byte, bool, error) { return body, true, nil })
+		}
+		if err := c.Save(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("truncated-mid-record", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "svc.cache")
+		seed(t, path, 4)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, err := OpenCache(path)
+		if err != nil {
+			t.Fatalf("truncated cache must salvage, got %v", err)
+		}
+		if !c.Salvaged() {
+			t.Error("Salvaged() = false after truncation")
+		}
+		if c.Len() != 3 {
+			t.Errorf("salvaged %d entries, want 3 (longest valid prefix)", c.Len())
+		}
+	})
+
+	t.Run("corrupt-byte", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "svc.cache")
+		seed(t, path, 4)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xFF
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, err := OpenCache(path)
+		if err != nil {
+			t.Fatalf("corrupt cache must salvage, got %v", err)
+		}
+		if !c.Salvaged() {
+			t.Error("Salvaged() = false after corruption")
+		}
+		if c.Len() >= 4 {
+			t.Errorf("salvaged %d entries, want fewer than 4", c.Len())
+		}
+
+		// The next Save compacts: a fresh open sees a clean file again.
+		if err := c.Save(); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := OpenCache(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2.Salvaged() {
+			t.Error("cache still salvaging after compacting Save")
+		}
+		if c2.Len() != c.Len() {
+			t.Errorf("compacted file has %d entries, want %d", c2.Len(), c.Len())
+		}
+	})
+
+	t.Run("wrong-magic", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "svc.cache")
+		if err := os.WriteFile(path, []byte("not a cache file at all"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, err := OpenCache(path)
+		if err != nil {
+			t.Fatalf("foreign file must salvage to empty, got %v", err)
+		}
+		if c.Len() != 0 || !c.Salvaged() {
+			t.Errorf("len=%d salvaged=%v, want 0/true", c.Len(), c.Salvaged())
+		}
+	})
+
+	t.Run("empty-file", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "svc.cache")
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, err := OpenCache(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() != 0 || c.Salvaged() {
+			t.Errorf("len=%d salvaged=%v, want 0/false for an empty file", c.Len(), c.Salvaged())
+		}
+	})
+}
+
+func TestCacheCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "svc.cache")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey{Kind: kindCompile, Src: 11, Opt: 12}
+	c.GetOrCompute(key, func() ([]byte, bool, error) { return []byte(`{"v":1}`), true, nil })
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 1 || c2.Salvaged() {
+		t.Errorf("after compact: len=%d salvaged=%v, want 1/false", c2.Len(), c2.Salvaged())
+	}
+}

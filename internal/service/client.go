@@ -1,0 +1,222 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sptc/internal/resilience"
+)
+
+// Client executes compile and simulate requests: in-process (Local) or
+// against a running sptd daemon (Remote). The front-ends render from the
+// wire responses in both modes, so the printed bytes are identical by
+// construction.
+type Client interface {
+	Compile(req *CompileRequest) (*CompileResponse, error)
+	Simulate(req *SimulateRequest) (*SimulateResponse, error)
+}
+
+// Local executes requests in-process through the same executor the
+// daemon's workers run. An optional Cache adds the daemon's
+// content-addressed response caching (used by the equivalence tests; the
+// one-shot CLIs run uncached).
+type Local struct {
+	Env   Env
+	Cache *Cache
+}
+
+// Compile implements Client.
+func (l *Local) Compile(req *CompileRequest) (*CompileResponse, error) {
+	if l.Cache == nil {
+		return ExecCompile(req, l.Env)
+	}
+	var meta RespMeta
+	data, disp, err := l.Cache.GetOrCompute(CompileKey(req), func() ([]byte, bool, error) {
+		resp, err := ExecCompile(req, l.Env)
+		if err != nil {
+			return nil, false, err
+		}
+		meta = resp.Meta
+		b, merr := json.Marshal(resp)
+		if merr != nil {
+			return nil, false, merr
+		}
+		return b, !resp.Degraded, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := new(CompileResponse)
+	if err := json.Unmarshal(data, resp); err != nil {
+		return nil, err
+	}
+	resp.Meta = meta
+	resp.Meta.Cache = disp
+	return resp, nil
+}
+
+// Simulate implements Client.
+func (l *Local) Simulate(req *SimulateRequest) (*SimulateResponse, error) {
+	if l.Cache == nil {
+		return ExecSimulate(req, l.Env)
+	}
+	var meta RespMeta
+	data, disp, err := l.Cache.GetOrCompute(SimulateKey(req), func() ([]byte, bool, error) {
+		resp, err := ExecSimulate(req, l.Env)
+		if err != nil {
+			return nil, false, err
+		}
+		meta = resp.Meta
+		b, merr := json.Marshal(resp)
+		if merr != nil {
+			return nil, false, merr
+		}
+		return b, !resp.Compile.Degraded, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := new(SimulateResponse)
+	if err := json.Unmarshal(data, resp); err != nil {
+		return nil, err
+	}
+	resp.Meta = meta
+	resp.Meta.Cache = disp
+	return resp, nil
+}
+
+// errorBody is the daemon's error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// Error kinds on the wire.
+const (
+	errKindRequest  = "request"
+	errKindCompile  = "compile"
+	errKindPanic    = "panic"
+	errKindTimeout  = "timeout"
+	errKindCanceled = "canceled"
+	errKindOverload = "overload"
+	errKindInternal = "internal"
+)
+
+// ErrOverload reports an admission-control rejection (HTTP 429): the
+// daemon's queue was full. Clients may retry with backoff.
+type ErrOverload struct{ Msg string }
+
+func (e *ErrOverload) Error() string { return e.Msg }
+
+// Remote executes requests against a running sptd daemon.
+type Remote struct {
+	// URL is the daemon base URL, e.g. "http://localhost:8347".
+	URL string
+	// HTTPClient overrides http.DefaultClient (tests, timeouts).
+	HTTPClient *http.Client
+	// Context cancels in-flight requests. Nil means context.Background().
+	Context context.Context
+}
+
+func (r *Remote) client() *http.Client {
+	if r.HTTPClient != nil {
+		return r.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (r *Remote) post(path string, reqBody any, respBody any) (RespMeta, error) {
+	var meta RespMeta
+	b, err := json.Marshal(reqBody)
+	if err != nil {
+		return meta, err
+	}
+	ctx := r.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	url := strings.TrimRight(r.URL, "/") + path
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return meta, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := r.client().Do(hreq)
+	if err != nil {
+		return meta, fmt.Errorf("sptd: %w", err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return meta, fmt.Errorf("sptd: read response: %w", err)
+	}
+	meta.Cache = hresp.Header.Get("X-Sptd-Cache")
+	meta.Compile = headerDur(hresp.Header, "X-Sptd-Compile-Us")
+	meta.Simulate = headerDur(hresp.Header, "X-Sptd-Simulate-Us")
+	if hresp.StatusCode != http.StatusOK {
+		return meta, remoteError(hresp.StatusCode, data)
+	}
+	return meta, json.Unmarshal(data, respBody)
+}
+
+func headerDur(h http.Header, key string) time.Duration {
+	us, err := strconv.ParseInt(h.Get(key), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(us) * time.Microsecond
+}
+
+// remoteError maps the daemon's error kinds back to the error types the
+// callers' fail-soft classification (resilience.ReasonFor) understands,
+// so a remote panic or timeout degrades a harness job exactly like a
+// local one.
+func remoteError(status int, data []byte) error {
+	var eb errorBody
+	if json.Unmarshal(data, &eb) != nil || eb.Error == "" {
+		return fmt.Errorf("sptd: HTTP %d: %s", status, strings.TrimSpace(string(data)))
+	}
+	switch eb.Kind {
+	case errKindRequest:
+		return &RequestError{Msg: eb.Error}
+	case errKindPanic:
+		return &resilience.PanicError{Value: eb.Error}
+	case errKindTimeout:
+		return fmt.Errorf("sptd: %s: %w", eb.Error, context.DeadlineExceeded)
+	case errKindCanceled:
+		return fmt.Errorf("sptd: %s: %w", eb.Error, context.Canceled)
+	case errKindOverload:
+		return &ErrOverload{Msg: eb.Error}
+	default:
+		return fmt.Errorf("sptd: %s", eb.Error)
+	}
+}
+
+// Compile implements Client.
+func (r *Remote) Compile(req *CompileRequest) (*CompileResponse, error) {
+	resp := new(CompileResponse)
+	meta, err := r.post("/v1/compile", req, resp)
+	if err != nil {
+		return nil, err
+	}
+	resp.Meta = meta
+	return resp, nil
+}
+
+// Simulate implements Client.
+func (r *Remote) Simulate(req *SimulateRequest) (*SimulateResponse, error) {
+	resp := new(SimulateResponse)
+	meta, err := r.post("/v1/simulate", req, resp)
+	if err != nil {
+		return nil, err
+	}
+	resp.Meta = meta
+	return resp, nil
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package service
+
+// raceEnabled reports whether the race detector is compiled in; the
+// load test scales its concurrency down under -race to stay within the
+// detector's goroutine budget.
+const raceEnabled = false

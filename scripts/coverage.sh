@@ -24,8 +24,10 @@ check() {
 check ./internal/trace 70
 check ./internal/cliutil 70
 check ./internal/incr 80
+check ./internal/service 80
 check ./cmd/sptc 70
 check ./cmd/sptsim 70
 check ./cmd/sptbench 70
+check ./cmd/sptd 70
 
 exit $fail

@@ -22,7 +22,6 @@ import (
 	"sptc/internal/core"
 	"sptc/internal/ir"
 	"sptc/internal/machine"
-	"sptc/internal/ssa"
 )
 
 // Level selects the compilation level.
@@ -83,31 +82,7 @@ func CompileWith(name, src string, opt Options) (*Result, error) {
 // SPT headers with their loop IDs and the block membership of every SPT
 // loop (recomputed on the final IR).
 func SimulationOptions(res *Result) machine.RunOptions {
-	opt := machine.RunOptions{
-		SPTHeaders: make(map[*ir.Block]int),
-		LoopBlocks: make(map[*ir.Block]map[*ir.Block]bool),
-	}
-	byFunc := make(map[*ir.Func][]*core.SPTLoop)
-	for _, l := range res.SPT {
-		byFunc[l.Func] = append(byFunc[l.Func], l)
-	}
-	for f, loops := range byFunc {
-		dom := ssa.BuildDomTree(f)
-		nest := ssa.FindLoops(f, dom)
-		for _, sl := range loops {
-			nl := nest.ByHeader[sl.Header]
-			if nl == nil {
-				continue // transformed away (e.g. fully dead)
-			}
-			opt.SPTHeaders[sl.Header] = sl.ID
-			set := make(map[*ir.Block]bool, len(nl.Blocks))
-			for _, b := range nl.Blocks {
-				set[b] = true
-			}
-			opt.LoopBlocks[sl.Header] = set
-		}
-	}
-	return opt
+	return core.SimulationOptions(res)
 }
 
 // Simulate runs a compiled program on the SPT machine with the default
@@ -129,28 +104,5 @@ func SimulateWith(res *Result, cfg MachineConfig, out io.Writer) (*SimResult, er
 // (used to measure the paper's Figure 16 "maximum coverage"). Keys are
 // sequential loop indexes; the returned slice maps key -> body size.
 func CoverageOptions(prog *ir.Program, maxBody int) (machine.RunOptions, []int) {
-	opt := machine.RunOptions{
-		AttributeLoops: make(map[*ir.Block]int),
-		LoopBlocks:     make(map[*ir.Block]map[*ir.Block]bool),
-	}
-	var sizes []int
-	for _, f := range prog.Funcs {
-		dom := ssa.BuildDomTree(f)
-		nest := ssa.FindLoops(f, dom)
-		for _, l := range nest.Loops {
-			size := l.BodySize()
-			if maxBody > 0 && size > maxBody {
-				continue
-			}
-			key := len(sizes)
-			sizes = append(sizes, size)
-			opt.AttributeLoops[l.Header] = key
-			set := make(map[*ir.Block]bool, len(l.Blocks))
-			for _, b := range l.Blocks {
-				set[b] = true
-			}
-			opt.LoopBlocks[l.Header] = set
-		}
-	}
-	return opt, sizes
+	return core.CoverageOptions(prog, maxBody)
 }
