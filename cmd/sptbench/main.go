@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -61,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	resil := cliutil.AddResilienceFlags(fs)
 	incrFlag := cliutil.AddIncrFlag(fs)
-	server := cliutil.AddServerFlag(fs)
+	server := cliutil.AddServerFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -110,11 +111,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opt.Timeout = resil.Timeout
 	opt.SearchBudget = resil.SearchBudget
 	opt.SearchWorkers = resil.SearchWorkers
-	if *server != "" {
+	if server.Remote() {
 		// Service mode: every compile+simulate job goes through the sptd
 		// daemon (whose response cache makes repeat suites near-free);
-		// the local incr store does not apply.
-		opt.Client = &service.Remote{URL: *server}
+		// the local incr store does not apply. Transient daemon failures
+		// retry with backoff; an unreachable daemon degrades jobs to
+		// in-process execution, marked "fallback" in the status column.
+		opt.Client = server.Client(context.Background(), service.Env{SearchWorkers: resil.SearchWorkers})
 	} else {
 		store, saveStore := incrFlag.Open()
 		defer saveStore()

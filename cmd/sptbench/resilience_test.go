@@ -52,6 +52,12 @@ func TestFaultInjectionSweep(t *testing.T) {
 		"core.pass1.loop":      {"ok", "degraded"},
 		"core.pass2.transform": {"ok", "degraded"},
 		"machine.run":          {"panic", "panic"},
+		// Durability points fire on the cache flush/save schedule, not in
+		// the compile pipeline: with no -incr-cache store or daemon cache
+		// attached they are inert and every job stays ok.
+		"incr.log.flush":     {"ok", "ok"},
+		"incr.log.rename":    {"ok", "ok"},
+		"service.cache.save": {"ok", "ok"},
 	}
 	for _, point := range points {
 		t.Run(point, func(t *testing.T) {

@@ -52,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	resil := cliutil.AddResilienceFlags(fs)
 	incrFlag := cliutil.AddIncrFlag(fs)
-	server := cliutil.AddServerFlag(fs)
+	server := cliutil.AddServerFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -103,10 +103,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tr = trace.New()
 	}
 	var client service.Client
-	if *server != "" {
+	if server.Remote() {
 		// Remote mode: the daemon owns tracing, caching and pass-1
-		// parallelism; an exported trace is empty here.
-		client = &service.Remote{URL: *server, Context: ctx}
+		// parallelism; an exported trace is empty here. Transient daemon
+		// failures retry with backoff, and an unreachable daemon degrades
+		// to in-process execution (-server-retries/-server-fallback).
+		client = server.Client(ctx, service.Env{SearchWorkers: resil.SearchWorkers})
 	} else {
 		env := service.Env{SearchWorkers: resil.SearchWorkers, Context: ctx}
 		store, saveStore := incrFlag.Open()

@@ -21,6 +21,12 @@
 // loop-level incremental store underneath it. SIGINT/SIGTERM shut down
 // gracefully: in-flight requests drain and both caches are saved.
 //
+// Durability between shutdowns is incremental: -flush-interval appends
+// both caches to disk on a ticker (and -flush-every after every Nth
+// cache miss), so a hard kill (SIGKILL, OOM) loses at most one flush
+// window of cached work; the survivors are salvaged on restart. -fsync
+// extends the guarantee from process death to power loss.
+//
 // Usage:
 //
 //	sptd [-addr :8347] [-cache sptd.cache] [-workers N] [-queue-depth N]
@@ -61,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Int64Var(&cfg.MaxSource, "max-source", 0, "max request body size in `bytes` (0 = default 4MiB)")
 	fs.IntVar(&cfg.SearchWorkers, "search-workers", 0, "parallel pass-1 workers per request; result-invariant (0 = serial)")
 	fs.IntVar(&cfg.TraceTracks, "trace-tracks", 0, "request tracks kept for /debug/trace before rotation (0 = default 64)")
+	fs.DurationVar(&cfg.FlushInterval, "flush-interval", 0, "append both caches to disk every `interval`; a kill -9 loses at most one window (0 = save only on shutdown)")
+	fs.IntVar(&cfg.FlushEveryN, "flush-every", 0, "also flush after every `N`th cache miss (0 = off)")
+	fs.BoolVar(&cfg.FlushSync, "fsync", false, "fsync after every flush so completed flushes survive power loss, not just process death")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

@@ -46,7 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	resil := cliutil.AddResilienceFlags(fs)
 	incrFlag := cliutil.AddIncrFlag(fs)
-	server := cliutil.AddServerFlag(fs)
+	server := cliutil.AddServerFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -100,11 +100,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tr = trace.New()
 	}
 	var client service.Client
-	remote := *server != ""
+	remote := server.Remote()
 	if remote {
 		// Remote mode: the daemon owns tracing, caching, the engine choice
 		// and pass-1 parallelism; program output arrives in the response.
-		client = &service.Remote{URL: *server, Context: ctx}
+		// Transient daemon failures retry with backoff, and an unreachable
+		// daemon degrades to in-process execution (-server-retries /
+		// -server-fallback).
+		client = server.Client(ctx, service.Env{SearchWorkers: resil.SearchWorkers, Engine: eng})
 	} else {
 		env := service.Env{
 			SearchWorkers: resil.SearchWorkers,

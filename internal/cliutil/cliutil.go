@@ -16,6 +16,7 @@ import (
 	"sptc/internal/incr"
 	"sptc/internal/machine"
 	"sptc/internal/resilience"
+	"sptc/internal/service"
 	"sptc/internal/trace"
 )
 
@@ -189,13 +190,53 @@ func (i *Incr) Open() (*incr.Store, func()) {
 	}
 }
 
-// AddServerFlag registers -server on fs: the base URL of a running sptd
-// daemon. When set, the command executes through the daemon's HTTP API
-// (with its persistent response cache) instead of in-process; the
-// printed output is byte-identical either way because both modes render
-// from the same wire response.
-func AddServerFlag(fs *flag.FlagSet) *string {
-	return fs.String("server", "", "execute via the sptd daemon at `URL` (e.g. http://localhost:8347) instead of in-process")
+// Server bundles the daemon-client flags shared by the sptc, sptsim and
+// sptbench commands: the daemon URL plus the self-healing knobs (retry
+// attempts and local fallback).
+type Server struct {
+	// URL is the sptd base URL; empty means in-process execution.
+	URL string
+	// Retries is the total remote attempts per request (transient
+	// failures only: overload, server timeout, connection refused/reset).
+	// <= 1 disables retries.
+	Retries int
+	// Fallback degrades to in-process execution when the daemon stays
+	// unreachable after retries (circuit breaker; see service.Failover).
+	Fallback bool
+}
+
+// AddServerFlags registers -server, -server-retries and
+// -server-fallback on fs. When -server is set the command executes
+// through the daemon's HTTP API (with its persistent response cache)
+// instead of in-process; the printed output is byte-identical either
+// way because both modes render from the same wire response.
+func AddServerFlags(fs *flag.FlagSet) *Server {
+	s := &Server{}
+	fs.StringVar(&s.URL, "server", "", "execute via the sptd daemon at `URL` (e.g. http://localhost:8347) instead of in-process")
+	fs.IntVar(&s.Retries, "server-retries", 4, "total remote attempts per request for transient daemon failures (<=1 disables retries)")
+	fs.BoolVar(&s.Fallback, "server-fallback", true, "fall back to in-process execution when the daemon is unreachable after retries")
+	return s
+}
+
+// Remote reports whether the command runs against a daemon.
+func (s *Server) Remote() bool { return s.URL != "" }
+
+// Client builds the daemon client: a retrying service.Remote, wrapped in
+// a circuit-breaking service.Failover over env when -server-fallback is
+// on. env is the in-process environment a fallback runs with (ignored
+// when fallback is off).
+func (s *Server) Client(ctx context.Context, env service.Env) service.Client {
+	r := &service.Remote{URL: s.URL, Context: ctx}
+	if s.Retries > 1 {
+		p := service.DefaultRetryPolicy()
+		p.MaxAttempts = s.Retries
+		r.Retry = p
+	}
+	if !s.Fallback {
+		return r
+	}
+	env.Context = ctx
+	return &service.Failover{Remote: r, Local: &service.Local{Env: env}}
 }
 
 // ParseEngine maps the CLI -engine names to simulator engine kinds; ok

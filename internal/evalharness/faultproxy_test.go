@@ -1,0 +1,178 @@
+package evalharness
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sptc/internal/core"
+	"sptc/internal/service"
+)
+
+// flakyProxy sits between the harness and a real daemon and injects one
+// transient fault — rotating over overload (429), connection reset, and
+// server timeout (504) — into the first attempt of ~30% of distinct
+// requests, selected deterministically by body hash. Every fault is
+// masked by exactly one retry, so the suite's summed retry counts must
+// equal the proxy's fault count exactly.
+type flakyProxy struct {
+	upstream string
+
+	mu      sync.Mutex
+	seen    map[uint64]bool
+	faults  int
+	byKind  [3]int
+	relayed int
+}
+
+func (p *flakyProxy) inject(body []byte) (kind int, ok bool) {
+	h := fnv.New64a()
+	h.Write(body)
+	sum := h.Sum64()
+	if sum%10 >= 3 { // ~30% of distinct requests
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.seen[sum] { // only the first attempt faults: its retry succeeds
+		return 0, false
+	}
+	p.seen[sum] = true
+	kind = p.faults % 3
+	p.faults++
+	p.byKind[kind]++
+	return kind, true
+}
+
+func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	if kind, ok := p.inject(body); ok {
+		switch kind {
+		case 0: // admission rejection
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"queue full","kind":"overload"}`)
+		case 1: // connection reset mid-request
+			if hj, ok := w.(http.Hijacker); ok {
+				conn, _, err := hj.Hijack()
+				if err == nil {
+					conn.Close()
+					return
+				}
+			}
+			w.WriteHeader(http.StatusBadGateway)
+		case 2: // server-side timeout
+			w.WriteHeader(http.StatusGatewayTimeout)
+			fmt.Fprint(w, `{"error":"request timed out","kind":"timeout"}`)
+		}
+		return
+	}
+	resp, err := http.Post(p.upstream+r.URL.Path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	p.mu.Lock()
+	p.relayed++
+	p.mu.Unlock()
+}
+
+// TestSuiteMasksInjectedFaults pins the acceptance criterion for the
+// retry layer: a suite run with ~30% injected transient faults
+// (overload + connection resets + timeouts) completes with zero
+// client-visible errors, every job status ok, and the metrics/CSV retry
+// counts accounting for every injected fault exactly.
+func TestSuiteMasksInjectedFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full compile+simulate sweep")
+	}
+	srv := startDaemon(t)
+	proxy := &flakyProxy{upstream: srv.URL(), seen: make(map[uint64]bool)}
+	front := httptest.NewServer(proxy)
+	t.Cleanup(front.Close)
+
+	opt := DefaultEvalOptions()
+	opt.Benchmarks = []string{"bzip2", "gap", "mcf"}
+	opt.Client = &service.Failover{
+		Remote: &service.Remote{URL: front.URL, Retry: &service.RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    5 * time.Millisecond,
+		}},
+		Local: &service.Local{Env: service.Env{}},
+	}
+	suite, err := RunSuite(opt)
+	if err != nil {
+		t.Fatalf("suite failed under injected faults: %v", err)
+	}
+
+	var retries int64
+	for _, r := range suite.Runs {
+		if r.BaseStatus != StatusOK {
+			t.Errorf("%s: base status %s, want ok (faults must be retried, not surfaced)", r.Name, r.BaseStatus)
+		}
+		retries += r.BaseMetrics.Retries
+		for _, lr := range r.Levels {
+			if lr.Status != StatusOK {
+				t.Errorf("%s/%s: status %s, want ok", r.Name, lr.Level, lr.Status)
+			}
+			retries += lr.Metrics.Retries
+		}
+	}
+	proxy.mu.Lock()
+	faults, byKind, relayed := proxy.faults, proxy.byKind, proxy.relayed
+	proxy.mu.Unlock()
+	if faults == 0 {
+		t.Fatal("proxy injected no faults: the test exercised nothing")
+	}
+	if relayed == 0 {
+		t.Fatal("proxy relayed nothing")
+	}
+	if retries != int64(faults) {
+		t.Errorf("summed retries = %d, want exactly the %d injected faults (kinds %v)", retries, faults, byKind)
+	}
+
+	// The CSV carries the same accounting in its retries column.
+	var csvBuf strings.Builder
+	if err := suite.WriteCSV(&csvBuf, core.LevelBest); err != nil {
+		t.Fatal(err)
+	}
+	var csvRetries int64
+	inMetrics := false
+	for _, ln := range strings.Split(csvBuf.String(), "\n") {
+		if strings.HasPrefix(ln, "# ") {
+			inMetrics = ln == "# metrics"
+			continue
+		}
+		if !inMetrics || ln == "" || strings.HasPrefix(ln, "program,") {
+			continue
+		}
+		f := strings.Split(ln, ",")
+		var v int64
+		fmt.Sscan(f[len(f)-1], &v)
+		csvRetries += v
+	}
+	if csvRetries != int64(faults) {
+		t.Errorf("CSV retries column sums to %d, want %d", csvRetries, faults)
+	}
+	t.Logf("masked %d faults (429/reset/504 = %v) across %d relayed requests; zero visible errors", faults, byKind, relayed)
+}

@@ -314,6 +314,13 @@ type baseRun struct {
 	err     error
 }
 
+// healthy reports whether the base reference data is usable: an OK run,
+// or a fallback run (in-process execution after the daemon vanished —
+// exact results, flagged disposition).
+func (br *baseRun) healthy() bool {
+	return br.status == StatusOK || br.status == StatusFallback
+}
+
 func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, eng *machine.Engine, logger *safeLogger) error {
 	br.once.Do(func() {
 		err := runJob(opt, &br.retried, func(ctx context.Context) error {
@@ -331,8 +338,13 @@ func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, 
 				br.out = resp.Output
 				br.maxCov = resp.MaxCoverage
 				br.metrics = metricsFromCounters(resp.Compile.Counters, resp.Meta)
-				logger.logf("[%s] base: %.0f cycles, IPC %.2f (compile %s, simulate %s, cache %s)",
-					b.Name, br.sim.Cycles, br.sim.IPC(), fmtDur(resp.Meta.Compile), fmtDur(resp.Meta.Simulate), dispOrNone(resp.Meta.Cache))
+				if resp.Meta.Fallback {
+					// The daemon was unreachable and a Failover client ran the
+					// job in-process: exact results, flagged disposition.
+					br.status = StatusFallback
+				}
+				logger.logf("[%s] base: %.0f cycles, IPC %.2f (compile %s, simulate %s, cache %s, status %s)",
+					b.Name, br.sim.Cycles, br.sim.IPC(), fmtDur(resp.Meta.Compile), fmtDur(resp.Meta.Simulate), dispOrNone(resp.Meta.Cache), br.status)
 				return nil
 			}
 			copt := core.DefaultOptions(core.LevelBase)
@@ -374,7 +386,7 @@ func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, eng *machi
 	err := br.get(b, opt, cache, eng, logger)
 	run.BaseStatus = br.status
 	run.BaseErr = br.err
-	if br.status != StatusOK {
+	if !br.healthy() {
 		// Soft failure: the base job is marked; the suite continues.
 		return nil
 	}
@@ -452,7 +464,7 @@ func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *Compi
 		// The transformed program must print exactly what the base
 		// printed. Divergence is a correctness failure, never soft. The
 		// check is skipped only when the base job itself failed soft.
-		if br.status == StatusOK && out.String() != br.out {
+		if br.healthy() && out.String() != br.out {
 			return fmt.Errorf("%s output diverged from base", level)
 		}
 		lr.Compile, lr.Sim, lr.Output = res, sim, out.String()
@@ -509,7 +521,7 @@ func runLevelRemote(b benchprog.Benchmark, level core.Level, opt Options, br *ba
 		return err
 	}
 	sim := service.ReconstructSim(resp.Sim)
-	if br.status == StatusOK && resp.Output != br.out {
+	if br.healthy() && resp.Output != br.out {
 		return fmt.Errorf("%s output diverged from base", level)
 	}
 	lr.Compile, lr.Sim, lr.Output = res, sim, resp.Output
@@ -527,19 +539,25 @@ func runLevelRemote(b benchprog.Benchmark, level core.Level, opt Options, br *ba
 		// so the reconstructed core.Result cannot answer Degraded()
 		// itself; mark the run here.
 		lr.Status = StatusDegraded
+	} else if resp.Meta.Fallback {
+		lr.Status = StatusFallback
 	}
 	return nil
 }
 
 // jobClient binds the suite's Client to one job's context: a
 // *service.Remote is copied with the job context so the per-job timeout
-// cancels the HTTP request itself; other Client implementations are
-// returned as-is.
+// cancels the HTTP request itself, and a *service.Failover is rebound
+// the same way (sharing its circuit breaker, so daemon health accrues
+// across jobs); other Client implementations are returned as-is.
 func jobClient(opt Options, ctx context.Context) service.Client {
 	if r, ok := opt.Client.(*service.Remote); ok {
 		rc := *r
 		rc.Context = ctx
 		return &rc
+	}
+	if f, ok := opt.Client.(*service.Failover); ok {
+		return f.WithContext(ctx)
 	}
 	return opt.Client
 }

@@ -64,6 +64,11 @@ type Metrics struct {
 	// serial, anytime searches stopped early), read back from the
 	// "degraded" counters on the pass1 and transform spans.
 	Degraded int64
+	// Retries counts the failed remote attempts a retrying daemon client
+	// made before this job's response (always 0 in local mode). Summed
+	// over a suite it equals the transient daemon faults the retry layer
+	// masked.
+	Retries int64
 }
 
 // metricsFromTrack assembles a job's Metrics from its completed trace
@@ -122,6 +127,7 @@ func metricsFromCounters(c service.Counters, meta service.RespMeta) Metrics {
 		IncrInvalidated: c.IncrInvalidated,
 		SimOps:          c.SimOps,
 		Degraded:        c.Degraded,
+		Retries:         int64(meta.Retries),
 	}
 }
 

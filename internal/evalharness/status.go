@@ -22,6 +22,11 @@ const (
 	StatusTimeout
 	// StatusPanic: the job panicked; the stack is in LevelRun.Err.
 	StatusPanic
+	// StatusFallback: the job's daemon was unreachable and a Failover
+	// client served it from its degraded in-process Local instead. The
+	// results are still exact (local and remote execution are
+	// byte-identical) — the status flags the lost daemon, not the data.
+	StatusFallback
 )
 
 func (s Status) String() string {
@@ -34,6 +39,8 @@ func (s Status) String() string {
 		return "timeout"
 	case StatusPanic:
 		return "panic"
+	case StatusFallback:
+		return "fallback"
 	}
 	return "?"
 }

@@ -1,0 +1,264 @@
+package incr_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sptc/internal/incr"
+	"sptc/internal/resilience"
+)
+
+// openPayloads opens the log at path and returns every salvaged payload
+// in file order.
+func openPayloads(t *testing.T, path string) ([]string, *incr.RecordLog) {
+	t.Helper()
+	var got []string
+	l, err := incr.OpenRecordLog("logtest1", path, func(p []byte) bool {
+		got = append(got, string(p))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, l
+}
+
+func TestLogFlushAppendsIncrementally(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.bin")
+	l := incr.NewRecordLog("logtest1", path)
+	l.Append([]byte("one"))
+	l.Append([]byte("two"))
+	if l.Pending() == 0 {
+		t.Fatal("no pending bytes after Append")
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("Pending = %d after flush, want 0", l.Pending())
+	}
+	// Records appended after a flush land in the next flush, not a
+	// rewrite: the file grows, it is not replaced.
+	before, _ := os.Stat(path)
+	l.Append([]byte("three"))
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() <= before.Size() {
+		t.Fatalf("file did not grow across flushes: %d -> %d", before.Size(), after.Size())
+	}
+	got, _ := openPayloads(t, path)
+	if len(got) != 3 || got[0] != "one" || got[2] != "three" {
+		t.Fatalf("reopened payloads = %q", got)
+	}
+	// An idle flush is a no-op.
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogFlushDiskFull pins the disk-full contract: a failed flush
+// surfaces the error, keeps the in-memory state (pending records)
+// intact, and the next Save recovers everything through a compacting
+// rewrite.
+func TestLogFlushDiskFull(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.bin")
+	l := incr.NewRecordLog("logtest1", path)
+	l.Append([]byte("durable"))
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := resilience.ArmSpec("incr.log.flush=error"); err != nil {
+		t.Fatal(err)
+	}
+	defer resilience.DisarmAll()
+	l.Append([]byte("lost-write"))
+	if err := l.Flush(); err == nil {
+		t.Fatal("flush under injected write error did not fail")
+	}
+	if !l.Salvaged() {
+		t.Error("failed flush did not mark the log for compaction")
+	}
+	if l.Pending() == 0 {
+		t.Error("failed flush dropped pending records")
+	}
+	// Repeated flushes while damaged are no-ops, not repeated failures.
+	if err := l.Flush(); err != nil {
+		t.Fatalf("flush on a damaged log should be a no-op, got %v", err)
+	}
+
+	// The previously flushed record is still salvageable right now.
+	got, _ := openPayloads(t, path)
+	if len(got) != 1 || got[0] != "durable" {
+		t.Fatalf("pre-failure records damaged: %q", got)
+	}
+
+	// Recovery: disarm, Save compacts, everything is on disk.
+	resilience.DisarmAll()
+	if err := l.Save(2, func(emit func([]byte)) {
+		emit([]byte("durable"))
+		emit([]byte("lost-write"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, l2 := openPayloads(t, path)
+	if len(got) != 2 || got[1] != "lost-write" {
+		t.Fatalf("post-recovery payloads = %q", got)
+	}
+	if l2.Salvaged() {
+		t.Error("recovered log still reads as damaged")
+	}
+}
+
+// TestLogFlushShortWrite pins the torn-frame contract: a short write
+// leaves a damaged tail that the next open salvages down to the longest
+// valid prefix — every record from completed flushes survives.
+func TestLogFlushShortWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.bin")
+	l := incr.NewRecordLog("logtest1", path)
+	l.Append([]byte("first"))
+	l.Append([]byte("second"))
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := resilience.ArmSpec("incr.log.flush=short-write"); err != nil {
+		t.Fatal(err)
+	}
+	defer resilience.DisarmAll()
+	l.Append([]byte("torn"))
+	err := l.Flush()
+	if err == nil {
+		t.Fatal("short write did not fail the flush")
+	}
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("error = %v, want io.ErrShortWrite in the chain", err)
+	}
+	resilience.DisarmAll()
+
+	// The file now really holds half a frame; salvage must stop at the
+	// damage and keep the first flush's records.
+	got, reopened := openPayloads(t, path)
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("salvaged payloads = %q, want the pre-damage prefix", got)
+	}
+	if !reopened.Salvaged() {
+		t.Error("open of a torn log not marked salvaged")
+	}
+
+	// The writer that failed still recovers through Save's compaction.
+	if err := l.Save(3, func(emit func([]byte)) {
+		emit([]byte("first"))
+		emit([]byte("second"))
+		emit([]byte("torn"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := openPayloads(t, path); len(got) != 3 {
+		t.Fatalf("post-compaction payloads = %q", got)
+	}
+}
+
+// TestLogRenameFailure pins compaction's atomicity: when the final
+// rename fails, the previous log file is untouched and the temp file is
+// cleaned up. Because the temp file is fsynced before the rename point,
+// this is exactly the state a crash between data-sync and rename leaves.
+func TestLogRenameFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.bin")
+	l := incr.NewRecordLog("logtest1", path)
+	l.Append([]byte("old-1"))
+	l.Append([]byte("old-2"))
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := resilience.ArmSpec("incr.log.rename=error"); err != nil {
+		t.Fatal(err)
+	}
+	defer resilience.DisarmAll()
+	if err := l.Compact(func(emit func([]byte)) { emit([]byte("new")) }); err == nil {
+		t.Fatal("compact under injected rename failure did not fail")
+	}
+	resilience.DisarmAll()
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Error("failed compaction modified the previous log")
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("temp file left behind: stat err = %v", err)
+	}
+	// The log still compacts cleanly afterwards.
+	if err := l.Compact(func(emit func([]byte)) { emit([]byte("new")) }); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := openPayloads(t, path); len(got) != 1 || got[0] != "new" {
+		t.Fatalf("post-retry payloads = %q", got)
+	}
+}
+
+// TestLogSyncFlushPolicy smoke-tests the fsync-per-flush policy (the
+// effect on the platter is not observable in a test; the policy must at
+// least not change what is written).
+func TestLogSyncFlushPolicy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.bin")
+	l := incr.NewRecordLog("logtest1", path)
+	l.SetSync(incr.SyncFlush)
+	l.Append([]byte("synced"))
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := openPayloads(t, path); len(got) != 1 || got[0] != "synced" {
+		t.Fatalf("payloads = %q", got)
+	}
+}
+
+// TestStoreFlushFailureKeepsLookups pins the store-level contract on
+// top of the log: a failed flush never disturbs in-memory entries, so
+// compiles keep their warm hits while the disk misbehaves.
+func TestStoreFlushFailureKeepsLookups(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.bin")
+	s, err := incr.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts, order := fakeStmts(6)
+	k := incr.Key{FP: 7, Level: 2}
+	s.Put(k, incr.EncodeResult(samplePartition(stmts), order, len(stmts), "main/loop0", 4))
+
+	if err := resilience.ArmSpec("incr.log.flush=error"); err != nil {
+		t.Fatal(err)
+	}
+	defer resilience.DisarmAll()
+	if err := s.Flush(); err == nil {
+		t.Fatal("store flush under injected error did not fail")
+	}
+	if _, st := s.Lookup(k, "main/loop0"); st != incr.StatusHit {
+		t.Fatalf("lookup after failed flush: %v, want hit", st)
+	}
+	resilience.DisarmAll()
+
+	// Save recovers; a reopened store still hits.
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := incr.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, st := r.Lookup(k, "main/loop0"); st != incr.StatusHit {
+		t.Fatalf("reopened lookup: %v, want hit", st)
+	}
+}

@@ -110,6 +110,24 @@ func (s *Store) Len() int {
 	return len(s.entries)
 }
 
+// SetSync selects the underlying log's fsync policy for Flush appends.
+func (s *Store) SetSync(p SyncPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log.SetSync(p)
+}
+
+// Flush appends records queued since the last flush without compacting:
+// the incremental durability path a daemon runs on a ticker, so a hard
+// kill loses at most one flush window of entries. A flush failure marks
+// the log for a compacting rewrite on the next Save and never disturbs
+// the in-memory state.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Flush()
+}
+
 // Save persists pending records. It appends when the log is healthy and
 // compacts (full rewrite of live entries only) after a salvage or when
 // superseded records outnumber live ones. A no-op for in-memory stores.

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -386,6 +387,11 @@ const (
 	FaultError
 	// FaultExhaust exhausts the Budget attached to the context, if any.
 	FaultExhaust
+	// FaultShortWrite makes a wrapped writer (Point.Writer) write only
+	// half of each buffer before failing with io.ErrShortWrite. Fired
+	// directly (Point.Fire), it behaves like FaultError with
+	// io.ErrShortWrite, so the same armed point covers both shapes.
+	FaultShortWrite
 )
 
 // Fault is the armed behavior of one inject point.
@@ -445,8 +451,53 @@ func (p *Point) Fire(ctx context.Context) error {
 	case FaultExhaust:
 		BudgetFrom(ctx).Exhaust()
 		return nil
+	case FaultShortWrite:
+		return fmt.Errorf("%w at %s", io.ErrShortWrite, p.name)
 	}
 	return nil
+}
+
+// Writer wraps w with the point's armed fault, so durability code can
+// thread one failing-writer shim through every disk write and tests can
+// force I/O failures without real disk faults. Disarmed (the common
+// case) each Write costs one atomic load. Armed behavior per kind:
+// FaultError fails the write without writing (an ENOSPC-style full
+// failure), FaultShortWrite writes half the buffer and then fails with
+// io.ErrShortWrite (a torn frame on disk), FaultDelay sleeps before
+// writing, and FaultPanic panics.
+func (p *Point) Writer(w io.Writer) io.Writer {
+	return &faultWriter{p: p, w: w}
+}
+
+type faultWriter struct {
+	p *Point
+	w io.Writer
+}
+
+func (fw *faultWriter) Write(b []byte) (int, error) {
+	f := fw.p.fault.Load()
+	if f == nil {
+		return fw.w.Write(b)
+	}
+	switch f.Kind {
+	case FaultError:
+		if f.Err != nil {
+			return 0, f.Err
+		}
+		return 0, fmt.Errorf("%w at %s", ErrInjected, fw.p.name)
+	case FaultShortWrite:
+		n, err := fw.w.Write(b[:len(b)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w at %s", io.ErrShortWrite, fw.p.name)
+	case FaultDelay:
+		time.Sleep(f.Delay)
+		return fw.w.Write(b)
+	case FaultPanic:
+		panic(&InjectedPanic{Point: fw.p.name})
+	}
+	return fw.w.Write(b)
 }
 
 var registry = struct {
@@ -528,7 +579,7 @@ func Armed() []string {
 
 // ArmSpec arms points from a comma-separated CLI spec:
 //
-//	point=panic | point=delay:200ms | point=error | point=exhaust
+//	point=panic | point=delay:200ms | point=error | point=short-write | point=exhaust
 //
 // Unknown points are registered so tests can arm before the pipeline
 // package loads; unknown fault kinds are an error.
@@ -550,6 +601,8 @@ func ArmSpec(spec string) error {
 			f = Fault{Kind: FaultError}
 		case kind == "exhaust":
 			f = Fault{Kind: FaultExhaust}
+		case kind == "short-write":
+			f = Fault{Kind: FaultShortWrite}
 		case strings.HasPrefix(kind, "delay:"):
 			d, err := time.ParseDuration(strings.TrimPrefix(kind, "delay:"))
 			if err != nil {
@@ -557,7 +610,7 @@ func ArmSpec(spec string) error {
 			}
 			f = Fault{Kind: FaultDelay, Delay: d}
 		default:
-			return fmt.Errorf("resilience: unknown fault %q in inject spec (want panic|delay:DUR|error|exhaust)", kind)
+			return fmt.Errorf("resilience: unknown fault %q in inject spec (want panic|delay:DUR|error|short-write|exhaust)", kind)
 		}
 		Arm(name, f)
 	}

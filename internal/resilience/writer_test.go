@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestWriterPassthrough(t *testing.T) {
+	defer DisarmAll()
+	p := Register("test.writer.clean")
+	var buf bytes.Buffer
+	n, err := p.Writer(&buf).Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("clean write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("wrote %q", buf.String())
+	}
+}
+
+func TestWriterError(t *testing.T) {
+	defer DisarmAll()
+	p := Register("test.writer.err")
+	Arm("test.writer.err", Fault{Kind: FaultError})
+	var buf bytes.Buffer
+	n, err := p.Writer(&buf).Write([]byte("hello"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 0 || buf.Len() != 0 {
+		t.Fatalf("failed write still wrote: n=%d buf=%q", n, buf.String())
+	}
+	custom := errors.New("boom")
+	Arm("test.writer.err", Fault{Kind: FaultError, Err: custom})
+	if _, err := p.Writer(&buf).Write([]byte("x")); !errors.Is(err, custom) {
+		t.Fatalf("custom error not surfaced: %v", err)
+	}
+}
+
+// TestWriterShortWrite pins the torn-write model: half the buffer lands
+// in the underlying writer, then io.ErrShortWrite — exactly what a full
+// disk or a crash mid-write leaves on the file.
+func TestWriterShortWrite(t *testing.T) {
+	defer DisarmAll()
+	p := Register("test.writer.short")
+	Arm("test.writer.short", Fault{Kind: FaultShortWrite})
+	var buf bytes.Buffer
+	n, err := p.Writer(&buf).Write([]byte("0123456789"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("want io.ErrShortWrite, got %v", err)
+	}
+	if n != 5 || buf.String() != "01234" {
+		t.Fatalf("short write landed n=%d %q, want half the buffer", n, buf.String())
+	}
+	// Fired directly (no writer to tear), the same fault degrades to an
+	// error-kind failure carrying io.ErrShortWrite.
+	if err := InjectPoint("test.writer.short", nil); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("direct fire: %v", err)
+	}
+}
+
+func TestWriterDelay(t *testing.T) {
+	defer DisarmAll()
+	p := Register("test.writer.delay")
+	Arm("test.writer.delay", Fault{Kind: FaultDelay, Delay: time.Millisecond})
+	var buf bytes.Buffer
+	start := time.Now()
+	if _, err := p.Writer(&buf).Write([]byte("slow")); err != nil {
+		t.Fatalf("delayed write failed: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Error("delay fault did not delay")
+	}
+	if buf.String() != "slow" {
+		t.Fatalf("wrote %q", buf.String())
+	}
+}
+
+func TestArmSpecShortWrite(t *testing.T) {
+	defer DisarmAll()
+	if err := ArmSpec("test.writer.spec=short-write"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, err := Register("test.writer.spec").Writer(&buf).Write([]byte("ab"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("spec-armed short write: %v", err)
+	}
+}

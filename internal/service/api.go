@@ -116,6 +116,12 @@ type RespMeta struct {
 	// Compile and Simulate are the request's wall-clock execution times.
 	Compile  time.Duration
 	Simulate time.Duration
+	// Retries counts the failed remote attempts that preceded this
+	// response (0 when the first attempt succeeded or retries are off).
+	Retries int
+	// Fallback reports that a Failover client served this response from
+	// its degraded in-process Local after the daemon became unreachable.
+	Fallback bool
 }
 
 // CompileResponse is the deterministic result of one compilation.

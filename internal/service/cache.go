@@ -9,6 +9,7 @@ import (
 
 	"sptc/internal/incr"
 	"sptc/internal/machine"
+	"sptc/internal/resilience"
 )
 
 // cacheMagic versions the service-cache file format.
@@ -223,10 +224,46 @@ func (c *Cache) GetOrCompute(key CacheKey, compute func() (data []byte, cacheabl
 	return data, DispMiss, err
 }
 
+// savePoint arms the cache's persistence path for fault injection: an
+// error here models the cache file's disk failing at save/flush time.
+var savePoint = resilience.Register("service.cache.save")
+
+// SetSync selects the underlying log's fsync policy for Flush appends.
+func (c *Cache) SetSync(p incr.SyncPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.log.SetSync(p)
+}
+
+// Flush appends responses cached since the last flush without
+// compacting: the daemon's incremental durability path (ticker + every
+// Nth miss), so a hard kill loses at most one flush window of cached
+// responses. A flush failure marks the log for a compacting rewrite on
+// the next Save and never disturbs the in-memory cache.
+func (c *Cache) Flush() error {
+	if err := savePoint.Fire(nil); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log.Flush()
+}
+
+// Pending reports the framed bytes queued but not yet flushed (0 on a
+// fully flushed or in-memory cache).
+func (c *Cache) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log.Pending()
+}
+
 // Save persists records added since load, compacting (live entries only)
 // after a salvage or when superseded records outnumber live ones. A
 // no-op for in-memory caches.
 func (c *Cache) Save() error {
+	if err := savePoint.Fire(nil); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.log.Save(len(c.entries), c.rewrite)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -110,10 +111,36 @@ const (
 )
 
 // ErrOverload reports an admission-control rejection (HTTP 429): the
-// daemon's queue was full. Clients may retry with backoff.
-type ErrOverload struct{ Msg string }
+// daemon's queue was full. Clients may retry after RetryAfter.
+type ErrOverload struct {
+	Msg string
+	// RetryAfter is the daemon's backoff hint (the Retry-After header,
+	// derived from queue depth x recent mean service time; 0 when the
+	// header was absent).
+	RetryAfter time.Duration
+}
 
 func (e *ErrOverload) Error() string { return e.Msg }
+
+// TransportError is an error response that did not come from the daemon
+// itself: a proxy or load balancer in front of sptd answering with HTML,
+// plain text, or an empty body. It carries the status code and a
+// truncated body snippet instead of a confusing JSON decode error.
+type TransportError struct {
+	Status     int
+	Snippet    string // first transportSnippetLen bytes of the body
+	RetryAfter time.Duration
+}
+
+// transportSnippetLen bounds the body excerpt a TransportError carries.
+const transportSnippetLen = 128
+
+func (e *TransportError) Error() string {
+	if e.Snippet == "" {
+		return fmt.Sprintf("sptd: HTTP %d (empty non-JSON body)", e.Status)
+	}
+	return fmt.Sprintf("sptd: HTTP %d: %s", e.Status, e.Snippet)
+}
 
 // Remote executes requests against a running sptd daemon.
 type Remote struct {
@@ -123,6 +150,10 @@ type Remote struct {
 	HTTPClient *http.Client
 	// Context cancels in-flight requests. Nil means context.Background().
 	Context context.Context
+	// Retry, when non-nil, retries transient failures (overload, server
+	// timeout, connection refused/reset) with bounded exponential
+	// backoff. Nil disables retries (single attempt).
+	Retry *RetryPolicy
 }
 
 func (r *Remote) client() *http.Client {
@@ -132,18 +163,69 @@ func (r *Remote) client() *http.Client {
 	return http.DefaultClient
 }
 
+func (r *Remote) ctx() context.Context {
+	if r.Context != nil {
+		return r.Context
+	}
+	return context.Background()
+}
+
+// post runs one request, retrying transient failures under the Retry
+// policy. meta.Retries reports the failed attempts that preceded the
+// returned outcome, successful or not.
 func (r *Remote) post(path string, reqBody any, respBody any) (RespMeta, error) {
 	var meta RespMeta
 	b, err := json.Marshal(reqBody)
 	if err != nil {
 		return meta, err
 	}
-	ctx := r.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx := r.ctx()
 	url := strings.TrimRight(r.URL, "/") + path
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		meta, lastErr = r.postOnce(ctx, url, b, respBody)
+		meta.Retries = attempt
+		if lastErr == nil || !r.Retry.shouldRetry(ctx, attempt, lastErr) {
+			return meta, wrapRetries(lastErr, attempt)
+		}
+		if err := r.Retry.backoff(ctx, attempt, lastErr); err != nil {
+			// The caller's deadline expires before the backoff would end:
+			// surface the transient error now instead of sleeping past it.
+			return meta, wrapRetries(lastErr, attempt)
+		}
+	}
+}
+
+// retriedError transparently annotates a final error with the failed
+// attempts behind it, so a Failover can account retries even when the
+// response (and its RespMeta) was lost to the error path.
+type retriedError struct {
+	error
+	retries int
+}
+
+func (e *retriedError) Unwrap() error { return e.error }
+
+func wrapRetries(err error, retries int) error {
+	if err == nil || retries == 0 {
+		return err
+	}
+	return &retriedError{err, retries}
+}
+
+// ErrorRetries reports the failed attempts recorded in err's chain by a
+// retrying Remote (0 for nil or unannotated errors).
+func ErrorRetries(err error) int {
+	var re *retriedError
+	if errors.As(err, &re) {
+		return re.retries
+	}
+	return 0
+}
+
+func (r *Remote) postOnce(ctx context.Context, url string, body []byte, respBody any) (RespMeta, error) {
+	var meta RespMeta
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return meta, err
 	}
@@ -161,7 +243,7 @@ func (r *Remote) post(path string, reqBody any, respBody any) (RespMeta, error) 
 	meta.Compile = headerDur(hresp.Header, "X-Sptd-Compile-Us")
 	meta.Simulate = headerDur(hresp.Header, "X-Sptd-Simulate-Us")
 	if hresp.StatusCode != http.StatusOK {
-		return meta, remoteError(hresp.StatusCode, data)
+		return meta, remoteError(hresp.StatusCode, hresp.Header, data)
 	}
 	return meta, json.Unmarshal(data, respBody)
 }
@@ -174,14 +256,31 @@ func headerDur(h http.Header, key string) time.Duration {
 	return time.Duration(us) * time.Microsecond
 }
 
+// retryAfterHeader parses a Retry-After header in delay-seconds form (0
+// when absent or unparseable; the HTTP-date form is not produced by sptd
+// and is ignored).
+func retryAfterHeader(h http.Header) time.Duration {
+	secs, err := strconv.ParseInt(strings.TrimSpace(h.Get("Retry-After")), 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // remoteError maps the daemon's error kinds back to the error types the
 // callers' fail-soft classification (resilience.ReasonFor) understands,
 // so a remote panic or timeout degrades a harness job exactly like a
-// local one.
-func remoteError(status int, data []byte) error {
+// local one. A body that is not the daemon's JSON error shape (a proxy
+// or LB answering for it) maps to a typed TransportError instead of a
+// decode error.
+func remoteError(status int, h http.Header, data []byte) error {
 	var eb errorBody
 	if json.Unmarshal(data, &eb) != nil || eb.Error == "" {
-		return fmt.Errorf("sptd: HTTP %d: %s", status, strings.TrimSpace(string(data)))
+		snippet := strings.TrimSpace(string(data))
+		if len(snippet) > transportSnippetLen {
+			snippet = snippet[:transportSnippetLen]
+		}
+		return &TransportError{Status: status, Snippet: snippet, RetryAfter: retryAfterHeader(h)}
 	}
 	switch eb.Kind {
 	case errKindRequest:
@@ -193,7 +292,7 @@ func remoteError(status int, data []byte) error {
 	case errKindCanceled:
 		return fmt.Errorf("sptd: %s: %w", eb.Error, context.Canceled)
 	case errKindOverload:
-		return &ErrOverload{Msg: eb.Error}
+		return &ErrOverload{Msg: eb.Error, RetryAfter: retryAfterHeader(h)}
 	default:
 		return fmt.Errorf("sptd: %s", eb.Error)
 	}

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sptc/internal/resilience"
+	"sptc/internal/splgen"
+)
+
+// waitFlush polls the server metrics until at least n flushes completed.
+func waitFlush(t *testing.T, srv *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Snapshot().Flushes >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("flushes did not reach %d (metrics: %+v)", n, srv.Snapshot())
+}
+
+// TestServerFlushTicker pins the tentpole durability contract: with
+// -flush-interval set, a cached response reaches the disk within one
+// flush window — no shutdown required — so a hard kill after the flush
+// cannot lose it. The check reads the live cache file with a second,
+// independent Cache.
+func TestServerFlushTicker(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sptd.cache")
+	srv, _ := startServer(t, Config{
+		Workers:       1,
+		CachePath:     path,
+		FlushInterval: 10 * time.Millisecond,
+	})
+	remote := &Remote{URL: srv.URL()}
+	req := &CompileRequest{Name: "tick.spl", Source: splgen.Generate(11), Level: "basic"}
+	if _, err := remote.Compile(req); err != nil {
+		t.Fatal(err)
+	}
+	flushed := srv.Snapshot().Flushes
+	waitFlush(t, srv, flushed+1)
+
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Salvaged() {
+		t.Error("mid-run cache file reads as damaged")
+	}
+	if _, ok := c.Get(CompileKey(req)); !ok {
+		t.Error("flushed response not readable from the live cache file")
+	}
+}
+
+// TestServerFlushEveryNthMiss pins the second flush trigger: every Nth
+// cache miss kicks a flush even without a ticker.
+func TestServerFlushEveryNthMiss(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sptd.cache")
+	srv, _ := startServer(t, Config{
+		Workers:     1,
+		CachePath:   path,
+		FlushEveryN: 2,
+	})
+	remote := &Remote{URL: srv.URL()}
+	for i := 0; i < 2; i++ {
+		req := &CompileRequest{Name: "nth.spl", Source: splgen.Generate(int64(20 + i)), Level: "basic"}
+		if _, err := remote.Compile(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFlush(t, srv, 1)
+
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("live cache file has %d entries after the Nth-miss flush, want 2", c.Len())
+	}
+}
+
+// TestServerFlushFailureIsContained pins the flush error path end to
+// end: with the cache's disk failing, flushes report errors in metrics,
+// requests keep succeeding, and the graceful shutdown's compacting Save
+// recovers every entry once the disk heals.
+func TestServerFlushFailureIsContained(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sptd.cache")
+	srv, stop := startServer(t, Config{
+		Workers:       1,
+		CachePath:     path,
+		FlushInterval: 10 * time.Millisecond,
+	})
+	if err := resilience.ArmSpec("service.cache.save=error"); err != nil {
+		t.Fatal(err)
+	}
+	defer resilience.DisarmAll()
+
+	remote := &Remote{URL: srv.URL()}
+	req := &CompileRequest{Name: "sick.spl", Source: splgen.Generate(31), Level: "basic"}
+	if _, err := remote.Compile(req); err != nil {
+		t.Fatalf("request failed while the cache disk was failing: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Snapshot().FlushErrors == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Snapshot().FlushErrors == 0 {
+		t.Fatal("failing flushes not reported in metrics")
+	}
+	// A warm hit proves the in-memory cache is undisturbed.
+	resp, err := remote.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Meta.Cache != DispHit {
+		t.Errorf("cache disposition = %q after failed flushes, want hit", resp.Meta.Cache)
+	}
+
+	// Disk heals before shutdown: the final Save compacts and recovers.
+	resilience.DisarmAll()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Salvaged() {
+		t.Error("cache file damaged after recovery save")
+	}
+	if _, ok := c.Get(CompileKey(req)); !ok {
+		t.Error("entry lost across failed flushes + recovery save")
+	}
+}
+
+// TestCacheFlushPending pins the Cache-level flush API the server's
+// flusher drives.
+func TestCacheFlushPending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.cache")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSync(0)
+	key := CacheKey{Kind: kindCompile, Src: 1, Opt: 2}
+	if _, _, err := c.GetOrCompute(key, func() ([]byte, bool, error) {
+		return []byte(`{"x":1}`), true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Pending() == 0 {
+		t.Fatal("no pending bytes after a cached compute")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending = %d after flush", c.Pending())
+	}
+	r, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(key); !ok {
+		t.Error("flushed entry not readable")
+	}
+}

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/url"
+	"time"
+)
+
+// RetryPolicy retries transient remote failures with bounded exponential
+// backoff and full jitter. Only idempotent-safe failures are retried:
+// admission rejections (429), server-side timeouts (504), bad-gateway
+// class transport errors (502/503), and connection-level failures
+// (refused, reset, EOF mid-response). Compile errors, request errors,
+// and worker panics are deterministic — retrying them re-buys the same
+// failure — so they always surface immediately.
+type RetryPolicy struct {
+	// MaxAttempts caps total attempts (first try included). Values < 2
+	// disable retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential schedule: attempt n backs off by a
+	// uniform random duration in [0, min(MaxDelay, BaseDelay*2^n)],
+	// raised to the server's Retry-After hint when one was given.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff (default 2s when zero).
+	MaxDelay time.Duration
+
+	// Rand and Sleep are test seams; nil means math/rand and real sleep.
+	Rand  func() float64
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultRetryPolicy is the policy the CLIs and the harness arm:
+// 4 attempts, 50ms base, 2s cap.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// RetryableError reports whether err is an idempotent-safe transient
+// failure: one more attempt could plausibly succeed and cannot double
+// any effect (every sptd request is a pure function of its body).
+func RetryableError(err error) bool {
+	var over *ErrOverload
+	if errors.As(err, &over) {
+		return true
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		switch te.Status {
+		case 429, 502, 503, 504:
+			return true
+		}
+		return false
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		// Connection refused/reset, broken pipe, unexpected EOF: the
+		// request never produced a response. Timeouts driven by the
+		// caller's own context are excluded below.
+		return true
+	}
+	// A server-side deadline (kind "timeout" mapped to DeadlineExceeded)
+	// is transient: the daemon was briefly saturated.
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// shouldRetry decides whether attempt (0-based, already failed with err)
+// gets a successor. Nil policies never retry.
+func (p *RetryPolicy) shouldRetry(ctx context.Context, attempt int, err error) bool {
+	if p == nil || attempt+1 >= p.MaxAttempts {
+		return false
+	}
+	if ctx.Err() != nil {
+		// The caller gave up; any DeadlineExceeded is theirs, not the
+		// server's, and retrying past it is wasted work.
+		return false
+	}
+	return RetryableError(err)
+}
+
+// backoff sleeps the post-attempt delay: full jitter over the
+// exponential schedule, floored by the server's Retry-After hint, cut
+// short (with an error) when the caller's deadline would expire first.
+func (p *RetryPolicy) backoff(ctx context.Context, attempt int, err error) error {
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	ceil := p.BaseDelay << uint(attempt)
+	if ceil <= 0 || ceil > max {
+		ceil = max
+	}
+	rnd := p.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	d := time.Duration(rnd() * float64(ceil))
+	if ra := retryAfterHint(err); ra > d {
+		d = ra
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < d {
+		return context.DeadlineExceeded
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = realSleep
+	}
+	return sleep(ctx, d)
+}
+
+func realSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryAfterHint extracts the server's backoff request from an error.
+func retryAfterHint(err error) time.Duration {
+	var over *ErrOverload
+	if errors.As(err, &over) {
+		return over.RetryAfter
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		return te.RetryAfter
+	}
+	return 0
+}

@@ -1,0 +1,381 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sptc/internal/splgen"
+)
+
+// testPolicy returns a fast, deterministic retry policy that records
+// every backoff it would have slept.
+func testPolicy(attempts int, slept *[]time.Duration) *RetryPolicy {
+	return &RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    10 * time.Millisecond,
+		Rand:        func() float64 { return 1 },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			*slept = append(*slept, d)
+			return nil
+		},
+	}
+}
+
+// flakyServer answers the first fail requests with failStatus/failBody,
+// then succeeds with an empty CompileResponse.
+func flakyServer(t *testing.T, fail int, failStatus int, failHeader http.Header, failBody string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(fail) {
+			for k, vs := range failHeader {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(failStatus)
+			fmt.Fprint(w, failBody)
+			return
+		}
+		fmt.Fprint(w, "{}")
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestRetryMasksOverloadAndHonorsRetryAfter(t *testing.T) {
+	srv, calls := flakyServer(t, 2, http.StatusTooManyRequests,
+		http.Header{"Retry-After": []string{"2"}}, `{"error":"queue full","kind":"overload"}`)
+	var slept []time.Duration
+	r := &Remote{URL: srv.URL, Retry: testPolicy(4, &slept)}
+	resp, err := r.Compile(&CompileRequest{Name: "a.spl", Source: "x", Level: "best"})
+	if err != nil {
+		t.Fatalf("retries did not mask the overload: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	if resp.Meta.Retries != 2 {
+		t.Errorf("Meta.Retries = %d, want 2", resp.Meta.Retries)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("backoffs = %v, want 2", slept)
+	}
+	for i, d := range slept {
+		// The server asked for 2s; the jittered exponential (max 10ms
+		// here) must be floored up to it.
+		if d < 2*time.Second {
+			t.Errorf("backoff %d = %v ignored Retry-After: 2", i, d)
+		}
+	}
+}
+
+func TestRetryStopsAtMaxAttempts(t *testing.T) {
+	srv, calls := flakyServer(t, 1000, http.StatusServiceUnavailable, nil, "upstream connect error")
+	var slept []time.Duration
+	r := &Remote{URL: srv.URL, Retry: testPolicy(3, &slept)}
+	_, err := r.Compile(&CompileRequest{Name: "a.spl", Source: "x", Level: "best"})
+	if err == nil {
+		t.Fatal("exhausted retries returned success")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("attempts = %d, want MaxAttempts=3", got)
+	}
+	if got := ErrorRetries(err); got != 2 {
+		t.Errorf("ErrorRetries = %d, want 2", got)
+	}
+	var te *TransportError
+	if !errors.As(err, &te) || te.Status != http.StatusServiceUnavailable {
+		t.Errorf("final error = %v, want TransportError 503", err)
+	}
+}
+
+// TestRetryNeverRetriesDeterministicErrors pins the idempotent-safety
+// rule: compile/request errors are deterministic — a retry re-buys the
+// same failure — so they surface immediately even under a retry policy.
+func TestRetryNeverRetriesDeterministicErrors(t *testing.T) {
+	for _, tc := range []struct {
+		kind string
+		body string
+	}{
+		{"request", `{"error":"empty source","kind":"request"}`},
+		{"compile", `{"error":"parse error","kind":"compile"}`},
+		{"panic", `{"error":"worker panicked","kind":"panic"}`},
+	} {
+		srv, calls := flakyServer(t, 1000, http.StatusBadRequest, nil, tc.body)
+		var slept []time.Duration
+		r := &Remote{URL: srv.URL, Retry: testPolicy(5, &slept)}
+		_, err := r.Compile(&CompileRequest{Name: "a.spl", Source: "x", Level: "best"})
+		if err == nil {
+			t.Fatalf("kind %s: no error surfaced", tc.kind)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Errorf("kind %s: %d attempts, want 1 (no retries)", tc.kind, got)
+		}
+		if len(slept) != 0 {
+			t.Errorf("kind %s: slept %v", tc.kind, slept)
+		}
+	}
+}
+
+// TestRetryDeadlineAware pins context awareness: when the caller's
+// deadline would expire inside the next backoff, the transient error
+// surfaces immediately instead of sleeping past the deadline.
+func TestRetryDeadlineAware(t *testing.T) {
+	srv, calls := flakyServer(t, 1000, http.StatusServiceUnavailable, nil, "")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	r := &Remote{
+		URL:     srv.URL,
+		Context: ctx,
+		Retry: &RetryPolicy{
+			MaxAttempts: 5,
+			BaseDelay:   time.Hour, // every backoff overshoots the deadline
+			MaxDelay:    time.Hour,
+			Rand:        func() float64 { return 1 },
+		},
+	}
+	start := time.Now()
+	_, err := r.Compile(&CompileRequest{Name: "a.spl", Source: "x", Level: "best"})
+	if err == nil {
+		t.Fatal("want transient error, got success")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("retry slept past the caller's deadline (%v elapsed)", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (backoff would overshoot)", got)
+	}
+}
+
+// TestNonJSONErrorMapping pins satellite 2: error responses that are not
+// the daemon's JSON shape (a proxy or LB answering for it) map to a
+// typed TransportError with the status and a truncated body snippet.
+func TestNonJSONErrorMapping(t *testing.T) {
+	long := strings.Repeat("<html>bad gateway</html>", 50)
+	for _, tc := range []struct {
+		name       string
+		status     int
+		body       string
+		wantSnip   string
+		retryAfter string
+	}{
+		{"html", http.StatusBadGateway, long, strings.TrimSpace(long)[:128], ""},
+		{"empty", http.StatusServiceUnavailable, "", "", "7"},
+		{"plain", http.StatusTeapot, "short and stout", "short and stout", ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := http.Header{}
+			if tc.retryAfter != "" {
+				h.Set("Retry-After", tc.retryAfter)
+			}
+			srv, _ := flakyServer(t, 1000, tc.status, h, tc.body)
+			r := &Remote{URL: srv.URL}
+			_, err := r.Compile(&CompileRequest{Name: "a.spl", Source: "x", Level: "best"})
+			var te *TransportError
+			if !errors.As(err, &te) {
+				t.Fatalf("error = %v (%T), want TransportError", err, err)
+			}
+			if te.Status != tc.status {
+				t.Errorf("Status = %d, want %d", te.Status, tc.status)
+			}
+			if te.Snippet != tc.wantSnip {
+				t.Errorf("Snippet = %q, want %q", te.Snippet, tc.wantSnip)
+			}
+			if tc.retryAfter != "" && te.RetryAfter != 7*time.Second {
+				t.Errorf("RetryAfter = %v, want 7s", te.RetryAfter)
+			}
+			if !strings.Contains(err.Error(), fmt.Sprint(tc.status)) {
+				t.Errorf("error text %q does not carry the status", err)
+			}
+		})
+	}
+}
+
+func TestRetryConnectionRefused(t *testing.T) {
+	// A server that is immediately closed: every dial is refused.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+	var slept []time.Duration
+	r := &Remote{URL: url, Retry: testPolicy(3, &slept)}
+	_, err := r.Compile(&CompileRequest{Name: "a.spl", Source: "x", Level: "best"})
+	if err == nil {
+		t.Fatal("want connection error")
+	}
+	if len(slept) != 2 {
+		t.Errorf("backoffs = %v, want 2 (connection refused is retryable)", slept)
+	}
+	if got := ErrorRetries(err); got != 2 {
+		t.Errorf("ErrorRetries = %d, want 2", got)
+	}
+	if !TransportFailure(err) {
+		t.Errorf("connection refusal not classified as a transport failure: %v", err)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &Breaker{Threshold: 3, Cooldown: 5 * time.Second, Clock: func() time.Time { return now }}
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+	}
+	if b.Open() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.Failure() // third consecutive failure
+	if !b.Open() {
+		t.Fatal("breaker did not open at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+
+	// Cooldown elapses: exactly one probe goes through half-open.
+	now = now.Add(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("second caller won a probe slot while one is in flight")
+	}
+
+	// Probe fails: re-open for a fresh cooldown.
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker allowed traffic right after a failed probe")
+	}
+	now = now.Add(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not half-open again")
+	}
+	b.Success()
+	if b.Open() {
+		t.Fatal("breaker still open after a successful probe")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+}
+
+// TestFailoverFallsBackAndRecovers pins the self-healing client: with
+// the daemon gone, requests degrade to in-process execution marked
+// Fallback; once the breaker opens, the network is not even tried; after
+// the cooldown a probe discovers the recovered daemon and remote
+// execution resumes, byte-identical.
+func TestFailoverFallsBackAndRecovers(t *testing.T) {
+	src := splgen.Generate(41)
+	req := &CompileRequest{Name: "fo.spl", Source: src, Level: "best"}
+
+	// A real daemon to compare against later.
+	srv, _ := startServer(t, Config{Workers: 1})
+
+	var down atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusBadGateway)
+			fmt.Fprint(w, "<html>upstream down</html>")
+			return
+		}
+		resp, err := http.Post(srv.URL()+r.URL.Path, "application/json", r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(proxy.Close)
+
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	var slept []time.Duration
+	f := &Failover{
+		Remote:  &Remote{URL: proxy.URL, Retry: testPolicy(2, &slept)},
+		Local:   &Local{Env: Env{}},
+		Breaker: &Breaker{Threshold: 2, Cooldown: time.Minute, Clock: clock},
+	}
+
+	// Healthy path: remote, no fallback marking.
+	direct, err := f.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Meta.Fallback {
+		t.Error("healthy remote response marked Fallback")
+	}
+
+	// Daemon vanishes: the same request still succeeds, locally.
+	down.Store(true)
+	fb, err := f.Compile(req)
+	if err != nil {
+		t.Fatalf("failover did not mask the outage: %v", err)
+	}
+	if !fb.Meta.Fallback {
+		t.Error("fallback response not marked")
+	}
+	if fb.Meta.Retries == 0 {
+		t.Error("fallback response lost the remote retry count")
+	}
+	if len(fb.Reports) != len(direct.Reports) || fb.SPTCount != direct.SPTCount {
+		t.Error("fallback result diverges from the remote result")
+	}
+
+	// Second transport failure opens the breaker: requests short-circuit
+	// to local without touching the network.
+	if _, err := f.Compile(req); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Breaker.Open() {
+		t.Fatal("breaker still closed after threshold transport failures")
+	}
+	attemptsBefore := len(slept)
+	if resp, err := f.Compile(req); err != nil || !resp.Meta.Fallback {
+		t.Fatalf("open-breaker request: err=%v fallback=%v", err, resp.Meta.Fallback)
+	}
+	if len(slept) != attemptsBefore {
+		t.Error("open breaker still hit the network (backoffs recorded)")
+	}
+
+	// Daemon comes back; after the cooldown the probe closes the breaker
+	// and remote execution resumes.
+	down.Store(false)
+	now = now.Add(2 * time.Minute)
+	rec, err := f.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Meta.Fallback {
+		t.Error("post-recovery response still served locally")
+	}
+	if f.Breaker.Open() {
+		t.Error("breaker still open after successful probe")
+	}
+}

@@ -55,6 +55,19 @@ type Config struct {
 	// DrainTimeout bounds the graceful-shutdown drain of in-flight
 	// requests (default 30s).
 	DrainTimeout time.Duration
+	// FlushInterval periodically appends both persistent stores' pending
+	// records to disk (no compaction), so a hard kill (SIGKILL, OOM,
+	// power loss) loses at most one flush window of results instead of
+	// everything since startup. 0 disables periodic flushing (graceful
+	// shutdown still saves).
+	FlushInterval time.Duration
+	// FlushEveryN additionally triggers a flush after every Nth cache
+	// miss, bounding loss under miss-heavy load independently of the
+	// ticker. 0 disables the miss-count trigger.
+	FlushEveryN int
+	// FlushSync fsyncs after every flush append, extending the
+	// durability guarantee from process death to power loss.
+	FlushSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +112,15 @@ type Metrics struct {
 	SimOps        int64 `json:"sim_ops"`
 	CacheEntries  int64 `json:"cache_entries"`
 	IncrEntries   int64 `json:"incr_entries"`
+	// Flushes counts completed durability flushes of the persistent
+	// stores (every entry cached before flush N is on disk when the
+	// counter reads N); FlushErrors counts failed flush attempts (the
+	// next graceful save compacts and recovers).
+	Flushes     int64 `json:"flushes"`
+	FlushErrors int64 `json:"flush_errors"`
+	// MeanServiceUs is the exponentially-weighted mean execution time of
+	// recent requests, the base of the 429 Retry-After estimate.
+	MeanServiceUs int64 `json:"mean_service_us"`
 }
 
 type counters struct {
@@ -107,6 +129,9 @@ type counters struct {
 	cacheHits, cacheMisses, stampedeJoins atomic.Int64
 	degraded, errorsN, timeouts, panics   atomic.Int64
 	searchNodes, simOps                   atomic.Int64
+	flushes, flushErrors                  atomic.Int64
+	meanSvcUs                             atomic.Int64 // EWMA, microseconds
+	missSinceFlush                        atomic.Int64
 }
 
 // Server is the sptd daemon.
@@ -128,6 +153,10 @@ type Server struct {
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	flushKick chan struct{}
+	flushStop chan struct{}
+	flushDone chan struct{}
 }
 
 type task struct {
@@ -166,6 +195,13 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		s.store = st
 	}
+	if cfg.FlushSync {
+		s.cache.SetSync(incr.SyncFlush)
+		if s.store != nil {
+			s.store.SetSync(incr.SyncFlush)
+		}
+	}
+	s.flushKick = make(chan struct{}, 1)
 	s.tasks = make(chan *task, cfg.QueueDepth)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
@@ -195,7 +231,68 @@ func (s *Server) Start() error {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.cfg.FlushInterval > 0 || s.cfg.FlushEveryN > 0 {
+		s.flushStop = make(chan struct{})
+		s.flushDone = make(chan struct{})
+		go s.flusher()
+	}
 	return nil
+}
+
+// flusher is the durability loop: it flushes both persistent stores on
+// the -flush-interval ticker and whenever the miss counter kicks it, so
+// a hard kill loses at most one flush window.
+func (s *Server) flusher() {
+	defer close(s.flushDone)
+	var tick <-chan time.Time
+	if s.cfg.FlushInterval > 0 {
+		t := time.NewTicker(s.cfg.FlushInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-tick:
+		case <-s.flushKick:
+		case <-s.flushStop:
+			return
+		}
+		s.flushStores()
+	}
+}
+
+// flushStores appends both stores' pending records to disk. The flush
+// counter increments only after every store flushed cleanly, so readers
+// of /metrics can rely on "flushes == N implies everything cached before
+// flush N is durable". A failed flush is counted and survived: the log
+// marks itself for a compacting rewrite on the next save.
+func (s *Server) flushStores() {
+	ok := true
+	if err := s.cache.Flush(); err != nil {
+		ok = false
+	}
+	if s.store != nil {
+		if err := s.store.Flush(); err != nil {
+			ok = false
+		}
+	}
+	if ok {
+		s.ctr.flushes.Add(1)
+	} else {
+		s.ctr.flushErrors.Add(1)
+	}
+}
+
+// kickFlush requests an asynchronous flush (coalesced when one is
+// already pending).
+func (s *Server) kickFlush() {
+	if s.flushStop == nil {
+		return
+	}
+	select {
+	case s.flushKick <- struct{}{}:
+	default:
+	}
 }
 
 // Addr returns the bound listen address (after Start).
@@ -242,6 +339,10 @@ func (s *Server) Run(ctx context.Context) error {
 	close(s.tasks)
 	s.wg.Wait()
 	s.baseCancel()
+	if s.flushStop != nil {
+		close(s.flushStop)
+		<-s.flushDone
+	}
 
 	if cerr := s.cache.Save(); cerr != nil && err == nil {
 		err = fmt.Errorf("save response cache: %w", cerr)
@@ -283,6 +384,8 @@ func (s *Server) worker() {
 func (s *Server) execute(t *task, eng *machine.Engine) taskResult {
 	s.ctr.inFlight.Add(1)
 	defer s.ctr.inFlight.Add(-1)
+	start := time.Now()
+	defer func() { s.observeServiceTime(time.Since(start)) }()
 
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
@@ -365,6 +468,9 @@ func (s *Server) execute(t *task, eng *machine.Engine) taskResult {
 		s.ctr.cacheHits.Add(1)
 	case DispMiss:
 		s.ctr.cacheMisses.Add(1)
+		if n := s.cfg.FlushEveryN; n > 0 && s.ctr.missSinceFlush.Add(1)%int64(n) == 0 {
+			s.kickFlush()
+		}
 	case DispJoin:
 		s.ctr.stampedeJoins.Add(1)
 	}
@@ -408,6 +514,39 @@ func (s *Server) errorResult(err error, timedOut bool, disp string) taskResult {
 	return taskResult{status: status, body: body, disp: disp}
 }
 
+// observeServiceTime folds one request's execution time into the EWMA
+// the 429 Retry-After estimate is derived from (alpha = 1/8).
+func (s *Server) observeServiceTime(d time.Duration) {
+	us := d.Microseconds()
+	for {
+		old := s.ctr.meanSvcUs.Load()
+		next := us
+		if old > 0 {
+			next = old + (us-old)/8
+		}
+		if s.ctr.meanSvcUs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfter estimates how long an overloaded client should back off:
+// the time to drain a full queue at the recent mean service rate,
+// floored at one second (the header's resolution) so clients never
+// hammer a saturated daemon.
+func (s *Server) retryAfter() time.Duration {
+	mean := time.Duration(s.ctr.meanSvcUs.Load()) * time.Microsecond
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	d := mean * time.Duration(s.cfg.QueueDepth) / time.Duration(workers)
+	if d < time.Second {
+		d = time.Second
+	}
+	return d.Round(time.Second)
+}
+
 // admit enqueues a task or rejects it with 429 when the queue is full.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, t *task) {
 	s.ctr.requests.Add(1)
@@ -415,8 +554,10 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, t *task) {
 	case s.tasks <- t:
 	default:
 		s.ctr.queueRejects.Add(1)
+		ra := s.retryAfter()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int64(ra/time.Second)))
 		writeJSONError(w, http.StatusTooManyRequests, errorBody{
-			Error: fmt.Sprintf("queue full (%d deep): retry with backoff", s.cfg.QueueDepth),
+			Error: fmt.Sprintf("queue full (%d deep): retry after %s", s.cfg.QueueDepth, ra),
 			Kind:  errKindOverload,
 		})
 		return
@@ -506,6 +647,9 @@ func (s *Server) Snapshot() Metrics {
 		SearchNodes:   s.ctr.searchNodes.Load(),
 		SimOps:        s.ctr.simOps.Load(),
 		CacheEntries:  int64(s.cache.Len()),
+		Flushes:       s.ctr.flushes.Load(),
+		FlushErrors:   s.ctr.flushErrors.Load(),
+		MeanServiceUs: s.ctr.meanSvcUs.Load(),
 	}
 	if s.store != nil {
 		m.IncrEntries = int64(s.store.Len())

@@ -190,6 +190,12 @@ func TestServerOverload(t *testing.T) {
 				t.Errorf("burst request %d: %v, want ErrOverload or success", i+1, err)
 				continue
 			}
+			// Satellite contract: every 429 carries a Retry-After backoff
+			// hint derived from queue depth x mean service time, floored
+			// at one second.
+			if over.RetryAfter < time.Second {
+				t.Errorf("burst request %d: Retry-After = %v, want >= 1s", i+1, over.RetryAfter)
+			}
 			overloads++
 		}
 	}
@@ -236,8 +242,40 @@ func TestServerFaultInjection(t *testing.T) {
 		}
 	}
 
+	// Durability-path points (log flush/compaction, cache save) fire on
+	// the daemon's persistence schedule, not on the request path: arming
+	// them must leave request results untouched. Their failure semantics
+	// are pinned by the dedicated incr/cache/crashtest suites.
+	ioPoints := map[string]bool{
+		"incr.log.flush":     true,
+		"incr.log.rename":    true,
+		"service.cache.save": true,
+	}
+
 	for _, point := range points {
 		t.Run(point, func(t *testing.T) {
+			if ioPoints[point] {
+				healthz(t, srv)
+				if err := resilience.ArmSpec(point + "=error"); err != nil {
+					t.Fatal(err)
+				}
+				defer resilience.DisarmAll()
+				req := &SimulateRequest{
+					Name:   fmt.Sprintf("fault-%s.spl", point),
+					Source: src,
+					Level:  "best",
+				}
+				resp, err := remote.Simulate(req)
+				if err != nil {
+					t.Fatalf("point %s: durability fault leaked into the request path: %v", point, err)
+				}
+				if resp.Compile.Degraded {
+					t.Errorf("point %s: durability fault degraded a request", point)
+				}
+				resilience.DisarmAll()
+				healthz(t, srv)
+				return
+			}
 			healthz(t, srv)
 			if err := resilience.ArmSpec(point + "=panic"); err != nil {
 				t.Fatal(err)
