@@ -11,6 +11,11 @@
 //	GET  /metrics      admission/outcome/work counters (JSON)
 //	GET  /debug/trace  Chrome trace_event export of recent requests
 //
+// Simulate requests accept "counters_only": true in their options for
+// the counters-only fast mode (bit-identical fidelity counters, no
+// cycle accounting; incompatible with compare/coverage_max_body); such
+// responses are cached under their own key.
+//
 // Admission is bounded: at most -queue-depth requests wait for the
 // -workers pool, and excess load is rejected with HTTP 429 rather than
 // queued unboundedly. Each request runs under a panic guard and the

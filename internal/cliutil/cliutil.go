@@ -253,6 +253,22 @@ func ParseEngine(name string) (machine.EngineKind, bool) {
 	return 0, false
 }
 
+// ParseSimMode maps the CLI -sim-mode names to the simulator's
+// CountersOnly switch; ok is false for an unknown name. "full" is
+// complete fidelity (cycles plus every counter); "counters" skips all
+// cycle accounting and reproduces only the fidelity counters
+// (bit-identical to a full run), substantially faster for sweeps that
+// never read cycles.
+func ParseSimMode(name string) (countersOnly, ok bool) {
+	switch name {
+	case "full":
+		return false, true
+	case "counters":
+		return true, true
+	}
+	return false, false
+}
+
 // ParseLevel maps the CLI level names to core levels; ok is false for an
 // unknown name. allowBase admits the non-SPT reference level.
 func ParseLevel(name string, allowBase bool) (core.Level, bool) {

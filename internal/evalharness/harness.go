@@ -123,6 +123,15 @@ type Options struct {
 	// engine by default; machine.EngineTree runs the reference
 	// tree-walker). Results are bit-identical between the two.
 	Engine machine.EngineKind
+	// CountersOnly runs every simulation in counters-only mode
+	// (machine.RunOptions.CountersOnly): the fidelity counters and
+	// program outputs are bit-identical to a full-fidelity suite, but no
+	// cycles are produced, so Speedup, Coverage, and the Figure 16
+	// MaxCoverage measurement read zero (the auxiliary coverage
+	// simulation is skipped entirely). The output-divergence check
+	// against base still runs. Substantially faster for sweeps that only
+	// read counters.
+	CountersOnly bool
 	// Incr is an optional loop-result store shared by every level compile
 	// in the suite (see core.Options.Incr); the Store is safe for the
 	// concurrent jobs. Each run's hit/miss counters land in its Metrics.
@@ -325,11 +334,19 @@ func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, 
 	br.once.Do(func() {
 		err := runJob(opt, &br.retried, func(ctx context.Context) error {
 			if opt.Client != nil {
+				// Counters-only mode cannot ask the daemon for the Figure 16
+				// coverage measurement (it needs cycles), so the request
+				// drops CoverageMaxBody and MaxCoverage stays zero.
+				cov := opt.MaxLoopBody
+				if opt.CountersOnly {
+					cov = 0
+				}
 				resp, err := jobClient(opt, ctx).Simulate(&service.SimulateRequest{
 					Name:            b.Name,
 					Source:          b.Source,
 					Level:           core.LevelBase.String(),
-					CoverageMaxBody: opt.MaxLoopBody,
+					Options:         service.ReqOptions{CountersOnly: opt.CountersOnly},
+					CoverageMaxBody: cov,
 				})
 				if err != nil {
 					return fmt.Errorf("base compile+simulate: %w", err)
@@ -356,7 +373,7 @@ func (br *baseRun) get(b benchprog.Benchmark, opt Options, cache *CompileCache, 
 			}
 			var out captureWriter
 			start := time.Now()
-			sim, err := eng.Run(res.Prog, opt.Machine, machine.RunOptions{Out: &out, Trace: br.track, Context: ctx, Engine: opt.Engine})
+			sim, err := eng.Run(res.Prog, opt.Machine, machine.RunOptions{Out: &out, Trace: br.track, Context: ctx, Engine: opt.Engine, CountersOnly: opt.CountersOnly})
 			if err != nil {
 				return fmt.Errorf("base simulate: %w", err)
 			}
@@ -400,6 +417,12 @@ func runBase(b benchprog.Benchmark, opt Options, cache *CompileCache, eng *machi
 	if opt.Client != nil {
 		// Remote mode: the daemon measured coverage (CoverageMaxBody).
 		run.MaxCoverage = br.maxCov
+		return nil
+	}
+
+	if opt.CountersOnly {
+		// The Figure 16 measurement is a cycle ratio; counters-only mode
+		// skips the auxiliary simulation and leaves MaxCoverage zero.
 		return nil
 	}
 
@@ -453,6 +476,7 @@ func runLevel(b benchprog.Benchmark, level core.Level, opt Options, cache *Compi
 		simOpt.Trace = tk
 		simOpt.Context = ctx
 		simOpt.Engine = opt.Engine
+		simOpt.CountersOnly = opt.CountersOnly
 		var out captureWriter
 		simOpt.Out = &out
 		start := time.Now()
@@ -511,7 +535,7 @@ func runLevelRemote(b benchprog.Benchmark, level core.Level, opt Options, br *ba
 		Name:    b.Name,
 		Source:  b.Source,
 		Level:   level.String(),
-		Options: service.ReqOptions{SearchBudget: budget},
+		Options: service.ReqOptions{SearchBudget: budget, CountersOnly: opt.CountersOnly},
 	})
 	if err != nil {
 		return fmt.Errorf("%s compile+simulate: %w", level, err)

@@ -7,44 +7,32 @@ import (
 	"sptc/internal/ir"
 )
 
-// tval is one value-stack slot: a runtime value plus its speculative
-// taint. Values are always constructed exactly like the tree walker's
-// (the unused half of the Value union stays zero), because speculative
-// violation detection compares whole Values.
-type tval struct {
-	v Value
-	t bool
-}
-
-// execFrom dispatches block-range execution to the active engine: the
-// bytecode engine when the program was lowered (RunOptions.Engine ==
-// EngineBytecode, the default), the reference tree walker otherwise.
-// Everything around it — the SPT pairwise runner, frames, speculative
-// buffers, memory hierarchy — is shared by both engines.
-func (s *sim) execFrom(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool) (execOutcome, error) {
-	if s.low != nil {
-		if s.countersOnly {
-			return s.execByteCount(fr, blk, prev, stop)
-		}
-		return s.execByte(fr, blk, prev, stop)
-	}
-	return s.exec(fr, blk, prev, stop)
-}
-
-// execByte is the bytecode engine's dispatch loop: the exact semantics
-// of sim.exec (see sim.go) over the lowered instruction stream. Any
-// change to the walker must be mirrored here; TestEngineFidelity holds
-// the two bit-identical.
+// execByteCount is the counters-only twin of execByte: the same opcode
+// semantics, operand handling, control flow and fidelity counters, with
+// every cycle-accounting statement removed. It exists because the float
+// cycle accumulation is a serial dependency chain through the dispatch
+// loop (each add depends on the last), and sweeps that only want
+// fidelity counters (hits/misses, predictor lookups, fork/kill/iter
+// counts, op and step totals) pay for it on every instruction.
 //
-// The hot counters (cycles, ops, steps, memCycles) live in locals and
-// are flushed to the sim around anything that observes them: SPT loop
-// entry, the fork hook, calls, attribution, and every return. The float
-// additions happen in exactly the walker's order, so the flushed totals
-// are bit-identical. The operand stack is a pre-sized window of
-// s.vstack addressed by sp; lowering computed the per-activation
-// maximum depth, so pushes never reallocate mid-frame (only a nested
-// call can move the backing array, and the window is reloaded after).
-func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool) (execOutcome, error) {
+// The contract, pinned by TestCountersOnlyFidelity:
+//   - Control flow is identical to execByte: every branch, bounds check,
+//     step-limit check, context poll and error path fires the same way.
+//     Nothing here ever depended on a float.
+//   - Every counter-mutating call is kept in execByte's order: the
+//     branch predictors (lookups/misses and table state), the cache
+//     hierarchy walks (hits/misses/memAccess, LRU state), speculative
+//     taint propagation, sc.ops / sc.reexecOps charging, and program
+//     output.
+//   - s.cycles and s.memCycles are simply not maintained. Whatever the
+//     surrounding SPT pair-timing code computes from them is garbage,
+//     which is fine: no counter and no branch depends on those floats,
+//     and Engine.Run zeroes every cycle-derived Result field in
+//     counters-only mode before it can be observed.
+//
+// Any change to execByte must be mirrored here (and in the walker);
+// the fidelity tests hold all three together.
+func (s *sim) execByteCount(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool) (execOutcome, error) {
 	lfn := s.low.fns[fr.fn]
 	if lfn == nil {
 		return s.exec(fr, blk, prev, stop)
@@ -65,32 +53,18 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 	sp := vbase
 	defer func() { s.vstack = s.vstack[:vbase] }()
 
-	cycles, ops, steps, memCycles := s.cycles, s.ops, s.steps, s.memCycles
+	ops, steps := s.ops, s.steps
 	maxSteps := s.cfg.MaxSteps
-	mp := s.cfg.MispredictPenalty
-	l1Lat := s.cfg.L1Lat
-	isC := s.cfg.IssueCost
 	ctx := s.ctx
-	var c0 float64 // cycle/op counts at the current statement's start,
-	var o0 int64   // for re-execution accounting; calls recurse fresh
+	var o0 int64 // op count at the current statement's start
 
-	// With attribution off, a phi-less block's bcEnter is a no-op when
-	// the SPT entry check cannot fire: inside an SPT region (sptActive)
-	// nested entries are ignored, and with no header set there is nothing
-	// to enter. Both are fixed for the duration of this activation, so
-	// jumps may land directly past such enters.
-	skipEnter := s.attr == nil && (s.sptActive || s.spt == nil)
+	// Counters-only implies s.attr == nil (Run rejects the combination),
+	// so the attribution arm of bcEnter is dropped entirely and skipEnter
+	// loses its attr term.
+	skipEnter := s.sptActive || s.spt == nil
 
-	// Pre/post-fork interleave specialization: the speculative context,
-	// the undo-log flag, the active core's predictor and the stop
-	// predicate are loop-invariant within one activation — a leg runs
-	// entirely speculative or entirely main — except across exactly
-	// three calls that may flip them for the frames they own: the SPT
-	// runner (bcEnter), a nested call (bcCall) and the fork hook
-	// (bcFork). Hoisting them (and the frame's register file and the
-	// memory image, which never move mid-run) into locals takes the
-	// generation checks and spec-charge branch selection off the
-	// per-statement path; the three boundary sites reload them.
+	// The same pre/post-fork interleave specialization as execByte; see
+	// the comment there. The three boundary sites reload.
 	spec := s.spec
 	undo := s.undoActive
 	bp := s.bpM
@@ -108,37 +82,30 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		in := &code[pc]
 		op := in.op
 		if op&bcStepped != 0 {
-			// This instruction absorbed its statement's bare bcStep (see
-			// bcStepped): run the prologue first, in the walker's order.
 			steps++
 			if steps > maxSteps {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, ErrStepLimit
 			}
 			if ctx != nil && steps%ctxPollSteps == 0 {
 				if err := ctx.Err(); err != nil {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, err
 				}
 			}
-			c0, o0 = cycles, ops
+			o0 = ops
 			op &^= bcStepped
 		}
 		switch op {
 		case bcEnter:
 			b := in.blk
-			// SPT loop entry: only from the outermost, non-speculative
-			// context, and only when not already inside an SPT region.
 			if !s.sptActive && sptID != nil {
 				if id := int(sptID[in.b]); id >= 0 {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					s.vstack = vs[:sp]
 					exit, exitPrev, err := s.runSPTLoop(fr, b, prevBlk, id)
-					cycles, ops, steps, memCycles = s.cycles, s.ops, s.steps, s.memCycles
+					ops, steps = s.ops, s.steps
 					vs = s.vstack[:cap(s.vstack)]
-					// Boundary reload: the SPT runner leaves spec nil and
-					// the undo log closed, but re-derive the hoisted state
-					// rather than assume it.
 					spec, undo = s.spec, s.undoActive
 					bp = s.bpM
 					if spec != nil {
@@ -158,16 +125,11 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 					continue
 				}
 			}
-			if s.attr != nil {
-				s.cycles = cycles
-				s.noteBlock(fr, b)
-			}
 			if in.a >= 0 && prevBlk != nil {
-				// Phis evaluate in parallel from the predecessor's values.
 				phis := lfn.phis[in.a]
 				pi := b.PredIndex(prevBlk)
 				if pi < 0 {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, fmt.Errorf("machine: %s: b%d entered from non-pred b%d", fr.fn.Name, b.ID, prevBlk.ID)
 				}
 				if cap(s.phiVals) < len(phis) {
@@ -189,16 +151,16 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcStep:
 			steps++
 			if steps > maxSteps {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, ErrStepLimit
 			}
 			if ctx != nil && steps%ctxPollSteps == 0 {
 				if err := ctx.Err(); err != nil {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, err
 				}
 			}
-			c0, o0 = cycles, ops
+			o0 = ops
 			pc++
 
 		case bcGoto:
@@ -213,11 +175,11 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 					stopped = stop(te.blk)
 				}
 				if stopped {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{stopped: te.blk, prev: prevBlk}, nil
 				}
 				if skipEnter && te.a < 0 {
-					tgt++ // phi-less enter is a no-op here; land past it
+					tgt++
 				}
 			} else if skipEnter {
 				if te := &code[tgt]; te.a < 0 {
@@ -229,7 +191,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcIf:
 			sp--
 			cond := vs[sp]
-			cycles += in.cost
 			ops++
 			var taken bool
 			if in.bin != 0 {
@@ -237,9 +198,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			} else {
 				taken = cond.v.I != 0
 			}
-			if !bp.predict(int(in.d), taken) {
-				cycles += mp
-			}
+			bp.predict(int(in.d), taken)
 			tgt := in.b
 			if taken {
 				tgt = in.a
@@ -247,7 +206,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			if sc := spec; sc != nil {
 				sc.ops += ops - o0
 				if cond.t {
-					sc.reexecCycles += cycles - c0
 					sc.reexecOps += ops - o0
 				}
 			}
@@ -261,7 +219,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 					stopped = stop(te.blk)
 				}
 				if stopped {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{stopped: te.blk, prev: prevBlk}, nil
 				}
 				if skipEnter && te.a < 0 {
@@ -275,7 +233,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			pc = tgt
 
 		case bcFellThrough:
-			s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+			s.ops, s.steps = ops, steps
 			return execOutcome{}, fmt.Errorf("machine: %s: b%d fell through", fr.fn.Name, in.blk.ID)
 
 		case bcConst:
@@ -299,11 +257,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcLoadG:
 			ops++
 			addr := int(in.c)
-			lat := hier.load(addr)
-			cycles += lat
-			if lat > l1Lat {
-				memCycles += lat
-			}
+			hier.load(addr)
 			if spec == nil {
 				vs[sp] = tval{v: mem[addr]}
 			} else {
@@ -326,7 +280,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			d := int(in.a)
 			i := int(ix.v.I)
 			if i < 0 || i >= g.Dims[d] {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, fmt.Errorf("machine: %s: index %d out of range [0,%d) for %s (stmt s%d)",
 					fr.fn.Name, i, g.Dims[d], g.Name, aux[pc].st.ID)
 			}
@@ -338,11 +292,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			acc := vs[sp-1]
 			addr := int(in.c) + int(acc.v.I)
 			ops++
-			lat := hier.load(addr)
-			cycles += lat
-			if lat > l1Lat {
-				memCycles += lat
-			}
+			hier.load(addr)
 			if spec == nil {
 				vs[sp-1] = tval{v: mem[addr], t: acc.t}
 			} else {
@@ -352,9 +302,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			pc++
 
 		case bcBinII:
-			// Operand fetch: y first (it is on top when both are on the
-			// stack), then x. Var/const fetches are pure, so the relative
-			// order versus the walker's x-then-y evaluation is unobservable.
 			var y tval
 			switch in.ym {
 			case bcMConst:
@@ -388,10 +335,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				x = vs[sp]
 			}
 			ops++
-			cycles += in.cost
-			// The operator switch is written out here (rather than calling
-			// intBin) because this is the single hottest opcode and the
-			// switch is too large for the inliner.
 			xi, yi := x.v.I, y.v.I
 			var r int64
 			switch ir.BinOp(in.bin) {
@@ -412,8 +355,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			case ir.BinShr:
 				r = xi >> uint(yi&63)
 			case ir.BinDiv:
-				// Reached only with a constant nonzero, non-minus-one
-				// divisor (fastIntBin): neither trap is possible.
 				r = xi / yi
 			case ir.BinRem:
 				r = xi % yi
@@ -439,10 +380,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			pc++
 
 		case bcBinII2:
-			// A bcBinII pair fused by the emit peephole: the first op runs
-			// exactly as bcBinII, its result feeds the second op without a
-			// stack round-trip. Charging matches the separate ops: two
-			// ops, two cycle-cost adds in order.
 			var y tval
 			switch in.ym {
 			case bcMConst:
@@ -476,7 +413,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				x = vs[sp]
 			}
 			ops++
-			cycles += in.cost
 			r := intBin(ir.BinOp(in.bin), x.v.I, y.v.I)
 			d := uint32(in.d)
 			var y2 tval
@@ -490,7 +426,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				y2.v, y2.t = s.readVar(fr, aux[pc].v)
 			}
 			ops++
-			cycles += in.val.F
 			x2, yi2 := r, y2.v.I
 			if d&(1<<8) != 0 {
 				x2, yi2 = yi2, x2
@@ -533,7 +468,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				x = vs[sp]
 			}
 			ops++
-			cycles += in.cost
 			vs[sp] = tval{v: floatBin(ir.BinOp(in.bin), x.v.F, y.v.F), t: x.t || y.t}
 			sp++
 			pc++
@@ -557,17 +491,13 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			}
 			i := int(ix.v.I)
 			if i < 0 || i >= int(in.c) {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, fmt.Errorf("machine: %s: index %d out of range [0,%d) for %s (stmt s%d)",
 					fr.fn.Name, i, aux[pc].g.Dims[0], aux[pc].g.Name, aux[pc].st.ID)
 			}
 			addr := int(in.d) + i
 			ops++
-			lat := hier.load(addr)
-			cycles += lat
-			if lat > l1Lat {
-				memCycles += lat
-			}
+			hier.load(addr)
 			if spec == nil {
 				vs[sp] = tval{v: mem[addr], t: ix.t}
 			} else {
@@ -582,10 +512,9 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			y := vs[sp]
 			x := &vs[sp-1]
 			ops++
-			cycles += in.cost
 			v, err := evalBinMachine(fr, aux[pc].st, aux[pc].o, x.v, y.v)
 			if err != nil {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, err
 			}
 			x.v = v
@@ -595,8 +524,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcUn:
 			x := &vs[sp-1]
 			ops++
-			cycles += in.cost
-			switch in.bin { // pre-resolved by splitInstr
+			switch in.bin {
 			case 1:
 				x.v = Value{F: -x.v.F}
 			case 2:
@@ -616,7 +544,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			case 5:
 				x.v = Value{I: ^x.v.I}
 			default:
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, fmt.Errorf("machine: bad unary op")
 			}
 			pc++
@@ -624,8 +552,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcCast:
 			x := &vs[sp-1]
 			ops++
-			cycles += in.cost
-			switch in.bin { // pre-resolved by splitInstr
+			switch in.bin {
 			case 1:
 				x.v = Value{F: float64(x.v.I)}
 			case 2:
@@ -643,15 +570,12 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				tnt = tnt || vs[sp+i].t
 			}
 			ops++
-			s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+			s.ops, s.steps = ops, steps
 			s.vstack = vs[:sp]
 			v, retTaint, err := s.callTainted(aux[pc].o.Func, s.argBuf[ab:], fr.depth+1, tnt)
 			s.argBuf = s.argBuf[:ab]
-			cycles, ops, steps, memCycles = s.cycles, s.ops, s.steps, s.memCycles
+			ops, steps = s.ops, s.steps
 			vs = s.vstack[:cap(s.vstack)]
-			// Boundary reload: a callee cannot change our leg's context
-			// (SPT regions never nest, the fork hook ignores foreign
-			// frames), but re-derive the hoisted state rather than assume.
 			spec, undo = s.spec, s.undoActive
 			bp = s.bpM
 			if spec != nil {
@@ -675,43 +599,36 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			var v Value
 			switch in.b {
 			case bFabs:
-				cycles += in.cost
 				v = Value{F: math.Abs(args[0].v.F)}
 			case bFsqrt:
-				cycles += in.cost
 				if args[0].v.F < 0 {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, fmt.Errorf("machine: fsqrt of negative value")
 				}
 				v = Value{F: math.Sqrt(args[0].v.F)}
 			case bFmin:
-				cycles += in.cost
 				v = Value{F: math.Min(args[0].v.F, args[1].v.F)}
 			case bFmax:
-				cycles += in.cost
 				v = Value{F: math.Max(args[0].v.F, args[1].v.F)}
 			case bIabs:
-				cycles += in.cost
 				v = args[0].v
 				if v.I < 0 {
 					v = Value{I: -v.I}
 				}
 			case bImin:
-				cycles += in.cost
 				if args[0].v.I < args[1].v.I {
 					v = args[0].v
 				} else {
 					v = args[1].v
 				}
 			case bImax:
-				cycles += in.cost
 				if args[0].v.I > args[1].v.I {
 					v = args[0].v
 				} else {
 					v = args[1].v
 				}
 			default:
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, fmt.Errorf("machine: unknown builtin %s", aux[pc].o.Callee)
 			}
 			sp -= n
@@ -721,8 +638,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 
 		case bcPrintBegin:
 			ops++
-			cycles += in.cost
-			vs[sp] = tval{} // the print taint accumulator
+			vs[sp] = tval{}
 			sp++
 			pc++
 
@@ -748,13 +664,11 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 
 		case bcPrintEnd:
 			fmt.Fprintln(s.out)
-			// The accumulator stays: it is the print call's {Value{}, taint}.
 			pc++
 
 		case bcAssign:
 			sp--
 			x := vs[sp]
-			cycles += in.cost
 			ops++
 			if spec == nil {
 				regs[in.a] = x.v
@@ -766,7 +680,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				sc := spec
 				sc.ops += ops - o0
 				if x.t {
-					sc.reexecCycles += cycles - c0
 					sc.reexecOps += ops - o0
 				}
 			}
@@ -775,7 +688,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcStoreG:
 			sp--
 			x := vs[sp]
-			cycles += in.cost
 			ops++
 			addr := int(in.c)
 			if spec == nil && !undo {
@@ -786,7 +698,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				if sc := spec; sc != nil {
 					sc.ops += ops - o0
 					if x.t {
-						sc.reexecCycles += cycles - c0
 						sc.reexecOps += ops - o0
 					}
 				}
@@ -798,7 +709,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			acc := vs[sp]
 			x := vs[sp+1]
 			tnt := acc.t || x.t
-			cycles += in.cost
 			ops++
 			addr := int(in.c) + int(acc.v.I)
 			if spec == nil && !undo {
@@ -809,7 +719,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				if sc := spec; sc != nil {
 					sc.ops += ops - o0
 					if tnt {
-						sc.reexecCycles += cycles - c0
 						sc.reexecOps += ops - o0
 					}
 				}
@@ -822,31 +731,24 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			if sc := spec; sc != nil {
 				sc.ops += ops - o0
 				if x.t {
-					sc.reexecCycles += cycles - c0
 					sc.reexecOps += ops - o0
 				}
 			}
 			pc++
 
-		// Statement-fused opcodes: one dispatch covering the walker's whole
-		// per-statement sequence (step bookkeeping, operand fetch, the op,
-		// the finisher, speculative charging) in the identical charge order.
-		// Operands here are only ever constants or variables (bcMConst /
-		// bcMVar), which charge nothing, so the fused statement's c0/o0
-		// baseline is simply the instruction's entry counts.
 		case bcAsgMove:
 			steps++
 			if steps > maxSteps {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, ErrStepLimit
 			}
 			if ctx != nil && steps%ctxPollSteps == 0 {
 				if err := ctx.Err(); err != nil {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, err
 				}
 			}
-			cs, os := cycles, ops
+			os := ops
 			var x tval
 			if in.xm == bcMConst {
 				x.v = in.val
@@ -857,7 +759,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			} else {
 				x.v, x.t = s.readVar(fr, aux[pc].xv)
 			}
-			cycles += in.cost
 			ops++
 			if spec == nil {
 				regs[in.a] = x.v
@@ -869,7 +770,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				sc := spec
 				sc.ops += ops - os
 				if x.t {
-					sc.reexecCycles += cycles - cs
 					sc.reexecOps += ops - os
 				}
 			}
@@ -878,16 +778,16 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcAsgBinII:
 			steps++
 			if steps > maxSteps {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, ErrStepLimit
 			}
 			if ctx != nil && steps%ctxPollSteps == 0 {
 				if err := ctx.Err(); err != nil {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, err
 				}
 			}
-			cs, os := cycles, ops
+			os := ops
 			var x, y tval
 			if in.xm == bcMConst {
 				x.v = in.val
@@ -908,10 +808,8 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				y.v, y.t = s.readVar(fr, aux[pc].yv)
 			}
 			ops++
-			cycles += in.cost
 			rv := Value{I: intBin(ir.BinOp(in.bin), x.v.I, y.v.I)}
 			tnt := x.t || y.t
-			cycles += isC
 			ops++
 			if spec == nil {
 				regs[in.a] = rv
@@ -923,7 +821,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				sc := spec
 				sc.ops += ops - os
 				if tnt {
-					sc.reexecCycles += cycles - cs
 					sc.reexecOps += ops - os
 				}
 			}
@@ -932,16 +829,16 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcAsgBinFF:
 			steps++
 			if steps > maxSteps {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, ErrStepLimit
 			}
 			if ctx != nil && steps%ctxPollSteps == 0 {
 				if err := ctx.Err(); err != nil {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, err
 				}
 			}
-			cs, os := cycles, ops
+			os := ops
 			var x, y tval
 			if in.xm == bcMConst {
 				x.v = in.val
@@ -962,10 +859,8 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				y.v, y.t = s.readVar(fr, aux[pc].yv)
 			}
 			ops++
-			cycles += in.cost
 			rv := floatBin(ir.BinOp(in.bin), x.v.F, y.v.F)
 			tnt := x.t || y.t
-			cycles += isC
 			ops++
 			if spec == nil {
 				regs[in.a] = rv
@@ -977,7 +872,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				sc := spec
 				sc.ops += ops - os
 				if tnt {
-					sc.reexecCycles += cycles - cs
 					sc.reexecOps += ops - os
 				}
 			}
@@ -986,30 +880,25 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcAsgLoadG:
 			steps++
 			if steps > maxSteps {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, ErrStepLimit
 			}
 			if ctx != nil && steps%ctxPollSteps == 0 {
 				if err := ctx.Err(); err != nil {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, err
 				}
 			}
-			cs, os := cycles, ops
+			os := ops
 			addr := int(in.c)
 			ops++
-			lat := hier.load(addr)
-			cycles += lat
-			if lat > l1Lat {
-				memCycles += lat
-			}
+			hier.load(addr)
 			var x tval
 			if spec == nil {
 				x.v = mem[addr]
 			} else {
 				x.v, x.t = s.readMem(addr)
 			}
-			cycles += isC
 			ops++
 			if spec == nil {
 				regs[in.a] = x.v
@@ -1021,7 +910,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				sc := spec
 				sc.ops += ops - os
 				if x.t {
-					sc.reexecCycles += cycles - cs
 					sc.reexecOps += ops - os
 				}
 			}
@@ -1030,16 +918,16 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcAsgLoadA1:
 			steps++
 			if steps > maxSteps {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, ErrStepLimit
 			}
 			if ctx != nil && steps%ctxPollSteps == 0 {
 				if err := ctx.Err(); err != nil {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, err
 				}
 			}
-			cs, os := cycles, ops
+			os := ops
 			var ix tval
 			if in.xm == bcMConst {
 				ix.v = in.val
@@ -1052,17 +940,13 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			}
 			i := int(ix.v.I)
 			if i < 0 || i >= int(in.c) {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, fmt.Errorf("machine: %s: index %d out of range [0,%d) for %s (stmt s%d)",
 					fr.fn.Name, i, aux[pc].g.Dims[0], aux[pc].g.Name, aux[pc].st.ID)
 			}
 			addr := int(in.d) + i
 			ops++
-			lat := hier.load(addr)
-			cycles += lat
-			if lat > l1Lat {
-				memCycles += lat
-			}
+			hier.load(addr)
 			var x tval
 			if spec == nil {
 				x = tval{v: mem[addr], t: ix.t}
@@ -1070,7 +954,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				v, t2 := s.readMem(addr)
 				x = tval{v, ix.t || t2}
 			}
-			cycles += isC
 			ops++
 			if spec == nil {
 				regs[in.a] = x.v
@@ -1082,7 +965,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				sc := spec
 				sc.ops += ops - os
 				if x.t {
-					sc.reexecCycles += cycles - cs
 					sc.reexecOps += ops - os
 				}
 			}
@@ -1091,16 +973,16 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcStoreGF:
 			steps++
 			if steps > maxSteps {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, ErrStepLimit
 			}
 			if ctx != nil && steps%ctxPollSteps == 0 {
 				if err := ctx.Err(); err != nil {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, err
 				}
 			}
-			cs, os := cycles, ops
+			os := ops
 			var x tval
 			if in.xm == bcMConst {
 				x.v = in.val
@@ -1111,7 +993,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			} else {
 				x.v, x.t = s.readVar(fr, aux[pc].xv)
 			}
-			cycles += in.cost
 			ops++
 			addr := int(in.c)
 			if spec == nil && !undo {
@@ -1122,7 +1003,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				if sc := spec; sc != nil {
 					sc.ops += ops - os
 					if x.t {
-						sc.reexecCycles += cycles - cs
 						sc.reexecOps += ops - os
 					}
 				}
@@ -1132,16 +1012,16 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcStoreA1F:
 			steps++
 			if steps > maxSteps {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, ErrStepLimit
 			}
 			if ctx != nil && steps%ctxPollSteps == 0 {
 				if err := ctx.Err(); err != nil {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, err
 				}
 			}
-			cs, os := cycles, ops
+			os := ops
 			var ix tval
 			if in.xm == bcMConst {
 				ix.v = in.val
@@ -1154,7 +1034,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			}
 			i := int(ix.v.I)
 			if i < 0 || i >= int(in.c) {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, fmt.Errorf("machine: %s: index %d out of range [0,%d) for %s (stmt s%d)",
 					fr.fn.Name, i, aux[pc].g.Dims[0], aux[pc].g.Name, aux[pc].st.ID)
 			}
@@ -1169,7 +1049,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				x.v, x.t = s.readVar(fr, aux[pc].yv)
 			}
 			tnt := ix.t || x.t
-			cycles += in.cost
 			ops++
 			addr := int(in.d) + i
 			if spec == nil && !undo {
@@ -1180,7 +1059,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				if sc := spec; sc != nil {
 					sc.ops += ops - os
 					if tnt {
-						sc.reexecCycles += cycles - cs
 						sc.reexecOps += ops - os
 					}
 				}
@@ -1190,16 +1068,16 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcIfBinII:
 			steps++
 			if steps > maxSteps {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, ErrStepLimit
 			}
 			if ctx != nil && steps%ctxPollSteps == 0 {
 				if err := ctx.Err(); err != nil {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, err
 				}
 			}
-			cs, os := cycles, ops
+			os := ops
 			var x, y tval
 			if in.xm == bcMConst {
 				x.v = in.val
@@ -1220,15 +1098,11 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				y.v, y.t = s.readVar(fr, aux[pc].yv)
 			}
 			ops++
-			cycles += in.cost
 			r := intBin(ir.BinOp(in.bin), x.v.I, y.v.I)
 			tnt := x.t || y.t
-			cycles += isC
 			ops++
 			taken := r != 0
-			if !bp.predict(int(in.d), taken) {
-				cycles += mp
-			}
+			bp.predict(int(in.d), taken)
 			tgt := in.b
 			if taken {
 				tgt = in.a
@@ -1236,7 +1110,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			if sc := spec; sc != nil {
 				sc.ops += ops - os
 				if tnt {
-					sc.reexecCycles += cycles - cs
 					sc.reexecOps += ops - os
 				}
 			}
@@ -1250,7 +1123,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 					stopped = stop(te.blk)
 				}
 				if stopped {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{stopped: te.blk, prev: prevBlk}, nil
 				}
 				if skipEnter && te.a < 0 {
@@ -1266,16 +1139,16 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 		case bcIfVal:
 			steps++
 			if steps > maxSteps {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, ErrStepLimit
 			}
 			if ctx != nil && steps%ctxPollSteps == 0 {
 				if err := ctx.Err(); err != nil {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{}, err
 				}
 			}
-			cs, os := cycles, ops
+			os := ops
 			var x tval
 			if in.xm == bcMConst {
 				x.v = in.val
@@ -1286,7 +1159,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			} else {
 				x.v, x.t = s.readVar(fr, aux[pc].xv)
 			}
-			cycles += in.cost
 			ops++
 			var taken bool
 			if in.bin != 0 {
@@ -1294,9 +1166,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			} else {
 				taken = x.v.I != 0
 			}
-			if !bp.predict(int(in.d), taken) {
-				cycles += mp
-			}
+			bp.predict(int(in.d), taken)
 			tgt := in.b
 			if taken {
 				tgt = in.a
@@ -1304,7 +1174,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			if sc := spec; sc != nil {
 				sc.ops += ops - os
 				if x.t {
-					sc.reexecCycles += cycles - cs
 					sc.reexecOps += ops - os
 				}
 			}
@@ -1318,7 +1187,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 					stopped = stop(te.blk)
 				}
 				if stopped {
-					s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+					s.ops, s.steps = ops, steps
 					return execOutcome{stopped: te.blk, prev: prevBlk}, nil
 				}
 				if skipEnter && te.a < 0 {
@@ -1331,10 +1200,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			}
 			pc = tgt
 
-		// Finisher-merged opcodes: last RHS op + statement finisher in one
-		// dispatch. A bcStep ran earlier in the statement, so speculative
-		// charging uses the outer c0/o0 baseline, and operands may come
-		// from the stack (charged by their own instructions).
 		case bcBinAsgII:
 			var y tval
 			switch in.ym {
@@ -1369,10 +1234,8 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				x = vs[sp]
 			}
 			ops++
-			cycles += in.cost
 			rv := Value{I: intBin(ir.BinOp(in.bin), x.v.I, y.v.I)}
 			tnt := x.t || y.t
-			cycles += isC
 			ops++
 			if spec == nil {
 				regs[in.a] = rv
@@ -1384,7 +1247,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				sc := spec
 				sc.ops += ops - o0
 				if tnt {
-					sc.reexecCycles += cycles - c0
 					sc.reexecOps += ops - o0
 				}
 			}
@@ -1424,10 +1286,8 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				x = vs[sp]
 			}
 			ops++
-			cycles += in.cost
 			rv := floatBin(ir.BinOp(in.bin), x.v.F, y.v.F)
 			tnt := x.t || y.t
-			cycles += isC
 			ops++
 			if spec == nil {
 				regs[in.a] = rv
@@ -1439,7 +1299,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				sc := spec
 				sc.ops += ops - o0
 				if tnt {
-					sc.reexecCycles += cycles - c0
 					sc.reexecOps += ops - o0
 				}
 			}
@@ -1464,17 +1323,13 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			}
 			i := int(ix.v.I)
 			if i < 0 || i >= int(in.c) {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, fmt.Errorf("machine: %s: index %d out of range [0,%d) for %s (stmt s%d)",
 					fr.fn.Name, i, aux[pc].g.Dims[0], aux[pc].g.Name, aux[pc].st.ID)
 			}
 			addr := int(in.d) + i
 			ops++
-			lat := hier.load(addr)
-			cycles += lat
-			if lat > l1Lat {
-				memCycles += lat
-			}
+			hier.load(addr)
 			var x tval
 			if spec == nil {
 				x = tval{v: mem[addr], t: ix.t}
@@ -1482,7 +1337,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				v, t2 := s.readMem(addr)
 				x = tval{v, ix.t || t2}
 			}
-			cycles += isC
 			ops++
 			if spec == nil {
 				regs[in.a] = x.v
@@ -1494,7 +1348,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				sc := spec
 				sc.ops += ops - o0
 				if x.t {
-					sc.reexecCycles += cycles - c0
 					sc.reexecOps += ops - o0
 				}
 			}
@@ -1505,7 +1358,7 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 			ix := vs[sp]
 			i := int(ix.v.I)
 			if i < 0 || i >= int(in.c) {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				return execOutcome{}, fmt.Errorf("machine: %s: index %d out of range [0,%d) for %s (stmt s%d)",
 					fr.fn.Name, i, aux[pc].g.Dims[0], aux[pc].g.Name, aux[pc].st.ID)
 			}
@@ -1520,7 +1373,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				x.v, x.t = s.readVar(fr, aux[pc].yv)
 			}
 			tnt := ix.t || x.t
-			cycles += in.cost
 			ops++
 			addr := int(in.d) + i
 			if spec == nil && !undo {
@@ -1531,7 +1383,6 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				if sc := spec; sc != nil {
 					sc.ops += ops - o0
 					if tnt {
-						sc.reexecCycles += cycles - c0
 						sc.reexecOps += ops - o0
 					}
 				}
@@ -1545,26 +1396,22 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 				sp--
 				v, tnt = vs[sp].v, vs[sp].t
 			}
-			cycles += in.cost
 			ops++
 			if sc := spec; sc != nil {
 				sc.ops += ops - o0
 				if tnt {
-					sc.reexecCycles += cycles - c0
 					sc.reexecOps += ops - o0
 				}
 			}
-			s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+			s.ops, s.steps = ops, steps
 			return execOutcome{ret: true, retVal: v, retTaint: tnt}, nil
 
 		case bcFork:
 			ops++
 			if s.forkIter != nil {
-				s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+				s.ops, s.steps = ops, steps
 				s.onFork(fr)
-				cycles, ops, steps, memCycles = s.cycles, s.ops, s.steps, s.memCycles
-				// Boundary reload: a spawning fork opens the undo log for
-				// the rest of this main leg.
+				ops, steps = s.ops, s.steps
 				undo = s.undoActive
 			}
 			if sc := spec; sc != nil {
@@ -1574,100 +1421,18 @@ func (s *sim) execByte(fr *frame, blk, prev *ir.Block, stop func(*ir.Block) bool
 
 		case bcKill:
 			ops++
-			if spec == nil {
-				cycles += in.cost
-			} else {
+			if spec != nil {
 				spec.ops += ops - o0
 			}
 			pc++
 
 		case bcBad:
-			s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+			s.ops, s.steps = ops, steps
 			return execOutcome{}, fmt.Errorf("%s", aux[pc].str)
 
 		default:
-			s.cycles, s.ops, s.steps, s.memCycles = cycles, ops, steps, memCycles
+			s.ops, s.steps = ops, steps
 			return execOutcome{}, fmt.Errorf("machine: invalid bytecode op %d", in.op)
 		}
 	}
-}
-
-func b2iInt(b bool) int64 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-// intBin evaluates a non-trapping integer binary operator, mirroring the
-// walker's evalBin int arm exactly (including the shift-count masking).
-func intBin(op ir.BinOp, xi, yi int64) int64 {
-	switch op {
-	case ir.BinAdd:
-		return xi + yi
-	case ir.BinSub:
-		return xi - yi
-	case ir.BinMul:
-		return xi * yi
-	case ir.BinAnd:
-		return xi & yi
-	case ir.BinOr:
-		return xi | yi
-	case ir.BinXor:
-		return xi ^ yi
-	case ir.BinShl:
-		return xi << uint(yi&63)
-	case ir.BinShr:
-		return xi >> uint(yi&63)
-	case ir.BinDiv:
-		// Reached only with a constant nonzero, non-minus-one divisor
-		// (fastIntBin): neither trap is possible.
-		return xi / yi
-	case ir.BinRem:
-		return xi % yi
-	case ir.BinEq:
-		return b2iInt(xi == yi)
-	case ir.BinNeq:
-		return b2iInt(xi != yi)
-	case ir.BinLt:
-		return b2iInt(xi < yi)
-	case ir.BinLeq:
-		return b2iInt(xi <= yi)
-	case ir.BinGt:
-		return b2iInt(xi > yi)
-	case ir.BinGeq:
-		return b2iInt(xi >= yi)
-	case ir.BinLAnd:
-		return b2iInt(xi != 0 && yi != 0)
-	case ir.BinLOr:
-		return b2iInt(xi != 0 || yi != 0)
-	}
-	return 0
-}
-
-// floatBin evaluates a non-trapping float binary operator; comparisons
-// produce int-typed Values, arithmetic float-typed ones, exactly like
-// the walker (the unused union half stays zero).
-func floatBin(op ir.BinOp, xf, yf float64) Value {
-	switch op {
-	case ir.BinAdd:
-		return Value{F: xf + yf}
-	case ir.BinSub:
-		return Value{F: xf - yf}
-	case ir.BinMul:
-		return Value{F: xf * yf}
-	case ir.BinEq:
-		return Value{I: b2iInt(xf == yf)}
-	case ir.BinNeq:
-		return Value{I: b2iInt(xf != yf)}
-	case ir.BinLt:
-		return Value{I: b2iInt(xf < yf)}
-	case ir.BinLeq:
-		return Value{I: b2iInt(xf <= yf)}
-	case ir.BinGt:
-		return Value{I: b2iInt(xf > yf)}
-	case ir.BinGeq:
-		return Value{I: b2iInt(xf >= yf)}
-	}
-	return Value{}
 }

@@ -116,3 +116,247 @@ func TestConfigContention(t *testing.T) {
 		t.Errorf("contention factor %v out of [0,1]", cfg.MemContention)
 	}
 }
+
+// refLevel is an executable-specification LRU cache: a plain map from
+// set to way list, replacing the lowest-indexed way holding the
+// smallest stamp. The differential tests below pin cacheLevel's packed
+// fast paths (including the specialized 4-way sweep) against it.
+type refLevel struct {
+	sets, assoc int
+	lineBits    uint
+	stamp       uint32
+	ways        map[int][]refWay
+	hits, miss  int64
+}
+
+type refWay struct {
+	line  int64
+	stamp uint32
+	valid bool
+}
+
+func newRefLevel(words, assoc, lineWords int) *refLevel {
+	lineBits := uint(0)
+	for 1<<lineBits < lineWords {
+		lineBits++
+	}
+	sets := words / lineWords / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	return &refLevel{sets: sets, assoc: assoc, lineBits: lineBits, ways: make(map[int][]refWay)}
+}
+
+func (r *refLevel) access(addr int) bool {
+	line := int64(addr) >> r.lineBits
+	set := int(line % int64(r.sets))
+	r.stamp++
+	ws := r.ways[set]
+	if ws == nil {
+		ws = make([]refWay, r.assoc)
+		r.ways[set] = ws
+	}
+	for w := range ws {
+		if ws[w].valid && ws[w].line == line {
+			ws[w].stamp = r.stamp
+			r.hits++
+			return true
+		}
+	}
+	victim := 0
+	for w := 1; w < len(ws); w++ {
+		// Invalid ways keep stamp 0, so they lose ties to nothing and the
+		// lowest-indexed cold way fills first — same as the packed layout.
+		if ws[w].stamp < ws[victim].stamp {
+			victim = w
+		}
+	}
+	ws[victim] = refWay{line: line, stamp: r.stamp, valid: true}
+	r.miss++
+	return false
+}
+
+// TestCacheLevelMatchesReference runs random access streams through
+// cacheLevel and the executable specification at several geometries:
+// the specialized 4-way path, the generic path (1/2/8-way), and a
+// non-power-of-two set count (3 sets, exercising the modulo fallback).
+func TestCacheLevelMatchesReference(t *testing.T) {
+	geoms := []struct {
+		name             string
+		words, assoc, lw int
+	}{
+		{"4way-specialized", 256, 4, 8},
+		{"direct-mapped", 128, 1, 8},
+		{"2way", 128, 2, 8},
+		{"8way-generic", 512, 8, 8},
+		{"3sets-modulo", 3 * 2 * 8, 2, 8}, // 6 lines, 2-way: 3 sets, setMask -1
+		{"single-set-clamp", 8, 4, 8},     // fewer words than one set: sets clamps to 1
+	}
+	for _, g := range geoms {
+		t.Run(g.name, func(t *testing.T) {
+			c := newCacheLevel(g.words, g.assoc, g.lw, 1)
+			r := newRefLevel(g.words, g.assoc, g.lw)
+			if g.name == "3sets-modulo" && c.setMask != -1 {
+				t.Fatalf("setMask = %d, want -1 for %d sets", c.setMask, c.sets)
+			}
+			x := uint32(12345)
+			for i := 0; i < 20000; i++ {
+				x = x*1664525 + 1013904223
+				addr := int(x % 8192)
+				if got, want := c.access(addr), r.access(addr); got != want {
+					t.Fatalf("access %d (addr %d): hit=%v, reference says %v", i, addr, got, want)
+				}
+			}
+			if c.hits != r.hits || c.misses != r.miss {
+				t.Errorf("counters (%d hits, %d misses) diverge from reference (%d, %d)",
+					c.hits, c.misses, r.hits, r.miss)
+			}
+			if c.hits == 0 || c.misses == 0 {
+				t.Errorf("degenerate stream: %d hits, %d misses", c.hits, c.misses)
+			}
+		})
+	}
+}
+
+// TestCacheLRUVictimTieBreak pins the fill order of a cold set: invalid
+// ways all carry stamp 0, so misses fill ways in index order, and the
+// 4-way specialized sweep agrees with the generic scan.
+func TestCacheLRUVictimTieBreak(t *testing.T) {
+	for _, assoc := range []int{4, 8} {
+		c := newCacheLevel(assoc*8, assoc, 8, 1) // one set
+		for w := 0; w < assoc; w++ {
+			hit, idx := c.accessLine(int64(w * c.sets)) // all map to set 0
+			if hit {
+				t.Fatalf("assoc %d: cold access %d hit", assoc, w)
+			}
+			if idx != int32(w) {
+				t.Fatalf("assoc %d: cold fill %d landed in way %d, want index order", assoc, w, idx)
+			}
+		}
+		// The set is full with stamps 1..assoc; the next miss evicts way 0.
+		if hit, idx := c.accessLine(int64(assoc)); hit || idx != 0 {
+			t.Fatalf("assoc %d: full-set miss hit=%v way=%d, want miss into way 0", assoc, hit, idx)
+		}
+	}
+}
+
+// TestScoreboardTransparent is the memory-model pin for the windowed
+// residency scoreboard: a hierarchy whose scoreboard is wiped before
+// every access (forcing the full walk each time) must report exactly
+// the same latencies, hit/miss counters, LRU state and memory-access
+// count as one using the fast path. The stream mixes sequential sweeps
+// (the scoreboard's best case) with strided and random accesses and
+// interleaved stores, including lines that alias in the 64-slot board.
+func TestScoreboardTransparent(t *testing.T) {
+	cfg := DefaultConfig()
+	fast := newHierarchy(cfg)
+	slow := newHierarchy(cfg)
+	x := uint32(99)
+	for i := 0; i < 60000; i++ {
+		var addr int
+		switch i % 4 {
+		case 0: // sequential sweep
+			addr = (i / 4) % 4096
+		case 1: // stride that revisits scoreboard-aliasing lines
+			addr = (i * cfg.LineWords * sbSize) % (1 << 20)
+		case 2: // random
+			x = x*1664525 + 1013904223
+			addr = int(x % (1 << 18))
+		case 3: // hot scalars
+			addr = int(x % 64)
+		}
+		slow.clearScoreboard()
+		if i%7 == 3 {
+			fast.store(addr)
+			slow.store(addr)
+		} else {
+			lf, ls := fast.load(addr), slow.load(addr)
+			if lf != ls {
+				t.Fatalf("access %d (addr %d): latency %v with scoreboard, %v without", i, addr, lf, ls)
+			}
+		}
+	}
+	for _, lv := range []struct {
+		name       string
+		fast, slow *cacheLevel
+	}{{"L1", fast.l1, slow.l1}, {"L2", fast.l2, slow.l2}, {"L3", fast.l3, slow.l3}} {
+		if lv.fast.hits != lv.slow.hits || lv.fast.misses != lv.slow.misses {
+			t.Errorf("%s: (%d hits, %d misses) with scoreboard, (%d, %d) without",
+				lv.name, lv.fast.hits, lv.fast.misses, lv.slow.hits, lv.slow.misses)
+		}
+		if lv.fast.stamp != lv.slow.stamp {
+			t.Errorf("%s: stamp %d with scoreboard, %d without", lv.name, lv.fast.stamp, lv.slow.stamp)
+		}
+		for i := range lv.fast.meta {
+			if lv.fast.meta[i] != lv.slow.meta[i] {
+				t.Fatalf("%s: LRU state diverges at way %d", lv.name, i)
+			}
+		}
+	}
+	if fast.memAccess != slow.memAccess {
+		t.Errorf("memAccess %d with scoreboard, %d without", fast.memAccess, slow.memAccess)
+	}
+}
+
+// TestPredictorSaturation pins the 2-bit counter's hysteresis: a
+// saturated always-taken branch survives a single not-taken blip
+// without flipping its prediction.
+func TestPredictorSaturation(t *testing.T) {
+	bp := newPredictor(64)
+	site := 7
+	// Saturate at strongly-taken; extra taken outcomes must not overflow.
+	for i := 0; i < 50; i++ {
+		bp.predict(site, true)
+	}
+	if bp.predict(site, false) {
+		// The saturated counter predicts taken, so a not-taken outcome is
+		// a mispredict (and steps the counter 3 -> 2).
+		t.Fatal("saturated counter should still predict taken on a not-taken blip")
+	}
+	if !bp.predict(site, true) {
+		t.Error("one not-taken blip flipped a saturated counter")
+	}
+	// Symmetric floor: strongly-not-taken survives one taken blip.
+	for i := 0; i < 50; i++ {
+		bp.predict(site, false)
+	}
+	bp.predict(site, true)
+	if !bp.predict(site, false) {
+		t.Error("one taken blip flipped a strongly-not-taken counter")
+	}
+}
+
+// TestPredictorAliasing demonstrates destructive interference: with a
+// small table, two sites hashing to the same entry share one counter,
+// so training one site mistrains the other.
+func TestPredictorAliasing(t *testing.T) {
+	bp := newPredictor(2) // mask 1: plenty of colliding sites
+	idx := func(site int) int { return (site * 2654435761) & bp.mask }
+	a := 1
+	b := -1
+	for s := 2; s < 1000; s++ {
+		if s != a && idx(s) == idx(a) {
+			b = s
+			break
+		}
+	}
+	if b < 0 {
+		t.Fatal("no aliasing site found")
+	}
+	for i := 0; i < 4; i++ {
+		bp.predict(a, true) // train a's (shared) counter to strongly-taken
+	}
+	if !bp.predict(b, true) {
+		t.Errorf("site %d should inherit site %d's trained counter", b, a)
+	}
+	misses := bp.misses
+	bp.predict(b, false) // b's not-taken outcome now mistrains a
+	bp.predict(b, false)
+	bp.predict(b, false)
+	if bp.misses == misses {
+		t.Error("retraining the shared counter should mispredict at least once")
+	}
+	if bp.predict(a, true) {
+		t.Errorf("site %d's counter should have been mistrained by site %d", a, b)
+	}
+}

@@ -15,6 +15,8 @@
 // thread eventually produced.
 package machine
 
+import "fmt"
+
 // Config holds the machine parameters.
 type Config struct {
 	// SPT overheads (cycles), §8.
@@ -60,6 +62,58 @@ type Config struct {
 
 	// MaxSteps bounds execution (statements).
 	MaxSteps int64
+}
+
+// ConfigError reports an invalid machine configuration field. It is
+// returned (wrapped) by Run and RunBatch, so callers — including the
+// CLIs and the service — can distinguish a bad config from a program
+// error with errors.As.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("machine: invalid config: %s %s", e.Field, e.Reason)
+}
+
+// Validate checks the cache geometry and predictor sizing. Invalid
+// shapes are rejected here with a typed error instead of being
+// silently rounded inside newCacheLevel: a non-power-of-two line size
+// would change which address bits select the line, and a level too
+// small for one full set would quietly clamp to a single set — both
+// would give plausible-looking but meaningless hit rates. Run calls
+// this on every simulation.
+func (c *Config) Validate() error {
+	if c.LineWords <= 0 || c.LineWords&(c.LineWords-1) != 0 {
+		return &ConfigError{"LineWords", fmt.Sprintf("must be a positive power of two (got %d)", c.LineWords)}
+	}
+	levels := [...]struct {
+		name  string
+		words int
+		assoc int
+	}{
+		{"L1", c.L1Words, c.L1Assoc},
+		{"L2", c.L2Words, c.L2Assoc},
+		{"L3", c.L3Words, c.L3Assoc},
+	}
+	for _, l := range levels {
+		if l.assoc <= 0 {
+			return &ConfigError{l.name + "Assoc", fmt.Sprintf("must be positive (got %d)", l.assoc)}
+		}
+		if l.words <= 0 {
+			return &ConfigError{l.name + "Words", fmt.Sprintf("must be positive (got %d)", l.words)}
+		}
+		if min := c.LineWords * l.assoc; l.words < min {
+			return &ConfigError{l.name + "Words", fmt.Sprintf(
+				"must hold at least one full set: %d-way x %d-word lines needs %d words (got %d)",
+				l.assoc, c.LineWords, min, l.words)}
+		}
+	}
+	if c.PredictorEntries <= 0 {
+		return &ConfigError{"PredictorEntries", fmt.Sprintf("must be positive (got %d)", c.PredictorEntries)}
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper-faithful machine configuration.

@@ -1,0 +1,55 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestValidateDefault pins the paper-faithful configuration as valid.
+func TestValidateDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+// TestValidateRejects pins the typed rejection of each geometry error:
+// the field name lands in ConfigError.Field so CLIs and the service can
+// report exactly which knob is wrong.
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string
+	}{
+		{"zero-line", func(c *Config) { c.LineWords = 0 }, "LineWords"},
+		{"npot-line", func(c *Config) { c.LineWords = 3 }, "LineWords"},
+		{"negative-line", func(c *Config) { c.LineWords = -8 }, "LineWords"},
+		{"zero-assoc", func(c *Config) { c.L1Assoc = 0 }, "L1Assoc"},
+		{"negative-assoc", func(c *Config) { c.L2Assoc = -1 }, "L2Assoc"},
+		{"zero-words", func(c *Config) { c.L3Words = 0 }, "L3Words"},
+		{"sub-set-level", func(c *Config) { c.L1Words = c.LineWords*c.L1Assoc - 1 }, "L1Words"},
+		{"zero-predictor", func(c *Config) { c.PredictorEntries = 0 }, "PredictorEntries"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %T is not a *ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Errorf("Field = %q, want %q", ce.Field, tc.field)
+			}
+			if !strings.Contains(err.Error(), tc.field) {
+				t.Errorf("message %q does not name the field", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,168 @@
+package machine_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sptc"
+	"sptc/internal/benchprog"
+	"sptc/internal/ir"
+	"sptc/internal/machine"
+)
+
+// runCountersOnly executes one compiled program in counters-only mode
+// under the given engine.
+func runCountersOnly(t *testing.T, res *sptc.Result, kind machine.EngineKind) (*machine.Result, string) {
+	t.Helper()
+	opt := sptc.SimulationOptions(res)
+	var out strings.Builder
+	opt.Out = &out
+	opt.Engine = kind
+	opt.CountersOnly = true
+	sim, err := machine.Run(res.Prog, machine.DefaultConfig(), opt)
+	if err != nil {
+		t.Fatalf("counters-only engine %v: %v", kind, err)
+	}
+	return sim, out.String()
+}
+
+// stripTiming returns a deep copy of a full-fidelity result with every
+// cycle-derived field zeroed — the counters-only contract: a
+// counters-only run must equal this, field for field.
+func stripTiming(full *machine.Result) *machine.Result {
+	s := *full
+	s.Cycles = 0
+	s.Loops = make(map[int]*machine.LoopStats, len(full.Loops))
+	for id, ls := range full.Loops {
+		c := *ls
+		c.SpecCycles, c.ReexecCycles, c.SeqCycles, c.Elapsed = 0, 0, 0, 0
+		s.Loops[id] = &c
+	}
+	return &s
+}
+
+// requireCountersIdentical asserts a counters-only result reproduces
+// every fidelity counter of the (stripped) full-fidelity result: output
+// bytes, instruction and step-derived counts, branch predictor state,
+// memory-hierarchy counters, and every per-loop integer statistic.
+func requireCountersIdentical(t *testing.T, label string, want, got *machine.Result, wantOut, gotOut string) {
+	t.Helper()
+	if wantOut != gotOut {
+		t.Errorf("%s: output differs: full %q, counters-only %q", label, wantOut, gotOut)
+	}
+	if got.Cycles != 0 {
+		t.Errorf("%s: counters-only Cycles = %v, want 0", label, got.Cycles)
+	}
+	if want.Ops != got.Ops {
+		t.Errorf("%s: sim_instructions differ: full %d, counters-only %d", label, want.Ops, got.Ops)
+	}
+	if want.BranchLookups != got.BranchLookups || want.BranchMisses != got.BranchMisses {
+		t.Errorf("%s: branch counters differ: full %d/%d, counters-only %d/%d",
+			label, want.BranchLookups, want.BranchMisses, got.BranchLookups, got.BranchMisses)
+	}
+	if want.MemAccesses != got.MemAccesses {
+		t.Errorf("%s: mem_accesses differ: full %d, counters-only %d", label, want.MemAccesses, got.MemAccesses)
+	}
+	if !reflect.DeepEqual(want.CyclesByLoop, got.CyclesByLoop) {
+		t.Errorf("%s: attributed cycles differ: full %v, counters-only %v", label, want.CyclesByLoop, got.CyclesByLoop)
+	}
+	if len(want.Loops) != len(got.Loops) {
+		t.Errorf("%s: loop-stat sets differ: full %d loops, counters-only %d", label, len(want.Loops), len(got.Loops))
+		return
+	}
+	for id, wl := range want.Loops {
+		gl := got.Loops[id]
+		if gl == nil {
+			t.Errorf("%s: loop %d present only under full fidelity", label, id)
+			continue
+		}
+		if *wl != *gl {
+			t.Errorf("%s: loop %d stats differ:\n full (stripped) %+v\n counters-only   %+v", label, id, *wl, *gl)
+		}
+	}
+}
+
+// TestCountersOnlyFidelity is the oracle for the counters-only fast
+// mode: for every benchmark at every fidelity level, a counters-only
+// run must reproduce every fidelity counter of a full-fidelity run
+// exactly — same program output, instruction counts, branch
+// lookups/misses, cache memory accesses, and per-loop speculation
+// statistics — with all cycle-derived fields zero. Both engines are
+// held to it, and to each other.
+func TestCountersOnlyFidelity(t *testing.T) {
+	suite := benchprog.Suite()
+	if testing.Short() {
+		suite = suite[:3]
+	}
+	for _, b := range suite {
+		for _, level := range fidelityLevels {
+			b, level := b, level
+			t.Run(b.Name+"/"+level.String(), func(t *testing.T) {
+				t.Parallel()
+				res, err := sptc.Compile(b.Name+".spl", b.Source, level)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				label := b.Name + "/" + level.String()
+				full, fullOut := runEngine(t, res, machine.EngineBytecode)
+				want := stripTiming(full)
+
+				bc, bcOut := runCountersOnly(t, res, machine.EngineBytecode)
+				requireCountersIdentical(t, label+"/bytecode", want, bc, fullOut, bcOut)
+
+				tree, treeOut := runCountersOnly(t, res, machine.EngineTree)
+				requireCountersIdentical(t, label+"/tree", want, tree, fullOut, treeOut)
+
+				// And the two counters-only engines against each other,
+				// bit for bit.
+				requireIdentical(t, label+"/cross", tree, bc, treeOut, bcOut)
+			})
+		}
+	}
+}
+
+// TestCountersOnlyRejectsAttribution pins the documented incompatibility:
+// loop attribution is cycle accounting, so requesting it together with
+// CountersOnly is a configuration error, not a silent zero map.
+func TestCountersOnlyRejectsAttribution(t *testing.T) {
+	res, err := sptc.Compile("spec.spl", specFriendly, sptc.LevelBest)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opt := sptc.SimulationOptions(res)
+	opt.CountersOnly = true
+	opt.AttributeLoops = map[*ir.Block]int{} // any non-nil value
+	_, err = machine.Run(res.Prog, machine.DefaultConfig(), opt)
+	if err == nil {
+		t.Fatal("CountersOnly + AttributeLoops accepted; want error")
+	}
+	if !strings.Contains(err.Error(), "CountersOnly") {
+		t.Errorf("error %q does not mention CountersOnly", err)
+	}
+}
+
+// TestRunRejectsInvalidConfig pins satellite contract of Config.Validate:
+// Run refuses a broken cache geometry before simulating, and the error
+// unwraps to the typed *machine.ConfigError the CLIs and the service
+// report from.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	res, err := sptc.Compile("spec.spl", specFriendly, sptc.LevelBest)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.LineWords = 7 // not a power of two
+	_, err = machine.Run(res.Prog, cfg, sptc.SimulationOptions(res))
+	if err == nil {
+		t.Fatal("invalid config accepted by Run")
+	}
+	var ce *machine.ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run error %T (%v) does not unwrap to *machine.ConfigError", err, err)
+	}
+	if ce.Field != "LineWords" {
+		t.Errorf("Field = %q, want LineWords", ce.Field)
+	}
+}

@@ -109,6 +109,17 @@ type RunOptions struct {
 	// bytes, cycles, op counts and fidelity counters; the tree walker is
 	// kept as the differential oracle for the bytecode engine.
 	Engine EngineKind
+	// CountersOnly skips all cycle accounting: the run produces the
+	// program output and every fidelity counter (instructions, forks,
+	// kills, spec/misspec iterations, per-loop op counts, branch
+	// lookups/misses, memory accesses) bit-identical to a full-fidelity
+	// run, but Result.Cycles, the per-loop float timing fields and
+	// CyclesByLoop are zero. Sweeps that only read counters (violation
+	// profiles, coverage-free sanity sweeps) run substantially faster:
+	// the bytecode engine executes a trimmed dispatch loop with no float
+	// accumulation. Incompatible with AttributeLoops (which measures
+	// cycles); Run rejects the combination.
+	CountersOnly bool
 }
 
 // EngineKind selects the simulator's execution engine.
@@ -221,6 +232,12 @@ type sim struct {
 	loopBlocks map[*ir.Block]map[*ir.Block]bool
 	loops      map[int]*LoopStats
 	sptActive  bool
+	// countersOnly selects the bytecode engine's trimmed dispatch loop
+	// (no float cycle accumulation); see RunOptions.CountersOnly. The
+	// tree walker ignores it and always accumulates (its results are
+	// stripped in Engine.Run), staying the differential oracle for the
+	// trimmed loop.
+	countersOnly bool
 
 	undoActive bool     // post-fork undo log open (main leg)
 	spec       *specCtx // active speculative leg
@@ -237,8 +254,8 @@ type sim struct {
 	// buffers are indexed by address and allocated lazily at the first
 	// fork; the register-side buffers are indexed by the loop frame's
 	// variable numbering and grown to the widest function seen.
-	undoVal   []Value  // fork-time values of post-fork-written addrs
-	undoGen   []uint32 // == undoStamp: address present in the undo log
+	undoVal     []Value  // fork-time values of post-fork-written addrs
+	undoGen     []uint32 // == undoStamp: address present in the undo log
 	writtenGen  []uint32 // == specStamp: written by the speculative leg
 	taintMemGen []uint32 // == specStamp: that write was tainted
 	undoStamp   uint32

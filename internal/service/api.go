@@ -44,6 +44,14 @@ type ReqOptions struct {
 	SearchBudget int `json:"search_budget,omitempty"`
 	// Dump includes the final IR in the compile response.
 	Dump bool `json:"dump,omitempty"`
+	// CountersOnly runs the simulation in counters-only mode
+	// (machine.RunOptions.CountersOnly): all fidelity counters are
+	// bit-identical to a full run, but cycles and the per-loop float
+	// timing fields are zero. Rejected together with Compare or
+	// CoverageMaxBody, which exist to measure cycles. Being part of the
+	// options, it keys the response cache, so full-fidelity and
+	// counters-only responses never collide.
+	CountersOnly bool `json:"counters_only,omitempty"`
 }
 
 // CompileRequest asks for one compilation.

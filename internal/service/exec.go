@@ -130,6 +130,16 @@ func ExecSimulate(req *SimulateRequest, env Env) (*SimulateResponse, error) {
 	if err != nil {
 		return nil, err
 	}
+	if req.Options.CountersOnly {
+		// Both extras exist to measure cycles, which counters-only mode
+		// does not produce.
+		if req.Compare {
+			return nil, &RequestError{Msg: "counters_only skips cycle accounting; compare needs cycles"}
+		}
+		if req.CoverageMaxBody > 0 {
+			return nil, &RequestError{Msg: "counters_only skips cycle accounting; coverage_max_body needs cycles"}
+		}
+	}
 	cfg := machine.DefaultConfig()
 	if req.Machine != nil {
 		cfg = *req.Machine
@@ -148,6 +158,7 @@ func ExecSimulate(req *SimulateRequest, env Env) (*SimulateResponse, error) {
 	simOpt.Trace = env.Track
 	simOpt.Context = env.ctx()
 	simOpt.Engine = env.Engine
+	simOpt.CountersOnly = req.Options.CountersOnly
 	out := &captureWriter{tee: env.Out}
 	simOpt.Out = out
 	sstart := time.Now()

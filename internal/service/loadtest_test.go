@@ -287,8 +287,13 @@ func TestServerLoad(t *testing.T) {
 		report.ColdWarmP50x = float64(cold.P50us) / float64(warm.P50us)
 	}
 	t.Logf("cold/warm p50 ratio: %.1fx", report.ColdWarmP50x)
-	if !raceEnabled && report.ColdWarmP50x < 10 {
-		t.Errorf("warm p50 not >=10x better than cold: cold=%dus warm=%dus (%.1fx)",
+	// The threshold bounds the cache's value from below: hits must stay far
+	// cheaper than recomputation. It was 10x when cold compile+simulate was
+	// slower; the memory-model fast paths cut the cold side enough that the
+	// observed ratio now sits around 7-14x, so 5x keeps headroom against
+	// noise without letting a real hit-path regression through.
+	if !raceEnabled && report.ColdWarmP50x < 5 {
+		t.Errorf("warm p50 not >=5x better than cold: cold=%dus warm=%dus (%.1fx)",
 			cold.P50us, warm.P50us, report.ColdWarmP50x)
 	}
 

@@ -1,20 +1,25 @@
 #!/usr/bin/env bash
-# bench.sh — run the hot-path micro-benchmarks and emit BENCH_pr7.json.
+# bench.sh — run the hot-path micro-benchmarks and emit BENCH_pr10.json.
 #
 # The JSON has two sections:
 #   "baseline" — the pre-change numbers committed in
-#                scripts/bench_baseline_pr7.json (the PR 6 numbers:
-#                batched bytecode engine, no incremental-recompilation
-#                store), kept for the perf trajectory;
+#                scripts/bench_baseline_pr10.json (the PR 9 tree:
+#                batched bytecode engine + compilation service, before
+#                the memory-model fast paths), kept for the perf
+#                trajectory;
 #   "current"  — this run of BenchmarkPartitionSearch,
 #                BenchmarkCostPropagation, BenchmarkSimulate (bytecode
-#                engine), BenchmarkSimulateTree (reference walker — the
-#                in-process ratio to BenchmarkSimulate is the engine
-#                speedup), BenchmarkRunBatch/{w1,wmax},
-#                BenchmarkPartitionSearchParallel/{serial,w1,w2,w4,w8},
-#                BenchmarkCompile/{serial,w8} and
+#                engine, full fidelity), BenchmarkSimulateCounters
+#                (counters-only mode — the in-process ratio to
+#                BenchmarkSimulate is the counters-only speedup),
+#                BenchmarkSimulateTree (reference walker — the ratio to
+#                BenchmarkSimulate is the engine speedup),
+#                BenchmarkRunBatch/{w1,wmax} (full-fidelity suite sweep),
+#                BenchmarkRunBatchCounters/{w1,wmax} (counters-only
+#                suite sweep; w1 vs BenchmarkRunBatch/w1 is the sweep
+#                speedup), BenchmarkPartitionSearchParallel/{serial,w1,
+#                w2,w4,w8}, BenchmarkCompile/{serial,w8} and
 #                BenchmarkCompileIncremental/{cold,warm,one-dirty-loop}
-#                (warm recompiles against a populated loop-result store)
 #                (ns/op, B/op, allocs/op, plus reported metrics such as
 #                search_nodes and sim_instructions).
 #
@@ -27,16 +32,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr7.json}
+out=${1:-BENCH_pr10.json}
 benchtime=${BENCHTIME:-2s}
 count=${COUNT:-1}
-baseline=scripts/bench_baseline_pr7.json
+baseline=scripts/bench_baseline_pr10.json
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench '^(BenchmarkPartitionSearch|BenchmarkCostPropagation|BenchmarkSimulate|BenchmarkSimulateTree|BenchmarkRunBatch|BenchmarkPartitionSearchParallel|BenchmarkCompile|BenchmarkCompileIncremental)$' \
+    -bench '^(BenchmarkPartitionSearch|BenchmarkCostPropagation|BenchmarkSimulate|BenchmarkSimulateCounters|BenchmarkSimulateTree|BenchmarkRunBatch|BenchmarkRunBatchCounters|BenchmarkPartitionSearchParallel|BenchmarkCompile|BenchmarkCompileIncremental)$' \
     -benchmem -benchtime "$benchtime" -count "$count" . | tee "$tmp"
 
 # Parse `BenchmarkName-8  N  v1 unit1  v2 unit2 ...` lines into a JSON
@@ -72,7 +77,7 @@ fi
 
 {
     echo '{'
-    echo '  "benchmarks": ["BenchmarkPartitionSearch", "BenchmarkCostPropagation", "BenchmarkSimulate", "BenchmarkSimulateTree", "BenchmarkRunBatch", "BenchmarkPartitionSearchParallel", "BenchmarkCompile", "BenchmarkCompileIncremental"],'
+    echo '  "benchmarks": ["BenchmarkPartitionSearch", "BenchmarkCostPropagation", "BenchmarkSimulate", "BenchmarkSimulateCounters", "BenchmarkSimulateTree", "BenchmarkRunBatch", "BenchmarkRunBatchCounters", "BenchmarkPartitionSearchParallel", "BenchmarkCompile", "BenchmarkCompileIncremental"],'
     echo "  \"baseline\": $(echo "$base" | sed 's/^/  /' | sed '1s/^  //'),"
     echo "  \"current\": $(echo "$current" | sed 's/^/  /' | sed '1s/^  //')"
     echo '}'
